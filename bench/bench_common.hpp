@@ -1,0 +1,73 @@
+// Shared setup for the experiment benches: the standard corpora, the zoo
+// models (trained on first run, cached under .cache/aptq thereafter), the
+// evaluation segment sets, and the paper-protocol pipeline defaults.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "core/model_zoo.hpp"
+#include "core/pipeline.hpp"
+#include "eval/perplexity.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace aptq::bench {
+
+/// Everything a table bench needs.
+struct BenchContext {
+  std::unique_ptr<StandardCorpora> corpora;
+  Model model7b;
+  std::vector<TokenSeq> c4_eval;
+  std::vector<TokenSeq> wiki_eval;
+};
+
+inline PipelineConfig paper_config() {
+  PipelineConfig cfg;  // defaults already encode the scaled paper protocol
+  return cfg;
+}
+
+inline BenchContext make_context() {
+  BenchContext ctx;
+  ctx.corpora = make_standard_corpora();
+  ModelZoo zoo;
+  ctx.model7b = zoo.get(llama7b_sim(), *ctx.corpora);
+  ctx.c4_eval = ctx.corpora->c4.eval_segments(48, 96);
+  ctx.wiki_eval = ctx.corpora->wiki.eval_segments(48, 96);
+  return ctx;
+}
+
+inline Model load_13b(const BenchContext& ctx) {
+  ModelZoo zoo;
+  return zoo.get(llama13b_sim(), *ctx.corpora);
+}
+
+inline double ppl(const Model& model, std::span<const TokenSeq> segments,
+                  const ForwardOptions& options = {}) {
+  return evaluate_perplexity(model, segments, options).perplexity;
+}
+
+/// Quantize + measure C4/Wiki perplexity for one table row.
+struct PplRow {
+  std::string method;
+  double avg_bits = 0.0;
+  double c4 = 0.0;
+  double wiki = 0.0;
+  double seconds = 0.0;
+};
+
+inline PplRow run_ppl_row(const BenchContext& ctx, Method method,
+                          const PipelineConfig& cfg) {
+  Timer timer;
+  const QuantizedModel qm =
+      quantize_model(ctx.model7b, ctx.corpora->c4, method, cfg);
+  PplRow row;
+  row.method = qm.method;
+  row.avg_bits = qm.average_bits();
+  row.c4 = ppl(qm.model, ctx.c4_eval, qm.forward_options);
+  row.wiki = ppl(qm.model, ctx.wiki_eval, qm.forward_options);
+  row.seconds = timer.seconds();
+  return row;
+}
+
+}  // namespace aptq::bench

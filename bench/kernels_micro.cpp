@@ -1,0 +1,199 @@
+// google-benchmark microbenches for the compute kernels underlying the
+// pipeline: GEMM variants, softmax, RMSNorm, Cholesky/GPTQ factor, RTN vs
+// GPTQ solver cost, bit-packing and the fused dequantize-matmul.
+#include <benchmark/benchmark.h>
+
+#include "model/forward.hpp"
+#include "quant/gptq.hpp"
+#include "quant/hessian.hpp"
+#include "tensor/cholesky.hpp"
+#include "tensor/ops.hpp"
+
+namespace aptq {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::randn(r, c, rng);
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    gemm(a, Trans::no, b, Trans::no, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmNN)->Arg(48)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 3);
+  const Matrix b = random_matrix(n, n, 4);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    gemm(a, Trans::no, b, Trans::yes, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmNT)->Arg(48)->Arg(128)->Arg(256);
+
+void BM_SoftmaxCausal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix src = random_matrix(n, n, 5);
+  for (auto _ : state) {
+    Matrix m = src;
+    softmax_rows(m, 0);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_SoftmaxCausal)->Arg(48)->Arg(128);
+
+void BM_RmsNorm(benchmark::State& state) {
+  const Matrix in = random_matrix(128, 64, 6);
+  const std::vector<float> gain(64, 1.0f);
+  Matrix out;
+  std::vector<float> inv_rms;
+  for (auto _ : state) {
+    rmsnorm_forward(in, gain, 1e-5f, out, inv_rms);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RmsNorm);
+
+void BM_CholeskyGptqFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix x = random_matrix(4 * n, n, 7);
+  HessianAccumulator acc(n);
+  acc.add_matrix(x);
+  const Matrix h = acc.finalized_damped(0.01);
+  for (auto _ : state) {
+    const Matrix u = gptq_inverse_factor(h);
+    benchmark::DoNotOptimize(u.data());
+  }
+}
+BENCHMARK(BM_CholeskyGptqFactor)->Arg(48)->Arg(128)->Arg(192);
+
+void BM_HessianAccumulate(benchmark::State& state) {
+  const Matrix x = random_matrix(48, 64, 8);
+  for (auto _ : state) {
+    HessianAccumulator acc(64);
+    acc.add_matrix(x);
+    benchmark::DoNotOptimize(acc.tokens_seen());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 48);
+}
+BENCHMARK(BM_HessianAccumulate);
+
+void BM_RtnQuantize(benchmark::State& state) {
+  const Matrix w = random_matrix(64, 192, 9);
+  QuantSpec spec;
+  spec.bits = static_cast<int>(state.range(0));
+  spec.group_size = 16;
+  for (auto _ : state) {
+    const Matrix q = rtn_quantize(w, spec);
+    benchmark::DoNotOptimize(q.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.size()));
+}
+BENCHMARK(BM_RtnQuantize)->Arg(2)->Arg(4);
+
+void BM_GptqSolve(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Matrix w = random_matrix(d, d, 10);
+  const Matrix x = random_matrix(4 * d, d, 11);
+  HessianAccumulator acc(d);
+  acc.add_matrix(x);
+  const Matrix h = acc.finalized();
+  GptqConfig cfg;
+  cfg.spec.bits = 4;
+  cfg.spec.group_size = 16;
+  for (auto _ : state) {
+    const GptqResult res = gptq_quantize(w, h, cfg);
+    benchmark::DoNotOptimize(res.weight.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.size()));
+}
+BENCHMARK(BM_GptqSolve)->Arg(48)->Arg(128);
+
+void BM_PackWeights(benchmark::State& state) {
+  const Matrix w = random_matrix(128, 128, 12);
+  QuantSpec spec;
+  spec.bits = static_cast<int>(state.range(0));
+  spec.group_size = 16;
+  for (auto _ : state) {
+    const QuantizedLinear packed(w, spec);
+    benchmark::DoNotOptimize(packed.storage_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.size()));
+}
+BENCHMARK(BM_PackWeights)->Arg(2)->Arg(4);
+
+void BM_DequantizeWeights(benchmark::State& state) {
+  const Matrix w = random_matrix(128, 128, 13);
+  QuantSpec spec;
+  spec.bits = static_cast<int>(state.range(0));
+  spec.group_size = 16;
+  const QuantizedLinear packed(w, spec);
+  for (auto _ : state) {
+    const Matrix dq = packed.dequantize();
+    benchmark::DoNotOptimize(dq.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.size()));
+}
+BENCHMARK(BM_DequantizeWeights)->Arg(2)->Arg(4);
+
+void BM_FusedDequantMatmul(benchmark::State& state) {
+  const Matrix w = random_matrix(128, 128, 14);
+  const Matrix x = random_matrix(48, 128, 15);
+  QuantSpec spec;
+  spec.bits = 4;
+  spec.group_size = 16;
+  const QuantizedLinear packed(w, spec);
+  for (auto _ : state) {
+    const Matrix y = packed.matmul_transposed(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * x.rows() * w.rows() * w.cols()));
+}
+BENCHMARK(BM_FusedDequantMatmul);
+
+void BM_ModelForward(benchmark::State& state) {
+  ModelConfig mc;
+  mc.vocab_size = 64;
+  mc.dim = 48;
+  mc.n_layers = 4;
+  mc.n_heads = 4;
+  mc.ffn_dim = 128;
+  const Model m = Model::init(mc, 16);
+  Rng rng(17);
+  TokenSeq tokens(48);
+  for (auto& t : tokens) {
+    t = static_cast<TokenId>(rng.index(64));
+  }
+  ForwardCache cache;
+  for (auto _ : state) {
+    const Matrix logits = model_forward(m, tokens, cache);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 48);
+}
+BENCHMARK(BM_ModelForward);
+
+}  // namespace
+}  // namespace aptq
+
+BENCHMARK_MAIN();

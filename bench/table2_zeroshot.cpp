@@ -1,0 +1,88 @@
+// Reproduces Table 2: zero-shot accuracy of quantized llama7b-sim and
+// llama13b-sim on the five synthetic common-sense-reasoning task families,
+// across all comparison methods and APTQ mixed-precision ratios.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "eval/harness.hpp"
+#include "eval/tasks.hpp"
+
+using namespace aptq;
+using namespace aptq::bench;
+
+namespace {
+
+struct RowSpec {
+  Method method;
+  PipelineConfig cfg;
+};
+
+std::vector<RowSpec> row_specs() {
+  const PipelineConfig base = paper_config();
+  std::vector<RowSpec> rows;
+  rows.push_back({Method::fp, base});
+  rows.push_back({Method::rtn, base});
+  rows.push_back({Method::smoothquant, base});
+  rows.push_back({Method::fpq, base});
+  rows.push_back({Method::llm_qat, base});
+  rows.push_back({Method::gptq, base});
+  {
+    PipelineConfig pb = base;
+    pb.pbllm_salient_fraction = 0.3;
+    rows.push_back({Method::pbllm, pb});
+    pb.pbllm_salient_fraction = 0.1;
+    rows.push_back({Method::pbllm, pb});
+  }
+  rows.push_back({Method::aptq, base});
+  for (const double r : {0.9, 0.8, 0.75, 0.7, 0.6, 0.5}) {
+    PipelineConfig cfg = base;
+    cfg.ratio_high = r;
+    rows.push_back({Method::aptq_mixed, cfg});
+  }
+  return rows;
+}
+
+void run_model(const char* label, const Model& fp, const Corpus& calib) {
+  std::printf("\n--- %s ---\n", label);
+  TaskGenConfig tcfg;
+  tcfg.n_items = 200;
+  tcfg.context_len = 16;
+  tcfg.continuation_len = 8;
+  const auto suite = generate_task_suite(calib, tcfg);
+
+  TextTable table({"Method", "Avg bit", "PIQA", "Hellaswag", "Arc-E",
+                   "Arc-C", "WinoGrande", "Mean%"});
+  for (const auto& spec : row_specs()) {
+    const QuantizedModel qm = quantize_model(fp, calib, spec.method,
+                                             spec.cfg);
+    const ZeroShotReport report =
+        evaluate_zero_shot(qm.model, suite, qm.forward_options);
+    std::vector<std::string> cells = {qm.method,
+                                      fmt_fixed(qm.average_bits(), 2)};
+    for (const auto& task : report.tasks) {
+      cells.push_back(fmt_fixed(100.0 * task.accuracy, 1));
+    }
+    cells.push_back(fmt_fixed(100.0 * report.mean_accuracy, 2));
+    table.add_row(std::move(cells));
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 2: Zero-shot accuracy on the five task families "
+              "===\n");
+  std::printf("(chance: PIQA/WinoGrande 50%%, Hellaswag/Arc 25%%)\n");
+  BenchContext ctx = make_context();
+  run_model("llama7b-sim", ctx.model7b, ctx.corpora->c4);
+  const Model m13 = load_13b(ctx);
+  run_model("llama13b-sim", m13, ctx.corpora->c4);
+  std::printf(
+      "shape checks: FP highest; APTQ(4.0) within ~1pt of FP and above GPTQ;\n"
+      "accuracy declines smoothly with R; 13b-sim more robust than 7b-sim;\n"
+      "PB-LLM-10%% (lowest bits) degrades most (paper Table 2).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Table 3: APTQ's Hessian-trace allocation vs manual block-wise
+// mixed precision on llama7b-sim / C4Sim perplexity.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace aptq;
+using namespace aptq::bench;
+
+int main() {
+  std::printf("=== Table 3: APTQ vs manual block-wise allocation (C4Sim "
+              "perplexity) ===\n\n");
+  BenchContext ctx = make_context();
+
+  TextTable table({"Method", "Ratio of 4-bit", "Avg bit", "Perplexity",
+                   "paper PPL"});
+  struct Spec {
+    Method method;
+    double ratio;
+    const char* paper;
+  };
+  const std::vector<Spec> specs = {
+      {Method::blockwise_mixed, 0.75, "5.84"},
+      {Method::aptq_mixed, 0.75, "5.54"},
+      {Method::blockwise_mixed, 0.50, "7.04"},
+      {Method::aptq_mixed, 0.50, "6.24"},
+  };
+  for (const auto& spec : specs) {
+    PipelineConfig cfg = paper_config();
+    cfg.ratio_high = spec.ratio;
+    const PplRow row = run_ppl_row(ctx, spec.method, cfg);
+    table.add_row({row.method, fmt_percent(spec.ratio, 0),
+                   fmt_fixed(row.avg_bits, 2), fmt_fixed(row.c4, 3),
+                   spec.paper});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.render().c_str());
+  std::printf("shape check: APTQ's trace-driven allocation beats manual "
+              "block-wise at both ratios (paper Table 3).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Method comparison on a user-supplied bit budget: quantizes llama7b-sim
+// with every implemented method near the requested average bit width and
+// prints the accuracy/size frontier — the decision table a practitioner
+// would build before picking a scheme.
+//
+// Usage: compare_methods [avg_bits]   (default 3.5; range 2..4)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/model_zoo.hpp"
+#include "core/pipeline.hpp"
+#include "eval/harness.hpp"
+#include "eval/perplexity.hpp"
+#include "eval/tasks.hpp"
+#include "util/table.hpp"
+
+using namespace aptq;
+
+int main(int argc, char** argv) {
+  double target_bits = 3.5;
+  if (argc > 1) {
+    target_bits = std::strtod(argv[1], nullptr);
+  }
+  if (target_bits < 2.0 || target_bits > 4.0) {
+    std::fprintf(stderr, "avg_bits must be in [2, 4]\n");
+    return 1;
+  }
+  std::printf("== Method comparison near %.1f average bits ==\n\n",
+              target_bits);
+
+  auto corpora = make_standard_corpora();
+  ModelZoo zoo;
+  const Model fp = zoo.get(llama7b_sim(), *corpora);
+  const auto segments = corpora->c4.eval_segments(48, 64);
+  TaskGenConfig tcfg;
+  tcfg.n_items = 100;
+  const auto suite = generate_task_suite(corpora->c4, tcfg);
+
+  // eq. 18 inverted: R = (target − 2) / 2.
+  const double ratio = (target_bits - 2.0) / 2.0;
+
+  struct Row {
+    Method method;
+    PipelineConfig cfg;
+  };
+  std::vector<Row> rows;
+  {
+    PipelineConfig base;
+    rows.push_back({Method::fp, base});
+    PipelineConfig mixed = base;
+    mixed.ratio_high = ratio;
+    rows.push_back({ratio >= 1.0 ? Method::aptq : Method::aptq_mixed, mixed});
+    rows.push_back({Method::blockwise_mixed, mixed});
+    // Uniform-grid methods at the nearest integer width.
+    PipelineConfig uniform = base;
+    uniform.bits = static_cast<int>(target_bits + 0.5);
+    rows.push_back({Method::gptq, uniform});
+    rows.push_back({Method::rtn, uniform});
+    rows.push_back({Method::owq, uniform});
+    // PB-LLM at the salient fraction whose avg bits ≈ target:
+    // 16ρ + (1−ρ) = target → ρ = (target − 1)/15.
+    PipelineConfig pb = base;
+    pb.pbllm_salient_fraction = (target_bits - 1.0) / 15.0;
+    rows.push_back({Method::pbllm, pb});
+  }
+
+  const double fp_ppl = evaluate_perplexity(fp, segments).perplexity;
+  TextTable table({"Method", "Avg bit", "C4Sim ppl", "ppl vs FP",
+                   "zero-shot mean%"});
+  for (const auto& row : rows) {
+    const QuantizedModel qm =
+        quantize_model(fp, corpora->c4, row.method, row.cfg);
+    const double ppl =
+        evaluate_perplexity(qm.model, segments, qm.forward_options)
+            .perplexity;
+    const ZeroShotReport zs =
+        evaluate_zero_shot(qm.model, suite, qm.forward_options);
+    table.add_row({qm.method, fmt_fixed(qm.average_bits(), 2),
+                   fmt_fixed(ppl, 3),
+                   (ppl >= fp_ppl ? "+" : "") +
+                       fmt_percent(ppl / fp_ppl - 1.0, 1),
+                   fmt_fixed(100.0 * zs.mean_accuracy, 1)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.render().c_str());
+  return 0;
+}

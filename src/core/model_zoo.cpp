@@ -1,0 +1,110 @@
+#include "core/model_zoo.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/io.hpp"
+#include "util/timer.hpp"
+
+namespace aptq {
+
+ZooSpec llama7b_sim() {
+  ZooSpec spec;
+  spec.name = "llama7b-sim";
+  spec.config.vocab_size = 64;
+  spec.config.dim = 48;
+  spec.config.n_layers = 4;
+  spec.config.n_heads = 4;
+  spec.config.ffn_dim = 128;
+  spec.train.steps = 1800;
+  spec.train.batch_size = 8;
+  spec.train.seq_len = 48;
+  spec.train.peak_lr = 6e-3f;
+  spec.train.warmup_steps = 60;
+  spec.train.seed = 0x7B;
+  spec.init_seed = 0x7B00;
+  return spec;
+}
+
+ZooSpec llama13b_sim() {
+  ZooSpec spec;
+  spec.name = "llama13b-sim";
+  spec.config.vocab_size = 64;
+  spec.config.dim = 64;
+  spec.config.n_layers = 5;
+  spec.config.n_heads = 4;
+  spec.config.ffn_dim = 160;
+  spec.train.steps = 1800;
+  spec.train.batch_size = 8;
+  spec.train.seq_len = 48;
+  spec.train.peak_lr = 5e-3f;
+  spec.train.warmup_steps = 60;
+  spec.train.seed = 0x13B;
+  spec.init_seed = 0x13B00;
+  return spec;
+}
+
+std::unique_ptr<StandardCorpora> make_standard_corpora() {
+  return std::unique_ptr<StandardCorpora>(new StandardCorpora{
+      Corpus("c4sim", c4sim_spec(64), 200000, 20000, 0xC4515EED),
+      Corpus("wikisim", wikisim_spec(64), 100000, 20000, 0x3151CEED),
+  });
+}
+
+ModelZoo::ModelZoo(std::string cache_dir) : cache_dir_(std::move(cache_dir)) {
+  if (cache_dir_.empty()) {
+    if (const char* env = std::getenv("APTQ_CACHE_DIR");
+        env != nullptr && env[0] != '\0') {
+      cache_dir_ = env;
+    } else {
+      cache_dir_ = ".cache/aptq";
+    }
+  }
+}
+
+std::string ModelZoo::checkpoint_path(const ZooSpec& spec) const {
+  return cache_dir_ + "/" + spec.name + ".ckpt";
+}
+
+Model ModelZoo::get(const ZooSpec& spec, const StandardCorpora& corpora,
+                    bool verbose) {
+  spec.config.validate();
+  const std::string path = checkpoint_path(spec);
+  if (file_exists(path)) {
+    Model m = load_checkpoint(path);
+    APTQ_CHECK(m.config == spec.config,
+               "ModelZoo: cached checkpoint has a stale config; delete " +
+                   path);
+    return m;
+  }
+  if (verbose) {
+    std::printf("[zoo] training %s (%zu params, %zu steps)...\n",
+                spec.name.c_str(),
+                Model::init(spec.config, spec.init_seed).parameter_count(),
+                spec.train.steps);
+  }
+  Model m = Model::init(spec.config, spec.init_seed);
+  const Corpus* corpus_ptrs[2] = {&corpora.c4, &corpora.wiki};
+  Timer timer;
+  TrainConfig tc = spec.train;
+  if (verbose) {
+    tc.log_every = spec.train.steps / 6;
+  }
+  train_model(m, std::span<const Corpus* const>(corpus_ptrs, 2), tc,
+              [&](const TrainProgress& p) {
+                if (verbose) {
+                  std::printf("[zoo]   step %-5zu loss %.4f (%.0fs)\n", p.step,
+                              p.loss, timer.seconds());
+                  std::fflush(stdout);
+                }
+              });
+  make_directories(cache_dir_);
+  save_checkpoint(m, path);
+  if (verbose) {
+    std::printf("[zoo] %s trained in %.0fs, cached at %s\n", spec.name.c_str(),
+                timer.seconds(), path.c_str());
+  }
+  return m;
+}
+
+}  // namespace aptq

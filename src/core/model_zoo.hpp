@@ -1,0 +1,58 @@
+// Model zoo: the two "pretrained" models the experiments quantize
+// (llama7b-sim / llama13b-sim, DESIGN.md §1) and the standard corpora,
+// trained once and cached on disk so every bench shares identical weights.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/corpus.hpp"
+#include "model/model.hpp"
+#include "train/trainer.hpp"
+
+namespace aptq {
+
+/// A zoo entry: architecture + training recipe under a stable name.
+struct ZooSpec {
+  std::string name;
+  ModelConfig config;
+  TrainConfig train;
+  std::uint64_t init_seed = 1;
+};
+
+/// The scaled-down LLaMA-7B stand-in (d=48, 4 blocks, 4 heads).
+ZooSpec llama7b_sim();
+
+/// The scaled-down LLaMA-13B stand-in (d=64, 5 blocks, 4 heads).
+ZooSpec llama13b_sim();
+
+/// The shared experiment corpora (held by value; construction generates the
+/// token streams deterministically).
+struct StandardCorpora {
+  Corpus c4;    ///< "C4Sim": calibration + perplexity corpus
+  Corpus wiki;  ///< "WikiSim": second perplexity corpus
+};
+
+/// Build the standard corpora (vocab 64; ~200k/100k train tokens).
+std::unique_ptr<StandardCorpora> make_standard_corpora();
+
+/// Train-once-and-cache model provider.
+class ModelZoo {
+ public:
+  /// `cache_dir` empty: use $APTQ_CACHE_DIR or ".cache/aptq".
+  explicit ModelZoo(std::string cache_dir = "");
+
+  /// Return the pretrained model for `spec`, training it on the given
+  /// corpora on first use (progress printed to stdout when `verbose`).
+  Model get(const ZooSpec& spec, const StandardCorpora& corpora,
+            bool verbose = true);
+
+  const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  std::string checkpoint_path(const ZooSpec& spec) const;
+
+  std::string cache_dir_;
+};
+
+}  // namespace aptq

@@ -1,0 +1,94 @@
+// The aptq public API: one entry point that calibrates, quantizes and
+// packages a model under any of the paper's methods.
+//
+//   Corpus c4 = ...;                 // calibration corpus (C4 in the paper)
+//   Model fp = ...;                  // pretrained model
+//   PipelineConfig cfg;
+//   cfg.ratio_high = 0.75;           // APTQ-75%: 2/4-bit mixed precision
+//   QuantizedModel qm = quantize_model(fp, c4, Method::aptq_mixed, cfg);
+//   auto ppl = evaluate_perplexity(qm.model, segments, qm.forward_options);
+//
+// Methods map one-to-one onto the rows of the paper's Tables 1-3.
+#pragma once
+
+#include <string>
+
+#include "data/corpus.hpp"
+#include "model/model.hpp"
+#include "quant/aptq.hpp"
+#include "quant/baselines.hpp"
+#include "quant/mixed_precision.hpp"
+#include "quant/qmodel.hpp"
+
+namespace aptq {
+
+/// Quantization method selector (one per comparison row).
+enum class Method {
+  fp,              ///< full-precision passthrough (the FP16 row)
+  rtn,             ///< round-to-nearest
+  gptq,            ///< GPTQ: second-order, plain XXᵀ Hessians
+  owq,             ///< OWQ: GPTQ + FP outlier columns
+  smoothquant,     ///< SmoothQuant: migration + W4 RTN + simulated A8
+  fpq,             ///< FPQ / LLM-FP4: FP4 (E2M1) grids
+  llm_qat,         ///< LLM-QAT: data-free STE fine-tuning
+  pbllm,           ///< PB-LLM: partial binarization
+  awq,             ///< AWQ: activation-aware scaling + W4 RTN (extension)
+  aptq,            ///< APTQ: attention-aware Hessians, uniform bits
+  aptq_mixed,      ///< APTQ-R: attention-aware + Hessian-trace 2/4-bit mix
+  blockwise_mixed, ///< manual block-wise 2/4-bit mix (Table 3 ablation)
+  aptq_knapsack,   ///< extension: knapsack allocator over a {2,3,4,8} menu
+                   ///< at the same average-bit target as APTQ-R
+};
+
+/// Pipeline configuration. Defaults reproduce the paper's protocol scaled
+/// to this build (128 calibration segments, group quantization, sequential
+/// block-by-block solving).
+struct PipelineConfig {
+  // Grid.
+  int bits = 4;                 ///< uniform bit width (non-mixed methods)
+  std::size_t group_size = 16;  ///< quantization group size
+  // Mixed precision.
+  double ratio_high = 1.0;      ///< R: fraction of weights at 4 bits
+  int high_bits = 4;
+  int low_bits = 2;
+  SensitivityMetric sensitivity_metric = SensitivityMetric::avg_trace;
+  // Calibration.
+  std::size_t calib_segments = 128;
+  std::size_t calib_seq_len = 48;
+  std::uint64_t calib_seed = 0xCA11B5EED;
+  std::size_t probes = 2;       ///< attention-probe count per segment
+  bool sequential = true;       ///< re-calibrate each block on the partially
+                                ///< quantized model (GPTQ protocol)
+  // Solver.
+  std::size_t solver_block = 16;
+  double damp = 0.01;
+  bool act_order = false;
+  // Baseline-specific.
+  double pbllm_salient_fraction = 0.2;
+  double owq_fp_column_fraction = 0.02;
+  double smoothquant_alpha = 0.5;
+  int smoothquant_act_bits = 8;
+  QatConfig qat;
+  /// Menu for Method::aptq_knapsack (target avg bits = 4R + 2(1−R)).
+  std::vector<int> knapsack_menu = {2, 3, 4, 8};
+  /// Use the MSE clip search when fitting quantization grids.
+  bool mse_clip_search = false;
+};
+
+/// Human-readable method label matching the paper's table rows
+/// ("APTQ-75%", "PB-LLM-20%", ...).
+std::string method_name(Method method, const PipelineConfig& config);
+
+/// Quantize `fp_model` with `method` using calibration data drawn from
+/// `calib_corpus`. Returns the evaluable quantized model plus bookkeeping.
+QuantizedModel quantize_model(const Model& fp_model,
+                              const Corpus& calib_corpus, Method method,
+                              const PipelineConfig& config);
+
+/// The same, with an explicit pre-sampled calibration set (used by the
+/// calibration-size ablation).
+QuantizedModel quantize_model_with_segments(
+    const Model& fp_model, std::span<const TokenSeq> segments, Method method,
+    const PipelineConfig& config);
+
+}  // namespace aptq

@@ -1,0 +1,81 @@
+#include "data/corpus.hpp"
+
+namespace aptq {
+
+Corpus::Corpus(std::string name, const MarkovSpec& spec,
+               std::size_t train_tokens, std::size_t eval_tokens,
+               std::uint64_t stream_seed)
+    : name_(std::move(name)), source_(spec) {
+  APTQ_CHECK(train_tokens >= 16 && eval_tokens >= 16,
+             "Corpus: splits too small");
+  Rng train_rng(stream_seed);
+  Rng eval_rng(stream_seed ^ 0xE7A11C0FFEEull);
+  train_ = source_.generate(train_tokens, train_rng);
+  eval_ = source_.generate(eval_tokens, eval_rng, &eval_topics_);
+}
+
+TokenSeq Corpus::sample_train_segment(std::size_t len, Rng& rng) const {
+  APTQ_CHECK(len > 0 && len <= train_.size(),
+             "sample_train_segment: segment longer than split");
+  const std::size_t start = rng.index(train_.size() - len + 1);
+  return TokenSeq(train_.begin() + static_cast<std::ptrdiff_t>(start),
+                  train_.begin() + static_cast<std::ptrdiff_t>(start + len));
+}
+
+std::vector<TokenSeq> Corpus::eval_segments(std::size_t len,
+                                            std::size_t max_segments) const {
+  APTQ_CHECK(len > 0, "eval_segments: len must be positive");
+  std::vector<TokenSeq> out;
+  for (std::size_t start = 0;
+       start + len <= eval_.size() && out.size() < max_segments;
+       start += len) {
+    out.emplace_back(eval_.begin() + static_cast<std::ptrdiff_t>(start),
+                     eval_.begin() + static_cast<std::ptrdiff_t>(start + len));
+  }
+  APTQ_CHECK(!out.empty(), "eval_segments: eval split shorter than one segment");
+  return out;
+}
+
+double Corpus::oracle_eval_nll() const {
+  return source_.oracle_nll(eval_, eval_topics_);
+}
+
+MarkovSpec c4sim_spec(std::size_t vocab_size) {
+  MarkovSpec spec;
+  spec.seed = 0xC4C4C4ull;
+  spec.vocab_size = vocab_size;
+  spec.topics = 4;
+  spec.branching = 6;
+  spec.zipf_alpha = 1.05;
+  spec.smoothing = 0.08;
+  spec.topic_switch_prob = 0.03;
+  return spec;
+}
+
+MarkovSpec wikisim_spec(std::size_t vocab_size) {
+  MarkovSpec spec;
+  spec.seed = 0x31B1ull;
+  spec.vocab_size = vocab_size;
+  spec.topics = 2;
+  spec.branching = 4;
+  spec.zipf_alpha = 1.2;
+  spec.smoothing = 0.05;
+  spec.topic_switch_prob = 0.01;
+  return spec;
+}
+
+std::vector<TokenSeq> sample_calibration_set(const Corpus& corpus,
+                                             std::size_t n_segments,
+                                             std::size_t segment_len,
+                                             std::uint64_t seed) {
+  APTQ_CHECK(n_segments > 0, "sample_calibration_set: need segments");
+  Rng rng(seed);
+  std::vector<TokenSeq> out;
+  out.reserve(n_segments);
+  for (std::size_t i = 0; i < n_segments; ++i) {
+    out.push_back(corpus.sample_train_segment(segment_len, rng));
+  }
+  return out;
+}
+
+}  // namespace aptq

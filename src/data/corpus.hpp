@@ -1,0 +1,61 @@
+// Named synthetic corpora with train/eval splits and segment sampling —
+// the offline substitutes for C4 (calibration + perplexity) and WikiText-2
+// (perplexity), plus the calibration-set sampler used by the paper's
+// "128 random segments" protocol.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/markov.hpp"
+#include "data/vocab.hpp"
+
+namespace aptq {
+
+/// A generated corpus with disjoint train and eval token streams.
+class Corpus {
+ public:
+  /// Generates `train_tokens` + `eval_tokens` tokens from the source.
+  Corpus(std::string name, const MarkovSpec& spec, std::size_t train_tokens,
+         std::size_t eval_tokens, std::uint64_t stream_seed);
+
+  const std::string& name() const { return name_; }
+  const MarkovSource& source() const { return source_; }
+  const TokenSeq& train_tokens() const { return train_; }
+  const TokenSeq& eval_tokens() const { return eval_; }
+
+  /// Random contiguous segment of length `len` from the train split.
+  TokenSeq sample_train_segment(std::size_t len, Rng& rng) const;
+
+  /// Deterministic partition of the eval split into `len`-token segments
+  /// (up to `max_segments`; fewer if the split is too small).
+  std::vector<TokenSeq> eval_segments(std::size_t len,
+                                      std::size_t max_segments) const;
+
+  /// Entropy floor of the eval split in nats/token (true-process NLL).
+  double oracle_eval_nll() const;
+
+ private:
+  std::string name_;
+  MarkovSource source_;
+  TokenSeq train_;
+  TokenSeq eval_;
+  std::vector<std::uint8_t> eval_topics_;
+};
+
+/// "C4-like": web-style corpus — many topics, frequent topic switches,
+/// wider branching (higher entropy).
+MarkovSpec c4sim_spec(std::size_t vocab_size);
+
+/// "WikiText-2-like": encyclopedic corpus — fewer topics, persistent topics,
+/// narrower branching (lower entropy).
+MarkovSpec wikisim_spec(std::size_t vocab_size);
+
+/// Calibration set: `n_segments` random segments of `segment_len` tokens
+/// from the corpus train split (the paper uses 128 segments from C4).
+std::vector<TokenSeq> sample_calibration_set(const Corpus& corpus,
+                                             std::size_t n_segments,
+                                             std::size_t segment_len,
+                                             std::uint64_t seed);
+
+}  // namespace aptq

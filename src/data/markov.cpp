@@ -1,0 +1,211 @@
+#include "data/markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace aptq {
+
+MarkovSource::MarkovSource(const MarkovSpec& spec) : spec_(spec) {
+  const std::size_t v = spec.vocab_size;
+  APTQ_CHECK(v >= 4, "MarkovSource: vocab_size too small");
+  APTQ_CHECK(spec.topics >= 1, "MarkovSource: need at least one topic");
+  APTQ_CHECK(spec.branching >= 1 && spec.branching <= v,
+             "MarkovSource: branching out of range");
+  APTQ_CHECK(spec.smoothing >= 0.0 && spec.smoothing < 1.0,
+             "MarkovSource: smoothing out of range");
+
+  Rng rng(spec.seed);
+
+  // Zipfian unigram over a random permutation of token ids, so frequent
+  // tokens are not clustered at small ids.
+  std::vector<std::size_t> perm(v);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  unigram_.assign(v, 0.0f);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < v; ++rank) {
+    const double p = 1.0 / std::pow(static_cast<double>(rank + 1),
+                                    spec.zipf_alpha);
+    unigram_[perm[rank]] = static_cast<float>(p);
+    total += p;
+  }
+  for (float& p : unigram_) {
+    p = static_cast<float>(p / total);
+  }
+
+  // Low-rank latent-factor transition model (see MarkovSpec): token factor
+  // vectors e1/e2/f and per-topic mixing matrices M/N produce logits
+  //   logit(next | a, b, topic) = f[next]·(M_t e1[b]) + 0.7·f[next]·(N_t e2[a])
+  //                               + zipf_bias·log(unigram[next]),
+  // which are truncated to the top-`branching` successors, softmaxed, and
+  // smoothed with the unigram base.
+  const std::size_t r = spec.latent_rank;
+  APTQ_CHECK(r >= 2, "MarkovSource: latent_rank too small");
+  const auto gauss_vec = [&rng](std::size_t n, double std_dev) {
+    std::vector<double> x(n);
+    for (auto& e : x) {
+      e = rng.normal() * std_dev;
+    }
+    return x;
+  };
+  const std::vector<double> e1 = gauss_vec(v * r, 1.0);
+  const std::vector<double> e2 = gauss_vec(v * r, 1.0);
+  const std::vector<double> f = gauss_vec(v * r, 1.0);
+  const double mix_std = 1.0 / std::sqrt(static_cast<double>(r));
+  std::vector<std::vector<double>> topic_m, topic_n;
+  for (std::size_t t = 0; t < spec.topics; ++t) {
+    topic_m.push_back(gauss_vec(r * r, mix_std));
+    topic_n.push_back(gauss_vec(r * r, mix_std));
+  }
+
+  table_.assign(spec.topics * v * v * v, 0.0f);
+  std::vector<double> m_e1(r), n_e2(r), logits(v);
+  std::vector<std::size_t> order(v);
+  for (std::size_t topic = 0; topic < spec.topics; ++topic) {
+    const auto& mt = topic_m[topic];
+    const auto& nt = topic_n[topic];
+    for (std::size_t a = 0; a < v; ++a) {
+      for (std::size_t i = 0; i < r; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < r; ++j) {
+          acc += nt[i * r + j] * e2[a * r + j];
+        }
+        n_e2[i] = acc;
+      }
+      for (std::size_t b = 0; b < v; ++b) {
+        for (std::size_t i = 0; i < r; ++i) {
+          double acc = 0.0;
+          for (std::size_t j = 0; j < r; ++j) {
+            acc += mt[i * r + j] * e1[b * r + j];
+          }
+          m_e1[i] = acc;
+        }
+        for (std::size_t n = 0; n < v; ++n) {
+          double s = 0.0;
+          for (std::size_t i = 0; i < r; ++i) {
+            s += f[n * r + i] * (m_e1[i] + 0.7 * n_e2[i]);
+          }
+          logits[n] = spec.logit_scale * s +
+                      spec.zipf_bias * std::log(unigram_[n]);
+        }
+        // Keep only the top-`branching` successors.
+        std::iota(order.begin(), order.end(), 0);
+        std::partial_sort(order.begin(),
+                          order.begin() + static_cast<std::ptrdiff_t>(
+                                              spec.branching),
+                          order.end(), [&logits](std::size_t x, std::size_t y) {
+                            return logits[x] > logits[y];
+                          });
+        const double max_logit = logits[order[0]];
+        double mass = 0.0;
+        std::vector<double> w(spec.branching);
+        for (std::size_t s = 0; s < spec.branching; ++s) {
+          w[s] = std::exp(logits[order[s]] - max_logit);
+          mass += w[s];
+        }
+        float* out = table_.data() + ((topic * v + a) * v + b) * v;
+        const double peak_share = 1.0 - spec.smoothing;
+        for (std::size_t s = 0; s < spec.branching; ++s) {
+          out[order[s]] += static_cast<float>(peak_share * w[s] / mass);
+        }
+        for (std::size_t n = 0; n < v; ++n) {
+          out[n] += static_cast<float>(spec.smoothing) * unigram_[n];
+        }
+      }
+    }
+  }
+}
+
+std::span<const float> MarkovSource::row(std::size_t topic, TokenId prev2,
+                                         TokenId prev1) const {
+  const std::size_t v = spec_.vocab_size;
+  APTQ_CHECK(topic < spec_.topics, "MarkovSource: topic out of range");
+  APTQ_CHECK(prev2 >= 0 && static_cast<std::size_t>(prev2) < v &&
+                 prev1 >= 0 && static_cast<std::size_t>(prev1) < v,
+             "MarkovSource: token out of range");
+  return {table_.data() +
+              ((topic * v + static_cast<std::size_t>(prev2)) * v +
+               static_cast<std::size_t>(prev1)) *
+                  v,
+          v};
+}
+
+TokenSeq MarkovSource::generate(std::size_t n, Rng& rng,
+                                std::vector<std::uint8_t>* topic_trace) const {
+  TokenSeq out;
+  out.reserve(n);
+  if (topic_trace != nullptr) {
+    topic_trace->clear();
+    topic_trace->reserve(n);
+  }
+  std::size_t topic = rng.index(spec_.topics);
+  TokenId prev2 = static_cast<TokenId>(rng.categorical(unigram_));
+  TokenId prev1 = static_cast<TokenId>(rng.categorical(unigram_));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform() < spec_.topic_switch_prob) {
+      topic = rng.index(spec_.topics);
+    }
+    const TokenId next =
+        static_cast<TokenId>(rng.categorical(row(topic, prev2, prev1)));
+    out.push_back(next);
+    if (topic_trace != nullptr) {
+      topic_trace->push_back(static_cast<std::uint8_t>(topic));
+    }
+    prev2 = prev1;
+    prev1 = next;
+  }
+  return out;
+}
+
+TokenSeq MarkovSource::continue_sequence(TokenId prev2, TokenId prev1,
+                                         std::size_t topic, std::size_t n,
+                                         Rng& rng) const {
+  TokenSeq out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TokenId next =
+        static_cast<TokenId>(rng.categorical(row(topic, prev2, prev1)));
+    out.push_back(next);
+    prev2 = prev1;
+    prev1 = next;
+  }
+  return out;
+}
+
+TokenId MarkovSource::sample_alternative(TokenId prev2, TokenId prev1,
+                                         std::size_t topic, TokenId exclude,
+                                         Rng& rng) const {
+  const auto r = row(topic, prev2, prev1);
+  APTQ_CHECK(exclude >= 0 && static_cast<std::size_t>(exclude) < r.size(),
+             "sample_alternative: exclude out of range");
+  std::vector<float> masked(r.begin(), r.end());
+  masked[static_cast<std::size_t>(exclude)] = 0.0f;
+  return static_cast<TokenId>(rng.categorical(masked));
+}
+
+double MarkovSource::probability(TokenId prev2, TokenId prev1, TokenId next,
+                                 std::size_t topic) const {
+  const auto r = row(topic, prev2, prev1);
+  APTQ_CHECK(next >= 0 && static_cast<std::size_t>(next) < r.size(),
+             "MarkovSource: next token out of range");
+  return r[static_cast<std::size_t>(next)];
+}
+
+double MarkovSource::oracle_nll(
+    const TokenSeq& tokens, const std::vector<std::uint8_t>& topic_trace) const {
+  APTQ_CHECK(tokens.size() == topic_trace.size(),
+             "oracle_nll: trace length mismatch");
+  APTQ_CHECK(tokens.size() >= 3, "oracle_nll: sequence too short");
+  double nll = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const double p = probability(tokens[i - 2], tokens[i - 1], tokens[i],
+                                 topic_trace[i]);
+    nll -= std::log(std::max(p, 1e-12));
+    ++count;
+  }
+  return nll / static_cast<double>(count);
+}
+
+}  // namespace aptq

@@ -1,0 +1,90 @@
+// Multi-topic order-2 Markov token source — the synthetic stand-in for the
+// C4 and WikiText-2 corpora (see DESIGN.md §1).
+//
+// Each topic owns an order-2 transition table over the vocabulary with a
+// small successor branching factor (so sequences are genuinely predictable
+// and perplexity is meaningful), built on top of a Zipfian unigram base
+// distribution. A hidden topic state switches with a small per-token
+// probability, which makes longer-range context (and therefore attention)
+// informative — exactly the property APTQ's attention-aware Hessian needs
+// to have signal.
+#pragma once
+
+#include <vector>
+
+#include "data/vocab.hpp"
+#include "util/rng.hpp"
+
+namespace aptq {
+
+/// Parameters of a synthetic Markov corpus.
+///
+/// Transition rows are built from a low-rank latent-factor model (token
+/// factor vectors combined through per-topic mixing matrices), truncated to
+/// the top-`branching` successors per context. The low-rank construction is
+/// what makes the process *learnable* by a small transformer — successor
+/// structure is shared across contexts instead of being a random lookup
+/// table — mirroring the compositional statistics of natural text.
+struct MarkovSpec {
+  std::uint64_t seed = 1;       ///< table-construction seed
+  std::size_t vocab_size = 64;  ///< number of distinct tokens
+  std::size_t topics = 4;       ///< hidden topic count
+  std::size_t branching = 6;    ///< successors kept per (prev2, prev1) context
+  double zipf_alpha = 1.1;      ///< unigram base skew
+  double smoothing = 0.05;      ///< mass mixed in from the unigram base
+  double topic_switch_prob = 0.02;  ///< per-token topic resample probability
+  std::size_t latent_rank = 10;     ///< rank of the factor model
+  double logit_scale = 2.0;         ///< sharpness of transition rows
+  double zipf_bias = 0.3;           ///< pull of successor logits toward unigram
+};
+
+/// Order-2 Markov chain with hidden topics. Construction builds the dense
+/// transition tables deterministically from the spec seed; generation is
+/// driven by a caller-supplied Rng so independent streams can be drawn.
+class MarkovSource {
+ public:
+  explicit MarkovSource(const MarkovSpec& spec);
+
+  const MarkovSpec& spec() const { return spec_; }
+
+  /// Generate `n` tokens. If `topic_trace` is non-null it receives the
+  /// hidden topic id active at each emitted token (used by oracle_nll).
+  TokenSeq generate(std::size_t n, Rng& rng,
+                    std::vector<std::uint8_t>* topic_trace = nullptr) const;
+
+  /// Continue a chain for `n` tokens from the context (prev2, prev1) under a
+  /// fixed topic (no topic switching) — used by the zero-shot task
+  /// generators to produce true continuations and controlled distractors.
+  TokenSeq continue_sequence(TokenId prev2, TokenId prev1, std::size_t topic,
+                             std::size_t n, Rng& rng) const;
+
+  /// True conditional probability p(next | prev2, prev1, topic).
+  double probability(TokenId prev2, TokenId prev1, TokenId next,
+                     std::size_t topic) const;
+
+  /// Sample a successor from p(· | prev2, prev1, topic) with `exclude`
+  /// masked out (renormalized) — a plausible-but-not-taken branch, used to
+  /// build near-miss distractors for the hardest zero-shot tasks.
+  TokenId sample_alternative(TokenId prev2, TokenId prev1, std::size_t topic,
+                             TokenId exclude, Rng& rng) const;
+
+  /// Average negative log-likelihood (nats/token) of `tokens` under the true
+  /// generating process given the recorded topic trace — the entropy floor
+  /// no model can beat. Scored from the third token onward.
+  double oracle_nll(const TokenSeq& tokens,
+                    const std::vector<std::uint8_t>& topic_trace) const;
+
+  /// Unigram base distribution (Zipf over a seed-permuted rank order).
+  const std::vector<float>& unigram() const { return unigram_; }
+
+ private:
+  std::span<const float> row(std::size_t topic, TokenId prev2,
+                             TokenId prev1) const;
+
+  MarkovSpec spec_;
+  std::vector<float> unigram_;  // V
+  // topics × V × V contexts, each a V-length probability row.
+  std::vector<float> table_;
+};
+
+}  // namespace aptq

@@ -1,0 +1,15 @@
+// Token identifiers and vocabulary description for the synthetic corpora.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aptq {
+
+/// Token identifier; valid ids are [0, vocab_size).
+using TokenId = std::int32_t;
+
+/// A token sequence.
+using TokenSeq = std::vector<TokenId>;
+
+}  // namespace aptq

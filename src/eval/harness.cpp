@@ -1,0 +1,88 @@
+#include "eval/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace aptq {
+
+double continuation_logprob(const Model& model, const TokenSeq& context,
+                            const TokenSeq& continuation,
+                            const ForwardOptions& options) {
+  APTQ_CHECK(!context.empty() && !continuation.empty(),
+             "continuation_logprob: empty input");
+  TokenSeq full = context;
+  full.insert(full.end(), continuation.begin(), continuation.end());
+  const Matrix logits = model_forward(model, full, options);
+
+  // Sum log p(full[t+1] | full[..t]) over the continuation positions,
+  // normalized by continuation length (acc_norm convention).
+  double total = 0.0;
+  std::vector<double> probs(logits.cols());
+  for (std::size_t t = context.size() - 1; t + 1 < full.size(); ++t) {
+    const auto row = logits.row(t);
+    double max_v = row[0];
+    for (const float v : row) {
+      max_v = std::max(max_v, static_cast<double>(v));
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < probs.size(); ++c) {
+      probs[c] = std::exp(row[c] - max_v);
+      sum += probs[c];
+    }
+    const auto target = static_cast<std::size_t>(full[t + 1]);
+    total += std::log(std::max(probs[target] / sum, 1e-30));
+  }
+  return total / static_cast<double>(continuation.size());
+}
+
+std::size_t predict_choice(const Model& model, const TaskItem& item,
+                           const ForwardOptions& options) {
+  APTQ_CHECK(item.choices.size() >= 2, "predict_choice: need >= 2 choices");
+  std::size_t best = 0;
+  double best_score = -1e300;
+  for (std::size_t i = 0; i < item.choices.size(); ++i) {
+    const double score =
+        continuation_logprob(model, item.context, item.choices[i], options);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TaskResult evaluate_task(const Model& model, const std::string& name,
+                         std::span<const TaskItem> items,
+                         const ForwardOptions& options) {
+  APTQ_CHECK(!items.empty(), "evaluate_task: no items");
+  std::size_t correct = 0;
+  for (const auto& item : items) {
+    correct += predict_choice(model, item, options) == item.label ? 1 : 0;
+  }
+  TaskResult result;
+  result.task = name;
+  result.n_items = items.size();
+  result.accuracy =
+      static_cast<double>(correct) / static_cast<double>(items.size());
+  return result;
+}
+
+ZeroShotReport evaluate_zero_shot(
+    const Model& model, std::span<const std::vector<TaskItem>> suite,
+    const ForwardOptions& options) {
+  APTQ_CHECK(suite.size() == all_task_families().size(),
+             "evaluate_zero_shot: suite must hold all five tasks");
+  ZeroShotReport report;
+  double total = 0.0;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    report.tasks.push_back(evaluate_task(
+        model, task_name(all_task_families()[i]), suite[i], options));
+    total += report.tasks.back().accuracy;
+  }
+  report.mean_accuracy = total / static_cast<double>(suite.size());
+  return report;
+}
+
+}  // namespace aptq

@@ -1,0 +1,45 @@
+// Zero-shot scoring harness: length-normalized log-likelihood choice
+// selection, the scoring rule of EleutherAI's lm-eval-harness (`acc_norm`)
+// that the paper's Table 2 uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/tasks.hpp"
+#include "model/forward.hpp"
+#include "model/model.hpp"
+
+namespace aptq {
+
+/// Mean per-token log-probability of `continuation` given `context`.
+double continuation_logprob(const Model& model, const TokenSeq& context,
+                            const TokenSeq& continuation,
+                            const ForwardOptions& options = {});
+
+/// Index of the highest-scoring choice of an item.
+std::size_t predict_choice(const Model& model, const TaskItem& item,
+                           const ForwardOptions& options = {});
+
+/// Accuracy of a model on one task's item set.
+struct TaskResult {
+  std::string task;
+  double accuracy = 0.0;
+  std::size_t n_items = 0;
+};
+
+TaskResult evaluate_task(const Model& model, const std::string& name,
+                         std::span<const TaskItem> items,
+                         const ForwardOptions& options = {});
+
+/// Full-suite evaluation (the Table 2 row for one model/method).
+struct ZeroShotReport {
+  std::vector<TaskResult> tasks;
+  double mean_accuracy = 0.0;
+};
+
+ZeroShotReport evaluate_zero_shot(
+    const Model& model, std::span<const std::vector<TaskItem>> suite,
+    const ForwardOptions& options = {});
+
+}  // namespace aptq

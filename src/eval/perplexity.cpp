@@ -1,0 +1,31 @@
+#include "eval/perplexity.hpp"
+
+#include <cmath>
+
+#include "train/loss.hpp"
+#include "util/check.hpp"
+
+namespace aptq {
+
+PerplexityResult evaluate_perplexity(const Model& model,
+                                     std::span<const TokenSeq> segments,
+                                     const ForwardOptions& options) {
+  APTQ_CHECK(!segments.empty(), "evaluate_perplexity: no segments");
+  double total_nll = 0.0;
+  std::size_t total_tokens = 0;
+  for (const auto& segment : segments) {
+    APTQ_CHECK(segment.size() >= 2, "evaluate_perplexity: segment too short");
+    const Matrix logits = model_forward(model, segment, options);
+    const auto ce =
+        cross_entropy_next_token(logits, segment, /*want_grad=*/false);
+    total_nll += ce.loss * static_cast<double>(ce.count);
+    total_tokens += ce.count;
+  }
+  PerplexityResult result;
+  result.tokens = total_tokens;
+  result.nll = total_nll / static_cast<double>(total_tokens);
+  result.perplexity = std::exp(result.nll);
+  return result;
+}
+
+}  // namespace aptq

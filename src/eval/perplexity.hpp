@@ -1,0 +1,27 @@
+// Perplexity evaluation over held-out corpus segments — the metric of the
+// paper's Table 1 and Figure 2.
+#pragma once
+
+#include <span>
+
+#include "data/vocab.hpp"
+#include "model/forward.hpp"
+#include "model/model.hpp"
+
+namespace aptq {
+
+/// Aggregate perplexity over a segment set.
+struct PerplexityResult {
+  double nll = 0.0;        ///< mean NLL in nats per scored token
+  double perplexity = 0.0; ///< exp(nll)
+  std::size_t tokens = 0;  ///< scored (next-token) positions
+};
+
+/// Evaluate mean next-token NLL / perplexity of `model` over `segments`.
+/// Each segment is scored independently (fresh context), exactly like the
+/// stride-free protocol GPTQ-style papers use on C4 samples.
+PerplexityResult evaluate_perplexity(const Model& model,
+                                     std::span<const TokenSeq> segments,
+                                     const ForwardOptions& options = {});
+
+}  // namespace aptq

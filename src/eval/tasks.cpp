@@ -1,0 +1,188 @@
+#include "eval/tasks.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/check.hpp"
+
+namespace aptq {
+
+namespace {
+
+constexpr std::array<TaskFamily, 5> kFamilies = {
+    TaskFamily::piqa, TaskFamily::hellaswag, TaskFamily::arc_easy,
+    TaskFamily::arc_challenge, TaskFamily::winogrande};
+
+// Sample a fresh context under a fixed topic: two unigram tokens then a
+// chain continuation.
+TokenSeq sample_context(const MarkovSource& src, std::size_t topic,
+                        std::size_t len, Rng& rng) {
+  APTQ_CHECK(len >= 3, "sample_context: context too short");
+  TokenSeq ctx;
+  ctx.push_back(static_cast<TokenId>(rng.categorical(src.unigram())));
+  ctx.push_back(static_cast<TokenId>(rng.categorical(src.unigram())));
+  const TokenSeq tail =
+      src.continue_sequence(ctx[0], ctx[1], topic, len - 2, rng);
+  ctx.insert(ctx.end(), tail.begin(), tail.end());
+  return ctx;
+}
+
+TokenSeq true_continuation(const MarkovSource& src, const TokenSeq& ctx,
+                           std::size_t topic, std::size_t len, Rng& rng) {
+  return src.continue_sequence(ctx[ctx.size() - 2], ctx.back(), topic, len,
+                               rng);
+}
+
+// Insert `correct` among `distractors` at a random position; returns label.
+std::size_t assemble_choices(TaskItem& item, TokenSeq correct,
+                             std::vector<TokenSeq> distractors, Rng& rng) {
+  const std::size_t label = rng.index(distractors.size() + 1);
+  item.choices.clear();
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < distractors.size() + 1; ++i) {
+    if (i == label) {
+      item.choices.push_back(std::move(correct));
+    } else {
+      item.choices.push_back(std::move(distractors[d++]));
+    }
+  }
+  item.label = label;
+  return label;
+}
+
+}  // namespace
+
+std::span<const TaskFamily> all_task_families() {
+  return {kFamilies.data(), kFamilies.size()};
+}
+
+std::string task_name(TaskFamily family) {
+  switch (family) {
+    case TaskFamily::piqa: return "piqa-sim";
+    case TaskFamily::hellaswag: return "hellaswag-sim";
+    case TaskFamily::arc_easy: return "arce-sim";
+    case TaskFamily::arc_challenge: return "arcc-sim";
+    case TaskFamily::winogrande: return "winogrande-sim";
+  }
+  APTQ_FAIL("unknown TaskFamily");
+}
+
+std::vector<TaskItem> generate_task(TaskFamily family, const Corpus& corpus,
+                                    const TaskGenConfig& config) {
+  APTQ_CHECK(config.n_items >= 1, "generate_task: need items");
+  APTQ_CHECK(config.continuation_len >= 3,
+             "generate_task: continuation too short");
+  const MarkovSource& src = corpus.source();
+  const std::size_t topics = src.spec().topics;
+  const std::size_t v = src.spec().vocab_size;
+  Rng rng(config.seed ^ (static_cast<std::uint64_t>(family) * 0x9E3779B9ull));
+
+  std::vector<TaskItem> items;
+  items.reserve(config.n_items);
+  for (std::size_t i = 0; i < config.n_items; ++i) {
+    const std::size_t topic = rng.index(topics);
+    TaskItem item;
+    item.context = sample_context(src, topic, config.context_len, rng);
+    TokenSeq correct = true_continuation(src, item.context, topic,
+                                         config.continuation_len, rng);
+    std::vector<TokenSeq> distractors;
+    switch (family) {
+      case TaskFamily::piqa: {
+        // One distractor: the same context continued under a different
+        // hidden topic (physically implausible continuation).
+        const std::size_t other =
+            topics > 1 ? (topic + 1 + rng.index(topics - 1)) % topics : topic;
+        TokenSeq d = src.continue_sequence(item.context[item.context.size() - 2],
+                                           item.context.back(), other,
+                                           config.continuation_len, rng);
+        if (d == correct) {
+          d = src.continue_sequence(item.context[item.context.size() - 2],
+                                    item.context.back(), other,
+                                    config.continuation_len, rng);
+        }
+        distractors.push_back(std::move(d));
+        break;
+      }
+      case TaskFamily::hellaswag: {
+        // Three locally plausible but context-mismatched continuations:
+        // chains restarted from fresh contexts under the same topic.
+        for (int k = 0; k < 3; ++k) {
+          const TokenSeq fresh = sample_context(src, topic, 4, rng);
+          distractors.push_back(src.continue_sequence(
+              fresh[fresh.size() - 2], fresh.back(), topic,
+              config.continuation_len, rng));
+        }
+        break;
+      }
+      case TaskFamily::arc_easy: {
+        // Unigram-sampled distractors — off-distribution but with realistic
+        // marginals (trivially detectable; the suite's easiest task).
+        for (int k = 0; k < 3; ++k) {
+          TokenSeq d(config.continuation_len);
+          for (auto& t : d) {
+            t = static_cast<TokenId>(rng.categorical(src.unigram()));
+          }
+          distractors.push_back(std::move(d));
+        }
+        break;
+      }
+      case TaskFamily::arc_challenge: {
+        // Near misses: a *coherent* alternative branch — at one position the
+        // continuation takes a plausible-but-not-taken successor and the
+        // tail is regenerated consistently. The only likelihood signal is a
+        // single branch choice, making this the suite's hardest task.
+        for (int k = 0; k < 3; ++k) {
+          const std::size_t pos = rng.index(config.continuation_len - 2);
+          TokenSeq d(correct.begin(),
+                     correct.begin() + static_cast<std::ptrdiff_t>(pos));
+          const TokenId p2 = pos >= 2 ? d[pos - 2]
+                             : pos == 1 ? item.context.back()
+                                        : item.context[item.context.size() - 2];
+          const TokenId p1 = pos >= 1 ? d[pos - 1] : item.context.back();
+          const TokenId flipped =
+              src.sample_alternative(p2, p1, topic, correct[pos], rng);
+          d.push_back(flipped);
+          const TokenSeq tail = src.continue_sequence(
+              p1, flipped, topic, config.continuation_len - pos - 1, rng);
+          d.insert(d.end(), tail.begin(), tail.end());
+          distractors.push_back(std::move(d));
+        }
+        break;
+      }
+      case TaskFamily::winogrande: {
+        // Minimal pair: flip one mid-context token, re-cohere the altered
+        // context, and offer its continuation as the distractor.
+        const std::size_t m = item.context.size() / 2;
+        TokenSeq altered(item.context.begin(),
+                         item.context.begin() + static_cast<std::ptrdiff_t>(m));
+        TokenId flipped = static_cast<TokenId>(rng.index(v));
+        while (flipped == item.context[m]) {
+          flipped = static_cast<TokenId>(rng.index(v));
+        }
+        altered.push_back(flipped);
+        const TokenSeq tail = src.continue_sequence(
+            altered[altered.size() - 2], altered.back(), topic,
+            item.context.size() - altered.size(), rng);
+        altered.insert(altered.end(), tail.begin(), tail.end());
+        distractors.push_back(true_continuation(
+            src, altered, topic, config.continuation_len, rng));
+        break;
+      }
+    }
+    assemble_choices(item, std::move(correct), std::move(distractors), rng);
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+std::vector<std::vector<TaskItem>> generate_task_suite(
+    const Corpus& corpus, const TaskGenConfig& config) {
+  std::vector<std::vector<TaskItem>> suite;
+  suite.reserve(kFamilies.size());
+  for (const TaskFamily family : kFamilies) {
+    suite.push_back(generate_task(family, corpus, config));
+  }
+  return suite;
+}
+
+}  // namespace aptq

@@ -1,0 +1,54 @@
+// Synthetic zero-shot multiple-choice task families — the offline stand-ins
+// for the paper's lm-eval-harness suite (PIQA, HellaSwag, ARC-E, ARC-C,
+// WinoGrande). Each family controls its difficulty through how distractor
+// continuations are constructed (DESIGN.md §6); the correct choice is always
+// the true continuation of the corpus process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/corpus.hpp"
+#include "data/vocab.hpp"
+
+namespace aptq {
+
+/// One multiple-choice item.
+struct TaskItem {
+  TokenSeq context;
+  std::vector<TokenSeq> choices;
+  std::size_t label = 0;  ///< index of the correct choice
+};
+
+/// The five task families mirrored from the paper's evaluation suite.
+enum class TaskFamily {
+  piqa,           ///< 2 choices; distractor from a different hidden topic
+  hellaswag,      ///< 4 choices; distractors from re-seeded same-topic chains
+  arc_easy,       ///< 4 choices; uniform-random distractors (easiest)
+  arc_challenge,  ///< 4 choices; near-miss perturbed true continuations (hardest)
+  winogrande,     ///< 2 choices; minimal-pair contexts, continuation mismatch
+};
+
+/// All families in the order the paper reports them.
+std::span<const TaskFamily> all_task_families();
+
+/// Display name ("piqa-sim", ...).
+std::string task_name(TaskFamily family);
+
+/// Generation knobs.
+struct TaskGenConfig {
+  std::size_t n_items = 200;
+  std::size_t context_len = 16;
+  std::size_t continuation_len = 8;
+  std::uint64_t seed = 0x7A5C;
+};
+
+/// Generate one family's item set from the corpus's underlying process.
+std::vector<TaskItem> generate_task(TaskFamily family, const Corpus& corpus,
+                                    const TaskGenConfig& config);
+
+/// Generate the full five-family suite.
+std::vector<std::vector<TaskItem>> generate_task_suite(
+    const Corpus& corpus, const TaskGenConfig& config);
+
+}  // namespace aptq

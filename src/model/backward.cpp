@@ -1,0 +1,224 @@
+#include "model/backward.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace aptq {
+
+Gradients Gradients::zeros_like(const Model& model) {
+  const auto& c = model.config;
+  Gradients g;
+  g.tok_embed.resize(c.vocab_size, c.dim);
+  g.blocks.resize(c.n_layers);
+  for (auto& b : g.blocks) {
+    b.attn_norm.assign(c.dim, 0.0f);
+    b.wq.resize(c.dim, c.dim);
+    b.wk.resize(c.dim, c.kv_dim());
+    b.wv.resize(c.dim, c.kv_dim());
+    b.wo.resize(c.dim, c.dim);
+    b.ffn_norm.assign(c.dim, 0.0f);
+    b.w_gate.resize(c.dim, c.ffn_dim);
+    b.w_up.resize(c.dim, c.ffn_dim);
+    b.w_down.resize(c.ffn_dim, c.dim);
+  }
+  g.final_norm.assign(c.dim, 0.0f);
+  g.lm_head.resize(c.dim, c.vocab_size);
+  return g;
+}
+
+void Gradients::set_zero() {
+  tok_embed.set_zero();
+  for (auto& b : blocks) {
+    std::fill(b.attn_norm.begin(), b.attn_norm.end(), 0.0f);
+    b.wq.set_zero();
+    b.wk.set_zero();
+    b.wv.set_zero();
+    b.wo.set_zero();
+    std::fill(b.ffn_norm.begin(), b.ffn_norm.end(), 0.0f);
+    b.w_gate.set_zero();
+    b.w_up.set_zero();
+    b.w_down.set_zero();
+  }
+  std::fill(final_norm.begin(), final_norm.end(), 0.0f);
+  lm_head.set_zero();
+}
+
+void visit_params(Gradients& grads,
+                  const std::function<void(std::span<float>)>& fn) {
+  fn(grads.tok_embed.flat());
+  for (auto& b : grads.blocks) {
+    fn({b.attn_norm.data(), b.attn_norm.size()});
+    fn(b.wq.flat());
+    fn(b.wk.flat());
+    fn(b.wv.flat());
+    fn(b.wo.flat());
+    fn({b.ffn_norm.data(), b.ffn_norm.size()});
+    fn(b.w_gate.flat());
+    fn(b.w_up.flat());
+    fn(b.w_down.flat());
+  }
+  fn({grads.final_norm.data(), grads.final_norm.size()});
+  fn(grads.lm_head.flat());
+}
+
+double Gradients::l2_norm() const {
+  double acc = 0.0;
+  const auto add = [&acc](std::span<float> s) {
+    for (const float v : s) {
+      acc += static_cast<double>(v) * v;
+    }
+  };
+  visit_params(const_cast<Gradients&>(*this), add);
+  return std::sqrt(acc);
+}
+
+void Gradients::scale_all(float factor) {
+  visit_params(*this, [factor](std::span<float> s) {
+    for (float& v : s) {
+      v *= factor;
+    }
+  });
+}
+
+AttentionProbeGrads attention_probe_backward(const Model& model,
+                                             std::size_t layer,
+                                             const BlockCache& bc,
+                                             const Matrix& d_attn_out) {
+  const auto& cfg = model.config;
+  APTQ_CHECK(layer < model.blocks.size(),
+             "attention_probe_backward: layer out of range");
+  const auto& w = model.blocks[layer];
+  const std::size_t t_len = bc.normed1.rows();
+  const std::size_t d = cfg.dim;
+  const std::size_t hd = cfg.head_dim();
+  const std::size_t heads = cfg.n_heads;
+  APTQ_CHECK(d_attn_out.rows() == t_len && d_attn_out.cols() == d,
+             "attention_probe_backward: seed shape mismatch");
+  const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  AttentionProbeGrads out;
+  // o_proj input gradient: dAttnCat = dF · Woᵀ.
+  out.d_attn_cat = matmul(d_attn_out, w.wo, Trans::no, Trans::yes);
+
+  out.dq.resize(t_len, d);
+  out.dk.resize(t_len, cfg.kv_dim());
+  out.dv.resize(t_len, cfg.kv_dim());
+  Matrix d_scores;
+  const std::size_t group_factor = cfg.group_factor();
+  for (std::size_t h = 0; h < heads; ++h) {
+    const std::size_t g = h / group_factor;  // shared kv head (GQA):
+    // gradients of all query heads in the group accumulate into slice g.
+    const Matrix d_oh = extract_head(out.d_attn_cat, h, hd);
+    const Matrix qh = extract_head(bc.q_rot, h, hd);
+    const Matrix kh = extract_head(bc.k_rot, g, hd);
+    const Matrix vh = extract_head(bc.v, g, hd);
+    const Matrix& p = bc.probs[h];
+
+    // O_h = P · V_h  ⇒  dP = dO·V_hᵀ, dV_h = Pᵀ·dO.
+    const Matrix d_probs = matmul(d_oh, vh, Trans::no, Trans::yes);
+    const Matrix d_vh = matmul(p, d_oh, Trans::yes, Trans::no);
+    softmax_rows_backward(p, d_probs, d_scores);
+    // S = (Q Kᵀ)/√hd  ⇒  dQ = dS·K/√hd, dK = dSᵀ·Q/√hd.
+    Matrix d_qh(t_len, hd);
+    gemm(d_scores, Trans::no, kh, Trans::no, d_qh, inv_sqrt_hd);
+    Matrix d_kh(t_len, hd);
+    gemm(d_scores, Trans::yes, qh, Trans::no, d_kh, inv_sqrt_hd);
+
+    accumulate_head(out.dq, d_qh, h, hd);
+    accumulate_head(out.dk, d_kh, g, hd);
+    accumulate_head(out.dv, d_vh, g, hd);
+  }
+  // Undo RoPE (orthogonal per-position rotation ⇒ backward = inverse rotate).
+  rope_apply(out.dq, hd, cfg.rope_theta, /*inverse=*/true);
+  rope_apply(out.dk, hd, cfg.rope_theta, /*inverse=*/true);
+  return out;
+}
+
+void model_backward(const Model& model, std::span<const TokenId> tokens,
+                    const ForwardCache& cache, const Matrix& grad_logits,
+                    Gradients& grads) {
+  const auto& cfg = model.config;
+  const std::size_t t_len = cache.seq_len;
+  APTQ_CHECK(tokens.size() == t_len, "model_backward: token count mismatch");
+  APTQ_CHECK(grad_logits.rows() == t_len &&
+                 grad_logits.cols() == cfg.vocab_size,
+             "model_backward: grad_logits shape mismatch");
+  APTQ_CHECK(cache.blocks.size() == cfg.n_layers,
+             "model_backward: cache/model layer mismatch");
+
+  // LM head and final norm.
+  gemm(cache.normed_final, Trans::yes, grad_logits, Trans::no, grads.lm_head,
+       1.0f, 1.0f);
+  const Matrix d_normed_final =
+      matmul(grad_logits, model.lm_head, Trans::no, Trans::yes);
+  const Matrix& x_last = cfg.n_layers > 0
+                             ? cache.blocks.back().x_out
+                             : cache.x0;
+  Matrix dx;
+  rmsnorm_backward(x_last, model.final_norm, cache.inv_rms_final,
+                   d_normed_final, dx,
+                   {grads.final_norm.data(), grads.final_norm.size()});
+
+  Matrix tmp_dx;
+  for (std::size_t layer = cfg.n_layers; layer-- > 0;) {
+    const auto& w = model.blocks[layer];
+    auto& gw = grads.blocks[layer];
+    const BlockCache& bc = cache.blocks[layer];
+
+    // --- Feed-forward branch; dx currently holds dL/dx_out. ---
+    const Matrix& d_ffn_out = dx;  // residual: x_out = x_mid + ffn_out
+    gemm(bc.act, Trans::yes, d_ffn_out, Trans::no, gw.w_down, 1.0f, 1.0f);
+    const Matrix d_act = matmul(d_ffn_out, w.w_down, Trans::no, Trans::yes);
+
+    // act = silu(gate_pre) ∘ up
+    Matrix d_silu_gate(t_len, cfg.ffn_dim);
+    Matrix d_up(t_len, cfg.ffn_dim);
+    for (std::size_t i = 0; i < d_act.size(); ++i) {
+      d_silu_gate.flat()[i] = d_act.flat()[i] * bc.up.flat()[i];
+      d_up.flat()[i] = d_act.flat()[i] * bc.silu_gate.flat()[i];
+    }
+    Matrix d_gate_pre;
+    silu_backward(bc.gate_pre, d_silu_gate, d_gate_pre);
+
+    gemm(bc.normed2, Trans::yes, d_gate_pre, Trans::no, gw.w_gate, 1.0f, 1.0f);
+    gemm(bc.normed2, Trans::yes, d_up, Trans::no, gw.w_up, 1.0f, 1.0f);
+    Matrix d_normed2 = matmul(d_gate_pre, w.w_gate, Trans::no, Trans::yes);
+    gemm(d_up, Trans::no, w.w_up, Trans::yes, d_normed2, 1.0f, 1.0f);
+
+    rmsnorm_backward(bc.x_mid, w.ffn_norm, bc.inv_rms2, d_normed2, tmp_dx,
+                     {gw.ffn_norm.data(), gw.ffn_norm.size()});
+    Matrix dx_mid = dx;  // residual path
+    axpy(1.0f, tmp_dx, dx_mid);
+
+    // --- Attention branch; dx_mid holds dL/dx_mid = dL/d(attn residual sum). ---
+    const Matrix& d_attn_out = dx_mid;
+    gemm(bc.attn_cat, Trans::yes, d_attn_out, Trans::no, gw.wo, 1.0f, 1.0f);
+    const AttentionProbeGrads ag =
+        attention_probe_backward(model, layer, bc, d_attn_out);
+
+    gemm(bc.normed1, Trans::yes, ag.dq, Trans::no, gw.wq, 1.0f, 1.0f);
+    gemm(bc.normed1, Trans::yes, ag.dk, Trans::no, gw.wk, 1.0f, 1.0f);
+    gemm(bc.normed1, Trans::yes, ag.dv, Trans::no, gw.wv, 1.0f, 1.0f);
+    Matrix d_normed1 = matmul(ag.dq, w.wq, Trans::no, Trans::yes);
+    gemm(ag.dk, Trans::no, w.wk, Trans::yes, d_normed1, 1.0f, 1.0f);
+    gemm(ag.dv, Trans::no, w.wv, Trans::yes, d_normed1, 1.0f, 1.0f);
+
+    rmsnorm_backward(bc.x_in, w.attn_norm, bc.inv_rms1, d_normed1, tmp_dx,
+                     {gw.attn_norm.data(), gw.attn_norm.size()});
+    dx = dx_mid;  // residual path into x_in
+    axpy(1.0f, tmp_dx, dx);
+  }
+
+  // Embedding scatter-add.
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const auto tok = static_cast<std::size_t>(tokens[t]);
+    auto dst = grads.tok_embed.row(tok);
+    const auto src = dx.row(t);
+    for (std::size_t c = 0; c < dst.size(); ++c) {
+      dst[c] += src[c];
+    }
+  }
+}
+
+}  // namespace aptq

@@ -1,0 +1,74 @@
+// Manual backward pass for the transformer.
+//
+// Two consumers:
+//  1. Training (src/train): full parameter gradients from an upstream logits
+//     gradient.
+//  2. APTQ calibration (src/quant/aptq): the attention-probe backward, which
+//     backpropagates a seed gradient from one block's attention output F
+//     down through softmax, the QKᵀ/PV matmuls, RoPE and the head concat to
+//     the outputs of the q/k/v/o projections. The per-token squared norms of
+//     those gradients are the γ_t weights realizing the paper's eqs. (9),
+//     (10), (12), (13) (see DESIGN.md §2.2).
+#pragma once
+
+#include "model/forward.hpp"
+#include "model/model.hpp"
+
+namespace aptq {
+
+/// Parameter gradients of one block (same shapes as BlockWeights).
+struct BlockGradients {
+  std::vector<float> attn_norm;
+  Matrix wq, wk, wv, wo;
+  std::vector<float> ffn_norm;
+  Matrix w_gate, w_up, w_down;
+};
+
+/// Full-model parameter gradients.
+struct Gradients {
+  Matrix tok_embed;
+  std::vector<BlockGradients> blocks;
+  std::vector<float> final_norm;
+  Matrix lm_head;
+
+  /// Zero gradients with shapes matching `model`.
+  static Gradients zeros_like(const Model& model);
+
+  void set_zero();
+
+  /// Global L2 norm over all gradient entries.
+  double l2_norm() const;
+
+  /// Multiply every gradient entry by `factor`.
+  void scale_all(float factor);
+};
+
+/// Same canonical order as visit_params(Model&); the optimizer walks the two
+/// in lockstep.
+void visit_params(Gradients& grads,
+                  const std::function<void(std::span<float>)>& fn);
+
+/// Full backward: given the forward cache for `tokens` and dL/dlogits,
+/// accumulates parameter gradients into `grads` (callers zero it first when
+/// they want fresh gradients).
+void model_backward(const Model& model, std::span<const TokenId> tokens,
+                    const ForwardCache& cache, const Matrix& grad_logits,
+                    Gradients& grads);
+
+/// Gradients at the attention projections' outputs produced by the probe.
+struct AttentionProbeGrads {
+  Matrix dq;        // (T×d) at q_proj output (pre-RoPE)
+  Matrix dk;        // (T×d) at k_proj output (pre-RoPE)
+  Matrix dv;        // (T×d) at v_proj output
+  Matrix d_attn_cat;  // (T×d) at o_proj input (for the full backward path)
+};
+
+/// Backpropagate `d_attn_out` (a gradient seed at the attention-block output
+/// F, i.e. at the o_proj output) down to the q/k/v projection outputs and
+/// the o_proj input, using the cached forward state of block `layer`.
+AttentionProbeGrads attention_probe_backward(const Model& model,
+                                             std::size_t layer,
+                                             const BlockCache& bc,
+                                             const Matrix& d_attn_out);
+
+}  // namespace aptq

@@ -1,0 +1,56 @@
+// Incremental autoregressive decoding with per-layer KV caches.
+//
+// model_forward() recomputes the whole prefix at every step — fine for
+// training and calibration, quadratic waste for generation. Decoder keeps
+// the rotated keys and values of every processed position per layer and
+// advances one token at a time at O(context) cost. Produces logits
+// bit-identical (up to f32 rounding) to the full forward pass; the
+// equivalence is enforced by tests/decoder_test.cpp.
+#pragma once
+
+#include "data/vocab.hpp"
+#include "model/forward.hpp"
+#include "model/model.hpp"
+#include "util/rng.hpp"
+
+namespace aptq {
+
+/// Streaming decoder over a borrowed model. The model must outlive the
+/// decoder and stay unmodified while decoding.
+class Decoder {
+ public:
+  /// `max_seq` bounds the context (cache capacity).
+  Decoder(const Model& model, std::size_t max_seq,
+          const ForwardOptions& options = {});
+
+  /// Number of tokens processed so far.
+  std::size_t position() const { return position_; }
+  std::size_t capacity() const { return max_seq_; }
+
+  /// Process `tokens` (appended to the context); returns the logits of the
+  /// last token. Throws if the context would exceed capacity.
+  std::vector<float> prefill(std::span<const TokenId> tokens);
+
+  /// Process one token; returns the next-token logits.
+  std::vector<float> step(TokenId token);
+
+  /// Drop all cached state and restart from an empty context.
+  void reset();
+
+ private:
+  const Model& model_;
+  ForwardOptions options_;
+  std::size_t max_seq_ = 0;
+  std::size_t position_ = 0;
+  // Per layer: rotated keys and raw values, (max_seq × d), filled row by row.
+  std::vector<Matrix> k_cache_;
+  std::vector<Matrix> v_cache_;
+};
+
+/// Sample `length` tokens with the incremental decoder (same token
+/// distribution as sample_from_model, O(context) per generated token
+/// instead of a full-prefix forward pass).
+TokenSeq decode_sample(const Model& model, std::size_t length, Rng& rng,
+                       float temperature = 1.0f, const TokenSeq& prompt = {});
+
+}  // namespace aptq

@@ -1,0 +1,223 @@
+#include "model/model.hpp"
+
+#include <cmath>
+
+#include "util/io.hpp"
+
+namespace aptq {
+
+void ModelConfig::validate() const {
+  APTQ_CHECK(vocab_size >= 4, "ModelConfig: vocab_size too small");
+  APTQ_CHECK(dim >= 8, "ModelConfig: dim too small");
+  APTQ_CHECK(n_layers >= 1, "ModelConfig: need at least one layer");
+  APTQ_CHECK(n_heads >= 1 && dim % n_heads == 0,
+             "ModelConfig: dim must be divisible by n_heads");
+  APTQ_CHECK(head_dim() % 2 == 0, "ModelConfig: head_dim must be even (RoPE)");
+  APTQ_CHECK(kv_heads() >= 1 && kv_heads() <= n_heads &&
+                 n_heads % kv_heads() == 0,
+             "ModelConfig: n_heads must be a multiple of n_kv_heads");
+  APTQ_CHECK(ffn_dim >= 8, "ModelConfig: ffn_dim too small");
+  APTQ_CHECK(norm_eps > 0.0f, "ModelConfig: norm_eps must be positive");
+}
+
+Model Model::init(const ModelConfig& config, std::uint64_t seed) {
+  config.validate();
+  Rng rng(seed);
+  Model m;
+  m.config = config;
+  const auto d = config.dim;
+  const auto f = config.ffn_dim;
+  const float proj_std = 1.0f / std::sqrt(static_cast<float>(d));
+  const float ffn_std = 1.0f / std::sqrt(static_cast<float>(f));
+  // Residual-branch outputs (wo, w_down) are further scaled by 1/sqrt(2L)
+  // (GPT-2-style) so deep stacks start stable.
+  const float residual_scale =
+      1.0f / std::sqrt(2.0f * static_cast<float>(config.n_layers));
+
+  m.tok_embed = Matrix::randn(config.vocab_size, d, rng, 0.0f, 0.5f);
+  m.blocks.resize(config.n_layers);
+  for (auto& b : m.blocks) {
+    b.attn_norm.assign(d, 1.0f);
+    b.wq = Matrix::randn(d, d, rng, 0.0f, proj_std);
+    b.wk = Matrix::randn(d, config.kv_dim(), rng, 0.0f, proj_std);
+    b.wv = Matrix::randn(d, config.kv_dim(), rng, 0.0f, proj_std);
+    b.wo = Matrix::randn(d, d, rng, 0.0f, proj_std * residual_scale);
+    b.ffn_norm.assign(d, 1.0f);
+    b.w_gate = Matrix::randn(d, f, rng, 0.0f, proj_std);
+    b.w_up = Matrix::randn(d, f, rng, 0.0f, proj_std);
+    b.w_down = Matrix::randn(f, d, rng, 0.0f, ffn_std * residual_scale);
+  }
+  m.final_norm.assign(d, 1.0f);
+  m.lm_head = Matrix::randn(d, config.vocab_size, rng, 0.0f, proj_std);
+  return m;
+}
+
+std::size_t Model::parameter_count() const {
+  std::size_t n = tok_embed.size() + final_norm.size() + lm_head.size();
+  for (const auto& b : blocks) {
+    n += b.attn_norm.size() + b.wq.size() + b.wk.size() + b.wv.size() +
+         b.wo.size() + b.ffn_norm.size() + b.w_gate.size() + b.w_up.size() +
+         b.w_down.size();
+  }
+  return n;
+}
+
+bool is_attention(LinearKind kind) {
+  switch (kind) {
+    case LinearKind::q_proj:
+    case LinearKind::k_proj:
+    case LinearKind::v_proj:
+    case LinearKind::o_proj:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string to_string(LinearKind kind) {
+  switch (kind) {
+    case LinearKind::q_proj: return "q_proj";
+    case LinearKind::k_proj: return "k_proj";
+    case LinearKind::v_proj: return "v_proj";
+    case LinearKind::o_proj: return "o_proj";
+    case LinearKind::gate_proj: return "gate_proj";
+    case LinearKind::up_proj: return "up_proj";
+    case LinearKind::down_proj: return "down_proj";
+    case LinearKind::lm_head: return "lm_head";
+  }
+  APTQ_FAIL("unknown LinearKind");
+}
+
+std::vector<LinearRef> collect_linears(Model& model, bool include_lm_head) {
+  std::vector<LinearRef> out;
+  for (std::size_t i = 0; i < model.blocks.size(); ++i) {
+    auto& b = model.blocks[i];
+    const std::string prefix = "layers." + std::to_string(i) + ".";
+    out.push_back({prefix + "self_attn.q_proj", LinearKind::q_proj, i, &b.wq});
+    out.push_back({prefix + "self_attn.k_proj", LinearKind::k_proj, i, &b.wk});
+    out.push_back({prefix + "self_attn.v_proj", LinearKind::v_proj, i, &b.wv});
+    out.push_back({prefix + "self_attn.o_proj", LinearKind::o_proj, i, &b.wo});
+    out.push_back({prefix + "mlp.gate_proj", LinearKind::gate_proj, i,
+                   &b.w_gate});
+    out.push_back({prefix + "mlp.up_proj", LinearKind::up_proj, i, &b.w_up});
+    out.push_back({prefix + "mlp.down_proj", LinearKind::down_proj, i,
+                   &b.w_down});
+  }
+  if (include_lm_head) {
+    out.push_back({"lm_head", LinearKind::lm_head, 0, &model.lm_head});
+  }
+  return out;
+}
+
+void visit_params(Model& model,
+                  const std::function<void(std::span<float>)>& fn) {
+  fn(model.tok_embed.flat());
+  for (auto& b : model.blocks) {
+    fn({b.attn_norm.data(), b.attn_norm.size()});
+    fn(b.wq.flat());
+    fn(b.wk.flat());
+    fn(b.wv.flat());
+    fn(b.wo.flat());
+    fn({b.ffn_norm.data(), b.ffn_norm.size()});
+    fn(b.w_gate.flat());
+    fn(b.w_up.flat());
+    fn(b.w_down.flat());
+  }
+  fn({model.final_norm.data(), model.final_norm.size()});
+  fn(model.lm_head.flat());
+}
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x41505451u;  // "APTQ"
+// v1: pre-GQA (no n_kv_heads field); v2 adds it. v1 loads as n_kv_heads=0.
+constexpr std::uint32_t kCheckpointVersion = 2u;
+
+void write_matrix(BinaryWriter& w, const Matrix& m) {
+  w.write_u64(m.rows());
+  w.write_u64(m.cols());
+  std::vector<float> flat(m.flat().begin(), m.flat().end());
+  w.write_f32_vector(flat);
+}
+
+Matrix read_matrix(BinaryReader& r) {
+  const std::size_t rows = r.read_u64();
+  const std::size_t cols = r.read_u64();
+  const std::vector<float> flat = r.read_f32_vector();
+  APTQ_CHECK(flat.size() == rows * cols, "checkpoint: matrix size mismatch");
+  Matrix m(rows, cols);
+  std::copy(flat.begin(), flat.end(), m.data());
+  return m;
+}
+
+}  // namespace
+
+void save_checkpoint(const Model& model, const std::string& path) {
+  BinaryWriter w(path);
+  w.write_u32(kCheckpointMagic);
+  w.write_u32(kCheckpointVersion);
+  const auto& c = model.config;
+  w.write_u64(c.vocab_size);
+  w.write_u64(c.dim);
+  w.write_u64(c.n_layers);
+  w.write_u64(c.n_heads);
+  w.write_u64(c.ffn_dim);
+  w.write_u64(c.n_kv_heads);
+  w.write_f32(c.rope_theta);
+  w.write_f32(c.norm_eps);
+  write_matrix(w, model.tok_embed);
+  for (const auto& b : model.blocks) {
+    w.write_f32_vector(b.attn_norm);
+    write_matrix(w, b.wq);
+    write_matrix(w, b.wk);
+    write_matrix(w, b.wv);
+    write_matrix(w, b.wo);
+    w.write_f32_vector(b.ffn_norm);
+    write_matrix(w, b.w_gate);
+    write_matrix(w, b.w_up);
+    write_matrix(w, b.w_down);
+  }
+  w.write_f32_vector(model.final_norm);
+  write_matrix(w, model.lm_head);
+}
+
+Model load_checkpoint(const std::string& path) {
+  BinaryReader r(path);
+  APTQ_CHECK(r.read_u32() == kCheckpointMagic,
+             "checkpoint: bad magic in " + path);
+  const std::uint32_t version = r.read_u32();
+  APTQ_CHECK(version == 1u || version == kCheckpointVersion,
+             "checkpoint: unsupported version in " + path);
+  ModelConfig c;
+  c.vocab_size = r.read_u64();
+  c.dim = r.read_u64();
+  c.n_layers = r.read_u64();
+  c.n_heads = r.read_u64();
+  c.ffn_dim = r.read_u64();
+  c.n_kv_heads = version >= 2u ? r.read_u64() : 0;
+  c.rope_theta = r.read_f32();
+  c.norm_eps = r.read_f32();
+  c.validate();
+  Model m;
+  m.config = c;
+  m.tok_embed = read_matrix(r);
+  m.blocks.resize(c.n_layers);
+  for (auto& b : m.blocks) {
+    b.attn_norm = r.read_f32_vector();
+    b.wq = read_matrix(r);
+    b.wk = read_matrix(r);
+    b.wv = read_matrix(r);
+    b.wo = read_matrix(r);
+    b.ffn_norm = r.read_f32_vector();
+    b.w_gate = read_matrix(r);
+    b.w_up = read_matrix(r);
+    b.w_down = read_matrix(r);
+  }
+  m.final_norm = r.read_f32_vector();
+  m.lm_head = read_matrix(r);
+  APTQ_CHECK(m.tok_embed.rows() == c.vocab_size && m.tok_embed.cols() == c.dim,
+             "checkpoint: embedding shape mismatch");
+  return m;
+}
+
+}  // namespace aptq

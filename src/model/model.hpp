@@ -1,0 +1,114 @@
+// LLaMA-architecture transformer: configuration, weights, the named
+// parameter registry used by the quantization pipeline, and checkpoint I/O.
+//
+// The architecture matches LLaMA (Touvron et al. 2023) exactly in structure:
+// pre-RMSNorm blocks, rotary position embeddings, multi-head attention with
+// separate q/k/v/o projections, SwiGLU feed-forward, untied LM head. Layer
+// names follow the HuggingFace convention the paper's Algorithm 1 keys on
+// ("self_attn.k_proj", ...).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/vocab.hpp"
+#include "tensor/matrix.hpp"
+
+namespace aptq {
+
+/// Hyperparameters of a model instance.
+struct ModelConfig {
+  std::size_t vocab_size = 64;
+  std::size_t dim = 48;        ///< model width d
+  std::size_t n_layers = 4;    ///< transformer blocks
+  std::size_t n_heads = 4;     ///< attention heads (dim % n_heads == 0)
+  std::size_t ffn_dim = 128;   ///< SwiGLU hidden width
+  /// Grouped-query attention: number of shared key/value heads
+  /// (LLaMA-2-70B style). 0 means n_heads (standard multi-head attention).
+  std::size_t n_kv_heads = 0;
+  float rope_theta = 10000.0f;
+  float norm_eps = 1e-5f;
+
+  std::size_t head_dim() const { return dim / n_heads; }
+  std::size_t kv_heads() const { return n_kv_heads == 0 ? n_heads
+                                                        : n_kv_heads; }
+  /// Width of the k/v projections (kv_heads × head_dim).
+  std::size_t kv_dim() const { return kv_heads() * head_dim(); }
+  /// Query heads sharing one kv head.
+  std::size_t group_factor() const { return n_heads / kv_heads(); }
+
+  /// Throws aptq::Error if the configuration is inconsistent.
+  void validate() const;
+
+  bool operator==(const ModelConfig&) const = default;
+};
+
+/// Weights of one transformer block. All projection matrices are stored
+/// input-major: out = x · W with W of shape (d_in × d_out).
+struct BlockWeights {
+  std::vector<float> attn_norm;  // (d)
+  Matrix wq, wk, wv, wo;         // (d × d)
+  std::vector<float> ffn_norm;   // (d)
+  Matrix w_gate, w_up;           // (d × ffn)
+  Matrix w_down;                 // (ffn × d)
+};
+
+/// A full model: embeddings, blocks, final norm, LM head.
+struct Model {
+  ModelConfig config;
+  Matrix tok_embed;               // (V × d)
+  std::vector<BlockWeights> blocks;
+  std::vector<float> final_norm;  // (d)
+  Matrix lm_head;                 // (d × V)
+
+  /// Randomly initialized model (deterministic in `seed`).
+  static Model init(const ModelConfig& config, std::uint64_t seed);
+
+  /// Total parameter count.
+  std::size_t parameter_count() const;
+};
+
+/// Which linear layer a LinearRef points at.
+enum class LinearKind {
+  q_proj,
+  k_proj,
+  v_proj,
+  o_proj,
+  gate_proj,
+  up_proj,
+  down_proj,
+  lm_head,
+};
+
+/// True for the four attention projections.
+bool is_attention(LinearKind kind);
+
+/// Short name ("q_proj", ...).
+std::string to_string(LinearKind kind);
+
+/// A named, mutable reference to one quantizable linear layer of a model.
+struct LinearRef {
+  std::string name;    ///< e.g. "layers.2.self_attn.k_proj"
+  LinearKind kind;
+  std::size_t block;   ///< owning block index; unused for lm_head
+  Matrix* weight;      ///< (d_in × d_out), borrowed from the Model
+};
+
+/// All quantizable linear layers in network order. `include_lm_head`
+/// defaults to false per the GPTQ evaluation convention.
+std::vector<LinearRef> collect_linears(Model& model,
+                                       bool include_lm_head = false);
+
+/// Apply `fn` to every trainable parameter span in a fixed canonical order
+/// (used by the optimizer; Gradients::visit uses the same order).
+void visit_params(Model& model,
+                  const std::function<void(std::span<float>)>& fn);
+
+/// Checkpoint I/O. Format versioned; load validates the magic and throws on
+/// mismatch.
+void save_checkpoint(const Model& model, const std::string& path);
+Model load_checkpoint(const std::string& path);
+
+}  // namespace aptq

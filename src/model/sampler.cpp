@@ -1,0 +1,51 @@
+#include "model/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/forward.hpp"
+
+namespace aptq {
+
+TokenSeq sample_from_model(const Model& model, std::size_t length, Rng& rng,
+                           const SampleConfig& config, const TokenSeq& prompt) {
+  APTQ_CHECK(config.temperature > 0.0f,
+             "sample_from_model: temperature must be positive");
+  APTQ_CHECK(length > prompt.size(),
+             "sample_from_model: length must exceed prompt");
+  const std::size_t v = model.config.vocab_size;
+
+  TokenSeq tokens = prompt;
+  if (tokens.empty()) {
+    tokens.push_back(static_cast<TokenId>(rng.index(v)));
+  }
+  std::vector<float> probs(v);
+  while (tokens.size() < length) {
+    const Matrix logits = model_forward(model, tokens);
+    const auto last = logits.row(logits.rows() - 1);
+    float max_v = last[0];
+    for (const float x : last) {
+      max_v = std::max(max_v, x);
+    }
+    for (std::size_t i = 0; i < v; ++i) {
+      probs[i] = std::exp((last[i] - max_v) / config.temperature);
+    }
+    if (config.top_k > 0 && config.top_k < v) {
+      std::vector<float> sorted = probs;
+      std::nth_element(sorted.begin(),
+                       sorted.begin() + static_cast<std::ptrdiff_t>(
+                                            config.top_k - 1),
+                       sorted.end(), std::greater<>());
+      const float cutoff = sorted[config.top_k - 1];
+      for (auto& p : probs) {
+        if (p < cutoff) {
+          p = 0.0f;
+        }
+      }
+    }
+    tokens.push_back(static_cast<TokenId>(rng.categorical(probs)));
+  }
+  return tokens;
+}
+
+}  // namespace aptq

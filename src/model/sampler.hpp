@@ -1,0 +1,25 @@
+// Autoregressive sampling from a model — used by the data-free QAT baseline
+// (LLM-QAT samples its training data from the full-precision model) and by
+// the example programs.
+#pragma once
+
+#include "data/vocab.hpp"
+#include "model/model.hpp"
+#include "util/rng.hpp"
+
+namespace aptq {
+
+/// Sampling options.
+struct SampleConfig {
+  float temperature = 1.0f;  ///< logit divisor; must be > 0
+  std::size_t top_k = 0;     ///< keep only the k most likely tokens (0 = all)
+};
+
+/// Sample `length` tokens autoregressively. `prompt` seeds the context; if
+/// empty, one token is drawn uniformly first. The returned sequence includes
+/// the prompt.
+TokenSeq sample_from_model(const Model& model, std::size_t length, Rng& rng,
+                           const SampleConfig& config = {},
+                           const TokenSeq& prompt = {});
+
+}  // namespace aptq

@@ -1,0 +1,182 @@
+#include "quant/aptq.hpp"
+
+#include <cmath>
+
+#include "model/backward.hpp"
+#include "model/forward.hpp"
+#include "tensor/ops.hpp"
+
+namespace aptq {
+
+const LayerCalibration& CalibrationResult::by_name(
+    const std::string& name) const {
+  for (const auto& layer : layers) {
+    if (layer.name == name) {
+      return layer;
+    }
+  }
+  APTQ_FAIL("CalibrationResult: no layer named " + name);
+}
+
+AttentionGammas attention_gammas(const Model& model, std::size_t block,
+                                 const BlockCache& cache, std::size_t probes,
+                                 Rng& rng) {
+  APTQ_CHECK(probes >= 1, "attention_gammas: need at least one probe");
+  const std::size_t t_len = cache.normed1.rows();
+  const std::size_t d = model.config.dim;
+  AttentionGammas g;
+  g.q.assign(t_len, 0.0f);
+  g.k.assign(t_len, 0.0f);
+  g.v.assign(t_len, 0.0f);
+  for (std::size_t p = 0; p < probes; ++p) {
+    const Matrix seed = Matrix::randn(t_len, d, rng);
+    const AttentionProbeGrads pg =
+        attention_probe_backward(model, block, cache, seed);
+    for (std::size_t t = 0; t < t_len; ++t) {
+      g.q[t] += dot(pg.dq.row(t), pg.dq.row(t));
+      g.k[t] += dot(pg.dk.row(t), pg.dk.row(t));
+      g.v[t] += dot(pg.dv.row(t), pg.dv.row(t));
+    }
+  }
+  // Normalize by probe count and seed dimensionality so that an identity
+  // Jacobian yields γ = 1 (comparable to GPTQ's implicit γ ≡ 1).
+  const float norm = 1.0f / (static_cast<float>(probes) *
+                             static_cast<float>(d));
+  for (std::size_t t = 0; t < t_len; ++t) {
+    g.q[t] *= norm;
+    g.k[t] *= norm;
+    g.v[t] *= norm;
+  }
+  return g;
+}
+
+namespace {
+
+// The input activation matrix feeding a given linear layer, read from the
+// forward cache.
+const Matrix& linear_input(const ForwardCache& cache, LinearKind kind,
+                           std::size_t block) {
+  switch (kind) {
+    case LinearKind::q_proj:
+    case LinearKind::k_proj:
+    case LinearKind::v_proj:
+      return cache.blocks[block].normed1;
+    case LinearKind::o_proj:
+      return cache.blocks[block].attn_cat;
+    case LinearKind::gate_proj:
+    case LinearKind::up_proj:
+      return cache.blocks[block].normed2;
+    case LinearKind::down_proj:
+      return cache.blocks[block].act;
+    case LinearKind::lm_head:
+      return cache.normed_final;
+  }
+  APTQ_FAIL("linear_input: unknown kind");
+}
+
+struct LayerSlot {
+  LinearRef ref;
+  HessianAccumulator acc;
+  double gamma_sum = 0.0;
+  std::size_t gamma_count = 0;
+};
+
+CalibrationResult collect_impl(const Model& model,
+                               std::span<const TokenSeq> segments,
+                               const CalibConfig& config,
+                               long only_block) {
+  APTQ_CHECK(!segments.empty(), "calibration: no segments");
+  // collect_linears needs a mutable model only to hand out weight pointers;
+  // calibration never writes through them.
+  auto& mutable_model = const_cast<Model&>(model);
+  std::vector<LayerSlot> slots;
+  for (const auto& ref :
+       collect_linears(mutable_model, config.include_lm_head)) {
+    if (only_block >= 0 && ref.kind != LinearKind::lm_head &&
+        ref.block != static_cast<std::size_t>(only_block)) {
+      continue;
+    }
+    if (only_block >= 0 && ref.kind == LinearKind::lm_head) {
+      continue;
+    }
+    slots.push_back({ref, HessianAccumulator(ref.weight->rows()), 0.0, 0});
+  }
+  APTQ_CHECK(!slots.empty(), "calibration: no layers selected");
+
+  ForwardCache cache;
+  for (std::size_t si = 0; si < segments.size(); ++si) {
+    const auto& segment = segments[si];
+    model_forward(model, segment, cache);
+    // γ per block (computed once, shared by that block's q/k/v slots). The
+    // probe RNG is keyed to (seed, segment, block) so per-block collection
+    // reproduces exactly the γ a full-model pass would produce.
+    std::vector<AttentionGammas> gammas(model.config.n_layers);
+    if (config.mode == HessianMode::aptq) {
+      for (auto& slot : slots) {
+        if (slot.ref.kind == LinearKind::q_proj) {
+          Rng probe_rng(config.seed ^ (si * 1000003ull) ^
+                        (slot.ref.block * 7919ull + 1));
+          gammas[slot.ref.block] =
+              attention_gammas(model, slot.ref.block,
+                               cache.blocks[slot.ref.block],
+                               config.probes, probe_rng);
+        }
+      }
+    }
+    for (auto& slot : slots) {
+      const Matrix& x = linear_input(cache, slot.ref.kind, slot.ref.block);
+      std::span<const float> gamma;
+      if (config.mode == HessianMode::aptq) {
+        const auto& bg = gammas[slot.ref.block];
+        switch (slot.ref.kind) {
+          case LinearKind::q_proj: gamma = bg.q; break;
+          case LinearKind::k_proj: gamma = bg.k; break;
+          case LinearKind::v_proj: gamma = bg.v; break;
+          default: break;  // o_proj / FFN / lm_head: γ ≡ 1 (eq. 9)
+        }
+      }
+      slot.acc.add_matrix(x, gamma);
+      for (const float gv : gamma) {
+        slot.gamma_sum += gv;
+        ++slot.gamma_count;
+      }
+    }
+  }
+
+  CalibrationResult result;
+  result.layers.reserve(slots.size());
+  for (auto& slot : slots) {
+    LayerCalibration layer;
+    layer.name = slot.ref.name;
+    layer.kind = slot.ref.kind;
+    layer.block = slot.ref.block;
+    layer.hessian = slot.acc.finalized();
+    layer.avg_trace = slot.acc.average_trace();
+    layer.weight_count = slot.ref.weight->size();
+    layer.gamma_mean = slot.gamma_count > 0
+                           ? slot.gamma_sum /
+                                 static_cast<double>(slot.gamma_count)
+                           : 1.0;
+    result.layers.push_back(std::move(layer));
+  }
+  return result;
+}
+
+}  // namespace
+
+CalibrationResult collect_calibration(const Model& model,
+                                      std::span<const TokenSeq> segments,
+                                      const CalibConfig& config) {
+  return collect_impl(model, segments, config, /*only_block=*/-1);
+}
+
+CalibrationResult collect_block_calibration(const Model& model,
+                                            std::span<const TokenSeq> segments,
+                                            std::size_t block,
+                                            const CalibConfig& config) {
+  APTQ_CHECK(block < model.config.n_layers,
+             "collect_block_calibration: block out of range");
+  return collect_impl(model, segments, config, static_cast<long>(block));
+}
+
+}  // namespace aptq

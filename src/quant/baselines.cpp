@@ -1,0 +1,415 @@
+#include "quant/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "model/backward.hpp"
+#include "model/forward.hpp"
+#include "model/sampler.hpp"
+#include "train/adamw.hpp"
+#include "train/loss.hpp"
+#include "util/check.hpp"
+
+namespace aptq {
+
+PbLlmResult pbllm_quantize(const Matrix& w, const Matrix& h,
+                           const PbLlmConfig& config) {
+  APTQ_CHECK(config.salient_fraction >= 0.0 && config.salient_fraction < 1.0,
+             "pbllm_quantize: salient fraction out of range");
+  APTQ_CHECK(h.rows() == w.cols() && h.cols() == w.cols(),
+             "pbllm_quantize: Hessian shape mismatch");
+  const std::size_t n = w.size();
+  const std::size_t d_in = w.cols();
+
+  // Saliency = diag(H)_j · w² (PB-LLM's Hessian-magnitude criterion).
+  std::vector<float> saliency(n);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    for (std::size_t c = 0; c < d_in; ++c) {
+      const float wv = w(r, c);
+      saliency[r * d_in + c] = h(c, c) * wv * wv;
+    }
+  }
+  const std::size_t keep =
+      static_cast<std::size_t>(config.salient_fraction * n);
+  std::vector<char> is_salient(n, 0);
+  if (keep > 0) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::nth_element(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                     order.end(),
+                     [&saliency](std::size_t a, std::size_t b) {
+                       return saliency[a] > saliency[b];
+                     });
+    for (std::size_t i = 0; i < keep; ++i) {
+      is_salient[order[i]] = 1;
+    }
+  }
+
+  PbLlmResult result;
+  result.weight = w;
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    // Row-wise optimal binary magnitude over the non-salient set.
+    double abs_sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t c = 0; c < d_in; ++c) {
+      if (!is_salient[r * d_in + c]) {
+        abs_sum += std::fabs(w(r, c));
+        ++count;
+      }
+    }
+    const float alpha =
+        count > 0 ? static_cast<float>(abs_sum / count) : 0.0f;
+    for (std::size_t c = 0; c < d_in; ++c) {
+      if (!is_salient[r * d_in + c]) {
+        result.weight(r, c) = w(r, c) >= 0.0f ? alpha : -alpha;
+      }
+    }
+  }
+  const double rho = static_cast<double>(keep) / static_cast<double>(n);
+  result.avg_bits = 16.0 * rho + 1.0 * (1.0 - rho);
+  return result;
+}
+
+OwqResult owq_quantize(const Matrix& w, const Matrix& h,
+                       const OwqConfig& config) {
+  APTQ_CHECK(config.fp_column_fraction >= 0.0 &&
+                 config.fp_column_fraction < 1.0,
+             "owq_quantize: fp fraction out of range");
+  const std::size_t d_in = w.cols();
+  // Weak-column score: diag(H)_j · ||w_:,j||² (activation outliers hit the
+  // columns where the quantization error is amplified most).
+  std::vector<double> score(d_in, 0.0);
+  for (std::size_t c = 0; c < d_in; ++c) {
+    double col_norm = 0.0;
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      col_norm += static_cast<double>(w(r, c)) * w(r, c);
+    }
+    score[c] = static_cast<double>(h(c, c)) * col_norm;
+  }
+  std::size_t n_fp = static_cast<std::size_t>(
+      std::ceil(config.fp_column_fraction * static_cast<double>(d_in)));
+  n_fp = std::min(n_fp, d_in > 0 ? d_in - 1 : 0);
+
+  OwqResult result;
+  if (n_fp > 0) {
+    std::vector<std::size_t> order(d_in);
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(n_fp),
+                      order.end(), [&score](std::size_t a, std::size_t b) {
+                        return score[a] > score[b];
+                      });
+    result.fp_columns.assign(order.begin(),
+                             order.begin() + static_cast<std::ptrdiff_t>(n_fp));
+    std::sort(result.fp_columns.begin(), result.fp_columns.end());
+  }
+
+  GptqConfig gc;
+  gc.spec = config.spec;
+  gc.block_size = config.block_size;
+  gc.damp = config.damp;
+  gc.fp_columns = result.fp_columns;
+  result.weight = gptq_quantize(w, h, gc).weight;
+  const double fp_frac =
+      static_cast<double>(n_fp) / static_cast<double>(d_in);
+  result.avg_bits =
+      16.0 * fp_frac + static_cast<double>(config.spec.bits) * (1.0 - fp_frac);
+  return result;
+}
+
+ActivationMaxima collect_activation_maxima(const Model& model,
+                                           std::span<const TokenSeq> segments) {
+  APTQ_CHECK(!segments.empty(), "collect_activation_maxima: no segments");
+  const std::size_t d = model.config.dim;
+  ActivationMaxima maxima;
+  maxima.attn_input.assign(model.config.n_layers,
+                           std::vector<float>(d, 0.0f));
+  maxima.ffn_input.assign(model.config.n_layers,
+                          std::vector<float>(d, 0.0f));
+  ForwardCache cache;
+  for (const auto& segment : segments) {
+    model_forward(model, segment, cache);
+    for (std::size_t b = 0; b < model.config.n_layers; ++b) {
+      const auto track = [d](const Matrix& x, std::vector<float>& out) {
+        for (std::size_t t = 0; t < x.rows(); ++t) {
+          const float* row = x.data() + t * d;
+          for (std::size_t c = 0; c < d; ++c) {
+            out[c] = std::max(out[c], std::fabs(row[c]));
+          }
+        }
+      };
+      track(cache.blocks[b].normed1, maxima.attn_input[b]);
+      track(cache.blocks[b].normed2, maxima.ffn_input[b]);
+    }
+  }
+  return maxima;
+}
+
+namespace {
+
+// Per-channel migration scales s_j = max|X_j|^α / max|W_j|^{1-α}, guarded
+// against degenerate channels.
+std::vector<float> smoothing_scales(std::span<const float> act_max,
+                                    std::span<const float> weight_max,
+                                    double alpha) {
+  std::vector<float> s(act_max.size(), 1.0f);
+  for (std::size_t j = 0; j < act_max.size(); ++j) {
+    if (act_max[j] <= 0.0f || weight_max[j] <= 0.0f) {
+      continue;
+    }
+    const double v = std::pow(act_max[j], alpha) /
+                     std::pow(weight_max[j], 1.0 - alpha);
+    s[j] = static_cast<float>(std::clamp(v, 1e-3, 1e3));
+  }
+  return s;
+}
+
+// max_j over the given input-major matrices of |W(j, :)| per input channel.
+std::vector<float> weight_channel_maxima(
+    std::initializer_list<const Matrix*> weights, std::size_t d_in) {
+  std::vector<float> m(d_in, 0.0f);
+  for (const Matrix* w : weights) {
+    APTQ_CHECK(w->rows() == d_in, "weight_channel_maxima: shape mismatch");
+    for (std::size_t j = 0; j < d_in; ++j) {
+      for (const float v : w->row(j)) {
+        m[j] = std::max(m[j], std::fabs(v));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+void smoothquant_apply(Model& model, const ActivationMaxima& maxima,
+                       const SmoothQuantConfig& config) {
+  APTQ_CHECK(maxima.attn_input.size() == model.config.n_layers &&
+                 maxima.ffn_input.size() == model.config.n_layers,
+             "smoothquant_apply: maxima/model mismatch");
+  APTQ_CHECK(config.alpha > 0.0 && config.alpha < 1.0,
+             "smoothquant_apply: alpha out of range");
+  const std::size_t d = model.config.dim;
+  for (std::size_t b = 0; b < model.config.n_layers; ++b) {
+    auto& blk = model.blocks[b];
+    // Attention input group: fold 1/s into attn_norm, s into q/k/v rows.
+    const auto w_max_attn =
+        weight_channel_maxima({&blk.wq, &blk.wk, &blk.wv}, d);
+    const auto s_attn =
+        smoothing_scales(maxima.attn_input[b], w_max_attn, config.alpha);
+    for (std::size_t j = 0; j < d; ++j) {
+      blk.attn_norm[j] /= s_attn[j];
+      for (Matrix* w : {&blk.wq, &blk.wk, &blk.wv}) {
+        for (float& v : w->row(j)) {
+          v *= s_attn[j];
+        }
+      }
+    }
+    // FFN input group: fold into ffn_norm and gate/up rows.
+    const auto w_max_ffn =
+        weight_channel_maxima({&blk.w_gate, &blk.w_up}, d);
+    const auto s_ffn =
+        smoothing_scales(maxima.ffn_input[b], w_max_ffn, config.alpha);
+    for (std::size_t j = 0; j < d; ++j) {
+      blk.ffn_norm[j] /= s_ffn[j];
+      for (Matrix* w : {&blk.w_gate, &blk.w_up}) {
+        for (float& v : w->row(j)) {
+          v *= s_ffn[j];
+        }
+      }
+    }
+  }
+  QuantSpec spec;
+  spec.bits = config.weight_bits;
+  spec.group_size = config.group_size;
+  quantize_model_weights_rtn(model, spec);
+}
+
+namespace {
+
+// Activation-weighted quantization error of an input-major weight group
+// under per-input-channel scales s: Σ_j actmax_j² · ||Ŵ_j − W_j||², where
+// Ŵ = diag(1/s)·RTN(diag(s)·W).
+double awq_group_error(std::span<const Matrix* const> weights,
+                       std::span<const float> scales,
+                       std::span<const float> act_max,
+                       const QuantSpec& spec) {
+  double err = 0.0;
+  for (const Matrix* w : weights) {
+    Matrix scaled = *w;  // input-major: row j is input channel j
+    for (std::size_t j = 0; j < scaled.rows(); ++j) {
+      for (float& v : scaled.row(j)) {
+        v *= scales[j];
+      }
+    }
+    Matrix q = scaled.transposed();  // out-major for grouping
+    quantize_dequantize_matrix(q, spec);
+    const Matrix back = q.transposed();
+    for (std::size_t j = 0; j < scaled.rows(); ++j) {
+      const double weight = static_cast<double>(act_max[j]) * act_max[j];
+      for (std::size_t c = 0; c < scaled.cols(); ++c) {
+        const double d =
+            back(j, c) / scales[j] - (*w)(j, c);
+        err += weight * d * d;
+      }
+    }
+  }
+  return err;
+}
+
+// Per-channel scales s_j = (max|X_j|)^α, normalized to geometric mean 1 and
+// clamped to a sane range.
+std::vector<float> awq_scales(std::span<const float> act_max, double alpha) {
+  std::vector<float> s(act_max.size(), 1.0f);
+  double log_sum = 0.0;
+  std::size_t live = 0;
+  for (std::size_t j = 0; j < act_max.size(); ++j) {
+    if (act_max[j] > 0.0f) {
+      s[j] = static_cast<float>(std::pow(act_max[j], alpha));
+      log_sum += std::log(s[j]);
+      ++live;
+    }
+  }
+  if (live > 0) {
+    const float norm = static_cast<float>(std::exp(log_sum / live));
+    for (auto& v : s) {
+      v = std::clamp(v / norm, 1e-3f, 1e3f);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> awq_apply(Model& model, const ActivationMaxima& maxima,
+                              const AwqConfig& config) {
+  APTQ_CHECK(!config.alpha_grid.empty(), "awq_apply: empty alpha grid");
+  APTQ_CHECK(maxima.attn_input.size() == model.config.n_layers &&
+                 maxima.ffn_input.size() == model.config.n_layers,
+             "awq_apply: maxima/model mismatch");
+  std::vector<double> chosen;
+  for (std::size_t b = 0; b < model.config.n_layers; ++b) {
+    auto& blk = model.blocks[b];
+    const auto search_and_fold =
+        [&](std::initializer_list<Matrix*> weights,
+            std::vector<float>& norm_gain, std::span<const float> act_max) {
+          std::vector<const Matrix*> cw(weights.begin(), weights.end());
+          double best_err = 1e300;
+          double best_alpha = 0.0;
+          std::vector<float> best_scales;
+          for (const double alpha : config.alpha_grid) {
+            const auto s = awq_scales(act_max, alpha);
+            const double err = awq_group_error(cw, s, act_max, config.spec);
+            if (err < best_err) {
+              best_err = err;
+              best_alpha = alpha;
+              best_scales = s;
+            }
+          }
+          for (std::size_t j = 0; j < best_scales.size(); ++j) {
+            norm_gain[j] /= best_scales[j];
+            for (Matrix* w : weights) {
+              for (float& v : w->row(j)) {
+                v *= best_scales[j];
+              }
+            }
+          }
+          chosen.push_back(best_alpha);
+        };
+    search_and_fold({&blk.wq, &blk.wk, &blk.wv}, blk.attn_norm,
+                    maxima.attn_input[b]);
+    search_and_fold({&blk.w_gate, &blk.w_up}, blk.ffn_norm,
+                    maxima.ffn_input[b]);
+  }
+  quantize_model_weights_rtn(model, config.spec);
+  return chosen;
+}
+
+void quantize_model_weights_rtn(Model& model, const QuantSpec& spec,
+                                bool include_lm_head) {
+  for (const auto& ref : collect_linears(model, include_lm_head)) {
+    // Quantize in the out-major orientation so groups run along the input
+    // dimension, matching the GPTQ/APTQ convention.
+    Matrix wt = ref.weight->transposed();
+    quantize_dequantize_matrix(wt, spec);
+    *ref.weight = wt.transposed();
+  }
+}
+
+Model qat_finetune(const Model& teacher, const QatConfig& config) {
+  APTQ_CHECK(config.steps >= 1 && config.batch_size >= 1,
+             "qat_finetune: bad configuration");
+  APTQ_CHECK(config.seq_len >= 2 && config.pool_sequences >= 1,
+             "qat_finetune: bad sequence configuration");
+  Rng rng(config.seed);
+
+  // Data-free: the training pool is sampled from the FP teacher itself.
+  SampleConfig sample_cfg;
+  sample_cfg.temperature = config.sample_temperature;
+  std::vector<TokenSeq> pool;
+  pool.reserve(config.pool_sequences);
+  for (std::size_t i = 0; i < config.pool_sequences; ++i) {
+    pool.push_back(
+        sample_from_model(teacher, config.seq_len, rng, sample_cfg));
+  }
+
+  Model latent = teacher;
+  AdamWConfig opt_cfg;
+  opt_cfg.lr = config.lr;
+  opt_cfg.weight_decay = 0.0f;
+  AdamW optimizer(opt_cfg);
+  Gradients grads = Gradients::zeros_like(latent);
+
+  ForwardCache cache;
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    // Quantized view of the latent weights (STE: forward/backward run on
+    // the snapped weights, the update lands on the latent FP weights).
+    Model quant_view = latent;
+    quantize_model_weights_rtn(quant_view, config.spec);
+
+    grads.set_zero();
+    for (std::size_t b = 0; b < config.batch_size; ++b) {
+      const TokenSeq& seq = pool[rng.index(pool.size())];
+      const Matrix student_logits = model_forward(quant_view, seq, cache);
+      const Matrix teacher_logits = model_forward(teacher, seq);
+      // Soft-label distillation: dL/dlogits = softmax(student) − softmax(teacher),
+      // averaged over positions.
+      Matrix grad_logits(student_logits.rows(), student_logits.cols());
+      const float inv =
+          1.0f / static_cast<float>(student_logits.rows() * config.batch_size);
+      std::vector<float> ps(student_logits.cols());
+      std::vector<float> pt(student_logits.cols());
+      for (std::size_t t = 0; t < student_logits.rows(); ++t) {
+        const auto softmax_row = [](std::span<const float> in,
+                                    std::vector<float>& out) {
+          float mx = in[0];
+          for (const float x : in) {
+            mx = std::max(mx, x);
+          }
+          double sum = 0.0;
+          for (std::size_t i = 0; i < in.size(); ++i) {
+            out[i] = std::exp(in[i] - mx);
+            sum += out[i];
+          }
+          for (auto& x : out) {
+            x = static_cast<float>(x / sum);
+          }
+        };
+        softmax_row(student_logits.row(t), ps);
+        softmax_row(teacher_logits.row(t), pt);
+        for (std::size_t v = 0; v < ps.size(); ++v) {
+          grad_logits(t, v) = (ps[v] - pt[v]) * inv;
+        }
+      }
+      model_backward(quant_view, seq, cache, grad_logits, grads);
+    }
+    clip_grad_norm(grads, 1.0);
+    optimizer.step(latent, grads, config.lr);
+  }
+
+  quantize_model_weights_rtn(latent, config.spec);
+  return latent;
+}
+
+}  // namespace aptq

@@ -1,0 +1,136 @@
+// The comparison methods of Tables 1-2, each implemented per its source
+// paper's core mechanism (scaled to this build's model sizes):
+//   PB-LLM      — partial binarization: salient weights FP, rest ±α (row-wise)
+//   OWQ         — weak (outlier) input columns FP, rest GPTQ 4-bit
+//   SmoothQuant — activation→weight difficulty migration folded into the
+//                 preceding RMSNorm gain, then W4 RTN + simulated A8
+//   LLM-QAT     — data-free QAT: train on sequences sampled from the FP
+//                 model with straight-through-estimator fake quantization
+//                 and logit distillation
+#pragma once
+
+#include <vector>
+
+#include "model/model.hpp"
+#include "quant/gptq.hpp"
+#include "quant/qformat.hpp"
+
+namespace aptq {
+
+// ---------------------------------------------------------------- PB-LLM --
+
+/// PB-LLM configuration: fraction of salient weights kept in FP16/FP32.
+struct PbLlmConfig {
+  double salient_fraction = 0.2;  ///< ρ: FP weights (paper: 10-30%)
+};
+
+/// Result of partially binarizing one layer.
+struct PbLlmResult {
+  Matrix weight;      ///< dequantized mixed binarized/FP weights (out-major)
+  double avg_bits = 0.0;  ///< 16ρ + 1(1−ρ)
+};
+
+/// Binarize `w` (out-major), keeping the `salient_fraction` of weights with
+/// the largest diag(H)·w² saliency in full precision; the rest become
+/// row-wise ±α with α = mean|w| over the binarized set.
+PbLlmResult pbllm_quantize(const Matrix& w, const Matrix& h,
+                           const PbLlmConfig& config);
+
+// ------------------------------------------------------------------ OWQ --
+
+/// OWQ configuration.
+struct OwqConfig {
+  QuantSpec spec;                  ///< grid for the non-outlier columns
+  double fp_column_fraction = 0.01;  ///< weak columns kept FP
+  std::size_t block_size = 16;
+  double damp = 0.01;
+};
+
+/// Result of OWQ on one layer.
+struct OwqResult {
+  Matrix weight;
+  std::vector<std::size_t> fp_columns;
+  double avg_bits = 0.0;  ///< bits including the FP columns at 16
+};
+
+/// Quantize with GPTQ while keeping the most activation-sensitive input
+/// columns (largest diag(H)·||w_col||²) in full precision.
+OwqResult owq_quantize(const Matrix& w, const Matrix& h,
+                       const OwqConfig& config);
+
+// ---------------------------------------------------------- SmoothQuant --
+
+/// Per-block maxima of the activations feeding each norm-adjacent linear
+/// group (collected over calibration segments).
+struct ActivationMaxima {
+  /// Per block: max |normed1| per channel (q/k/v input).
+  std::vector<std::vector<float>> attn_input;
+  /// Per block: max |normed2| per channel (gate/up input).
+  std::vector<std::vector<float>> ffn_input;
+};
+
+/// Run the calibration segments and record per-channel activation maxima.
+ActivationMaxima collect_activation_maxima(const Model& model,
+                                           std::span<const TokenSeq> segments);
+
+/// SmoothQuant configuration.
+struct SmoothQuantConfig {
+  double alpha = 0.5;    ///< migration strength s_j = max|X|^α / max|W|^(1−α)
+  int weight_bits = 4;
+  std::size_t group_size = 16;
+  int act_bits = 8;      ///< simulated activation precision at inference
+};
+
+/// Apply difficulty migration in place (folds 1/s into the preceding norm
+/// gain and s into the q/k/v or gate/up weights), then RTN-quantize all
+/// linear weights. The caller must evaluate the returned model with
+/// ForwardOptions{.act_quant_bits = config.act_bits}.
+void smoothquant_apply(Model& model, const ActivationMaxima& maxima,
+                       const SmoothQuantConfig& config);
+
+// ------------------------------------------------------------------ AWQ --
+
+/// AWQ-style activation-aware weight-only scaling: per-channel scales
+/// s_j = max|X_j|^α with α grid-searched per norm-adjacent weight group to
+/// minimize the activation-weighted quantization error, folded into the
+/// preceding RMSNorm gain exactly like SmoothQuant, followed by group RTN.
+struct AwqConfig {
+  QuantSpec spec;  ///< weight grid (4-bit in the original paper)
+  std::vector<double> alpha_grid = {0.0, 0.25, 0.5, 0.75, 1.0};
+};
+
+/// Apply AWQ in place (scale search + folding + RTN on every linear).
+/// Returns the α chosen for each (block, group) pair — 2 entries per block
+/// (attention input group, FFN input group) — for diagnostics.
+std::vector<double> awq_apply(Model& model, const ActivationMaxima& maxima,
+                              const AwqConfig& config);
+
+// -------------------------------------------------------------- LLM-QAT --
+
+/// Data-free QAT configuration.
+struct QatConfig {
+  QuantSpec spec;             ///< weight grid during STE training
+  std::size_t steps = 150;
+  std::size_t batch_size = 4;
+  std::size_t seq_len = 32;
+  std::size_t pool_sequences = 64;  ///< teacher-sampled training pool
+  float lr = 1e-3f;
+  float sample_temperature = 1.0f;
+  std::uint64_t seed = 0x9A7;
+};
+
+/// LLM-QAT-style fine-tuning: sample a training pool from `teacher`, then
+/// optimize a copy with fake-quantized linear weights (straight-through
+/// gradients) against the teacher's soft logits. Returns the final model
+/// with quantized linear weights applied.
+Model qat_finetune(const Model& teacher, const QatConfig& config);
+
+/// Fake-quantize every linear weight of `model` in place (embeddings and
+/// norms untouched) — the quantized "view" used inside QAT and by RTN-style
+/// whole-model baselines. Weights are quantized in the out-major orientation
+/// (groups along the input dimension). lm_head is included only if
+/// `include_lm_head`.
+void quantize_model_weights_rtn(Model& model, const QuantSpec& spec,
+                                bool include_lm_head = false);
+
+}  // namespace aptq

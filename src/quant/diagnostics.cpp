@@ -1,0 +1,115 @@
+#include "quant/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/forward.hpp"
+#include "tensor/ops.hpp"
+#include "util/table.hpp"
+
+namespace aptq {
+
+DriftReport compare_models(const Model& reference, const Model& quantized,
+                           std::span<const TokenSeq> segments) {
+  APTQ_CHECK(reference.config == quantized.config,
+             "compare_models: configuration mismatch");
+  APTQ_CHECK(!segments.empty(), "compare_models: no segments");
+  const std::size_t n_layers = reference.config.n_layers;
+
+  DriftReport report;
+  report.blocks.resize(n_layers);
+  for (std::size_t b = 0; b < n_layers; ++b) {
+    report.blocks[b].block = b;
+  }
+  std::vector<double> block_ref_energy(n_layers, 0.0);
+  double logits_energy = 0.0;
+  std::size_t block_elems = 0;
+  std::size_t logit_elems = 0;
+  std::size_t kl_rows = 0;
+
+  ForwardCache ref_cache, q_cache;
+  std::vector<double> pr, pq;
+  for (const auto& segment : segments) {
+    const Matrix ref_logits = model_forward(reference, segment, ref_cache);
+    const Matrix q_logits = model_forward(quantized, segment, q_cache);
+    for (std::size_t b = 0; b < n_layers; ++b) {
+      const Matrix& xr = ref_cache.blocks[b].x_out;
+      const Matrix& xq = q_cache.blocks[b].x_out;
+      for (std::size_t i = 0; i < xr.size(); ++i) {
+        const double d = static_cast<double>(xr.flat()[i]) - xq.flat()[i];
+        report.blocks[b].mse += d * d;
+        block_ref_energy[b] +=
+            static_cast<double>(xr.flat()[i]) * xr.flat()[i];
+      }
+    }
+    block_elems += ref_cache.blocks[0].x_out.size();
+    for (std::size_t i = 0; i < ref_logits.size(); ++i) {
+      const double d =
+          static_cast<double>(ref_logits.flat()[i]) - q_logits.flat()[i];
+      report.logits_mse += d * d;
+      logits_energy +=
+          static_cast<double>(ref_logits.flat()[i]) * ref_logits.flat()[i];
+    }
+    logit_elems += ref_logits.size();
+
+    // Mean KL(ref ‖ quant) over positions.
+    const std::size_t v = ref_logits.cols();
+    pr.resize(v);
+    pq.resize(v);
+    for (std::size_t t = 0; t < ref_logits.rows(); ++t) {
+      const auto softmax_row = [v](std::span<const float> in,
+                                   std::vector<double>& out) {
+        double mx = in[0];
+        for (const float x : in) {
+          mx = std::max(mx, static_cast<double>(x));
+        }
+        double sum = 0.0;
+        for (std::size_t i = 0; i < v; ++i) {
+          out[i] = std::exp(in[i] - mx);
+          sum += out[i];
+        }
+        for (auto& x : out) {
+          x /= sum;
+        }
+      };
+      softmax_row(ref_logits.row(t), pr);
+      softmax_row(q_logits.row(t), pq);
+      for (std::size_t i = 0; i < v; ++i) {
+        if (pr[i] > 1e-12) {
+          report.kl_divergence += pr[i] * std::log(pr[i] /
+                                                   std::max(pq[i], 1e-12));
+        }
+      }
+      ++kl_rows;
+    }
+  }
+
+  for (std::size_t b = 0; b < n_layers; ++b) {
+    report.blocks[b].relative =
+        block_ref_energy[b] > 0.0
+            ? report.blocks[b].mse / block_ref_energy[b]
+            : 0.0;
+    report.blocks[b].mse /= static_cast<double>(block_elems);
+  }
+  report.logits_relative =
+      logits_energy > 0.0 ? report.logits_mse / logits_energy : 0.0;
+  report.logits_mse /= static_cast<double>(logit_elems);
+  report.kl_divergence /= static_cast<double>(kl_rows);
+  return report;
+}
+
+std::string render_drift_report(const DriftReport& report) {
+  TextTable table({"stage", "MSE", "relative"});
+  for (const auto& b : report.blocks) {
+    table.add_row({"block " + std::to_string(b.block),
+                   fmt_fixed(b.mse, 6), fmt_percent(b.relative, 3)});
+  }
+  table.add_row({"logits", fmt_fixed(report.logits_mse, 6),
+                 fmt_percent(report.logits_relative, 3)});
+  std::string out = table.render();
+  out += "mean KL(ref || quant): " + fmt_fixed(report.kl_divergence, 6) +
+         " nats\n";
+  return out;
+}
+
+}  // namespace aptq

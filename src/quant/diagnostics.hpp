@@ -1,0 +1,39 @@
+// Quantization drift diagnostics: where in the network does a quantized
+// model diverge from its full-precision reference? Runs both models over
+// probe segments and attributes the divergence to each block's residual
+// stream — the analysis a practitioner runs when a quantized model
+// regresses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/vocab.hpp"
+#include "model/model.hpp"
+
+namespace aptq {
+
+/// Divergence of one block's output between reference and quantized model.
+struct BlockDrift {
+  std::size_t block = 0;
+  double mse = 0.0;       ///< mean squared residual-stream difference
+  double relative = 0.0;  ///< mse / mean squared reference activation
+};
+
+/// Full drift report.
+struct DriftReport {
+  std::vector<BlockDrift> blocks;  ///< per block, network order
+  double logits_mse = 0.0;
+  double logits_relative = 0.0;
+  double kl_divergence = 0.0;  ///< mean KL(ref ‖ quant) of next-token dists
+};
+
+/// Compare `quantized` against `reference` over the probe segments. The two
+/// models must share a configuration.
+DriftReport compare_models(const Model& reference, const Model& quantized,
+                           std::span<const TokenSeq> segments);
+
+/// Render the report as an aligned text table.
+std::string render_drift_report(const DriftReport& report);
+
+}  // namespace aptq

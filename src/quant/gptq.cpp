@@ -1,0 +1,202 @@
+#include "quant/gptq.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "quant/hessian.hpp"
+#include "tensor/cholesky.hpp"
+#include "tensor/ops.hpp"
+
+namespace aptq {
+
+namespace {
+
+// Permute matrix columns: out[:, i] = in[:, perm[i]].
+Matrix permute_cols(const Matrix& in, const std::vector<std::size_t>& perm) {
+  Matrix out(in.rows(), in.cols());
+  for (std::size_t r = 0; r < in.rows(); ++r) {
+    for (std::size_t c = 0; c < in.cols(); ++c) {
+      out(r, c) = in(r, perm[c]);
+    }
+  }
+  return out;
+}
+
+// Symmetric permutation of a square matrix.
+Matrix permute_sym(const Matrix& in, const std::vector<std::size_t>& perm) {
+  Matrix out(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.rows(); ++i) {
+    for (std::size_t j = 0; j < in.cols(); ++j) {
+      out(i, j) = in(perm[i], perm[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GptqResult gptq_quantize(const Matrix& w, const Matrix& h,
+                         const GptqConfig& config) {
+  config.spec.validate();
+  const std::size_t d_out = w.rows();
+  const std::size_t d_in = w.cols();
+  APTQ_CHECK(h.rows() == d_in && h.cols() == d_in,
+             "gptq_quantize: Hessian shape mismatch");
+  APTQ_CHECK(config.block_size >= 1, "gptq_quantize: block_size must be >= 1");
+  APTQ_CHECK(config.damp > 0.0, "gptq_quantize: damp must be positive");
+
+  Matrix work = w;
+  Matrix hess = h;
+
+  // Dead inputs: zero the weight column (it never sees data) and pin the
+  // diagonal so the factorization exists.
+  for (const std::size_t c : dead_columns(hess)) {
+    for (std::size_t r = 0; r < d_out; ++r) {
+      work(r, c) = 0.0f;
+    }
+    hess(c, c) = 1.0f;
+  }
+
+  // Optional activation-order permutation (descending diag(H)).
+  std::vector<std::size_t> perm(d_in);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (config.act_order) {
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&hess](std::size_t a, std::size_t b) {
+                       return hess(a, a) > hess(b, b);
+                     });
+    work = permute_cols(work, perm);
+    hess = permute_sym(hess, perm);
+  }
+
+  // Dampening.
+  const float jitter = static_cast<float>(config.damp * diag_mean(hess));
+  for (std::size_t i = 0; i < d_in; ++i) {
+    hess(i, i) += jitter;
+  }
+
+  const Matrix u = gptq_inverse_factor(hess);  // upper, H⁻¹ = UᵀU
+
+  // FP-column mask in permuted coordinates (OWQ weak columns).
+  std::vector<char> keep_fp(d_in, 0);
+  for (const std::size_t c : config.fp_columns) {
+    APTQ_CHECK(c < d_in, "gptq_quantize: fp column out of range");
+    keep_fp[c] = 1;
+  }
+  if (config.act_order && !config.fp_columns.empty()) {
+    std::vector<char> permuted(d_in, 0);
+    for (std::size_t i = 0; i < d_in; ++i) {
+      permuted[i] = keep_fp[perm[i]];
+    }
+    keep_fp = std::move(permuted);
+  }
+
+  const std::size_t group =
+      config.spec.group_size == 0 ? d_in : config.spec.group_size;
+  std::vector<GroupParams> row_params(d_out);  // params of the active group
+  std::vector<float> err_col(d_out);
+  double proxy_loss = 0.0;
+
+  const std::size_t block = config.block_size;
+  Matrix err_block(d_out, block);
+  for (std::size_t i1 = 0; i1 < d_in; i1 += block) {
+    const std::size_t i2 = std::min(i1 + block, d_in);
+    err_block.set_zero();
+
+    for (std::size_t j = i1; j < i2; ++j) {
+      if (j % group == 0) {
+        // Fit each row's grid on the *updated* weights of this group
+        // (error feedback from earlier columns is already applied).
+        const std::size_t glen = std::min(group, d_in - j);
+        for (std::size_t r = 0; r < d_out; ++r) {
+          row_params[r] = fit_group_params(
+              std::span<const float>(work.data() + r * d_in + j, glen),
+              config.spec);
+        }
+      }
+      if (keep_fp[j]) {
+        continue;  // weak column kept in full precision: no error to spread
+      }
+      const float djj = u(j, j);
+      for (std::size_t r = 0; r < d_out; ++r) {
+        const float wv = work(r, j);
+        const float q =
+            quantize_dequantize_value(wv, row_params[r], config.spec);
+        work(r, j) = q;
+        const float e = (wv - q) / djj;
+        err_col[r] = e;
+        err_block(r, j - i1) = e;
+        proxy_loss += static_cast<double>(e) * e;
+      }
+      // Propagate into the remaining columns of this block.
+      for (std::size_t r = 0; r < d_out; ++r) {
+        const float e = err_col[r];
+        if (e == 0.0f) {
+          continue;
+        }
+        float* wr = work.data() + r * d_in;
+        const float* ur = u.data() + j * d_in;
+        for (std::size_t c = j + 1; c < i2; ++c) {
+          wr[c] -= e * ur[c];
+        }
+      }
+    }
+
+    // Lazy update of everything beyond the block:
+    // W[:, i2:] -= Err · U[i1:i2, i2:].
+    if (i2 < d_in) {
+      for (std::size_t r = 0; r < d_out; ++r) {
+        float* wr = work.data() + r * d_in;
+        for (std::size_t j = i1; j < i2; ++j) {
+          const float e = err_block(r, j - i1);
+          if (e == 0.0f) {
+            continue;
+          }
+          const float* ur = u.data() + j * d_in;
+          for (std::size_t c = i2; c < d_in; ++c) {
+            wr[c] -= e * ur[c];
+          }
+        }
+      }
+    }
+  }
+
+  GptqResult result;
+  if (config.act_order) {
+    // Undo the permutation.
+    std::vector<std::size_t> inv(d_in);
+    for (std::size_t i = 0; i < d_in; ++i) {
+      inv[perm[i]] = i;
+    }
+    result.weight = permute_cols(work, inv);
+  } else {
+    result.weight = std::move(work);
+  }
+  result.proxy_loss = proxy_loss;
+  result.recon_error = reconstruction_error(w, result.weight, h);
+  return result;
+}
+
+Matrix rtn_quantize(const Matrix& w, const QuantSpec& spec) {
+  Matrix out = w;
+  quantize_dequantize_matrix(out, spec);
+  return out;
+}
+
+double reconstruction_error(const Matrix& w_ref, const Matrix& w_quant,
+                            const Matrix& h) {
+  APTQ_CHECK(w_ref.rows() == w_quant.rows() && w_ref.cols() == w_quant.cols(),
+             "reconstruction_error: weight shape mismatch");
+  APTQ_CHECK(h.rows() == w_ref.cols() && h.cols() == w_ref.cols(),
+             "reconstruction_error: Hessian shape mismatch");
+  Matrix delta = w_ref;
+  axpy(-1.0f, w_quant, delta);
+  const Matrix dh = matmul(delta, h);  // (d_out × d_in)
+  double acc = 0.0;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    acc += static_cast<double>(dh.flat()[i]) * delta.flat()[i];
+  }
+  return acc;
+}
+
+}  // namespace aptq

@@ -1,0 +1,53 @@
+// The GPTQ second-order layer-wise quantization solver (Frantar et al.,
+// ICLR 2023), which is also APTQ's inner solver — APTQ differs only in the
+// Hessian it feeds in (attention-aware γ-weighted instead of plain XXᵀ) and
+// in the per-layer bit allocation.
+//
+// Implements OBQ's fixed-order column scheme with the Cholesky
+// reformulation (paper eqs. 2-4 and 16-17, Algorithm 1 lines 4-11):
+// per column j, snap to the grid, compute the scaled error
+// e = (w_j − q_j)/U_jj, and propagate −e·U_{j,j+1:} into the not-yet-
+// quantized columns, with lazy block updates for the tail.
+#pragma once
+
+#include "quant/qformat.hpp"
+#include "tensor/matrix.hpp"
+
+namespace aptq {
+
+/// Solver configuration.
+struct GptqConfig {
+  QuantSpec spec;                ///< target grid (bits, group size, format)
+  std::size_t block_size = 16;   ///< lazy-update block width B
+  double damp = 0.01;            ///< Hessian dampening fraction λ
+  bool act_order = false;        ///< process columns by descending diag(H)
+  /// Input columns kept in full precision (OWQ's weak columns): the solver
+  /// skips quantizing them (zero rounding error), but they still receive
+  /// error-compensation updates from earlier columns — as free parameters
+  /// they absorb quantization error from the rest of the layer.
+  std::vector<std::size_t> fp_columns;
+};
+
+/// Solver output.
+struct GptqResult {
+  Matrix weight;       ///< (d_out × d_in) dequantized quantized weights
+  double proxy_loss = 0.0;   ///< Σ_j ||e_j||² — GPTQ's per-layer loss metric
+  double recon_error = 0.0;  ///< tr(ΔW·H·ΔWᵀ) — the layer objective (eq. 1/5)
+};
+
+/// Quantize `w` (out-major: rows are output channels) against the raw
+/// (undamped) Hessian `h` over the input dimension. Dead columns of `h`
+/// zero the matching weight columns. Throws on shape mismatch.
+GptqResult gptq_quantize(const Matrix& w, const Matrix& h,
+                         const GptqConfig& config);
+
+/// Round-to-nearest reference: same grids, no error compensation.
+/// (The RTN baseline of Tables 1-2.)
+Matrix rtn_quantize(const Matrix& w, const QuantSpec& spec);
+
+/// tr(ΔW·H·ΔWᵀ) for ΔW = w_ref − w_quant: the value of the layer-wise
+/// objective both solvers minimize; used by tests and the ablation bench.
+double reconstruction_error(const Matrix& w_ref, const Matrix& w_quant,
+                            const Matrix& h);
+
+}  // namespace aptq

@@ -1,0 +1,110 @@
+#include "quant/hessian.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace aptq {
+
+HessianAccumulator::HessianAccumulator(std::size_t dim) : h_(dim, dim) {
+  APTQ_CHECK(dim >= 1, "HessianAccumulator: dim must be positive");
+}
+
+void HessianAccumulator::add_token(std::span<const float> x, float gamma) {
+  const std::size_t d = h_.rows();
+  APTQ_CHECK(x.size() == d, "HessianAccumulator: token width mismatch");
+  APTQ_CHECK(gamma >= 0.0f, "HessianAccumulator: negative weight");
+  // Upper triangle only; mirrored in finalized().
+  for (std::size_t i = 0; i < d; ++i) {
+    const float gi = gamma * x[i];
+    if (gi == 0.0f) {
+      continue;
+    }
+    float* row = h_.data() + i * d;
+    for (std::size_t j = i; j < d; ++j) {
+      row[j] += gi * x[j];
+    }
+  }
+  ++tokens_;
+}
+
+void HessianAccumulator::add_matrix(const Matrix& x,
+                                    std::span<const float> gamma) {
+  APTQ_CHECK(gamma.empty() || gamma.size() == x.rows(),
+             "HessianAccumulator: gamma length mismatch");
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    add_token(x.row(t), gamma.empty() ? 1.0f : gamma[t]);
+  }
+}
+
+Matrix HessianAccumulator::finalized() const {
+  APTQ_CHECK(tokens_ > 0, "HessianAccumulator: no tokens accumulated");
+  const std::size_t d = h_.rows();
+  Matrix out(d, d);
+  const float norm = 2.0f / static_cast<float>(tokens_);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      const float v = h_(i, j) * norm;
+      out(i, j) = v;
+      out(j, i) = v;
+    }
+  }
+  return out;
+}
+
+Matrix HessianAccumulator::finalized_damped(double damp) const {
+  Matrix h = finalized();
+  const std::size_t d = h.rows();
+  // Dead columns (never-activated inputs): pin the diagonal so the Cholesky
+  // factorization exists; the solver zeroes the matching weights.
+  for (std::size_t i = 0; i < d; ++i) {
+    if (h(i, i) == 0.0f) {
+      h(i, i) = 1.0f;
+    }
+  }
+  const double mean_diag = diag_mean(h);
+  const float jitter = static_cast<float>(damp * mean_diag);
+  for (std::size_t i = 0; i < d; ++i) {
+    h(i, i) += jitter;
+  }
+  return h;
+}
+
+double HessianAccumulator::average_trace() const {
+  APTQ_CHECK(tokens_ > 0, "HessianAccumulator: no tokens accumulated");
+  double tr = 0.0;
+  for (std::size_t i = 0; i < h_.rows(); ++i) {
+    tr += h_(i, i);
+  }
+  return 2.0 * tr / static_cast<double>(tokens_) /
+         static_cast<double>(h_.rows());
+}
+
+double hutchinson_trace(const Matrix& h, std::size_t probes, Rng& rng) {
+  APTQ_CHECK(h.rows() == h.cols(), "hutchinson_trace: square matrix required");
+  APTQ_CHECK(probes >= 1, "hutchinson_trace: need at least one probe");
+  const std::size_t d = h.rows();
+  std::vector<float> z(d), hz(d);
+  double total = 0.0;
+  for (std::size_t p = 0; p < probes; ++p) {
+    for (auto& v : z) {
+      v = rng.uniform() < 0.5 ? -1.0f : 1.0f;
+    }
+    for (std::size_t i = 0; i < d; ++i) {
+      hz[i] = dot(h.row(i), z);
+    }
+    total += dot(z, hz);
+  }
+  return total / static_cast<double>(probes);
+}
+
+std::vector<std::size_t> dead_columns(const Matrix& h) {
+  APTQ_CHECK(h.rows() == h.cols(), "dead_columns: square matrix required");
+  std::vector<std::size_t> dead;
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    if (h(i, i) == 0.0f) {
+      dead.push_back(i);
+    }
+  }
+  return dead;
+}
+
+}  // namespace aptq

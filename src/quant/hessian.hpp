@@ -1,0 +1,61 @@
+// Hessian accumulation for second-order quantization.
+//
+// For a linear layer with input rows x_t the (input-side Kronecker factor
+// of the) Gauss–Newton Hessian is H = 2·Σ_t γ_t·x_t x_tᵀ. GPTQ uses γ ≡ 1
+// ("what goes through the layer matters equally"); APTQ's attention-aware
+// variant supplies γ_t from the attention-block Jacobian so tokens that
+// influence the attention output more count more (DESIGN.md §2.2).
+//
+// The accumulator also provides the per-layer average trace used as the
+// sensitivity metric by the mixed-precision allocator (paper §3.3), and a
+// Hutchinson stochastic estimator of the same trace (HAWQ-V2's approach)
+// for cross-validation in the ablation bench.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace aptq {
+
+/// Streaming accumulator of H = 2·Σ γ_t x_t x_tᵀ over calibration tokens.
+class HessianAccumulator {
+ public:
+  explicit HessianAccumulator(std::size_t dim);
+
+  std::size_t dim() const { return h_.rows(); }
+  std::size_t tokens_seen() const { return tokens_; }
+
+  /// Add one token's contribution with weight `gamma`.
+  void add_token(std::span<const float> x, float gamma = 1.0f);
+
+  /// Add every row of `x`; `gamma` is either empty (all ones) or per-row.
+  void add_matrix(const Matrix& x, std::span<const float> gamma = {});
+
+  /// The accumulated Hessian, normalized by the token count (the scale-free
+  /// normalization GPTQ uses: H = 2/N · Σ γ x xᵀ).
+  Matrix finalized() const;
+
+  /// finalized() plus dampening: H += damp·mean(diag(H))·I, and dead columns
+  /// (zero diagonal) pinned to 1 so the factorization is well posed.
+  Matrix finalized_damped(double damp) const;
+
+  /// Average trace tr(H)/dim of the finalized Hessian — the layer
+  /// sensitivity metric of paper §3.3 (cheap: no matrix needed).
+  double average_trace() const;
+
+ private:
+  Matrix h_;           // running Σ γ x xᵀ (upper triangle mirrored at read)
+  std::size_t tokens_ = 0;
+};
+
+/// Hutchinson trace estimator: tr(H) ≈ mean_i zᵢᵀ H zᵢ with Rademacher zᵢ.
+/// Included as the HAWQ-V2 reference estimator; the direct trace is exact
+/// here, so this exists for the estimator-agreement ablation.
+double hutchinson_trace(const Matrix& h, std::size_t probes, Rng& rng);
+
+/// Indices of dead columns (zero diagonal) in a Hessian.
+std::vector<std::size_t> dead_columns(const Matrix& h);
+
+}  // namespace aptq

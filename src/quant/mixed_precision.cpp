@@ -1,0 +1,227 @@
+#include "quant/mixed_precision.hpp"
+
+#include <algorithm>
+
+#include "quant/gptq.hpp"
+#include "tensor/ops.hpp"
+
+namespace aptq {
+
+std::vector<LayerSensitivity> rank_sensitivities(
+    const CalibrationResult& calibration, const Model& model,
+    SensitivityMetric metric) {
+  APTQ_CHECK(!calibration.layers.empty(), "rank_sensitivities: empty input");
+  // Weight lookup for the error-weighted metric.
+  std::map<std::string, const Matrix*> weights;
+  auto& mutable_model = const_cast<Model&>(model);
+  for (const auto& ref : collect_linears(mutable_model, true)) {
+    weights[ref.name] = ref.weight;
+  }
+
+  std::vector<LayerSensitivity> out;
+  out.reserve(calibration.layers.size());
+  for (const auto& layer : calibration.layers) {
+    LayerSensitivity s;
+    s.name = layer.name;
+    s.weight_count = layer.weight_count;
+    s.block = layer.block;
+    s.sensitivity = layer.avg_trace;
+    if (metric == SensitivityMetric::trace_times_err) {
+      const auto it = weights.find(layer.name);
+      APTQ_CHECK(it != weights.end(),
+                 "rank_sensitivities: layer not in model: " + layer.name);
+      QuantSpec spec2;
+      spec2.bits = 2;
+      // The weight matrices are stored input-major; quantize the out-major
+      // view so groups run along the input dimension as in the solver.
+      const Matrix wt = it->second->transposed();
+      const Matrix q2 = rtn_quantize(wt, spec2);
+      const double err = frobenius_distance(wt, q2);
+      s.sensitivity *= err * err / static_cast<double>(wt.size());
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+BitAllocation allocate_by_sensitivity(
+    const std::vector<LayerSensitivity>& ranking, double ratio_high,
+    int high_bits, int low_bits) {
+  APTQ_CHECK(ratio_high >= 0.0 && ratio_high <= 1.0,
+             "allocate_by_sensitivity: ratio out of range");
+  APTQ_CHECK(high_bits > low_bits, "allocate_by_sensitivity: bit order");
+  std::vector<const LayerSensitivity*> order;
+  std::size_t total = 0;
+  for (const auto& s : ranking) {
+    order.push_back(&s);
+    total += s.weight_count;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const LayerSensitivity* a, const LayerSensitivity* b) {
+                     return a->sensitivity > b->sensitivity;
+                   });
+  BitAllocation alloc;
+  const double target = ratio_high * static_cast<double>(total);
+  double covered = 0.0;
+  for (const auto* s : order) {
+    if (covered < target) {
+      alloc[s->name] = high_bits;
+      covered += static_cast<double>(s->weight_count);
+    } else {
+      alloc[s->name] = low_bits;
+    }
+  }
+  return alloc;
+}
+
+BitAllocation allocate_blockwise(
+    const std::vector<LayerSensitivity>& ranking, double ratio_high,
+    int high_bits, int low_bits) {
+  APTQ_CHECK(ratio_high >= 0.0 && ratio_high <= 1.0,
+             "allocate_blockwise: ratio out of range");
+  std::size_t total = 0;
+  std::map<std::size_t, std::size_t> block_weights;
+  for (const auto& s : ranking) {
+    total += s.weight_count;
+    block_weights[s.block] += s.weight_count;
+  }
+  // Assign whole blocks high precision, in network order, until covered.
+  const double target = ratio_high * static_cast<double>(total);
+  double covered = 0.0;
+  std::map<std::size_t, int> block_bits;
+  for (const auto& [block, weight] : block_weights) {
+    if (covered < target) {
+      block_bits[block] = high_bits;
+      covered += static_cast<double>(weight);
+    } else {
+      block_bits[block] = low_bits;
+    }
+  }
+  BitAllocation alloc;
+  for (const auto& s : ranking) {
+    alloc[s.name] = block_bits.at(s.block);
+  }
+  return alloc;
+}
+
+BitAllocation allocate_knapsack(const std::vector<LayerSensitivity>& ranking,
+                                const Model& model, double target_avg_bits,
+                                std::span<const int> bit_menu,
+                                std::size_t group_size) {
+  APTQ_CHECK(bit_menu.size() >= 2, "allocate_knapsack: menu too small");
+  std::vector<int> menu(bit_menu.begin(), bit_menu.end());
+  std::sort(menu.begin(), menu.end());
+  APTQ_CHECK(menu.front() >= 1 && menu.back() <= 8,
+             "allocate_knapsack: menu out of range");
+  APTQ_CHECK(target_avg_bits >= menu.front() &&
+                 target_avg_bits <= menu.back(),
+             "allocate_knapsack: target outside menu range");
+
+  std::map<std::string, const Matrix*> weights;
+  auto& mutable_model = const_cast<Model&>(model);
+  for (const auto& ref : collect_linears(mutable_model, true)) {
+    weights[ref.name] = ref.weight;
+  }
+
+  // Per layer, per menu width: predicted loss = sensitivity × RTN error.
+  struct Entry {
+    const LayerSensitivity* layer;
+    std::vector<double> loss;  // indexed by menu position
+    std::size_t level = 0;     // current menu position
+  };
+  std::vector<Entry> entries;
+  std::size_t total_weights = 0;
+  for (const auto& s : ranking) {
+    const auto it = weights.find(s.name);
+    APTQ_CHECK(it != weights.end(),
+               "allocate_knapsack: layer not in model: " + s.name);
+    Entry e;
+    e.layer = &s;
+    const Matrix wt = it->second->transposed();
+    for (const int bits : menu) {
+      QuantSpec spec;
+      spec.bits = bits;
+      spec.group_size = group_size;
+      const Matrix q = rtn_quantize(wt, spec);
+      const double err = frobenius_distance(wt, q);
+      e.loss.push_back(s.sensitivity * err * err /
+                       static_cast<double>(wt.size()));
+    }
+    entries.push_back(std::move(e));
+    total_weights += s.weight_count;
+  }
+
+  // Greedy: start everything at the lowest width, repeatedly apply the
+  // upgrade with the highest loss reduction per added bit that still fits.
+  double budget = target_avg_bits * static_cast<double>(total_weights);
+  double spent = static_cast<double>(menu.front()) *
+                 static_cast<double>(total_weights);
+  while (true) {
+    double best_gain = 0.0;
+    Entry* best_entry = nullptr;
+    for (auto& e : entries) {
+      if (e.level + 1 >= menu.size()) {
+        continue;
+      }
+      const double added_bits =
+          static_cast<double>(menu[e.level + 1] - menu[e.level]) *
+          static_cast<double>(e.layer->weight_count);
+      if (spent + added_bits > budget + 1e-6) {
+        continue;
+      }
+      const double gain =
+          (e.loss[e.level] - e.loss[e.level + 1]) / added_bits;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_entry = &e;
+      }
+    }
+    if (best_entry == nullptr) {
+      break;
+    }
+    spent += static_cast<double>(menu[best_entry->level + 1] -
+                                 menu[best_entry->level]) *
+             static_cast<double>(best_entry->layer->weight_count);
+    ++best_entry->level;
+  }
+
+  BitAllocation alloc;
+  for (const auto& e : entries) {
+    alloc[e.layer->name] = menu[e.level];
+  }
+  return alloc;
+}
+
+double average_bits(const BitAllocation& allocation,
+                    const std::vector<LayerSensitivity>& ranking) {
+  double bits = 0.0;
+  double total = 0.0;
+  for (const auto& s : ranking) {
+    const auto it = allocation.find(s.name);
+    APTQ_CHECK(it != allocation.end(),
+               "average_bits: layer missing from allocation: " + s.name);
+    bits += static_cast<double>(it->second) * s.weight_count;
+    total += static_cast<double>(s.weight_count);
+  }
+  APTQ_CHECK(total > 0.0, "average_bits: empty ranking");
+  return bits / total;
+}
+
+double high_bit_fraction(const BitAllocation& allocation,
+                         const std::vector<LayerSensitivity>& ranking,
+                         int high_bits) {
+  double high = 0.0;
+  double total = 0.0;
+  for (const auto& s : ranking) {
+    const auto it = allocation.find(s.name);
+    APTQ_CHECK(it != allocation.end(),
+               "high_bit_fraction: layer missing: " + s.name);
+    if (it->second == high_bits) {
+      high += static_cast<double>(s.weight_count);
+    }
+    total += static_cast<double>(s.weight_count);
+  }
+  return total > 0.0 ? high / total : 0.0;
+}
+
+}  // namespace aptq

@@ -1,0 +1,70 @@
+// Hessian-trace-driven mixed-precision bit allocation (paper §3.3, step 2
+// of Algorithm 1) plus the manual block-wise allocator used as the Table 3
+// ablation baseline.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "quant/aptq.hpp"
+
+namespace aptq {
+
+/// Sensitivity ranking entry for one layer.
+struct LayerSensitivity {
+  std::string name;
+  double sensitivity = 0.0;      ///< avg Hessian trace (optionally × error)
+  std::size_t weight_count = 0;
+  std::size_t block = 0;
+};
+
+/// How layer sensitivity is scored.
+enum class SensitivityMetric {
+  avg_trace,        ///< tr(H)/d — the paper's metric
+  trace_times_err,  ///< tr(H)/d × ||W − quant₂(W)||² — HAWQ-V2-style (ablation)
+};
+
+/// Build the sensitivity ranking from calibration output. For
+/// trace_times_err, `model` supplies the weights to measure 2-bit error on.
+std::vector<LayerSensitivity> rank_sensitivities(
+    const CalibrationResult& calibration, const Model& model,
+    SensitivityMetric metric = SensitivityMetric::avg_trace);
+
+/// A per-layer bit assignment.
+using BitAllocation = std::map<std::string, int>;
+
+/// APTQ allocation: sort by descending sensitivity and assign `high_bits`
+/// until at least fraction `ratio_high` of all weights is covered; the rest
+/// get `low_bits` (eq. 18: average bits = 4R + 2(1−R) for 4/2).
+BitAllocation allocate_by_sensitivity(
+    const std::vector<LayerSensitivity>& ranking, double ratio_high,
+    int high_bits = 4, int low_bits = 2);
+
+/// Manual block-wise baseline (Table 3): whole transformer blocks are
+/// uniformly assigned `high_bits` in network order (block 0 first) until the
+/// weight-fraction target is reached; remaining blocks get `low_bits`.
+BitAllocation allocate_blockwise(
+    const std::vector<LayerSensitivity>& ranking, double ratio_high,
+    int high_bits = 4, int low_bits = 2);
+
+/// Generalized allocator (extension beyond the paper's 2/4 scheme): given a
+/// bit-width menu and a target average, greedily upgrade the layer with the
+/// best sensitivity-weighted error reduction per added bit until the budget
+/// is exhausted. `model` supplies the weights whose per-width RTN errors
+/// anchor the benefit estimates.
+BitAllocation allocate_knapsack(const std::vector<LayerSensitivity>& ranking,
+                                const Model& model, double target_avg_bits,
+                                std::span<const int> bit_menu,
+                                std::size_t group_size = 16);
+
+/// Actual average bits of an allocation, weighted by layer sizes.
+double average_bits(const BitAllocation& allocation,
+                    const std::vector<LayerSensitivity>& ranking);
+
+/// Fraction of weights assigned `high_bits`.
+double high_bit_fraction(const BitAllocation& allocation,
+                         const std::vector<LayerSensitivity>& ranking,
+                         int high_bits = 4);
+
+}  // namespace aptq

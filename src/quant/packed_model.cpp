@@ -1,0 +1,241 @@
+#include "quant/packed_model.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace aptq {
+
+namespace {
+
+constexpr std::uint32_t kPackedMagic = 0x41505150u;  // "APQP"
+constexpr std::uint32_t kPackedVersion = 1u;
+
+void write_matrix(BinaryWriter& w, const Matrix& m) {
+  w.write_u64(m.rows());
+  w.write_u64(m.cols());
+  std::vector<float> flat(m.flat().begin(), m.flat().end());
+  w.write_f32_vector(flat);
+}
+
+Matrix read_matrix(BinaryReader& r) {
+  const std::size_t rows = r.read_u64();
+  const std::size_t cols = r.read_u64();
+  const std::vector<float> flat = r.read_f32_vector();
+  APTQ_CHECK(flat.size() == rows * cols, "packed model: matrix corrupt");
+  Matrix m(rows, cols);
+  std::copy(flat.begin(), flat.end(), m.data());
+  return m;
+}
+
+}  // namespace
+
+PackedModel PackedModel::pack_impl(
+    const Model& model, const std::map<std::string, QuantSpec>& specs) {
+  PackedModel pm;
+  pm.config_ = model.config;
+  pm.tok_embed_ = model.tok_embed;
+  pm.final_norm_ = model.final_norm;
+  pm.lm_head_ = model.lm_head;
+  for (const auto& block : model.blocks) {
+    pm.attn_norms_.push_back(block.attn_norm);
+    pm.ffn_norms_.push_back(block.ffn_norm);
+  }
+  auto& mutable_model = const_cast<Model&>(model);
+  for (const auto& ref : collect_linears(mutable_model)) {
+    const auto it = specs.find(ref.name);
+    APTQ_CHECK(it != specs.end(),
+               "PackedModel: no spec for layer " + ref.name);
+    // Pack in the out-major orientation (groups along the input dim).
+    pm.linears_.emplace_back(ref.weight->transposed(), it->second);
+  }
+  return pm;
+}
+
+PackedModel PackedModel::pack(const QuantizedModel& qm,
+                              std::size_t group_size) {
+  std::map<std::string, QuantSpec> specs;
+  for (const auto& layer : qm.layers) {
+    const double rounded = std::round(layer.bits);
+    APTQ_CHECK(layer.bits == rounded && rounded >= 1 && rounded <= 8,
+               "PackedModel: layer " + layer.name +
+                   " has non-packable bit width");
+    QuantSpec spec;
+    spec.bits = static_cast<int>(rounded);
+    spec.group_size = group_size;
+    specs[layer.name] = spec;
+  }
+  return pack_impl(qm.model, specs);
+}
+
+PackedModel PackedModel::pack_uniform(const Model& model,
+                                      const QuantSpec& spec) {
+  std::map<std::string, QuantSpec> specs;
+  auto& mutable_model = const_cast<Model&>(model);
+  for (const auto& ref : collect_linears(mutable_model)) {
+    specs[ref.name] = spec;
+  }
+  return pack_impl(model, specs);
+}
+
+Model PackedModel::unpack() const {
+  Model m;
+  m.config = config_;
+  m.tok_embed = tok_embed_;
+  m.final_norm = final_norm_;
+  m.lm_head = lm_head_;
+  m.blocks.resize(config_.n_layers);
+  for (std::size_t b = 0; b < config_.n_layers; ++b) {
+    auto& blk = m.blocks[b];
+    blk.attn_norm = attn_norms_[b];
+    blk.ffn_norm = ffn_norms_[b];
+    const std::size_t base = b * 7;
+    blk.wq = linears_[base + 0].dequantize().transposed();
+    blk.wk = linears_[base + 1].dequantize().transposed();
+    blk.wv = linears_[base + 2].dequantize().transposed();
+    blk.wo = linears_[base + 3].dequantize().transposed();
+    blk.w_gate = linears_[base + 4].dequantize().transposed();
+    blk.w_up = linears_[base + 5].dequantize().transposed();
+    blk.w_down = linears_[base + 6].dequantize().transposed();
+  }
+  return m;
+}
+
+Matrix PackedModel::forward(std::span<const TokenId> tokens) const {
+  const auto& cfg = config_;
+  APTQ_CHECK(linears_.size() == cfg.n_layers * 7,
+             "PackedModel: not initialized");
+  const std::size_t t_len = tokens.size();
+  APTQ_CHECK(t_len >= 1, "PackedModel::forward: empty input");
+  const std::size_t d = cfg.dim;
+  const std::size_t hd = cfg.head_dim();
+  const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  Matrix x(t_len, d);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const TokenId tok = tokens[t];
+    APTQ_CHECK(tok >= 0 && static_cast<std::size_t>(tok) < cfg.vocab_size,
+               "PackedModel::forward: token out of range");
+    const auto src = tok_embed_.row(static_cast<std::size_t>(tok));
+    std::copy(src.begin(), src.end(), x.row(t).begin());
+  }
+
+  Matrix normed;
+  std::vector<float> inv_rms;
+  for (std::size_t layer = 0; layer < cfg.n_layers; ++layer) {
+    const std::size_t base = layer * 7;
+    rmsnorm_forward(x, attn_norms_[layer], cfg.norm_eps, normed, inv_rms);
+
+    Matrix q = linears_[base + 0].matmul_transposed(normed);
+    Matrix k = linears_[base + 1].matmul_transposed(normed);
+    const Matrix v = linears_[base + 2].matmul_transposed(normed);
+    rope_apply(q, hd, cfg.rope_theta);
+    rope_apply(k, hd, cfg.rope_theta);
+
+    Matrix attn_cat(t_len, d);
+    const std::size_t group_factor = cfg.group_factor();
+    for (std::size_t h = 0; h < cfg.n_heads; ++h) {
+      const std::size_t g = h / group_factor;  // shared kv head (GQA)
+      const Matrix qh = extract_head(q, h, hd);
+      const Matrix kh = extract_head(k, g, hd);
+      const Matrix vh = extract_head(v, g, hd);
+      Matrix scores(t_len, t_len);
+      gemm(qh, Trans::no, kh, Trans::yes, scores, inv_sqrt_hd);
+      softmax_rows(scores, /*causal_offset=*/0);
+      accumulate_head(attn_cat, matmul(scores, vh), h, hd);
+    }
+    axpy(1.0f, linears_[base + 3].matmul_transposed(attn_cat), x);
+
+    rmsnorm_forward(x, ffn_norms_[layer], cfg.norm_eps, normed, inv_rms);
+    const Matrix gate_pre = linears_[base + 4].matmul_transposed(normed);
+    const Matrix up = linears_[base + 5].matmul_transposed(normed);
+    Matrix act;
+    silu(gate_pre, act);
+    for (std::size_t i = 0; i < act.size(); ++i) {
+      act.flat()[i] *= up.flat()[i];
+    }
+    axpy(1.0f, linears_[base + 6].matmul_transposed(act), x);
+  }
+
+  rmsnorm_forward(x, final_norm_, cfg.norm_eps, normed, inv_rms);
+  return matmul(normed, lm_head_);
+}
+
+std::size_t PackedModel::linear_storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& q : linears_) {
+    total += q.storage_bytes();
+  }
+  return total;
+}
+
+std::size_t PackedModel::total_storage_bytes() const {
+  std::size_t total = linear_storage_bytes();
+  total += tok_embed_.size() * sizeof(float);
+  total += lm_head_.size() * sizeof(float);
+  total += final_norm_.size() * sizeof(float);
+  for (const auto& v : attn_norms_) {
+    total += v.size() * sizeof(float);
+  }
+  for (const auto& v : ffn_norms_) {
+    total += v.size() * sizeof(float);
+  }
+  return total;
+}
+
+void PackedModel::save(const std::string& path) const {
+  BinaryWriter w(path);
+  w.write_u32(kPackedMagic);
+  w.write_u32(kPackedVersion);
+  w.write_u64(config_.vocab_size);
+  w.write_u64(config_.dim);
+  w.write_u64(config_.n_layers);
+  w.write_u64(config_.n_heads);
+  w.write_u64(config_.ffn_dim);
+  w.write_u64(config_.n_kv_heads);
+  w.write_f32(config_.rope_theta);
+  w.write_f32(config_.norm_eps);
+  write_matrix(w, tok_embed_);
+  for (std::size_t b = 0; b < config_.n_layers; ++b) {
+    w.write_f32_vector(attn_norms_[b]);
+    w.write_f32_vector(ffn_norms_[b]);
+  }
+  w.write_f32_vector(final_norm_);
+  write_matrix(w, lm_head_);
+  w.write_u64(linears_.size());
+  for (const auto& q : linears_) {
+    q.serialize(w);
+  }
+}
+
+PackedModel PackedModel::load(const std::string& path) {
+  BinaryReader r(path);
+  APTQ_CHECK(r.read_u32() == kPackedMagic, "packed model: bad magic " + path);
+  APTQ_CHECK(r.read_u32() == kPackedVersion,
+             "packed model: unsupported version " + path);
+  PackedModel pm;
+  pm.config_.vocab_size = r.read_u64();
+  pm.config_.dim = r.read_u64();
+  pm.config_.n_layers = r.read_u64();
+  pm.config_.n_heads = r.read_u64();
+  pm.config_.ffn_dim = r.read_u64();
+  pm.config_.n_kv_heads = r.read_u64();
+  pm.config_.rope_theta = r.read_f32();
+  pm.config_.norm_eps = r.read_f32();
+  pm.config_.validate();
+  pm.tok_embed_ = read_matrix(r);
+  for (std::size_t b = 0; b < pm.config_.n_layers; ++b) {
+    pm.attn_norms_.push_back(r.read_f32_vector());
+    pm.ffn_norms_.push_back(r.read_f32_vector());
+  }
+  pm.final_norm_ = r.read_f32_vector();
+  pm.lm_head_ = read_matrix(r);
+  const std::uint64_t n = r.read_u64();
+  APTQ_CHECK(n == pm.config_.n_layers * 7, "packed model: layer count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    pm.linears_.push_back(QuantizedLinear::deserialize(r));
+  }
+  return pm;
+}
+
+}  // namespace aptq

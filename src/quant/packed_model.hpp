@@ -1,0 +1,70 @@
+// PackedModel: the deployable artifact — every linear layer stored
+// bit-packed (per-layer bit widths, as produced by the mixed-precision
+// pipeline), embeddings/norms in f32, with save/load and a forward path
+// that runs through the fused dequantize-matmul kernel.
+//
+// Packing re-fits each group's grid from the (already grid-snapped) solver
+// output, which can re-snap a value by at most half a quantization step;
+// tests bound the resulting logit drift and perplexity delta.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "data/vocab.hpp"
+#include "model/model.hpp"
+#include "quant/qformat.hpp"
+#include "quant/qmodel.hpp"
+
+namespace aptq {
+
+/// A fully packed model.
+class PackedModel {
+ public:
+  PackedModel() = default;
+
+  /// Pack a quantized model using the per-layer bit widths recorded in
+  /// `qm.layers` (integer-bit layers only — PB-LLM/OWQ mixed-FP layers
+  /// cannot be bit-packed; pack() throws for them).
+  static PackedModel pack(const QuantizedModel& qm, std::size_t group_size);
+
+  /// Pack a plain model uniformly at `spec` (RTN semantics).
+  static PackedModel pack_uniform(const Model& model, const QuantSpec& spec);
+
+  /// Reconstruct an evaluable dense model (dequantize every linear).
+  Model unpack() const;
+
+  /// Forward pass running directly on packed weights (dequantizing row
+  /// blocks through the fused kernel); returns (T × V) logits.
+  Matrix forward(std::span<const TokenId> tokens) const;
+
+  const ModelConfig& config() const { return config_; }
+
+  /// Packed bytes of all quantized linears (excludes f32 embeddings/norms).
+  std::size_t linear_storage_bytes() const;
+
+  /// Total artifact size in bytes (linears + f32 tensors).
+  std::size_t total_storage_bytes() const;
+
+  /// Per-layer packed tensors, in collect_linears order.
+  const std::vector<QuantizedLinear>& linears() const { return linears_; }
+
+  /// Deploy-format round-trip.
+  void save(const std::string& path) const;
+  static PackedModel load(const std::string& path);
+
+ private:
+  static PackedModel pack_impl(const Model& model,
+                               const std::map<std::string, QuantSpec>& specs);
+
+  ModelConfig config_;
+  Matrix tok_embed_;
+  std::vector<std::vector<float>> attn_norms_;
+  std::vector<std::vector<float>> ffn_norms_;
+  std::vector<float> final_norm_;
+  Matrix lm_head_;
+  // Seven per block, in collect_linears order (q,k,v,o,gate,up,down).
+  std::vector<QuantizedLinear> linears_;
+};
+
+}  // namespace aptq

@@ -1,0 +1,352 @@
+#include "quant/qformat.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace aptq {
+
+void QuantSpec::validate() const {
+  if (format == QFormat::fp4_e2m1) {
+    APTQ_CHECK(bits == 4, "QuantSpec: fp4_e2m1 is a 4-bit format");
+  } else {
+    APTQ_CHECK(bits >= 1 && bits <= 8, "QuantSpec: bits out of range");
+  }
+}
+
+namespace {
+
+constexpr std::array<float, 8> kFp4Magnitudes = {0.0f, 0.5f, 1.0f, 1.5f,
+                                                 2.0f, 3.0f, 4.0f, 6.0f};
+
+std::int32_t clamp_code(long v, long lo, long hi) {
+  return static_cast<std::int32_t>(std::clamp(v, lo, hi));
+}
+
+}  // namespace
+
+std::span<const float> fp4_magnitudes() {
+  return {kFp4Magnitudes.data(), kFp4Magnitudes.size()};
+}
+
+namespace {
+
+// Grid MSE of `values` under `params` (used by the clip search).
+double grid_mse(std::span<const float> values, const GroupParams& params,
+                const QuantSpec& spec);
+
+GroupParams fit_group_params_minmax(std::span<const float> values,
+                                    const QuantSpec& spec);
+
+}  // namespace
+
+GroupParams fit_group_params(std::span<const float> values,
+                             const QuantSpec& spec) {
+  spec.validate();
+  APTQ_CHECK(!values.empty(), "fit_group_params: empty group");
+  if (!spec.mse_clip_search || spec.format == QFormat::fp4_e2m1) {
+    return fit_group_params_minmax(values, spec);
+  }
+  // Clip search: shrink the representable range by a factor c and keep the
+  // c minimizing the squared rounding error (clipped tails trade against
+  // finer steps for the bulk).
+  QuantSpec base = spec;
+  base.mse_clip_search = false;
+  GroupParams best = fit_group_params_minmax(values, base);
+  double best_mse = grid_mse(values, best, base);
+  for (const float clip : {0.95f, 0.9f, 0.85f, 0.8f, 0.7f, 0.6f}) {
+    std::vector<float> shrunk(values.begin(), values.end());
+    for (float& v : shrunk) {
+      v *= clip;
+    }
+    GroupParams p = fit_group_params_minmax(shrunk, base);
+    const double mse = grid_mse(values, p, base);
+    if (mse < best_mse) {
+      best_mse = mse;
+      best = p;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+double grid_mse(std::span<const float> values, const GroupParams& params,
+                const QuantSpec& spec) {
+  double mse = 0.0;
+  for (const float v : values) {
+    const double d = quantize_dequantize_value(v, params, spec) - v;
+    mse += d * d;
+  }
+  return mse;
+}
+
+GroupParams fit_group_params_minmax(std::span<const float> values,
+                                    const QuantSpec& spec) {
+  GroupParams p;
+  if (spec.format == QFormat::fp4_e2m1) {
+    float max_abs = 0.0f;
+    for (const float v : values) {
+      max_abs = std::max(max_abs, std::fabs(v));
+    }
+    p.scale = max_abs > 0.0f ? max_abs / kFp4Magnitudes.back() : 1.0f;
+    p.zero_point = 0;
+    return p;
+  }
+  const long qmax = (1L << spec.bits) - 1;
+  if (spec.symmetric) {
+    float max_abs = 0.0f;
+    for (const float v : values) {
+      max_abs = std::max(max_abs, std::fabs(v));
+    }
+    const long half = 1L << (spec.bits - 1);
+    p.scale = max_abs > 0.0f ? max_abs / static_cast<float>(half)
+                             : 1.0f;
+    p.zero_point = static_cast<std::int32_t>(half);
+    return p;
+  }
+  float lo = values[0];
+  float hi = values[0];
+  for (const float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // The grid must contain zero so that exact-zero weights stay exact.
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  if (hi == lo) {
+    p.scale = 1.0f;
+    p.zero_point = 0;
+    return p;
+  }
+  p.scale = (hi - lo) / static_cast<float>(qmax);
+  p.zero_point = clamp_code(std::lround(-lo / p.scale), 0, qmax);
+  return p;
+}
+
+}  // namespace
+
+std::int32_t quantize_value(float v, const GroupParams& params,
+                            const QuantSpec& spec) {
+  if (spec.format == QFormat::fp4_e2m1) {
+    const float scaled = params.scale > 0.0f ? v / params.scale : 0.0f;
+    const float mag = std::fabs(scaled);
+    std::size_t best = 0;
+    float best_err = std::fabs(mag - kFp4Magnitudes[0]);
+    for (std::size_t i = 1; i < kFp4Magnitudes.size(); ++i) {
+      const float err = std::fabs(mag - kFp4Magnitudes[i]);
+      if (err < best_err) {
+        best_err = err;
+        best = i;
+      }
+    }
+    const std::int32_t sign = scaled < 0.0f ? 1 : 0;
+    return static_cast<std::int32_t>((sign << 3) | static_cast<int>(best));
+  }
+  const long qmax = (1L << spec.bits) - 1;
+  return clamp_code(std::lround(v / params.scale) + params.zero_point, 0,
+                    qmax);
+}
+
+float dequantize_value(std::int32_t code, const GroupParams& params) {
+  return static_cast<float>(code - params.zero_point) * params.scale;
+}
+
+float quantize_dequantize_value(float v, const GroupParams& params,
+                                const QuantSpec& spec) {
+  const std::int32_t code = quantize_value(v, params, spec);
+  if (spec.format == QFormat::fp4_e2m1) {
+    const float mag = kFp4Magnitudes[static_cast<std::size_t>(code & 0x7)];
+    return ((code >> 3) != 0 ? -mag : mag) * params.scale;
+  }
+  return dequantize_value(code, params);
+}
+
+std::size_t group_count(std::size_t row_len, const QuantSpec& spec) {
+  const std::size_t g = spec.group_size == 0 ? row_len : spec.group_size;
+  return (row_len + g - 1) / g;
+}
+
+std::vector<GroupParams> quantize_dequantize_row(std::span<float> row,
+                                                 const QuantSpec& spec) {
+  spec.validate();
+  const std::size_t g = spec.group_size == 0 ? row.size() : spec.group_size;
+  std::vector<GroupParams> params;
+  params.reserve(group_count(row.size(), spec));
+  for (std::size_t start = 0; start < row.size(); start += g) {
+    const std::size_t len = std::min(g, row.size() - start);
+    auto group = row.subspan(start, len);
+    const GroupParams p = fit_group_params(group, spec);
+    for (float& v : group) {
+      v = quantize_dequantize_value(v, p, spec);
+    }
+    params.push_back(p);
+  }
+  return params;
+}
+
+void quantize_dequantize_matrix(Matrix& w, const QuantSpec& spec) {
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    quantize_dequantize_row(w.row(r), spec);
+  }
+}
+
+QuantizedLinear::QuantizedLinear(const Matrix& w, const QuantSpec& spec)
+    : spec_(spec), rows_(w.rows()), cols_(w.cols()) {
+  spec.validate();
+  // 1/2/4/8-bit codes pack exactly; 3-bit codes are stored in nibbles.
+  const int packed_bits = spec.bits == 3 ? 4 : spec.bits;
+  codes_per_byte_ = static_cast<std::size_t>(8 / packed_bits);
+  const std::size_t bytes_per_row =
+      (cols_ + codes_per_byte_ - 1) / codes_per_byte_;
+  codes_.assign(rows_ * bytes_per_row, 0);
+  const std::size_t groups = group_count(cols_, spec);
+  group_params_.assign(rows_ * groups, GroupParams{});
+
+  const std::size_t g = spec.group_size == 0 ? cols_ : spec.group_size;
+  const int bits = 8 / static_cast<int>(codes_per_byte_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto row = w.row(r);
+    for (std::size_t start = 0, gi = 0; start < cols_; start += g, ++gi) {
+      const std::size_t len = std::min(g, cols_ - start);
+      const GroupParams p =
+          fit_group_params(row.subspan(start, len), spec);
+      group_params_[r * groups + gi] = p;
+      for (std::size_t c = start; c < start + len; ++c) {
+        const auto code =
+            static_cast<std::uint32_t>(quantize_value(row[c], p, spec));
+        const std::size_t byte = r * bytes_per_row + c / codes_per_byte_;
+        const int shift = static_cast<int>(c % codes_per_byte_) * bits;
+        codes_[byte] |= static_cast<std::uint8_t>(code << shift);
+      }
+    }
+  }
+}
+
+std::uint32_t QuantizedLinear::code_at(std::size_t r, std::size_t c) const {
+  const std::size_t bytes_per_row =
+      (cols_ + codes_per_byte_ - 1) / codes_per_byte_;
+  const int bits = 8 / static_cast<int>(codes_per_byte_);
+  const std::uint8_t byte = codes_[r * bytes_per_row + c / codes_per_byte_];
+  const int shift = static_cast<int>(c % codes_per_byte_) * bits;
+  return (byte >> shift) & ((1u << bits) - 1u);
+}
+
+Matrix QuantizedLinear::dequantize() const {
+  Matrix w(rows_, cols_);
+  const std::size_t groups = group_count(cols_, spec_);
+  const std::size_t g = spec_.group_size == 0 ? cols_ : spec_.group_size;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const GroupParams& p = group_params_[r * groups + c / g];
+      const auto code = static_cast<std::int32_t>(code_at(r, c));
+      if (spec_.format == QFormat::fp4_e2m1) {
+        const float mag = fp4_magnitudes()[static_cast<std::size_t>(code & 7)];
+        w(r, c) = ((code >> 3) != 0 ? -mag : mag) * p.scale;
+      } else {
+        w(r, c) = dequantize_value(code, p);
+      }
+    }
+  }
+  return w;
+}
+
+Matrix QuantizedLinear::matmul_transposed(const Matrix& x) const {
+  APTQ_CHECK(x.cols() == cols_, "QuantizedLinear: input width mismatch");
+  Matrix out(x.rows(), rows_);
+  const std::size_t groups = group_count(cols_, spec_);
+  const std::size_t g = spec_.group_size == 0 ? cols_ : spec_.group_size;
+  std::vector<float> buf(cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    // Dequantize one weight row, then dot it with every input row.
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const GroupParams& p = group_params_[r * groups + c / g];
+      const auto code = static_cast<std::int32_t>(code_at(r, c));
+      if (spec_.format == QFormat::fp4_e2m1) {
+        const float mag = fp4_magnitudes()[static_cast<std::size_t>(code & 7)];
+        buf[c] = ((code >> 3) != 0 ? -mag : mag) * p.scale;
+      } else {
+        buf[c] = dequantize_value(code, p);
+      }
+    }
+    for (std::size_t n = 0; n < x.rows(); ++n) {
+      const float* xr = x.data() + n * cols_;
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        acc += xr[c] * buf[c];
+      }
+      out(n, r) = acc;
+    }
+  }
+  return out;
+}
+
+std::size_t QuantizedLinear::storage_bytes() const {
+  return codes_.size() + group_params_.size() * (sizeof(float) + 1);
+}
+
+double QuantizedLinear::bits_per_weight() const {
+  return 8.0 * static_cast<double>(storage_bytes()) /
+         static_cast<double>(rows_ * cols_);
+}
+
+void QuantizedLinear::serialize(BinaryWriter& writer) const {
+  writer.write_u32(static_cast<std::uint32_t>(spec_.bits));
+  writer.write_u64(spec_.group_size);
+  writer.write_u32(static_cast<std::uint32_t>(spec_.format));
+  writer.write_u32(spec_.symmetric ? 1u : 0u);
+  writer.write_u64(rows_);
+  writer.write_u64(cols_);
+  writer.write_u64(codes_per_byte_);
+  writer.write_bytes(codes_);
+  writer.write_u64(group_params_.size());
+  for (const GroupParams& p : group_params_) {
+    writer.write_f32(p.scale);
+    writer.write_i64(p.zero_point);
+  }
+}
+
+QuantizedLinear QuantizedLinear::deserialize(BinaryReader& reader) {
+  QuantizedLinear q;
+  q.spec_.bits = static_cast<int>(reader.read_u32());
+  q.spec_.group_size = reader.read_u64();
+  q.spec_.format = static_cast<QFormat>(reader.read_u32());
+  q.spec_.symmetric = reader.read_u32() != 0;
+  q.spec_.validate();
+  q.rows_ = reader.read_u64();
+  q.cols_ = reader.read_u64();
+  q.codes_per_byte_ = reader.read_u64();
+  APTQ_CHECK(q.codes_per_byte_ >= 1 && q.codes_per_byte_ <= 8,
+             "QuantizedLinear: corrupt codes_per_byte");
+  q.codes_ = reader.read_bytes();
+  const std::size_t bytes_per_row =
+      (q.cols_ + q.codes_per_byte_ - 1) / q.codes_per_byte_;
+  APTQ_CHECK(q.codes_.size() == q.rows_ * bytes_per_row,
+             "QuantizedLinear: corrupt code block");
+  const std::uint64_t n_params = reader.read_u64();
+  APTQ_CHECK(n_params == q.rows_ * group_count(q.cols_, q.spec_),
+             "QuantizedLinear: corrupt group parameters");
+  q.group_params_.resize(n_params);
+  for (auto& p : q.group_params_) {
+    p.scale = reader.read_f32();
+    p.zero_point = static_cast<std::int32_t>(reader.read_i64());
+  }
+  return q;
+}
+
+bool QuantizedLinear::operator==(const QuantizedLinear& other) const {
+  return spec_.bits == other.spec_.bits &&
+         spec_.group_size == other.spec_.group_size &&
+         spec_.format == other.spec_.format &&
+         spec_.symmetric == other.spec_.symmetric && rows_ == other.rows_ &&
+         cols_ == other.cols_ && codes_ == other.codes_ &&
+         group_params_.size() == other.group_params_.size() &&
+         std::equal(group_params_.begin(), group_params_.end(),
+                    other.group_params_.begin(),
+                    [](const GroupParams& a, const GroupParams& b) {
+                      return a.scale == b.scale &&
+                             a.zero_point == b.zero_point;
+                    });
+}
+
+}  // namespace aptq

@@ -1,0 +1,128 @@
+// Quantization grids and packed weight storage.
+//
+// Supports the formats used across the paper's comparison table: affine
+// integer grids at 2/3/4/8 bits with per-group scale+zero-point (the GPTQ /
+// APTQ / RTN representation, group size configurable — the paper uses 128
+// on d=4096 rows; we default to 16 on our scaled-down rows), the FP4 E2M1
+// grid (the FPQ / LLM-FP4 baseline), and binary ±α rows (the PB-LLM
+// baseline's non-salient part).
+//
+// quantize_dequantize_* functions implement "fake quantization" (values
+// snapped to the grid but kept in f32, which is what perplexity evaluation
+// consumes); QuantizedLinear is the genuinely bit-packed storage used to
+// account model size and to benchmark dequantization kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/io.hpp"
+
+namespace aptq {
+
+/// Numeric format of a quantization grid.
+enum class QFormat {
+  int_affine,  ///< round-to-nearest affine integer grid (scale + zero-point)
+  fp4_e2m1,    ///< 4-bit float: 1 sign, 2 exponent, 1 mantissa, per-group scale
+};
+
+/// A quantization grid specification.
+struct QuantSpec {
+  int bits = 4;                  ///< 2..8 for int_affine; fixed 4 for fp4
+  std::size_t group_size = 16;   ///< weights sharing one scale (0 = whole row)
+  QFormat format = QFormat::int_affine;
+  bool symmetric = false;        ///< int_affine only: force zero-point to mid
+  /// Search a per-group clipping ratio that minimizes the group's MSE
+  /// instead of always spanning min..max (AWQ-style clip search). Slightly
+  /// slower grid fitting, lower rounding error on heavy-tailed weights.
+  bool mse_clip_search = false;
+
+  void validate() const;
+};
+
+/// Scale/zero-point of one quantization group.
+struct GroupParams {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+};
+
+/// Fit affine grid parameters to the min/max of `values`.
+GroupParams fit_group_params(std::span<const float> values,
+                             const QuantSpec& spec);
+
+/// Quantize one value to its integer code under `params` (int_affine).
+std::int32_t quantize_value(float v, const GroupParams& params,
+                            const QuantSpec& spec);
+
+/// Dequantize an integer code.
+float dequantize_value(std::int32_t code, const GroupParams& params);
+
+/// Snap one value to the grid: dequantize(quantize(v)). For fp4_e2m1 the
+/// GroupParams scale maps the group's max |w| onto the largest grid point.
+float quantize_dequantize_value(float v, const GroupParams& params,
+                                const QuantSpec& spec);
+
+/// The 8 non-negative magnitudes of the E2M1 grid (unscaled).
+std::span<const float> fp4_magnitudes();
+
+/// Fake-quantize a full row in place using per-group parameters fit from the
+/// row's current values. Returns the parameters per group.
+std::vector<GroupParams> quantize_dequantize_row(std::span<float> row,
+                                                 const QuantSpec& spec);
+
+/// Fake-quantize every row of a matrix in place (weights stored out-major:
+/// rows are output channels, columns input channels — groups run along the
+/// input dimension, matching GPTQ's grouping).
+void quantize_dequantize_matrix(Matrix& w, const QuantSpec& spec);
+
+/// Number of groups a row of `row_len` splits into under `spec`.
+std::size_t group_count(std::size_t row_len, const QuantSpec& spec);
+
+/// Bit-packed storage of one quantized linear layer (out-major codes plus
+/// per-row per-group parameters). Proves the storage story and provides the
+/// memory accounting used in the size/accuracy trade-off tables.
+class QuantizedLinear {
+ public:
+  QuantizedLinear() = default;
+
+  /// Quantize `w` (out-major) into packed form. The codes are exactly the
+  /// ones quantize_dequantize_matrix would produce.
+  QuantizedLinear(const Matrix& w, const QuantSpec& spec);
+
+  /// Reconstruct the dequantized weight matrix.
+  Matrix dequantize() const;
+
+  /// Fused dequantize-then-multiply: returns x · Wᵀ_dq for x of shape
+  /// (n × in_features). Used by the kernel microbenches.
+  Matrix matmul_transposed(const Matrix& x) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const QuantSpec& spec() const { return spec_; }
+
+  /// Packed size in bytes (codes + group parameters).
+  std::size_t storage_bytes() const;
+
+  /// Effective bits per weight including group-parameter overhead.
+  double bits_per_weight() const;
+
+  /// Binary round-trip (used by the packed-model deploy format).
+  void serialize(BinaryWriter& writer) const;
+  static QuantizedLinear deserialize(BinaryReader& reader);
+
+  bool operator==(const QuantizedLinear& other) const;
+
+ private:
+  std::uint32_t code_at(std::size_t r, std::size_t c) const;
+
+  QuantSpec spec_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t codes_per_byte_ = 1;
+  std::vector<std::uint8_t> codes_;       // packed, row-major
+  std::vector<GroupParams> group_params_;  // rows × groups
+};
+
+}  // namespace aptq

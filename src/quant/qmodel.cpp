@@ -1,0 +1,48 @@
+#include "quant/qmodel.hpp"
+
+#include "util/check.hpp"
+
+namespace aptq {
+
+double QuantizedModel::average_bits() const {
+  APTQ_CHECK(!layers.empty(), "QuantizedModel: no quantized layers");
+  double bits = 0.0;
+  double total = 0.0;
+  for (const auto& layer : layers) {
+    bits += layer.bits * static_cast<double>(layer.weight_count);
+    total += static_cast<double>(layer.weight_count);
+  }
+  return bits / total;
+}
+
+std::size_t QuantizedModel::packed_bytes() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers) {
+    total += layer.packed_bytes;
+  }
+  return total;
+}
+
+double QuantizedModel::total_recon_error() const {
+  double total = 0.0;
+  for (const auto& layer : layers) {
+    total += layer.recon_error;
+  }
+  return total;
+}
+
+QuantizedLayerInfo make_layer_info(const std::string& name,
+                                   const Matrix& w_outmajor,
+                                   const QuantSpec& spec, double proxy_loss,
+                                   double recon_error) {
+  QuantizedLayerInfo info;
+  info.name = name;
+  info.bits = spec.bits;
+  info.weight_count = w_outmajor.size();
+  info.packed_bytes = QuantizedLinear(w_outmajor, spec).storage_bytes();
+  info.proxy_loss = proxy_loss;
+  info.recon_error = recon_error;
+  return info;
+}
+
+}  // namespace aptq

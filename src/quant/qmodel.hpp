@@ -1,0 +1,51 @@
+// QuantizedModel: an evaluable model with quantized weights plus the
+// per-layer bookkeeping (bits, packed size, solver losses) experiments
+// report against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/forward.hpp"
+#include "model/model.hpp"
+#include "quant/qformat.hpp"
+
+namespace aptq {
+
+/// Per-layer record of a quantization run.
+struct QuantizedLayerInfo {
+  std::string name;
+  double bits = 0.0;          ///< effective bits (can be fractional: OWQ/PB-LLM)
+  std::size_t weight_count = 0;
+  std::size_t packed_bytes = 0;  ///< bit-packed storage incl. group params
+  double proxy_loss = 0.0;       ///< GPTQ Σe² (0 for closed-form methods)
+  double recon_error = 0.0;      ///< tr(ΔW·H·ΔWᵀ) where available
+};
+
+/// An evaluable quantized model with its metadata.
+struct QuantizedModel {
+  Model model;                 ///< weights already dequantized in place
+  std::string method;          ///< e.g. "APTQ-75%"
+  std::vector<QuantizedLayerInfo> layers;
+  ForwardOptions forward_options;  ///< e.g. A8 fake-quant for SmoothQuant
+
+  /// Size-weighted average bits over the quantized layers (eq. 18's
+  /// realized value).
+  double average_bits() const;
+
+  /// Total packed storage across quantized layers.
+  std::size_t packed_bytes() const;
+
+  /// Sum of per-layer reconstruction errors.
+  double total_recon_error() const;
+};
+
+/// Build the per-layer info record for an int-grid layer, including packing
+/// the weights for byte-accurate storage accounting. `w_outmajor` must
+/// already hold the final quantized (dequantized-value) weights.
+QuantizedLayerInfo make_layer_info(const std::string& name,
+                                   const Matrix& w_outmajor,
+                                   const QuantSpec& spec, double proxy_loss,
+                                   double recon_error);
+
+}  // namespace aptq

@@ -1,0 +1,127 @@
+#include "tensor/cholesky.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace aptq {
+
+namespace {
+
+// Double-precision working copy for numerically robust factorization.
+std::vector<double> to_double(const Matrix& m) {
+  std::vector<double> d(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    d[i] = m.flat()[i];
+  }
+  return d;
+}
+
+}  // namespace
+
+std::optional<Matrix> cholesky_lower(const Matrix& a) {
+  APTQ_CHECK(a.rows() == a.cols(), "cholesky_lower: square matrix required");
+  const std::size_t n = a.rows();
+  std::vector<double> w = to_double(a);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = w[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= w[j * n + k] * w[j * n + k];
+    }
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return std::nullopt;
+    }
+    const double ljj = std::sqrt(diag);
+    w[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = w[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        v -= w[i * n + k] * w[j * n + k];
+      }
+      w[i * n + j] = v / ljj;
+    }
+  }
+  Matrix lower(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      lower(i, j) = static_cast<float>(w[i * n + j]);
+    }
+  }
+  return lower;
+}
+
+Matrix cholesky_inverse_from_lower(const Matrix& lower) {
+  const std::size_t n = lower.rows();
+  APTQ_CHECK(lower.cols() == n, "cholesky_inverse: square factor required");
+  // Invert L in double precision (forward substitution per unit column),
+  // then A⁻¹ = L⁻ᵀ · L⁻¹.
+  std::vector<double> l = to_double(lower);
+  std::vector<double> linv(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    linv[j * n + j] = 1.0 / l[j * n + j];
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t k = j; k < i; ++k) {
+        acc += l[i * n + k] * linv[k * n + j];
+      }
+      linv[i * n + j] = -acc / l[i * n + i];
+    }
+  }
+  Matrix inv(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = i; k < n; ++k) {  // L⁻¹ is lower triangular
+        acc += linv[k * n + i] * linv[k * n + j];
+      }
+      inv(i, j) = static_cast<float>(acc);
+      inv(j, i) = static_cast<float>(acc);
+    }
+  }
+  return inv;
+}
+
+Matrix spd_inverse(const Matrix& a) {
+  auto lower = cholesky_lower(a);
+  APTQ_CHECK(lower.has_value(), "spd_inverse: matrix not positive definite");
+  return cholesky_inverse_from_lower(*lower);
+}
+
+Matrix gptq_inverse_factor(const Matrix& a) {
+  // U = Mᵀ where M is the lower Cholesky factor of A⁻¹ (A⁻¹ = M·Mᵀ = Uᵀ·U).
+  const Matrix inv = spd_inverse(a);
+  auto m = cholesky_lower(inv);
+  APTQ_CHECK(m.has_value(),
+             "gptq_inverse_factor: inverse not positive definite");
+  return m->transposed();
+}
+
+void solve_lower(const Matrix& lower, std::span<const float> b,
+                 std::span<float> x) {
+  const std::size_t n = lower.rows();
+  APTQ_CHECK(b.size() == n && x.size() == n, "solve_lower: size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      acc -= lower(i, k) * x[k];
+    }
+    x[i] = static_cast<float>(acc / lower(i, i));
+  }
+}
+
+void solve_lower_transposed(const Matrix& lower, std::span<const float> b,
+                            std::span<float> x) {
+  const std::size_t n = lower.rows();
+  APTQ_CHECK(b.size() == n && x.size() == n,
+             "solve_lower_transposed: size mismatch");
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      acc -= lower(k, ii) * x[k];
+    }
+    x[ii] = static_cast<float>(acc / lower(ii, ii));
+  }
+}
+
+}  // namespace aptq

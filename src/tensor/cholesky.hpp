@@ -1,0 +1,38 @@
+// Cholesky factorization utilities used by the GPTQ/APTQ solvers.
+//
+// The GPTQ solver needs the upper-triangular factor U of the *inverse*
+// Hessian, i.e. U with H⁻¹ = Uᵀ U, exactly as the reference implementation's
+// `cholesky(cholesky_inverse(cholesky(H)), upper=True)` chain. These helpers
+// compute that directly in double precision internally to keep the factor
+// accurate for ill-conditioned calibration Hessians.
+#pragma once
+
+#include <optional>
+
+#include "tensor/matrix.hpp"
+
+namespace aptq {
+
+/// Lower-triangular Cholesky factor L with A = L·Lᵀ, or nullopt if A is not
+/// (numerically) positive definite. A must be square and symmetric.
+std::optional<Matrix> cholesky_lower(const Matrix& a);
+
+/// Inverse of an SPD matrix from its lower Cholesky factor.
+Matrix cholesky_inverse_from_lower(const Matrix& lower);
+
+/// Inverse of an SPD matrix A (factorize + invert). Throws if not SPD.
+Matrix spd_inverse(const Matrix& a);
+
+/// Upper-triangular U with A⁻¹ = Uᵀ·U, the factor consumed column-by-column
+/// by the GPTQ update rule. Throws if A is not SPD.
+Matrix gptq_inverse_factor(const Matrix& a);
+
+/// Solve L·x = b for lower-triangular L (forward substitution).
+void solve_lower(const Matrix& lower, std::span<const float> b,
+                 std::span<float> x);
+
+/// Solve Lᵀ·x = b for lower-triangular L (backward substitution).
+void solve_lower_transposed(const Matrix& lower, std::span<const float> b,
+                            std::span<float> x);
+
+}  // namespace aptq

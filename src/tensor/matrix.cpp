@@ -1,0 +1,32 @@
+#include "tensor/matrix.hpp"
+
+namespace aptq {
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, Rng& rng, float mean,
+                     float stddev) {
+  Matrix m(rows, cols);
+  for (float& v : m.flat()) {
+    v = rng.normal(mean, stddev);
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0f;
+  }
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+}  // namespace aptq

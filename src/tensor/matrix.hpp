@@ -1,0 +1,98 @@
+// Dense row-major single-precision matrix — the storage type for model
+// weights, activations, Hessians and quantization work buffers.
+//
+// Matrix is a regular value type (C.11): copyable, movable, equality-
+// comparable, with its invariant (data_.size() == rows_*cols_) established
+// at construction and preserved by every operation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace aptq {
+
+/// Dense rows×cols matrix of float, row-major.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized rows×cols matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, float value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    APTQ_CHECK(r < rows_ && c < cols_, "Matrix::at out of range");
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    APTQ_CHECK(r < rows_ && c < cols_, "Matrix::at out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked element access for inner loops.
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable / const view of one row.
+  std::span<float> row(std::size_t r) {
+    APTQ_CHECK(r < rows_, "Matrix::row out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    APTQ_CHECK(r < rows_, "Matrix::row out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Flat view of all elements.
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  void fill(float value) { data_.assign(data_.size(), value); }
+  void set_zero() { fill(0.0f); }
+
+  /// Resize to rows×cols, zero-filled (contents discarded).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
+  /// i.i.d. N(mean, stddev²) entries.
+  static Matrix randn(std::size_t rows, std::size_t cols, Rng& rng,
+                      float mean = 0.0f, float stddev = 1.0f);
+
+  /// Identity (rows == cols).
+  static Matrix identity(std::size_t n);
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace aptq

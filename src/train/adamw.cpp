@@ -1,0 +1,56 @@
+#include "train/adamw.hpp"
+
+#include <cmath>
+
+namespace aptq {
+
+void AdamW::step(Model& model, Gradients& grads, float lr) {
+  // Gather parameter and gradient spans in the shared canonical order.
+  std::vector<std::span<float>> params;
+  visit_params(model, [&params](std::span<float> s) { params.push_back(s); });
+  std::vector<std::span<float>> gspans;
+  visit_params(grads, [&gspans](std::span<float> s) { gspans.push_back(s); });
+  APTQ_CHECK(params.size() == gspans.size(),
+             "AdamW: parameter/gradient group mismatch");
+
+  std::size_t total = 0;
+  for (const auto& p : params) {
+    total += p.size();
+  }
+  if (m_.empty()) {
+    m_.assign(total, 0.0f);
+    v_.assign(total, 0.0f);
+  }
+  APTQ_CHECK(m_.size() == total, "AdamW: model layout changed mid-run");
+
+  ++t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+
+  std::size_t offset = 0;
+  for (std::size_t g = 0; g < params.size(); ++g) {
+    auto p = params[g];
+    auto gr = gspans[g];
+    APTQ_CHECK(p.size() == gr.size(), "AdamW: span size mismatch");
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const std::size_t s = offset + i;
+      m_[s] = config_.beta1 * m_[s] + (1.0f - config_.beta1) * gr[i];
+      v_[s] = config_.beta2 * v_[s] + (1.0f - config_.beta2) * gr[i] * gr[i];
+      const float m_hat = m_[s] / bc1;
+      const float v_hat = v_[s] / bc2;
+      p[i] -= lr * (m_hat / (std::sqrt(v_hat) + config_.eps) +
+                    config_.weight_decay * p[i]);
+    }
+    offset += p.size();
+  }
+}
+
+double clip_grad_norm(Gradients& grads, double max_norm) {
+  const double norm = grads.l2_norm();
+  if (norm > max_norm && norm > 0.0) {
+    grads.scale_all(static_cast<float>(max_norm / norm));
+  }
+  return norm;
+}
+
+}  // namespace aptq

@@ -1,0 +1,44 @@
+// AdamW optimizer over the model's canonical parameter order.
+#pragma once
+
+#include "model/backward.hpp"
+#include "model/model.hpp"
+
+namespace aptq {
+
+/// AdamW hyperparameters.
+struct AdamWConfig {
+  float lr = 3e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.95f;
+  float eps = 1e-8f;
+  float weight_decay = 0.01f;
+};
+
+/// Decoupled-weight-decay Adam. State is allocated lazily on the first step
+/// and keyed to the model's parameter layout (visit_params order).
+class AdamW {
+ public:
+  explicit AdamW(const AdamWConfig& config = {}) : config_(config) {}
+
+  /// Apply one update with the given learning rate (overrides config lr for
+  /// this step; schedules live in the caller).
+  void step(Model& model, Gradients& grads, float lr);
+
+  /// Step with the configured learning rate.
+  void step(Model& model, Gradients& grads) { step(model, grads, config_.lr); }
+
+  const AdamWConfig& config() const { return config_; }
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  AdamWConfig config_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::size_t t_ = 0;
+};
+
+/// Clip gradients to a maximum global L2 norm; returns the pre-clip norm.
+double clip_grad_norm(Gradients& grads, double max_norm);
+
+}  // namespace aptq

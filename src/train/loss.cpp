@@ -1,0 +1,60 @@
+#include "train/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace aptq {
+
+CrossEntropyResult cross_entropy_next_token(const Matrix& logits,
+                                            std::span<const TokenId> tokens,
+                                            bool want_grad) {
+  const std::size_t t_len = logits.rows();
+  const std::size_t v = logits.cols();
+  APTQ_CHECK(tokens.size() == t_len, "cross_entropy: token count mismatch");
+  APTQ_CHECK(t_len >= 2, "cross_entropy: need at least two tokens");
+
+  CrossEntropyResult result;
+  result.count = t_len - 1;
+  if (want_grad) {
+    result.grad_logits.resize(t_len, v);
+  }
+  const float inv_count = 1.0f / static_cast<float>(result.count);
+
+  double total = 0.0;
+  std::vector<float> probs(v);
+  for (std::size_t t = 0; t + 1 < t_len; ++t) {
+    const TokenId target = tokens[t + 1];
+    APTQ_CHECK(target >= 0 && static_cast<std::size_t>(target) < v,
+               "cross_entropy: target out of range");
+    const float* row = logits.data() + t * v;
+    float max_v = row[0];
+    for (std::size_t c = 1; c < v; ++c) {
+      max_v = std::max(max_v, row[c]);
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < v; ++c) {
+      probs[c] = std::exp(row[c] - max_v);
+      sum += probs[c];
+    }
+    const float inv_sum = static_cast<float>(1.0 / sum);
+    const std::size_t tgt = static_cast<std::size_t>(target);
+    total -= std::log(std::max(static_cast<double>(probs[tgt]) / sum, 1e-30));
+    if (want_grad) {
+      float* g = result.grad_logits.data() + t * v;
+      for (std::size_t c = 0; c < v; ++c) {
+        g[c] = probs[c] * inv_sum * inv_count;
+      }
+      g[tgt] -= inv_count;
+    }
+  }
+  result.loss = total / static_cast<double>(result.count);
+  return result;
+}
+
+double sequence_nll(const Matrix& logits, std::span<const TokenId> tokens) {
+  return cross_entropy_next_token(logits, tokens, /*want_grad=*/false).loss;
+}
+
+}  // namespace aptq

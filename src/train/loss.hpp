@@ -1,0 +1,28 @@
+// Next-token cross-entropy loss (forward + gradient) over model logits.
+#pragma once
+
+#include <span>
+
+#include "data/vocab.hpp"
+#include "tensor/matrix.hpp"
+
+namespace aptq {
+
+/// Result of a cross-entropy evaluation over one sequence.
+struct CrossEntropyResult {
+  double loss = 0.0;        ///< mean NLL in nats over scored positions
+  std::size_t count = 0;    ///< scored positions (T-1)
+  Matrix grad_logits;       ///< dL/dlogits (zero row at the last position)
+};
+
+/// Next-token cross-entropy: position t is scored against tokens[t+1].
+/// The gradient is normalized by the number of scored positions.
+/// `want_grad=false` skips gradient computation (evaluation only).
+CrossEntropyResult cross_entropy_next_token(const Matrix& logits,
+                                            std::span<const TokenId> tokens,
+                                            bool want_grad = true);
+
+/// Mean NLL in nats of `tokens` under `logits` (no gradient).
+double sequence_nll(const Matrix& logits, std::span<const TokenId> tokens);
+
+}  // namespace aptq

@@ -1,0 +1,81 @@
+#include "train/trainer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "model/backward.hpp"
+#include "model/forward.hpp"
+#include "tensor/ops.hpp"
+#include "train/loss.hpp"
+
+namespace aptq {
+
+float cosine_lr(std::size_t step, const TrainConfig& config) {
+  if (step < config.warmup_steps) {
+    return config.peak_lr * static_cast<float>(step + 1) /
+           static_cast<float>(config.warmup_steps);
+  }
+  const double progress =
+      static_cast<double>(step - config.warmup_steps) /
+      static_cast<double>(std::max<std::size_t>(
+          1, config.steps - config.warmup_steps));
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+  const float floor_lr = config.peak_lr * config.final_lr_fraction;
+  return floor_lr + (config.peak_lr - floor_lr) * static_cast<float>(cosine);
+}
+
+double train_model(
+    Model& model, std::span<const Corpus* const> corpora,
+    const TrainConfig& config,
+    const std::function<void(const TrainProgress&)>& on_progress) {
+  APTQ_CHECK(!corpora.empty(), "train_model: no corpora");
+  APTQ_CHECK(config.batch_size >= 1 && config.seq_len >= 2,
+             "train_model: bad batch configuration");
+
+  Rng rng(config.seed);
+  AdamWConfig opt_cfg;
+  opt_cfg.lr = config.peak_lr;
+  AdamW optimizer(opt_cfg);
+  Gradients grads = Gradients::zeros_like(model);
+
+  double running_loss = 0.0;
+  bool running_init = false;
+  ForwardCache cache;
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    grads.set_zero();
+    double batch_loss = 0.0;
+    for (std::size_t b = 0; b < config.batch_size; ++b) {
+      const Corpus& corpus = *corpora[rng.index(corpora.size())];
+      const TokenSeq seq = corpus.sample_train_segment(config.seq_len, rng);
+      const Matrix logits = model_forward(model, seq, cache);
+      CrossEntropyResult ce = cross_entropy_next_token(logits, seq);
+      batch_loss += ce.loss;
+      // Average the gradient over the batch as it accumulates.
+      scale(ce.grad_logits, 1.0f / static_cast<float>(config.batch_size));
+      model_backward(model, seq, cache, ce.grad_logits, grads);
+    }
+    batch_loss /= static_cast<double>(config.batch_size);
+    clip_grad_norm(grads, config.clip_norm);
+    const float lr = cosine_lr(step, config);
+    optimizer.step(model, grads, lr);
+
+    running_loss = running_init ? 0.95 * running_loss + 0.05 * batch_loss
+                                : batch_loss;
+    running_init = true;
+    if (config.log_every > 0 && on_progress &&
+        (step % config.log_every == 0 || step + 1 == config.steps)) {
+      on_progress({step, running_loss, lr});
+    }
+  }
+  return running_loss;
+}
+
+double train_model(
+    Model& model, const Corpus& corpus, const TrainConfig& config,
+    const std::function<void(const TrainProgress&)>& on_progress) {
+  const Corpus* ptr = &corpus;
+  return train_model(model, std::span<const Corpus* const>(&ptr, 1), config,
+                     on_progress);
+}
+
+}  // namespace aptq

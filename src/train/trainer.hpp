@@ -1,0 +1,50 @@
+// Pretraining loop producing the "pretrained" models the quantization
+// experiments operate on, plus the QAT fine-tuner used by the LLM-QAT-sim
+// baseline.
+#pragma once
+
+#include <functional>
+
+#include "data/corpus.hpp"
+#include "model/model.hpp"
+#include "train/adamw.hpp"
+
+namespace aptq {
+
+/// Pretraining hyperparameters.
+struct TrainConfig {
+  std::size_t steps = 800;
+  std::size_t batch_size = 8;
+  std::size_t seq_len = 48;
+  float peak_lr = 3e-3f;
+  float final_lr_fraction = 0.1f;  ///< cosine decay floor as fraction of peak
+  std::size_t warmup_steps = 40;
+  double clip_norm = 1.0;
+  std::uint64_t seed = 7;
+  std::size_t log_every = 0;  ///< 0 disables progress callbacks
+};
+
+/// Per-step progress sample handed to the optional callback.
+struct TrainProgress {
+  std::size_t step = 0;
+  double loss = 0.0;
+  float lr = 0.0f;
+};
+
+/// Cosine learning-rate schedule with linear warmup.
+float cosine_lr(std::size_t step, const TrainConfig& config);
+
+/// Train `model` in place with next-token cross-entropy on segments drawn
+/// from the given corpora (sampled uniformly across corpora). Returns the
+/// final running loss.
+double train_model(
+    Model& model, std::span<const Corpus* const> corpora,
+    const TrainConfig& config,
+    const std::function<void(const TrainProgress&)>& on_progress = {});
+
+/// Convenience: train on a single corpus.
+double train_model(
+    Model& model, const Corpus& corpus, const TrainConfig& config,
+    const std::function<void(const TrainProgress&)>& on_progress = {});
+
+}  // namespace aptq

@@ -1,0 +1,79 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace aptq {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    command_ = argv[i];
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    APTQ_CHECK(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    const std::string name = arg.substr(2);
+    APTQ_CHECK(!name.empty(), "empty flag name");
+    APTQ_CHECK(i + 1 < argc, "flag --" + name + " needs a value");
+    flags_[name] = argv[++i];
+    read_[name] = false;
+  }
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  const auto it = flags_.find(flag);
+  if (it != flags_.end()) {
+    read_[flag] = true;
+    return true;
+  }
+  return false;
+}
+
+std::string ArgParser::get_string(const std::string& flag,
+                                  const std::string& fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  read_[flag] = true;
+  return it->second;
+}
+
+double ArgParser::get_double(const std::string& flag, double fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  read_[flag] = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  APTQ_CHECK(end != nullptr && *end == '\0',
+             "flag --" + flag + " expects a number, got: " + it->second);
+  return v;
+}
+
+long ArgParser::get_long(const std::string& flag, long fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  read_[flag] = true;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  APTQ_CHECK(end != nullptr && *end == '\0',
+             "flag --" + flag + " expects an integer, got: " + it->second);
+  return v;
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (!read_.at(name)) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace aptq

@@ -1,0 +1,39 @@
+// Minimal command-line flag parser for the CLI tools: positional
+// subcommand + `--flag value` pairs with typed accessors and defaults.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace aptq {
+
+/// Parses `prog subcommand --flag value ...`. Unknown flags are rejected at
+/// access time via the strict accessors; `has()` probes presence.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// The first positional argument ("" if none).
+  const std::string& command() const { return command_; }
+
+  bool has(const std::string& flag) const;
+
+  /// Typed accessors with defaults. Throw aptq::Error on malformed values.
+  std::string get_string(const std::string& flag,
+                         const std::string& fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+  long get_long(const std::string& flag, long fallback) const;
+
+  /// Flags that were provided but never read (typo detection).
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace aptq

@@ -1,0 +1,9 @@
+#include "util/check.hpp"
+
+namespace aptq::detail {
+
+void fail(const std::string& message, const char* file, int line) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + message);
+}
+
+}  // namespace aptq::detail

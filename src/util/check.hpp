@@ -1,0 +1,37 @@
+// Error handling primitives for the aptq library.
+//
+// Library failures are reported by throwing aptq::Error (I.10: use exceptions
+// to signal a failure to perform a required task). APTQ_CHECK expresses
+// preconditions and invariants; it is always on, since every call site in
+// this library sits far from any hot inner loop.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aptq {
+
+/// Exception type thrown on any precondition violation or runtime failure
+/// inside the aptq library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void fail(const std::string& message, const char* file, int line);
+}  // namespace detail
+
+}  // namespace aptq
+
+/// Precondition/invariant check: throws aptq::Error with location info when
+/// `cond` is false. `msg` may use stream-free string concatenation.
+#define APTQ_CHECK(cond, msg)                              \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      ::aptq::detail::fail((msg), __FILE__, __LINE__);     \
+    }                                                      \
+  } while (false)
+
+/// Unconditional failure with location info.
+#define APTQ_FAIL(msg) ::aptq::detail::fail((msg), __FILE__, __LINE__)

@@ -1,0 +1,133 @@
+#include "util/io.hpp"
+
+#include <filesystem>
+#include <limits>
+
+namespace aptq {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  APTQ_CHECK(out_.good(), "cannot open for writing: " + path);
+}
+
+void BinaryWriter::write_raw(const void* data, std::size_t bytes) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(bytes));
+  APTQ_CHECK(out_.good(), "write failed: " + path_);
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  if (!s.empty()) {
+    write_raw(s.data(), s.size());
+  }
+}
+
+void BinaryWriter::write_f32_vector(const std::vector<float>& v) {
+  write_u64(v.size());
+  if (!v.empty()) {
+    write_raw(v.data(), v.size() * sizeof(float));
+  }
+}
+
+void BinaryWriter::write_u32_vector(const std::vector<std::uint32_t>& v) {
+  write_u64(v.size());
+  if (!v.empty()) {
+    write_raw(v.data(), v.size() * sizeof(std::uint32_t));
+  }
+}
+
+void BinaryWriter::write_bytes(const std::vector<std::uint8_t>& v) {
+  write_u64(v.size());
+  if (!v.empty()) {
+    write_raw(v.data(), v.size());
+  }
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  APTQ_CHECK(in_.good(), "cannot open for reading: " + path);
+}
+
+void BinaryReader::read_raw(void* data, std::size_t bytes) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  APTQ_CHECK(in_.gcount() == static_cast<std::streamsize>(bytes),
+             "short read: " + path_);
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+float BinaryReader::read_f32() {
+  float v = 0.0f;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  APTQ_CHECK(n < (1ull << 32), "string too large in " + path_);
+  std::string s(n, '\0');
+  if (n > 0) {
+    read_raw(s.data(), n);
+  }
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_vector() {
+  const std::uint64_t n = read_u64();
+  APTQ_CHECK(n < (1ull << 34), "vector too large in " + path_);
+  std::vector<float> v(n);
+  if (n > 0) {
+    read_raw(v.data(), n * sizeof(float));
+  }
+  return v;
+}
+
+std::vector<std::uint32_t> BinaryReader::read_u32_vector() {
+  const std::uint64_t n = read_u64();
+  APTQ_CHECK(n < (1ull << 34), "vector too large in " + path_);
+  std::vector<std::uint32_t> v(n);
+  if (n > 0) {
+    read_raw(v.data(), n * sizeof(std::uint32_t));
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> BinaryReader::read_bytes() {
+  const std::uint64_t n = read_u64();
+  APTQ_CHECK(n < (1ull << 34), "byte vector too large in " + path_);
+  std::vector<std::uint8_t> v(n);
+  if (n > 0) {
+    read_raw(v.data(), n);
+  }
+  return v;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+void make_directories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  APTQ_CHECK(!ec, "cannot create directory: " + path + " (" + ec.message() + ")");
+}
+
+}  // namespace aptq

@@ -1,0 +1,64 @@
+// Minimal binary serialization used for model checkpoints and cached
+// calibration artifacts. Format: little-endian PODs with explicit sizes; a
+// magic/version header guards against stale caches.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace aptq {
+
+/// RAII binary writer. Throws aptq::Error on any failure.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+  void write_i64(std::int64_t v) { write_raw(&v, sizeof v); }
+  void write_f32(float v) { write_raw(&v, sizeof v); }
+  void write_string(const std::string& s);
+  void write_f32_vector(const std::vector<float>& v);
+  void write_u32_vector(const std::vector<std::uint32_t>& v);
+  void write_bytes(const std::vector<std::uint8_t>& v);
+
+ private:
+  void write_raw(const void* data, std::size_t bytes);
+
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// RAII binary reader mirroring BinaryWriter. Throws aptq::Error on short
+/// reads or I/O failure.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  std::string read_string();
+  std::vector<float> read_f32_vector();
+  std::vector<std::uint32_t> read_u32_vector();
+  std::vector<std::uint8_t> read_bytes();
+
+ private:
+  void read_raw(void* data, std::size_t bytes);
+
+  std::ifstream in_;
+  std::string path_;
+};
+
+/// True if a regular file exists at `path`.
+bool file_exists(const std::string& path);
+
+/// Create directory `path` (and parents). No-op if it already exists.
+void make_directories(const std::string& path);
+
+}  // namespace aptq

@@ -1,0 +1,44 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace aptq {
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is kept away from zero so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+std::size_t Rng::categorical(std::span<const float> unnormalized_weights) {
+  APTQ_CHECK(!unnormalized_weights.empty(), "categorical: empty weights");
+  double total = 0.0;
+  for (const float w : unnormalized_weights) {
+    APTQ_CHECK(w >= 0.0f, "categorical: negative weight");
+    total += w;
+  }
+  APTQ_CHECK(total > 0.0, "categorical: all weights zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < unnormalized_weights.size(); ++i) {
+    r -= unnormalized_weights[i];
+    if (r <= 0.0) {
+      return i;
+    }
+  }
+  return unnormalized_weights.size() - 1;
+}
+
+}  // namespace aptq

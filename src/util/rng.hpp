@@ -1,0 +1,99 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library takes an explicit Rng (or seed)
+// so experiments are reproducible bit-for-bit. The generator is
+// xoshiro256**, seeded via SplitMix64 — fast, high quality, and independent
+// of the standard library's unspecified distributions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace aptq {
+
+/// xoshiro256** generator with SplitMix64 seeding. Copyable value type; a
+/// copy reproduces the same stream from the copied state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initialize the state from a single 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+    has_cached_normal_ = false;
+  }
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    APTQ_CHECK(n > 0, "Rng::index requires n > 0");
+    // Rejection-free is fine here: bias is < 2^-53 for all realistic n.
+    return static_cast<std::size_t>(uniform() * static_cast<double>(n));
+  }
+
+  /// Standard normal deviate (Box–Muller with caching).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  float normal(float mean, float stddev) {
+    return mean + stddev * static_cast<float>(normal());
+  }
+
+  /// Sample an index from an unnormalized discrete distribution.
+  std::size_t categorical(std::span<const float> unnormalized_weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Derive an independent generator (for parallel or per-component streams).
+  Rng split() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ull); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace aptq

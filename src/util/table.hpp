@@ -1,0 +1,36 @@
+// Plain-text table rendering for benchmark/report output. Produces aligned
+// columns in the style of the paper's tables so bench binaries can print
+// rows directly comparable to the publication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aptq {
+
+/// Column-aligned text table. Rows are added as vectors of pre-formatted
+/// cells; render() pads every column to its widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render the table with a rule under the header.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` decimal places.
+std::string fmt_fixed(double value, int digits);
+
+/// Format a fraction in [0,1] as a percentage with `digits` decimals.
+std::string fmt_percent(double fraction, int digits = 1);
+
+}  // namespace aptq

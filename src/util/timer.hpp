@@ -1,0 +1,28 @@
+// Wall-clock timing helper for experiment reporting.
+#pragma once
+
+#include <chrono>
+
+namespace aptq {
+
+/// Simple monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace aptq

@@ -1,0 +1,65 @@
+// Unit tests for the CLI argument parser.
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+
+namespace aptq {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return ArgParser(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, ParsesSubcommandAndFlags) {
+  const auto args = parse({"quantize", "--model", "7b", "--ratio", "0.75"});
+  EXPECT_EQ(args.command(), "quantize");
+  EXPECT_EQ(args.get_string("model", "x"), "7b");
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 1.0), 0.75);
+}
+
+TEST(Args, FallbacksWhenAbsent) {
+  const auto args = parse({"eval"});
+  EXPECT_EQ(args.get_string("model", "7b"), "7b");
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.5), 0.5);
+  EXPECT_EQ(args.get_long("bits", 4), 4);
+  EXPECT_FALSE(args.has("model"));
+}
+
+TEST(Args, EmptyCommandLine) {
+  const auto args = parse({});
+  EXPECT_EQ(args.command(), "");
+}
+
+TEST(Args, FlagsWithoutSubcommand) {
+  const auto args = parse({"--bits", "2"});
+  EXPECT_EQ(args.command(), "");
+  EXPECT_EQ(args.get_long("bits", 4), 2);
+}
+
+TEST(Args, RejectsMalformedInput) {
+  EXPECT_THROW(parse({"cmd", "stray"}), Error);          // non-flag token
+  EXPECT_THROW(parse({"cmd", "--dangling"}), Error);     // missing value
+  const auto args = parse({"cmd", "--bits", "four"});
+  EXPECT_THROW(args.get_long("bits", 4), Error);         // non-numeric
+  const auto args2 = parse({"cmd", "--ratio", "0.5x"});
+  EXPECT_THROW(args2.get_double("ratio", 1.0), Error);
+}
+
+TEST(Args, TracksUnusedFlags) {
+  const auto args = parse({"cmd", "--used", "1", "--typo", "2"});
+  args.get_long("used", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, NegativeAndIntegerValues) {
+  const auto args = parse({"cmd", "--delta", "-3", "--temp", "-0.5"});
+  EXPECT_EQ(args.get_long("delta", 0), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("temp", 0.0), -0.5);
+}
+
+}  // namespace
+}  // namespace aptq

@@ -1,0 +1,331 @@
+// Unit tests for the baseline quantizers: PB-LLM, OWQ, SmoothQuant and
+// LLM-QAT-sim mechanics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "model/forward.hpp"
+#include "quant/baselines.hpp"
+#include "quant/hessian.hpp"
+#include "tensor/ops.hpp"
+
+namespace aptq {
+namespace {
+
+ModelConfig small_config() {
+  ModelConfig c;
+  c.vocab_size = 16;
+  c.dim = 12;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.ffn_dim = 16;
+  return c;
+}
+
+Matrix calib_hessian(std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  const Matrix x = Matrix::randn(48, d, rng);
+  HessianAccumulator acc(d);
+  acc.add_matrix(x);
+  return acc.finalized();
+}
+
+std::vector<TokenSeq> make_segments(std::size_t n, std::size_t len,
+                                    std::size_t vocab, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TokenSeq> segs(n);
+  for (auto& s : segs) {
+    s.resize(len);
+    for (auto& t : s) {
+      t = static_cast<TokenId>(rng.index(vocab));
+    }
+  }
+  return segs;
+}
+
+// ---------------------------------------------------------------- PB-LLM --
+
+TEST(PbLlm, BinarizesNonSalientWeights) {
+  Rng rng(1);
+  const Matrix w = Matrix::randn(6, 16, rng);
+  const Matrix h = calib_hessian(16, 2);
+  PbLlmConfig cfg;
+  cfg.salient_fraction = 0.25;
+  const PbLlmResult res = pbllm_quantize(w, h, cfg);
+  // Each row's non-salient entries take at most two magnitudes (±α).
+  std::size_t unchanged = 0;
+  for (std::size_t r = 0; r < 6; ++r) {
+    std::set<float> mags;
+    for (std::size_t c = 0; c < 16; ++c) {
+      if (res.weight(r, c) == w(r, c)) {
+        ++unchanged;
+      } else {
+        mags.insert(std::fabs(res.weight(r, c)));
+      }
+    }
+    EXPECT_LE(mags.size(), 1u) << "row " << r;
+  }
+  EXPECT_EQ(unchanged, static_cast<std::size_t>(0.25 * 96));
+  EXPECT_NEAR(res.avg_bits, 16 * 0.25 + 1 * 0.75, 1e-6);
+}
+
+TEST(PbLlm, PreservesSigns) {
+  Rng rng(3);
+  const Matrix w = Matrix::randn(4, 12, rng);
+  const Matrix h = calib_hessian(12, 4);
+  const PbLlmResult res = pbllm_quantize(w, h, {0.1});
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w.flat()[i] != 0.0f && res.weight.flat()[i] != 0.0f) {
+      EXPECT_GT(w.flat()[i] * res.weight.flat()[i], 0.0f) << "sign flip";
+    }
+  }
+}
+
+TEST(PbLlm, SalientSelectionFollowsHessian) {
+  // Make column 5 dominant in the Hessian; its large weights must survive.
+  Rng rng(5);
+  const Matrix w = Matrix::randn(4, 8, rng);
+  Matrix h = Matrix::identity(8);
+  h(5, 5) = 1e6f;
+  const PbLlmResult res = pbllm_quantize(w, h, {0.5});
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(res.weight(r, 5), w(r, 5)) << "dominant column binarized";
+  }
+}
+
+TEST(PbLlm, HigherSalienceLowerError) {
+  Rng rng(6);
+  const Matrix w = Matrix::randn(8, 16, rng);
+  const Matrix h = calib_hessian(16, 7);
+  double prev = 1e18;
+  for (const double rho : {0.0, 0.1, 0.3, 0.5}) {
+    const PbLlmResult res = pbllm_quantize(w, h, {rho});
+    const double err = frobenius_distance(w, res.weight);
+    EXPECT_LT(err, prev + 1e-9) << "rho=" << rho;
+    prev = err;
+  }
+}
+
+TEST(PbLlm, RejectsBadFraction) {
+  Rng rng(8);
+  const Matrix w = Matrix::randn(2, 4, rng);
+  const Matrix h = calib_hessian(4, 9);
+  EXPECT_THROW(pbllm_quantize(w, h, {1.0}), Error);
+  EXPECT_THROW(pbllm_quantize(w, h, {-0.1}), Error);
+  const Matrix h_bad(3, 3);
+  EXPECT_THROW(pbllm_quantize(w, h_bad, {0.1}), Error);
+}
+
+// ------------------------------------------------------------------ OWQ --
+
+TEST(Owq, KeepsRequestedColumnCount) {
+  Rng rng(10);
+  const Matrix w = Matrix::randn(6, 20, rng);
+  const Matrix h = calib_hessian(20, 11);
+  OwqConfig cfg;
+  cfg.spec.bits = 4;
+  cfg.spec.group_size = 0;
+  cfg.fp_column_fraction = 0.1;
+  const OwqResult res = owq_quantize(w, h, cfg);
+  EXPECT_EQ(res.fp_columns.size(), 2u);  // ceil(0.1 * 20)
+  EXPECT_TRUE(std::is_sorted(res.fp_columns.begin(), res.fp_columns.end()));
+  EXPECT_NEAR(res.avg_bits, 16 * 0.1 + 4 * 0.9, 1e-6);
+}
+
+TEST(Owq, SelectsHighestScoreColumns) {
+  Rng rng(12);
+  Matrix w = Matrix::randn(4, 10, rng);
+  Matrix h = Matrix::identity(10);
+  h(3, 3) = 100.0f;
+  h(7, 7) = 50.0f;
+  OwqConfig cfg;
+  cfg.spec.bits = 2;
+  cfg.spec.group_size = 0;
+  cfg.fp_column_fraction = 0.2;
+  const OwqResult res = owq_quantize(w, h, cfg);
+  ASSERT_EQ(res.fp_columns.size(), 2u);
+  EXPECT_EQ(res.fp_columns[0], 3u);
+  EXPECT_EQ(res.fp_columns[1], 7u);
+}
+
+TEST(Owq, ImprovesOverPlainGptqAtLowBits) {
+  Rng rng(13);
+  const Matrix w = Matrix::randn(8, 24, rng);
+  const Matrix h = calib_hessian(24, 14);
+  OwqConfig cfg;
+  cfg.spec.bits = 2;
+  cfg.spec.group_size = 8;
+  cfg.fp_column_fraction = 0.1;
+  const OwqResult owq = owq_quantize(w, h, cfg);
+  GptqConfig gc;
+  gc.spec = cfg.spec;
+  const GptqResult plain = gptq_quantize(w, h, gc);
+  EXPECT_LT(reconstruction_error(w, owq.weight, h),
+            reconstruction_error(w, plain.weight, h));
+}
+
+TEST(Owq, ZeroFractionEqualsGptq) {
+  Rng rng(15);
+  const Matrix w = Matrix::randn(4, 12, rng);
+  const Matrix h = calib_hessian(12, 16);
+  OwqConfig cfg;
+  cfg.spec.bits = 4;
+  cfg.fp_column_fraction = 0.0;
+  const OwqResult owq = owq_quantize(w, h, cfg);
+  GptqConfig gc;
+  gc.spec = cfg.spec;
+  const GptqResult plain = gptq_quantize(w, h, gc);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_FLOAT_EQ(owq.weight.flat()[i], plain.weight.flat()[i]);
+  }
+  EXPECT_DOUBLE_EQ(owq.avg_bits, 4.0);
+}
+
+// ---------------------------------------------------------- SmoothQuant --
+
+TEST(SmoothQuant, MaximaShapesAndMonotonicity) {
+  const Model m = Model::init(small_config(), 17);
+  const auto segs = make_segments(3, 8, 16, 18);
+  const ActivationMaxima maxima = collect_activation_maxima(m, segs);
+  ASSERT_EQ(maxima.attn_input.size(), 2u);
+  ASSERT_EQ(maxima.ffn_input.size(), 2u);
+  for (const auto& v : maxima.attn_input) {
+    ASSERT_EQ(v.size(), 12u);
+    for (const float x : v) {
+      EXPECT_GT(x, 0.0f);  // RMSNorm output never identically zero
+    }
+  }
+  // More segments can only increase maxima.
+  const auto more = collect_activation_maxima(
+      m, make_segments(6, 8, 16, 18));
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t c = 0; c < 12; ++c) {
+      EXPECT_GE(more.attn_input[b][c] + 1e-6f, 0.0f);
+    }
+  }
+}
+
+TEST(SmoothQuant, MigrationPreservesFunctionBeforeQuant) {
+  // Folding s into norm gain and 1/s... — the scaled model must compute the
+  // same function up to quantization. Verify with 8-bit weights (near
+  // lossless) that logits barely move.
+  const Model m = Model::init(small_config(), 19);
+  const auto segs = make_segments(4, 10, 16, 20);
+  Model scaled = m;
+  SmoothQuantConfig cfg;
+  cfg.weight_bits = 8;
+  cfg.group_size = 4;
+  smoothquant_apply(scaled, collect_activation_maxima(m, segs), cfg);
+  const TokenSeq probe = segs[0];
+  const Matrix a = model_forward(m, probe);
+  const Matrix b = model_forward(scaled, probe);
+  EXPECT_LT(frobenius_distance(a, b) / std::sqrt(sum_squares(a)), 0.05);
+}
+
+TEST(SmoothQuant, ReducesActivationRange) {
+  const Model m = Model::init(small_config(), 21);
+  const auto segs = make_segments(4, 10, 16, 22);
+  const auto before = collect_activation_maxima(m, segs);
+  Model scaled = m;
+  SmoothQuantConfig cfg;
+  cfg.weight_bits = 8;  // near-lossless so ranges are attributable to s
+  smoothquant_apply(scaled, before, cfg);
+  const auto after = collect_activation_maxima(scaled, segs);
+  // The spread (max/min across channels) of activation maxima shrinks.
+  const auto spread = [](const std::vector<float>& v) {
+    float lo = 1e30f, hi = 0.0f;
+    for (const float x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    return hi / std::max(lo, 1e-10f);
+  };
+  EXPECT_LT(spread(after.attn_input[0]), spread(before.attn_input[0]));
+}
+
+TEST(SmoothQuant, RejectsBadAlpha) {
+  Model m = Model::init(small_config(), 23);
+  const auto segs = make_segments(2, 8, 16, 24);
+  const auto maxima = collect_activation_maxima(m, segs);
+  SmoothQuantConfig cfg;
+  cfg.alpha = 1.5;
+  EXPECT_THROW(smoothquant_apply(m, maxima, cfg), Error);
+}
+
+// -------------------------------------------------------------- LLM-QAT --
+
+TEST(QuantizeModelRtn, SnapsLinearsLeavesRest) {
+  Model m = Model::init(small_config(), 25);
+  const Matrix embed_before = m.tok_embed;
+  const auto norm_before = m.blocks[0].attn_norm;
+  QuantSpec spec;
+  spec.bits = 4;
+  spec.group_size = 4;
+  quantize_model_weights_rtn(m, spec);
+  EXPECT_TRUE(m.tok_embed == embed_before);
+  EXPECT_EQ(m.blocks[0].attn_norm, norm_before);
+  // Weights moved onto a grid: re-quantizing is a fixed point.
+  Model again = m;
+  quantize_model_weights_rtn(again, spec);
+  EXPECT_LT(frobenius_distance(again.blocks[0].wq, m.blocks[0].wq), 1e-5);
+}
+
+TEST(Qat, ImprovesQuantizedModelOverPlainRtn) {
+  // QAT fine-tuning must beat plain RTN at matching the teacher's logits.
+  const Model teacher = Model::init(small_config(), 26);
+  QatConfig cfg;
+  cfg.spec.bits = 3;
+  cfg.spec.group_size = 4;
+  cfg.steps = 60;
+  cfg.batch_size = 4;
+  cfg.seq_len = 12;
+  cfg.pool_sequences = 16;
+  cfg.lr = 2e-3f;
+  const Model student = qat_finetune(teacher, cfg);
+
+  Model rtn_model = teacher;
+  quantize_model_weights_rtn(rtn_model, cfg.spec);
+
+  Rng rng(27);
+  double qat_err = 0.0, rtn_err = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    TokenSeq probe(12);
+    for (auto& t : probe) {
+      t = static_cast<TokenId>(rng.index(16));
+    }
+    const Matrix ref = model_forward(teacher, probe);
+    qat_err += frobenius_distance(ref, model_forward(student, probe));
+    rtn_err += frobenius_distance(ref, model_forward(rtn_model, probe));
+  }
+  EXPECT_LT(qat_err, rtn_err);
+}
+
+TEST(Qat, OutputWeightsAreOnGrid) {
+  const Model teacher = Model::init(small_config(), 28);
+  QatConfig cfg;
+  cfg.spec.bits = 4;
+  cfg.spec.group_size = 4;
+  cfg.steps = 5;
+  cfg.pool_sequences = 4;
+  cfg.seq_len = 8;
+  Model student = qat_finetune(teacher, cfg);
+  Model snapped = student;
+  quantize_model_weights_rtn(snapped, cfg.spec);
+  EXPECT_LT(frobenius_distance(snapped.blocks[1].w_down,
+                               student.blocks[1].w_down),
+            1e-5);
+}
+
+TEST(Qat, RejectsBadConfig) {
+  const Model teacher = Model::init(small_config(), 29);
+  QatConfig cfg;
+  cfg.steps = 0;
+  EXPECT_THROW(qat_finetune(teacher, cfg), Error);
+  cfg = QatConfig{};
+  cfg.seq_len = 1;
+  EXPECT_THROW(qat_finetune(teacher, cfg), Error);
+}
+
+}  // namespace
+}  // namespace aptq

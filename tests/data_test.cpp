@@ -1,0 +1,205 @@
+// Unit tests for src/data: Markov source distributions, corpus splits and
+// segment sampling, oracle NLL sanity, and the calibration sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "data/corpus.hpp"
+#include "data/markov.hpp"
+
+namespace aptq {
+namespace {
+
+MarkovSpec small_spec() {
+  MarkovSpec s;
+  s.seed = 99;
+  s.vocab_size = 16;
+  s.topics = 2;
+  s.branching = 3;
+  s.topic_switch_prob = 0.05;
+  return s;
+}
+
+TEST(Markov, UnigramIsNormalizedDistribution) {
+  const MarkovSource src(small_spec());
+  double sum = 0.0;
+  for (const float p : src.unigram()) {
+    EXPECT_GE(p, 0.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(Markov, TransitionRowsAreDistributions) {
+  const MarkovSource src(small_spec());
+  for (std::size_t topic = 0; topic < 2; ++topic) {
+    for (TokenId a = 0; a < 16; a += 5) {
+      for (TokenId b = 0; b < 16; b += 7) {
+        double sum = 0.0;
+        for (TokenId n = 0; n < 16; ++n) {
+          const double p = src.probability(a, b, n, topic);
+          EXPECT_GE(p, 0.0);
+          sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-4);
+      }
+    }
+  }
+}
+
+TEST(Markov, GenerationIsDeterministicInSeed) {
+  const MarkovSource src(small_spec());
+  Rng a(5), b(5);
+  EXPECT_EQ(src.generate(200, a), src.generate(200, b));
+}
+
+TEST(Markov, GenerationRespectsVocab) {
+  const MarkovSource src(small_spec());
+  Rng rng(6);
+  for (const TokenId t : src.generate(500, rng)) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 16);
+  }
+}
+
+TEST(Markov, TableConstructionIsSeedDeterministic) {
+  const MarkovSource a(small_spec());
+  const MarkovSource b(small_spec());
+  Rng ra(7), rb(7);
+  EXPECT_EQ(a.generate(100, ra), b.generate(100, rb));
+}
+
+TEST(Markov, DifferentTableSeedsProduceDifferentProcesses) {
+  auto spec2 = small_spec();
+  spec2.seed = 100;
+  const MarkovSource a(small_spec());
+  const MarkovSource b(spec2);
+  Rng ra(7), rb(7);
+  EXPECT_NE(a.generate(200, ra), b.generate(200, rb));
+}
+
+TEST(Markov, OracleNllBelowUniformEntropy) {
+  const auto spec = small_spec();
+  const MarkovSource src(spec);
+  Rng rng(8);
+  std::vector<std::uint8_t> topics;
+  const TokenSeq seq = src.generate(4000, rng, &topics);
+  const double nll = src.oracle_nll(seq, topics);
+  // Far below uniform entropy log(16) and above zero.
+  EXPECT_GT(nll, 0.1);
+  EXPECT_LT(nll, std::log(16.0) * 0.9);
+}
+
+TEST(Markov, TopicTraceMatchesLength) {
+  const MarkovSource src(small_spec());
+  Rng rng(9);
+  std::vector<std::uint8_t> topics;
+  const TokenSeq seq = src.generate(300, rng, &topics);
+  ASSERT_EQ(topics.size(), seq.size());
+  for (const auto t : topics) {
+    EXPECT_LT(t, 2);
+  }
+}
+
+TEST(Markov, BranchingConcentratesMass) {
+  // With branching 3 and smoothing 0.05, the top-3 successors of any context
+  // should hold ~95% of the mass.
+  const MarkovSource src(small_spec());
+  std::vector<double> probs(16);
+  for (TokenId n = 0; n < 16; ++n) {
+    probs[static_cast<std::size_t>(n)] = src.probability(3, 7, n, 0);
+  }
+  std::sort(probs.begin(), probs.end(), std::greater<>());
+  EXPECT_GT(probs[0] + probs[1] + probs[2], 0.90);
+}
+
+TEST(Markov, RejectsBadSpecs) {
+  MarkovSpec s = small_spec();
+  s.branching = 100;
+  EXPECT_THROW(MarkovSource{s}, Error);
+  s = small_spec();
+  s.vocab_size = 2;
+  EXPECT_THROW(MarkovSource{s}, Error);
+  s = small_spec();
+  s.smoothing = 1.5;
+  EXPECT_THROW(MarkovSource{s}, Error);
+}
+
+TEST(Corpus, SplitsHaveRequestedSizes) {
+  const Corpus c("test", small_spec(), 2000, 500, 11);
+  EXPECT_EQ(c.train_tokens().size(), 2000u);
+  EXPECT_EQ(c.eval_tokens().size(), 500u);
+  EXPECT_EQ(c.name(), "test");
+}
+
+TEST(Corpus, TrainAndEvalAreDifferentStreams) {
+  const Corpus c("test", small_spec(), 500, 500, 11);
+  EXPECT_NE(c.train_tokens(), c.eval_tokens());
+}
+
+TEST(Corpus, SegmentSamplingInBounds) {
+  const Corpus c("test", small_spec(), 1000, 200, 12);
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const TokenSeq seg = c.sample_train_segment(32, rng);
+    EXPECT_EQ(seg.size(), 32u);
+  }
+  EXPECT_THROW(c.sample_train_segment(2000, rng), Error);
+}
+
+TEST(Corpus, EvalSegmentsPartitionDeterministically) {
+  const Corpus c("test", small_spec(), 500, 400, 14);
+  const auto segs = c.eval_segments(64, 100);
+  EXPECT_EQ(segs.size(), 6u);  // 400 / 64
+  for (const auto& s : segs) {
+    EXPECT_EQ(s.size(), 64u);
+  }
+  // First segment is the prefix of the eval split.
+  EXPECT_TRUE(std::equal(segs[0].begin(), segs[0].end(),
+                         c.eval_tokens().begin()));
+  EXPECT_EQ(c.eval_segments(64, 2).size(), 2u);
+}
+
+TEST(Corpus, OracleEvalNllIsFinitePositive) {
+  const Corpus c("test", small_spec(), 500, 2000, 15);
+  const double nll = c.oracle_eval_nll();
+  EXPECT_GT(nll, 0.0);
+  EXPECT_LT(nll, std::log(16.0));
+}
+
+TEST(CorpusSpecs, C4AndWikiDiffer) {
+  const auto c4 = c4sim_spec(64);
+  const auto wiki = wikisim_spec(64);
+  EXPECT_NE(c4.seed, wiki.seed);
+  EXPECT_GT(c4.topics, wiki.topics);
+  EXPECT_GT(c4.branching, wiki.branching);
+  EXPECT_EQ(c4.vocab_size, 64u);
+}
+
+TEST(CorpusSpecs, WikiHasLowerEntropyFloor) {
+  // WikiSim is built to be more predictable than C4Sim (lower branching).
+  const Corpus c4("c4", c4sim_spec(32), 500, 3000, 16);
+  const Corpus wiki("wiki", wikisim_spec(32), 500, 3000, 16);
+  EXPECT_LT(wiki.oracle_eval_nll(), c4.oracle_eval_nll());
+}
+
+TEST(Calibration, ProducesRequestedSegments) {
+  const Corpus c("test", small_spec(), 3000, 200, 17);
+  const auto calib = sample_calibration_set(c, 16, 48, 99);
+  EXPECT_EQ(calib.size(), 16u);
+  for (const auto& seg : calib) {
+    EXPECT_EQ(seg.size(), 48u);
+  }
+}
+
+TEST(Calibration, DeterministicInSeed) {
+  const Corpus c("test", small_spec(), 3000, 200, 17);
+  EXPECT_EQ(sample_calibration_set(c, 8, 32, 1),
+            sample_calibration_set(c, 8, 32, 1));
+  EXPECT_NE(sample_calibration_set(c, 8, 32, 1),
+            sample_calibration_set(c, 8, 32, 2));
+}
+
+}  // namespace
+}  // namespace aptq

@@ -1,0 +1,160 @@
+// Unit tests for the KV-cache incremental decoder: exact equivalence with
+// the full forward pass, prefill/step mixing, capacity handling, reset, and
+// decode_sample behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/decoder.hpp"
+#include "model/forward.hpp"
+#include "model/sampler.hpp"
+
+namespace aptq {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig c;
+  c.vocab_size = 16;
+  c.dim = 12;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.ffn_dim = 20;
+  return c;
+}
+
+TokenSeq tokens_for(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  TokenSeq t(n);
+  for (auto& v : t) {
+    v = static_cast<TokenId>(rng.index(16));
+  }
+  return t;
+}
+
+// Compare decoder logits at every position against the full forward pass.
+void expect_equivalent(const Model& m, const TokenSeq& tokens, float tol,
+                       const ForwardOptions& options = {}) {
+  const Matrix full = model_forward(m, tokens, options);
+  Decoder dec(m, tokens.size(), options);
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const std::vector<float> logits = dec.step(tokens[t]);
+    ASSERT_EQ(logits.size(), m.config.vocab_size);
+    for (std::size_t v = 0; v < logits.size(); ++v) {
+      EXPECT_NEAR(logits[v], full(t, v), tol)
+          << "position " << t << " vocab " << v;
+    }
+  }
+}
+
+TEST(Decoder, StepMatchesFullForward) {
+  const Model m = Model::init(tiny_config(), 1);
+  expect_equivalent(m, tokens_for(9, 2), 2e-4f);
+}
+
+TEST(Decoder, SingleTokenContext) {
+  const Model m = Model::init(tiny_config(), 3);
+  expect_equivalent(m, tokens_for(1, 4), 2e-4f);
+}
+
+TEST(Decoder, LongerContext) {
+  const Model m = Model::init(tiny_config(), 5);
+  expect_equivalent(m, tokens_for(24, 6), 5e-4f);
+}
+
+TEST(Decoder, MatchesWithActivationQuant) {
+  const Model m = Model::init(tiny_config(), 7);
+  ForwardOptions opt;
+  opt.act_quant_bits = 8;
+  expect_equivalent(m, tokens_for(8, 8), 3e-3f, opt);
+}
+
+TEST(Decoder, PrefillEqualsStepByStep) {
+  const Model m = Model::init(tiny_config(), 9);
+  const TokenSeq tokens = tokens_for(10, 10);
+  Decoder a(m, 16);
+  const std::vector<float> via_prefill = a.prefill(tokens);
+  Decoder b(m, 16);
+  std::vector<float> via_steps;
+  for (const TokenId t : tokens) {
+    via_steps = b.step(t);
+  }
+  ASSERT_EQ(via_prefill.size(), via_steps.size());
+  for (std::size_t i = 0; i < via_prefill.size(); ++i) {
+    EXPECT_FLOAT_EQ(via_prefill[i], via_steps[i]);
+  }
+  EXPECT_EQ(a.position(), 10u);
+}
+
+TEST(Decoder, ContinuesAfterPrefill) {
+  // prefill(prefix) then step(next) must equal full forward on the whole.
+  const Model m = Model::init(tiny_config(), 11);
+  const TokenSeq tokens = tokens_for(12, 12);
+  const Matrix full = model_forward(m, tokens);
+  Decoder dec(m, 16);
+  dec.prefill(std::span<const TokenId>(tokens.data(), 8));
+  std::vector<float> logits;
+  for (std::size_t t = 8; t < 12; ++t) {
+    logits = dec.step(tokens[t]);
+  }
+  for (std::size_t v = 0; v < logits.size(); ++v) {
+    EXPECT_NEAR(logits[v], full(11, v), 5e-4f);
+  }
+}
+
+TEST(Decoder, CapacityEnforced) {
+  const Model m = Model::init(tiny_config(), 13);
+  Decoder dec(m, 3);
+  dec.step(1);
+  dec.step(2);
+  dec.step(3);
+  EXPECT_THROW(dec.step(4), Error);
+  EXPECT_THROW(Decoder(m, 0), Error);
+}
+
+TEST(Decoder, ResetRestartsCleanly) {
+  const Model m = Model::init(tiny_config(), 14);
+  const TokenSeq tokens = tokens_for(6, 15);
+  Decoder dec(m, 8);
+  const std::vector<float> first = dec.prefill(tokens);
+  dec.reset();
+  EXPECT_EQ(dec.position(), 0u);
+  const std::vector<float> second = dec.prefill(tokens);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_FLOAT_EQ(first[i], second[i]);
+  }
+}
+
+TEST(Decoder, RejectsBadTokens) {
+  const Model m = Model::init(tiny_config(), 16);
+  Decoder dec(m, 4);
+  EXPECT_THROW(dec.step(99), Error);
+  EXPECT_THROW(dec.step(-1), Error);
+  EXPECT_THROW(dec.prefill({}), Error);
+}
+
+TEST(DecodeSample, GreedyPathsAgreeWithFullForward) {
+  // With near-zero temperature both samplers follow the argmax path, which
+  // must agree between incremental and full-forward implementations.
+  const Model m = Model::init(tiny_config(), 17);
+  const TokenSeq prompt = {3, 5};
+  Rng a(18), b(18);
+  const TokenSeq fast = decode_sample(m, 14, a, 0.01f, prompt);
+  SampleConfig cfg;
+  cfg.temperature = 0.01f;
+  const TokenSeq slow = sample_from_model(m, 14, b, cfg, prompt);
+  EXPECT_EQ(fast, slow);
+}
+
+TEST(DecodeSample, RespectsLengthAndPrompt) {
+  const Model m = Model::init(tiny_config(), 19);
+  Rng rng(20);
+  const TokenSeq prompt = {1, 2, 3};
+  const TokenSeq seq = decode_sample(m, 10, rng, 1.0f, prompt);
+  ASSERT_EQ(seq.size(), 10u);
+  EXPECT_TRUE(std::equal(prompt.begin(), prompt.end(), seq.begin()));
+  EXPECT_THROW(decode_sample(m, 2, rng, 1.0f, prompt), Error);
+  EXPECT_THROW(decode_sample(m, 10, rng, 0.0f, prompt), Error);
+}
+
+}  // namespace
+}  // namespace aptq

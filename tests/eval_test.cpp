@@ -1,0 +1,235 @@
+// Unit tests for src/eval: perplexity evaluation, zero-shot task generation
+// (structure, difficulty ordering, determinism) and the scoring harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/harness.hpp"
+#include "eval/perplexity.hpp"
+#include "eval/tasks.hpp"
+#include "model/forward.hpp"
+
+namespace aptq {
+namespace {
+
+ModelConfig small_config() {
+  ModelConfig c;
+  c.vocab_size = 16;
+  c.dim = 12;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.ffn_dim = 16;
+  return c;
+}
+
+MarkovSpec small_corpus_spec() {
+  MarkovSpec s;
+  s.seed = 31;
+  s.vocab_size = 16;
+  s.topics = 2;
+  s.branching = 3;
+  return s;
+}
+
+TEST(Perplexity, UniformModelGivesVocabSize) {
+  // A model emitting constant logits predicts uniformly: ppl == vocab size.
+  Model m = Model::init(small_config(), 1);
+  m.lm_head.set_zero();
+  const Corpus corpus("t", small_corpus_spec(), 500, 300, 2);
+  const auto segs = corpus.eval_segments(32, 4);
+  const auto res = evaluate_perplexity(m, segs);
+  EXPECT_NEAR(res.perplexity, 16.0, 0.01);
+  EXPECT_EQ(res.tokens, 4u * 31u);
+  EXPECT_NEAR(res.nll, std::log(16.0), 1e-4);
+}
+
+TEST(Perplexity, DeterministicAndRejectsEmpty) {
+  const Model m = Model::init(small_config(), 3);
+  const Corpus corpus("t", small_corpus_spec(), 500, 300, 4);
+  const auto segs = corpus.eval_segments(16, 3);
+  EXPECT_DOUBLE_EQ(evaluate_perplexity(m, segs).perplexity,
+                   evaluate_perplexity(m, segs).perplexity);
+  EXPECT_THROW(evaluate_perplexity(m, {}), Error);
+}
+
+TEST(Perplexity, ActQuantDegradesGracefully) {
+  const Model m = Model::init(small_config(), 5);
+  const Corpus corpus("t", small_corpus_spec(), 500, 300, 6);
+  const auto segs = corpus.eval_segments(16, 4);
+  const double exact = evaluate_perplexity(m, segs).perplexity;
+  ForwardOptions a8;
+  a8.act_quant_bits = 8;
+  const double ppl8 = evaluate_perplexity(m, segs, a8).perplexity;
+  ForwardOptions a3;
+  a3.act_quant_bits = 3;
+  const double ppl3 = evaluate_perplexity(m, segs, a3).perplexity;
+  EXPECT_NEAR(ppl8, exact, 0.05 * exact);
+  EXPECT_GT(ppl3, ppl8 * 0.99);
+}
+
+TEST(Tasks, AllFamiliesGenerateWellFormedItems) {
+  const Corpus corpus("t", small_corpus_spec(), 2000, 300, 7);
+  TaskGenConfig cfg;
+  cfg.n_items = 20;
+  for (const TaskFamily family : all_task_families()) {
+    const auto items = generate_task(family, corpus, cfg);
+    ASSERT_EQ(items.size(), 20u) << task_name(family);
+    const std::size_t expected_choices =
+        (family == TaskFamily::piqa || family == TaskFamily::winogrande) ? 2
+                                                                         : 4;
+    for (const auto& item : items) {
+      EXPECT_EQ(item.context.size(), cfg.context_len);
+      ASSERT_EQ(item.choices.size(), expected_choices) << task_name(family);
+      EXPECT_LT(item.label, item.choices.size());
+      for (const auto& choice : item.choices) {
+        EXPECT_EQ(choice.size(), cfg.continuation_len);
+        for (const TokenId t : choice) {
+          EXPECT_GE(t, 0);
+          EXPECT_LT(t, 16);
+        }
+      }
+    }
+  }
+}
+
+TEST(Tasks, LabelsAreShuffled) {
+  const Corpus corpus("t", small_corpus_spec(), 2000, 300, 8);
+  TaskGenConfig cfg;
+  cfg.n_items = 60;
+  const auto items = generate_task(TaskFamily::hellaswag, corpus, cfg);
+  std::vector<int> label_counts(4, 0);
+  for (const auto& item : items) {
+    ++label_counts[item.label];
+  }
+  for (const int c : label_counts) {
+    EXPECT_GT(c, 2);  // every position used
+  }
+}
+
+TEST(Tasks, DeterministicInSeed) {
+  const Corpus corpus("t", small_corpus_spec(), 2000, 300, 9);
+  TaskGenConfig cfg;
+  cfg.n_items = 5;
+  const auto a = generate_task(TaskFamily::piqa, corpus, cfg);
+  const auto b = generate_task(TaskFamily::piqa, corpus, cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].context, b[i].context);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+  cfg.seed += 1;
+  const auto c = generate_task(TaskFamily::piqa, corpus, cfg);
+  EXPECT_NE(a[0].context, c[0].context);
+}
+
+TEST(Tasks, SuiteContainsAllFamilies) {
+  const Corpus corpus("t", small_corpus_spec(), 2000, 300, 10);
+  TaskGenConfig cfg;
+  cfg.n_items = 4;
+  const auto suite = generate_task_suite(corpus, cfg);
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0][0].choices.size(), 2u);   // piqa
+  EXPECT_EQ(suite[2][0].choices.size(), 4u);   // arc-easy
+}
+
+TEST(Tasks, ArcChallengeDistractorsAreCoherentBranchFlips) {
+  const Corpus corpus("t", small_corpus_spec(), 2000, 300, 11);
+  TaskGenConfig cfg;
+  cfg.n_items = 10;
+  const auto items = generate_task(TaskFamily::arc_challenge, corpus, cfg);
+  for (const auto& item : items) {
+    const TokenSeq& correct = item.choices[item.label];
+    for (std::size_t i = 0; i < item.choices.size(); ++i) {
+      if (i == item.label) {
+        continue;
+      }
+      const TokenSeq& d = item.choices[i];
+      ASSERT_EQ(d.size(), correct.size());
+      // Differs from the truth, with a shared prefix up to the flip point.
+      std::size_t first_diff = d.size();
+      for (std::size_t t = 0; t < d.size(); ++t) {
+        if (d[t] != correct[t]) {
+          first_diff = t;
+          break;
+        }
+      }
+      EXPECT_LT(first_diff, d.size()) << "distractor equals truth";
+      EXPECT_LT(first_diff, d.size() - 1) << "flip must leave a tail";
+    }
+  }
+}
+
+TEST(Harness, OracleLikeScoringPrefersTrueContinuation) {
+  // Score with the *generating process itself* approximated by a trained
+  // model is tested in integration; here use a synthetic sanity model that
+  // deterministically continues ramps.
+  const Corpus corpus("t", small_corpus_spec(), 2000, 300, 12);
+  TaskGenConfig cfg;
+  cfg.n_items = 30;
+  const auto items = generate_task(TaskFamily::arc_easy, corpus, cfg);
+  // Untrained model: accuracy should hover near chance (1/4), far below 1.
+  const Model m = Model::init(small_config(), 13);
+  const TaskResult res = evaluate_task(m, "arce", items);
+  EXPECT_GT(res.accuracy, 0.02);
+  EXPECT_LT(res.accuracy, 0.75);
+  EXPECT_EQ(res.n_items, 30u);
+}
+
+TEST(Harness, ContinuationLogprobIsLengthNormalizedLogProb) {
+  Model m = Model::init(small_config(), 14);
+  m.lm_head.set_zero();  // uniform predictions
+  const TokenSeq ctx = {1, 2, 3};
+  const TokenSeq cont = {4, 5};
+  const double lp = continuation_logprob(m, ctx, cont);
+  EXPECT_NEAR(lp, -std::log(16.0), 1e-4);
+}
+
+TEST(Harness, PredictChoiceReturnsArgmax) {
+  Model m = Model::init(small_config(), 15);
+  TaskItem item;
+  item.context = {1, 2, 3, 4};
+  item.choices = {{5, 6}, {7, 8}, {9, 10}};
+  item.label = 0;
+  const std::size_t pred = predict_choice(m, item);
+  // Must equal the manual argmax.
+  double best = -1e300;
+  std::size_t manual = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double s = continuation_logprob(m, item.context, item.choices[i]);
+    if (s > best) {
+      best = s;
+      manual = i;
+    }
+  }
+  EXPECT_EQ(pred, manual);
+}
+
+TEST(Harness, ZeroShotReportAggregates) {
+  const Corpus corpus("t", small_corpus_spec(), 2000, 300, 16);
+  TaskGenConfig cfg;
+  cfg.n_items = 6;
+  const auto suite = generate_task_suite(corpus, cfg);
+  const Model m = Model::init(small_config(), 17);
+  const ZeroShotReport report = evaluate_zero_shot(m, suite);
+  ASSERT_EQ(report.tasks.size(), 5u);
+  double mean = 0.0;
+  for (const auto& t : report.tasks) {
+    mean += t.accuracy;
+  }
+  EXPECT_NEAR(report.mean_accuracy, mean / 5.0, 1e-12);
+  EXPECT_EQ(report.tasks[0].task, "piqa-sim");
+  EXPECT_EQ(report.tasks[4].task, "winogrande-sim");
+}
+
+TEST(Harness, RejectsDegenerateInputs) {
+  const Model m = Model::init(small_config(), 18);
+  TaskItem bad;
+  bad.context = {1};
+  bad.choices = {{2, 3}};
+  EXPECT_THROW(predict_choice(m, bad), Error);
+  EXPECT_THROW(evaluate_task(m, "x", {}), Error);
+  std::vector<std::vector<TaskItem>> short_suite(3);
+  EXPECT_THROW(evaluate_zero_shot(m, short_suite), Error);
+}
+
+}  // namespace
+}  // namespace aptq

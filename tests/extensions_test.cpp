@@ -1,0 +1,325 @@
+// Tests for the extension features beyond the paper's core: AWQ scaling,
+// MSE clip search, the generalized knapsack allocator, the drift
+// diagnostics, and their pipeline integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/pipeline.hpp"
+#include "model/forward.hpp"
+#include "quant/baselines.hpp"
+#include "quant/diagnostics.hpp"
+#include "quant/mixed_precision.hpp"
+#include "tensor/ops.hpp"
+
+namespace aptq {
+namespace {
+
+ModelConfig small_config() {
+  ModelConfig c;
+  c.vocab_size = 16;
+  c.dim = 12;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.ffn_dim = 16;
+  return c;
+}
+
+std::vector<TokenSeq> make_segments(std::size_t n, std::size_t len,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TokenSeq> segs(n);
+  for (auto& s : segs) {
+    s.resize(len);
+    for (auto& t : s) {
+      t = static_cast<TokenId>(rng.index(16));
+    }
+  }
+  return segs;
+}
+
+// ---------------------------------------------------------- clip search --
+
+TEST(ClipSearch, NeverWorseThanMinMax) {
+  Rng rng(1);
+  // Heavy-tailed weights: one outlier stretches the min-max grid.
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<float> v(32);
+    for (auto& x : v) {
+      x = rng.normal(0.0f, 1.0f);
+    }
+    v[rng.index(32)] *= 8.0f;  // outlier
+    QuantSpec plain;
+    plain.bits = 3;
+    plain.group_size = 0;
+    QuantSpec clipped = plain;
+    clipped.mse_clip_search = true;
+    const GroupParams pp = fit_group_params(v, plain);
+    const GroupParams pc = fit_group_params(v, clipped);
+    double mse_plain = 0.0, mse_clip = 0.0;
+    for (const float x : v) {
+      const double dp = quantize_dequantize_value(x, pp, plain) - x;
+      const double dc = quantize_dequantize_value(x, pc, clipped) - x;
+      mse_plain += dp * dp;
+      mse_clip += dc * dc;
+    }
+    EXPECT_LE(mse_clip, mse_plain + 1e-9) << "rep " << rep;
+  }
+}
+
+TEST(ClipSearch, HelpsOnOutlierRows) {
+  Rng rng(2);
+  Matrix w = Matrix::randn(8, 32, rng);
+  for (std::size_t r = 0; r < 8; ++r) {
+    w(r, rng.index(32)) *= 10.0f;
+  }
+  QuantSpec plain;
+  plain.bits = 3;
+  plain.group_size = 0;
+  QuantSpec clipped = plain;
+  clipped.mse_clip_search = true;
+  Matrix qp = w, qc = w;
+  quantize_dequantize_matrix(qp, plain);
+  quantize_dequantize_matrix(qc, clipped);
+  EXPECT_LT(frobenius_distance(w, qc), frobenius_distance(w, qp));
+}
+
+// ------------------------------------------------------------------ AWQ --
+
+TEST(Awq, PreservesFunctionBeforeQuantization) {
+  // With 8-bit grids the fold must be near-lossless end to end.
+  const Model m = Model::init(small_config(), 3);
+  const auto segs = make_segments(4, 10, 4);
+  Model scaled = m;
+  AwqConfig cfg;
+  cfg.spec.bits = 8;
+  cfg.spec.group_size = 4;
+  const auto alphas =
+      awq_apply(scaled, collect_activation_maxima(m, segs), cfg);
+  EXPECT_EQ(alphas.size(), 2u * 2u);  // 2 groups per block
+  const Matrix a = model_forward(m, segs[0]);
+  const Matrix b = model_forward(scaled, segs[0]);
+  EXPECT_LT(frobenius_distance(a, b) / std::sqrt(sum_squares(a)), 0.05);
+}
+
+TEST(Awq, ChosenAlphasComeFromGrid) {
+  const Model m = Model::init(small_config(), 5);
+  const auto segs = make_segments(3, 8, 6);
+  Model scaled = m;
+  AwqConfig cfg;
+  cfg.spec.bits = 3;
+  cfg.spec.group_size = 4;
+  const auto alphas =
+      awq_apply(scaled, collect_activation_maxima(m, segs), cfg);
+  const std::set<double> grid(cfg.alpha_grid.begin(), cfg.alpha_grid.end());
+  for (const double a : alphas) {
+    EXPECT_TRUE(grid.count(a) == 1) << "alpha " << a;
+  }
+}
+
+TEST(Awq, RejectsEmptyGrid) {
+  Model m = Model::init(small_config(), 7);
+  const auto segs = make_segments(2, 8, 8);
+  const auto maxima = collect_activation_maxima(m, segs);
+  AwqConfig cfg;
+  cfg.alpha_grid.clear();
+  EXPECT_THROW(awq_apply(m, maxima, cfg), Error);
+}
+
+// ------------------------------------------------------------- knapsack --
+
+std::vector<LayerSensitivity> ranking_for(Model& m) {
+  std::vector<LayerSensitivity> ranking;
+  double s = 1.0;
+  for (const auto& ref : collect_linears(m)) {
+    ranking.push_back({ref.name, s, ref.weight->size(), ref.block});
+    s *= 1.7;  // strictly increasing sensitivity through the network
+  }
+  return ranking;
+}
+
+TEST(Knapsack, RespectsBudget) {
+  Model m = Model::init(small_config(), 9);
+  const auto ranking = ranking_for(m);
+  const std::vector<int> menu = {2, 3, 4, 8};
+  for (const double target : {2.5, 3.0, 3.5, 4.0}) {
+    const auto alloc = allocate_knapsack(ranking, m, target, menu);
+    EXPECT_LE(average_bits(alloc, ranking), target + 1e-9)
+        << "target " << target;
+    // Budget is actually used: within one upgrade step of the target.
+    EXPECT_GT(average_bits(alloc, ranking), target - 1.1);
+  }
+}
+
+TEST(Knapsack, UsesMenuWidthsOnly) {
+  Model m = Model::init(small_config(), 10);
+  const auto ranking = ranking_for(m);
+  const std::vector<int> menu = {2, 4, 8};
+  const auto alloc = allocate_knapsack(ranking, m, 3.5, menu);
+  for (const auto& [name, bits] : alloc) {
+    EXPECT_TRUE(bits == 2 || bits == 4 || bits == 8) << name;
+  }
+}
+
+TEST(Knapsack, SensitiveLayersGetMoreBits) {
+  Model m = Model::init(small_config(), 11);
+  const auto ranking = ranking_for(m);  // later layers more sensitive
+  const std::vector<int> menu = {2, 4};
+  const auto alloc = allocate_knapsack(ranking, m, 3.0, menu);
+  // The most sensitive layer must not sit below the least sensitive one.
+  EXPECT_GE(alloc.at(ranking.back().name), alloc.at(ranking.front().name));
+}
+
+TEST(Knapsack, MatchesTwoFourAllocatorStructure) {
+  // With menu {2,4}, the knapsack and the paper's ratio allocator should
+  // agree on which extreme layers get 4 bits when sensitivities are
+  // well-separated (identical sizes, monotone sensitivity).
+  Model m = Model::init(small_config(), 12);
+  const auto ranking = ranking_for(m);
+  const std::vector<int> menu = {2, 4};
+  const auto kp = allocate_knapsack(ranking, m, 3.0, menu);
+  const auto rt = allocate_by_sensitivity(ranking, 0.5);
+  EXPECT_EQ(kp.at(ranking.back().name), 4);
+  EXPECT_EQ(rt.at(ranking.back().name), 4);
+}
+
+TEST(Knapsack, RejectsBadArguments) {
+  Model m = Model::init(small_config(), 13);
+  const auto ranking = ranking_for(m);
+  const std::vector<int> one = {4};
+  EXPECT_THROW(allocate_knapsack(ranking, m, 4.0, one), Error);
+  const std::vector<int> menu = {2, 4};
+  EXPECT_THROW(allocate_knapsack(ranking, m, 1.0, menu), Error);
+  EXPECT_THROW(allocate_knapsack(ranking, m, 9.0, menu), Error);
+}
+
+// ---------------------------------------------------------- diagnostics --
+
+TEST(Diagnostics, IdenticalModelsShowZeroDrift) {
+  const Model m = Model::init(small_config(), 14);
+  const auto segs = make_segments(3, 10, 15);
+  const DriftReport report = compare_models(m, m, segs);
+  ASSERT_EQ(report.blocks.size(), 2u);
+  for (const auto& b : report.blocks) {
+    EXPECT_EQ(b.mse, 0.0);
+  }
+  EXPECT_EQ(report.logits_mse, 0.0);
+  EXPECT_NEAR(report.kl_divergence, 0.0, 1e-9);
+}
+
+TEST(Diagnostics, DriftGrowsThroughDepthForEarlyPerturbation) {
+  // Perturbing block 0 must show drift at block 0 that persists (residual
+  // stream) into block 1.
+  const Model m = Model::init(small_config(), 16);
+  Model perturbed = m;
+  Rng rng(17);
+  for (float& v : perturbed.blocks[0].wv.flat()) {
+    v += rng.normal(0.0f, 0.05f);
+  }
+  const auto segs = make_segments(4, 10, 18);
+  const DriftReport report = compare_models(m, perturbed, segs);
+  EXPECT_GT(report.blocks[0].mse, 0.0);
+  EXPECT_GT(report.blocks[1].mse, 0.0);
+  EXPECT_GT(report.logits_mse, 0.0);
+  EXPECT_GT(report.kl_divergence, 0.0);
+}
+
+TEST(Diagnostics, LatePerturbationLeavesEarlyBlocksClean) {
+  const Model m = Model::init(small_config(), 19);
+  Model perturbed = m;
+  Rng rng(20);
+  for (float& v : perturbed.blocks[1].w_down.flat()) {
+    v += rng.normal(0.0f, 0.05f);
+  }
+  const auto segs = make_segments(3, 8, 21);
+  const DriftReport report = compare_models(m, perturbed, segs);
+  EXPECT_EQ(report.blocks[0].mse, 0.0);
+  EXPECT_GT(report.blocks[1].mse, 0.0);
+}
+
+TEST(Diagnostics, RendersReport) {
+  const Model m = Model::init(small_config(), 22);
+  const auto segs = make_segments(2, 8, 23);
+  const std::string text = render_drift_report(compare_models(m, m, segs));
+  EXPECT_NE(text.find("block 0"), std::string::npos);
+  EXPECT_NE(text.find("logits"), std::string::npos);
+  EXPECT_NE(text.find("KL"), std::string::npos);
+}
+
+TEST(Diagnostics, RejectsMismatchedConfigs) {
+  const Model a = Model::init(small_config(), 24);
+  auto other = small_config();
+  other.ffn_dim = 24;
+  const Model b = Model::init(other, 25);
+  const auto segs = make_segments(2, 8, 26);
+  EXPECT_THROW(compare_models(a, b, segs), Error);
+  EXPECT_THROW(compare_models(a, a, {}), Error);
+}
+
+// ------------------------------------------------- pipeline integration --
+
+class ExtensionPipelineTest : public ::testing::Test {
+ protected:
+  ExtensionPipelineTest()
+      : corpus_("calib",
+                [] {
+                  MarkovSpec s;
+                  s.seed = 51;
+                  s.vocab_size = 16;
+                  s.topics = 2;
+                  s.branching = 3;
+                  return s;
+                }(),
+                4000, 500, 52),
+        model_(Model::init(small_config(), 53)) {
+    config_.calib_segments = 6;
+    config_.calib_seq_len = 16;
+    config_.group_size = 4;
+  }
+
+  Corpus corpus_;
+  Model model_;
+  PipelineConfig config_;
+};
+
+TEST_F(ExtensionPipelineTest, AwqMethodRuns) {
+  const QuantizedModel qm =
+      quantize_model(model_, corpus_, Method::awq, config_);
+  EXPECT_EQ(qm.method, "AWQ");
+  EXPECT_DOUBLE_EQ(qm.average_bits(), 4.0);
+  for (const float v : qm.model.blocks[0].wq.flat()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_F(ExtensionPipelineTest, KnapsackMethodHitsTarget) {
+  PipelineConfig cfg = config_;
+  cfg.ratio_high = 0.75;  // target 3.5 bits
+  const QuantizedModel qm =
+      quantize_model(model_, corpus_, Method::aptq_knapsack, cfg);
+  EXPECT_EQ(qm.method, "APTQ-KP-75%");
+  EXPECT_LE(qm.average_bits(), 3.5 + 1e-9);
+  EXPECT_GE(qm.average_bits(), 2.0);
+  // Menu widths beyond {2,4} are reachable.
+  std::set<double> widths;
+  for (const auto& layer : qm.layers) {
+    widths.insert(layer.bits);
+  }
+  EXPECT_GE(widths.size(), 2u);
+}
+
+TEST_F(ExtensionPipelineTest, ClipSearchFlagPropagates) {
+  PipelineConfig cfg = config_;
+  cfg.mse_clip_search = true;
+  const QuantizedModel a =
+      quantize_model(model_, corpus_, Method::gptq, cfg);
+  const QuantizedModel b =
+      quantize_model(model_, corpus_, Method::gptq, config_);
+  // The two grids differ somewhere.
+  EXPECT_GT(
+      frobenius_distance(a.model.blocks[0].wq, b.model.blocks[0].wq), 0.0);
+}
+
+}  // namespace
+}  // namespace aptq

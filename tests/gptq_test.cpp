@@ -1,0 +1,270 @@
+// Unit tests for the GPTQ solver: correctness against RTN, error
+// compensation behaviour, grouping, act-order, dead/FP columns, and the
+// reconstruction-error objective.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/gptq.hpp"
+#include "quant/hessian.hpp"
+#include "tensor/ops.hpp"
+
+namespace aptq {
+namespace {
+
+// Build a calibration Hessian from synthetic correlated activations.
+Matrix calib_hessian(std::size_t d_in, std::size_t tokens, std::uint64_t seed,
+                     Matrix* activations = nullptr) {
+  Rng rng(seed);
+  // Correlated inputs: x = z·M with a fixed mixing matrix.
+  const Matrix mix = Matrix::randn(d_in, d_in, rng, 0.0f,
+                                   1.0f / std::sqrt(static_cast<float>(d_in)));
+  const Matrix z = Matrix::randn(tokens, d_in, rng);
+  const Matrix x = matmul(z, mix);
+  HessianAccumulator acc(d_in);
+  acc.add_matrix(x);
+  if (activations != nullptr) {
+    *activations = x;
+  }
+  return acc.finalized();
+}
+
+GptqConfig config_of(int bits, std::size_t group = 8,
+                     std::size_t block = 8) {
+  GptqConfig c;
+  c.spec.bits = bits;
+  c.spec.group_size = group;
+  c.block_size = block;
+  return c;
+}
+
+TEST(Gptq, OutputIsOnTheGridShape) {
+  Rng rng(1);
+  const Matrix w = Matrix::randn(6, 16, rng);
+  const Matrix h = calib_hessian(16, 64, 2);
+  const GptqResult res = gptq_quantize(w, h, config_of(4));
+  EXPECT_EQ(res.weight.rows(), 6u);
+  EXPECT_EQ(res.weight.cols(), 16u);
+  EXPECT_GT(res.proxy_loss, 0.0);
+  for (const float v : res.weight.flat()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Gptq, BeatsRtnOnTheLayerObjective) {
+  // The whole point of second-order quantization: lower tr(ΔW·H·ΔWᵀ).
+  Rng rng(3);
+  const Matrix w = Matrix::randn(12, 24, rng);
+  const Matrix h = calib_hessian(24, 96, 4);
+  for (const int bits : {2, 3, 4}) {
+    const GptqResult res = gptq_quantize(w, h, config_of(bits));
+    const Matrix rtn = rtn_quantize(w, config_of(bits).spec);
+    const double gptq_err = reconstruction_error(w, res.weight, h);
+    const double rtn_err = reconstruction_error(w, rtn, h);
+    EXPECT_LT(gptq_err, rtn_err) << "bits=" << bits;
+    EXPECT_NEAR(res.recon_error, gptq_err, 1e-6 + 0.01 * gptq_err);
+  }
+}
+
+TEST(Gptq, ReducesActualOutputError) {
+  // ||XW^T - XŴ^T|| on the calibration activations must improve over RTN.
+  Rng rng(5);
+  const Matrix w = Matrix::randn(10, 20, rng);
+  Matrix x;
+  const Matrix h = calib_hessian(20, 80, 6, &x);
+  const GptqResult res = gptq_quantize(w, h, config_of(3));
+  const Matrix rtn = rtn_quantize(w, config_of(3).spec);
+  const Matrix y_ref = matmul(x, w, Trans::no, Trans::yes);
+  const Matrix y_gptq = matmul(x, res.weight, Trans::no, Trans::yes);
+  const Matrix y_rtn = matmul(x, rtn, Trans::no, Trans::yes);
+  EXPECT_LT(frobenius_distance(y_ref, y_gptq),
+            frobenius_distance(y_ref, y_rtn));
+}
+
+TEST(Gptq, IdentityHessianMatchesRtnError) {
+  // With H = I the optimal update is no compensation beyond rounding order;
+  // the Frobenius error of GPTQ and RTN should be essentially equal.
+  Rng rng(7);
+  const Matrix w = Matrix::randn(8, 16, rng);
+  const Matrix h = Matrix::identity(16);
+  const GptqResult res = gptq_quantize(w, h, config_of(4));
+  const Matrix rtn = rtn_quantize(w, config_of(4).spec);
+  EXPECT_NEAR(frobenius_distance(w, res.weight),
+              frobenius_distance(w, rtn),
+              0.15 * frobenius_distance(w, rtn) + 1e-6);
+}
+
+TEST(Gptq, MoreBitsLowerError) {
+  Rng rng(8);
+  const Matrix w = Matrix::randn(10, 24, rng);
+  const Matrix h = calib_hessian(24, 64, 9);
+  double prev = 1e18;
+  for (const int bits : {2, 3, 4, 8}) {
+    const double err =
+        gptq_quantize(w, h, config_of(bits)).recon_error;
+    EXPECT_LT(err, prev) << "bits=" << bits;
+    prev = err;
+  }
+}
+
+TEST(Gptq, BlockSizeDoesNotChangeResult) {
+  // Lazy batching is exact: any block size gives identical output.
+  Rng rng(10);
+  const Matrix w = Matrix::randn(6, 24, rng);
+  const Matrix h = calib_hessian(24, 64, 11);
+  const GptqResult b4 = gptq_quantize(w, h, config_of(4, 8, 4));
+  const GptqResult b8 = gptq_quantize(w, h, config_of(4, 8, 8));
+  const GptqResult b24 = gptq_quantize(w, h, config_of(4, 8, 24));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(b4.weight.flat()[i], b8.weight.flat()[i], 2e-4f);
+    EXPECT_NEAR(b4.weight.flat()[i], b24.weight.flat()[i], 2e-4f);
+  }
+}
+
+TEST(Gptq, DeadColumnsZeroed) {
+  Rng rng(12);
+  const Matrix w = Matrix::randn(5, 8, rng);
+  Matrix h = calib_hessian(8, 32, 13);
+  // Kill column 3.
+  for (std::size_t i = 0; i < 8; ++i) {
+    h(3, i) = 0.0f;
+    h(i, 3) = 0.0f;
+  }
+  const GptqResult res = gptq_quantize(w, h, config_of(4));
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(res.weight(r, 3), 0.0f);
+  }
+}
+
+TEST(Gptq, FpColumnsSkipQuantization) {
+  Rng rng(14);
+  const Matrix w = Matrix::randn(6, 16, rng);
+  const Matrix h = calib_hessian(16, 64, 15);
+  // Column 0 is quantized first (no prior error lands on it), so it must
+  // pass through exactly; later FP columns legitimately absorb compensation
+  // updates from earlier quantized columns.
+  GptqConfig cfg = config_of(2);
+  cfg.fp_columns = {0, 7, 11};
+  const GptqResult res = gptq_quantize(w, h, cfg);
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_FLOAT_EQ(res.weight(r, 0), w(r, 0));
+  }
+  // Keeping weak columns helps the objective.
+  GptqConfig plain = config_of(2);
+  EXPECT_LT(res.recon_error, gptq_quantize(w, h, plain).recon_error);
+  GptqConfig bad = config_of(2);
+  bad.fp_columns = {99};
+  EXPECT_THROW(gptq_quantize(w, h, bad), Error);
+}
+
+TEST(Gptq, AllFpColumnsIsIdentity) {
+  // With every column in FP there is no rounding error anywhere, so the
+  // solver must return the weights untouched (also under act_order).
+  Rng rng(30);
+  const Matrix w = Matrix::randn(5, 10, rng);
+  const Matrix h = calib_hessian(10, 40, 31);
+  for (const bool act_order : {false, true}) {
+    GptqConfig cfg = config_of(2);
+    cfg.act_order = act_order;
+    for (std::size_t c = 0; c < 10; ++c) {
+      cfg.fp_columns.push_back(c);
+    }
+    const GptqResult res = gptq_quantize(w, h, cfg);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_FLOAT_EQ(res.weight.flat()[i], w.flat()[i])
+          << "act_order=" << act_order;
+    }
+    EXPECT_EQ(res.proxy_loss, 0.0);
+  }
+}
+
+TEST(Gptq, ActOrderImprovesOrMatches) {
+  Rng rng(16);
+  const Matrix w = Matrix::randn(12, 32, rng);
+  const Matrix h = calib_hessian(32, 128, 17);
+  GptqConfig plain = config_of(2, 0);  // whole-row groups: permutation-safe
+  GptqConfig ordered = plain;
+  ordered.act_order = true;
+  const double err_plain = gptq_quantize(w, h, plain).recon_error;
+  const double err_ordered = gptq_quantize(w, h, ordered).recon_error;
+  EXPECT_LT(err_ordered, err_plain * 1.25);  // never catastrophically worse
+}
+
+TEST(Gptq, ActOrderUnpermutesColumns) {
+  // Results come back in the original column order: quantizing with a
+  // near-lossless grid must land every column close to its own original.
+  Rng rng(18);
+  const Matrix w = Matrix::randn(4, 12, rng);
+  const Matrix h = calib_hessian(12, 48, 19);
+  GptqConfig cfg = config_of(8, 0);
+  cfg.act_order = true;
+  const GptqResult res = gptq_quantize(w, h, cfg);
+  for (std::size_t c = 0; c < 12; ++c) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      EXPECT_NEAR(res.weight(r, c), w(r, c), 0.1f) << "col " << c;
+    }
+  }
+}
+
+TEST(Gptq, RejectsBadInputs) {
+  Rng rng(20);
+  const Matrix w = Matrix::randn(4, 8, rng);
+  const Matrix h_wrong(7, 7);
+  EXPECT_THROW(gptq_quantize(w, h_wrong, config_of(4)), Error);
+  const Matrix h = calib_hessian(8, 32, 21);
+  GptqConfig cfg = config_of(4);
+  cfg.damp = 0.0;
+  EXPECT_THROW(gptq_quantize(w, h, cfg), Error);
+  cfg = config_of(4);
+  cfg.block_size = 0;
+  EXPECT_THROW(gptq_quantize(w, h, cfg), Error);
+}
+
+TEST(Gptq, Fp4GridWorksInSolver) {
+  Rng rng(22);
+  const Matrix w = Matrix::randn(8, 16, rng);
+  const Matrix h = calib_hessian(16, 64, 23);
+  GptqConfig cfg = config_of(4);
+  cfg.spec.format = QFormat::fp4_e2m1;
+  const GptqResult res = gptq_quantize(w, h, cfg);
+  EXPECT_LT(res.recon_error,
+            reconstruction_error(w, rtn_quantize(w, cfg.spec), h));
+}
+
+TEST(Gptq, GroupingImprovesOverWholeRow) {
+  Rng rng(24);
+  const Matrix w = Matrix::randn(8, 32, rng);
+  // Scale some columns up to create inhomogeneous ranges.
+  Matrix w2 = w;
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 16; c < 32; ++c) {
+      w2(r, c) *= 8.0f;
+    }
+  }
+  const Matrix h = calib_hessian(32, 96, 25);
+  const double grouped =
+      gptq_quantize(w2, h, config_of(3, 8)).recon_error;
+  const double whole = gptq_quantize(w2, h, config_of(3, 0)).recon_error;
+  EXPECT_LT(grouped, whole);
+}
+
+TEST(ReconstructionError, ZeroForIdenticalWeights) {
+  Rng rng(26);
+  const Matrix w = Matrix::randn(4, 8, rng);
+  const Matrix h = calib_hessian(8, 32, 27);
+  EXPECT_NEAR(reconstruction_error(w, w, h), 0.0, 1e-9);
+  const Matrix w_bad(4, 7);
+  EXPECT_THROW(reconstruction_error(w, w_bad, h), Error);
+}
+
+TEST(ReconstructionError, PositiveForSpdHessian) {
+  Rng rng(28);
+  const Matrix w = Matrix::randn(4, 8, rng);
+  Matrix perturbed = w;
+  perturbed(2, 3) += 0.5f;
+  const Matrix h = calib_hessian(8, 64, 29);
+  EXPECT_GT(reconstruction_error(w, perturbed, h), 0.0);
+}
+
+}  // namespace
+}  // namespace aptq

@@ -1,0 +1,253 @@
+// Finite-difference verification of the manual backward pass — the
+// correctness gate for everything downstream (training and APTQ's
+// attention-aware Hessians both consume these gradients).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/backward.hpp"
+#include "model/forward.hpp"
+#include "tensor/ops.hpp"
+#include "train/loss.hpp"
+
+namespace aptq {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig c;
+  c.vocab_size = 12;
+  c.dim = 8;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.ffn_dim = 12;
+  return c;
+}
+
+TokenSeq tokens_for(std::size_t n, std::uint64_t seed, std::size_t vocab) {
+  Rng rng(seed);
+  TokenSeq t(n);
+  for (auto& v : t) {
+    v = static_cast<TokenId>(rng.index(vocab));
+  }
+  return t;
+}
+
+double loss_of(const Model& m, const TokenSeq& tokens) {
+  const Matrix logits = model_forward(m, tokens);
+  return cross_entropy_next_token(logits, tokens, /*want_grad=*/false).loss;
+}
+
+// Central-difference numeric gradient of the scalar loss wrt one entry.
+double numeric_grad(Model& m, float* param, const TokenSeq& tokens,
+                    float eps) {
+  const float saved = *param;
+  *param = saved + eps;
+  const double lp = loss_of(m, tokens);
+  *param = saved - eps;
+  const double lm = loss_of(m, tokens);
+  *param = saved;
+  return (lp - lm) / (2.0 * eps);
+}
+
+void expect_grad_close(double analytic, double numeric) {
+  const double denom = std::max({1e-3, std::fabs(analytic), std::fabs(numeric)});
+  EXPECT_LT(std::fabs(analytic - numeric) / denom, 0.05)
+      << "analytic=" << analytic << " numeric=" << numeric;
+}
+
+class FullBackwardGradCheck : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = Model::init(tiny_config(), 42);
+    tokens_ = tokens_for(7, 21, model_.config.vocab_size);
+    ForwardCache cache;
+    const Matrix logits = model_forward(model_, tokens_, cache);
+    CrossEntropyResult ce = cross_entropy_next_token(logits, tokens_);
+    grads_ = Gradients::zeros_like(model_);
+    model_backward(model_, tokens_, cache, ce.grad_logits, grads_);
+  }
+
+  // Check a sampled subset of entries of one parameter matrix.
+  void check_matrix(Matrix& param, const Matrix& grad, std::uint64_t seed,
+                    int samples = 8) {
+    Rng rng(seed);
+    for (int s = 0; s < samples; ++s) {
+      const std::size_t i = rng.index(param.size());
+      const double numeric = numeric_grad(
+          model_, &param.flat()[i], tokens_, 5e-3f);
+      expect_grad_close(grad.flat()[i], numeric);
+    }
+  }
+
+  void check_vector(std::vector<float>& param, const std::vector<float>& grad,
+                    std::uint64_t seed, int samples = 4) {
+    Rng rng(seed);
+    for (int s = 0; s < samples; ++s) {
+      const std::size_t i = rng.index(param.size());
+      const double numeric =
+          numeric_grad(model_, &param[i], tokens_, 5e-3f);
+      expect_grad_close(grad[i], numeric);
+    }
+  }
+
+  Model model_;
+  TokenSeq tokens_;
+  Gradients grads_;
+};
+
+TEST_F(FullBackwardGradCheck, LmHead) {
+  check_matrix(model_.lm_head, grads_.lm_head, 1);
+}
+
+TEST_F(FullBackwardGradCheck, FinalNorm) {
+  check_vector(model_.final_norm, grads_.final_norm, 2);
+}
+
+TEST_F(FullBackwardGradCheck, Embedding) {
+  check_matrix(model_.tok_embed, grads_.tok_embed, 3);
+}
+
+TEST_F(FullBackwardGradCheck, QueryProjectionsBothLayers) {
+  check_matrix(model_.blocks[0].wq, grads_.blocks[0].wq, 4);
+  check_matrix(model_.blocks[1].wq, grads_.blocks[1].wq, 5);
+}
+
+TEST_F(FullBackwardGradCheck, KeyProjectionsBothLayers) {
+  check_matrix(model_.blocks[0].wk, grads_.blocks[0].wk, 6);
+  check_matrix(model_.blocks[1].wk, grads_.blocks[1].wk, 7);
+}
+
+TEST_F(FullBackwardGradCheck, ValueProjectionsBothLayers) {
+  check_matrix(model_.blocks[0].wv, grads_.blocks[0].wv, 8);
+  check_matrix(model_.blocks[1].wv, grads_.blocks[1].wv, 9);
+}
+
+TEST_F(FullBackwardGradCheck, OutputProjectionsBothLayers) {
+  check_matrix(model_.blocks[0].wo, grads_.blocks[0].wo, 10);
+  check_matrix(model_.blocks[1].wo, grads_.blocks[1].wo, 11);
+}
+
+TEST_F(FullBackwardGradCheck, FfnProjections) {
+  check_matrix(model_.blocks[0].w_gate, grads_.blocks[0].w_gate, 12);
+  check_matrix(model_.blocks[0].w_up, grads_.blocks[0].w_up, 13);
+  check_matrix(model_.blocks[0].w_down, grads_.blocks[0].w_down, 14);
+  check_matrix(model_.blocks[1].w_down, grads_.blocks[1].w_down, 15);
+}
+
+TEST_F(FullBackwardGradCheck, NormGains) {
+  check_vector(model_.blocks[0].attn_norm, grads_.blocks[0].attn_norm, 16);
+  check_vector(model_.blocks[1].ffn_norm, grads_.blocks[1].ffn_norm, 17);
+}
+
+// --- Attention probe: validates the γ-producing backward against finite
+// differences of the *attention block output* itself (paper eqs. 9-13). ---
+
+class AttentionProbeGradCheck : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = Model::init(tiny_config(), 77);
+    tokens_ = tokens_for(6, 33, model_.config.vocab_size);
+    Rng rng(55);
+    seed_ = Matrix::randn(6, model_.config.dim, rng);
+  }
+
+  // L(model) = <seed, attn_out(layer)>; attn_out = x_mid - x_in.
+  double probe_loss(std::size_t layer) {
+    ForwardCache cache;
+    model_forward(model_, tokens_, cache);
+    const BlockCache& bc = cache.blocks[layer];
+    double acc = 0.0;
+    for (std::size_t i = 0; i < seed_.size(); ++i) {
+      acc += static_cast<double>(seed_.flat()[i]) *
+             (bc.x_mid.flat()[i] - bc.x_in.flat()[i]);
+    }
+    return acc;
+  }
+
+  // Analytic gradient of probe_loss wrt a projection weight, assembled from
+  // the probe outputs: dW = inputᵀ · d(proj output).
+  Matrix analytic_weight_grad(std::size_t layer, LinearKind kind) {
+    ForwardCache cache;
+    model_forward(model_, tokens_, cache);
+    const BlockCache& bc = cache.blocks[layer];
+    const AttentionProbeGrads pg =
+        attention_probe_backward(model_, layer, bc, seed_);
+    switch (kind) {
+      case LinearKind::q_proj:
+        return matmul(bc.normed1, pg.dq, Trans::yes, Trans::no);
+      case LinearKind::k_proj:
+        return matmul(bc.normed1, pg.dk, Trans::yes, Trans::no);
+      case LinearKind::v_proj:
+        return matmul(bc.normed1, pg.dv, Trans::yes, Trans::no);
+      case LinearKind::o_proj:
+        return matmul(bc.attn_cat, seed_, Trans::yes, Trans::no);
+      default:
+        APTQ_FAIL("not an attention projection");
+    }
+  }
+
+  void check(std::size_t layer, LinearKind kind, Matrix& param,
+             std::uint64_t seed) {
+    const Matrix analytic = analytic_weight_grad(layer, kind);
+    Rng rng(seed);
+    for (int s = 0; s < 10; ++s) {
+      const std::size_t i = rng.index(param.size());
+      const float saved = param.flat()[i];
+      const float eps = 5e-3f;
+      param.flat()[i] = saved + eps;
+      const double lp = probe_loss(layer);
+      param.flat()[i] = saved - eps;
+      const double lm = probe_loss(layer);
+      param.flat()[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double a = analytic.flat()[i];
+      const double denom = std::max({1e-3, std::fabs(a), std::fabs(numeric)});
+      EXPECT_LT(std::fabs(a - numeric) / denom, 0.05)
+          << to_string(kind) << " layer " << layer << " entry " << i;
+    }
+  }
+
+  Model model_;
+  TokenSeq tokens_;
+  Matrix seed_;
+};
+
+TEST_F(AttentionProbeGradCheck, QueryPath) {
+  check(0, LinearKind::q_proj, model_.blocks[0].wq, 1);
+  check(1, LinearKind::q_proj, model_.blocks[1].wq, 2);
+}
+
+TEST_F(AttentionProbeGradCheck, KeyPath) {
+  check(0, LinearKind::k_proj, model_.blocks[0].wk, 3);
+  check(1, LinearKind::k_proj, model_.blocks[1].wk, 4);
+}
+
+TEST_F(AttentionProbeGradCheck, ValuePath) {
+  check(0, LinearKind::v_proj, model_.blocks[0].wv, 5);
+}
+
+TEST_F(AttentionProbeGradCheck, OutputPath) {
+  check(0, LinearKind::o_proj, model_.blocks[0].wo, 6);
+}
+
+TEST_F(AttentionProbeGradCheck, ProbeShapesMatch) {
+  ForwardCache cache;
+  model_forward(model_, tokens_, cache);
+  const auto pg = attention_probe_backward(model_, 0, cache.blocks[0], seed_);
+  EXPECT_EQ(pg.dq.rows(), 6u);
+  EXPECT_EQ(pg.dq.cols(), 8u);
+  EXPECT_EQ(pg.d_attn_cat.rows(), 6u);
+}
+
+TEST_F(AttentionProbeGradCheck, RejectsBadSeedShape) {
+  ForwardCache cache;
+  model_forward(model_, tokens_, cache);
+  const Matrix bad(3, 8);
+  EXPECT_THROW(attention_probe_backward(model_, 0, cache.blocks[0], bad),
+               Error);
+  EXPECT_THROW(attention_probe_backward(model_, 9, cache.blocks[0], seed_),
+               Error);
+}
+
+}  // namespace
+}  // namespace aptq

@@ -1,0 +1,161 @@
+// Unit tests for src/quant/hessian: accumulation identities, γ-weighting,
+// normalization, damping/dead columns, traces and the Hutchinson estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/hessian.hpp"
+#include "tensor/ops.hpp"
+
+namespace aptq {
+namespace {
+
+TEST(Hessian, MatchesTwoXtX) {
+  Rng rng(1);
+  const Matrix x = Matrix::randn(20, 6, rng);
+  HessianAccumulator acc(6);
+  acc.add_matrix(x);
+  const Matrix h = acc.finalized();
+  // H = 2/N · XᵀX
+  Matrix ref(6, 6);
+  gemm(x, Trans::yes, x, Trans::no, ref, 2.0f / 20.0f);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(h.flat()[i], ref.flat()[i], 1e-4f);
+  }
+}
+
+TEST(Hessian, IsSymmetric) {
+  Rng rng(2);
+  const Matrix x = Matrix::randn(15, 8, rng);
+  HessianAccumulator acc(8);
+  acc.add_matrix(x);
+  const Matrix h = acc.finalized();
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(h(i, j), h(j, i));
+    }
+  }
+}
+
+TEST(Hessian, GammaWeightsScaleContributions) {
+  Rng rng(3);
+  const Matrix x = Matrix::randn(10, 4, rng);
+  // All-gamma-2 must equal 2× all-gamma-1.
+  HessianAccumulator a1(4), a2(4);
+  std::vector<float> ones(10, 1.0f), twos(10, 2.0f);
+  a1.add_matrix(x, ones);
+  a2.add_matrix(x, twos);
+  const Matrix h1 = a1.finalized();
+  const Matrix h2 = a2.finalized();
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    EXPECT_NEAR(h2.flat()[i], 2.0f * h1.flat()[i], 1e-4f);
+  }
+}
+
+TEST(Hessian, ZeroGammaTokenIsIgnoredInValues) {
+  Rng rng(4);
+  const Matrix x = Matrix::randn(2, 4, rng);
+  HessianAccumulator with_both(4);
+  std::vector<float> gamma = {1.0f, 0.0f};
+  with_both.add_matrix(x, gamma);
+  HessianAccumulator only_first(4);
+  only_first.add_token(x.row(0));
+  // Same token count normalization differs (2 vs 1); compare unnormalized.
+  const Matrix h_both = with_both.finalized();   // /2
+  const Matrix h_first = only_first.finalized();  // /1
+  for (std::size_t i = 0; i < h_both.size(); ++i) {
+    EXPECT_NEAR(2.0f * h_both.flat()[i], h_first.flat()[i], 1e-4f);
+  }
+}
+
+TEST(Hessian, RejectsMisuse) {
+  HessianAccumulator acc(4);
+  EXPECT_THROW(acc.finalized(), Error);       // no tokens yet
+  EXPECT_THROW(acc.average_trace(), Error);
+  const std::vector<float> wrong(3, 0.0f);
+  EXPECT_THROW(acc.add_token(wrong), Error);  // width mismatch
+  const std::vector<float> ok(4, 1.0f);
+  EXPECT_THROW(acc.add_token(ok, -1.0f), Error);  // negative gamma
+  Rng rng(5);
+  const Matrix x = Matrix::randn(6, 4, rng);
+  std::vector<float> bad_gamma(5, 1.0f);
+  EXPECT_THROW(acc.add_matrix(x, bad_gamma), Error);
+}
+
+TEST(Hessian, AverageTraceMatchesFinalizedTrace) {
+  Rng rng(6);
+  const Matrix x = Matrix::randn(30, 5, rng);
+  HessianAccumulator acc(5);
+  acc.add_matrix(x);
+  EXPECT_NEAR(acc.average_trace(), diag_mean(acc.finalized()), 1e-5);
+}
+
+TEST(Hessian, DampingLiftsDiagonal) {
+  Rng rng(7);
+  const Matrix x = Matrix::randn(10, 4, rng);
+  HessianAccumulator acc(4);
+  acc.add_matrix(x);
+  const Matrix h = acc.finalized();
+  const Matrix hd = acc.finalized_damped(0.01);
+  const float jitter = static_cast<float>(0.01 * diag_mean(h));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(hd(i, i), h(i, i) + jitter, 1e-5f);
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_EQ(hd(i, j), h(i, j));
+      }
+    }
+  }
+}
+
+TEST(Hessian, DeadColumnsPinnedByDamping) {
+  // Inputs that never activate dimension 2.
+  Matrix x(5, 4);
+  Rng rng(8);
+  for (std::size_t t = 0; t < 5; ++t) {
+    x(t, 0) = rng.normal(0.0f, 1.0f);
+    x(t, 1) = rng.normal(0.0f, 1.0f);
+    x(t, 3) = rng.normal(0.0f, 1.0f);
+  }
+  HessianAccumulator acc(4);
+  acc.add_matrix(x);
+  const Matrix h = acc.finalized();
+  EXPECT_EQ(h(2, 2), 0.0f);
+  const auto dead = dead_columns(h);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 2u);
+  const Matrix hd = acc.finalized_damped(0.01);
+  EXPECT_GT(hd(2, 2), 0.9f);
+}
+
+TEST(Hutchinson, ConvergesToTrueTrace) {
+  Rng rng(9);
+  const Matrix a = Matrix::randn(12, 12, rng);
+  Matrix h(12, 12);
+  gemm(a, Trans::no, a, Trans::yes, h);
+  const double true_trace = trace(h);
+  Rng probe_rng(10);
+  const double est = hutchinson_trace(h, 2000, probe_rng);
+  EXPECT_NEAR(est, true_trace, 0.15 * std::fabs(true_trace));
+}
+
+TEST(Hutchinson, ExactForDiagonalMatrices) {
+  // For diagonal H, zᵀHz = Σ d_i z_i² = tr(H) exactly for Rademacher z.
+  Matrix h(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    h(i, i) = static_cast<float>(i + 1);
+  }
+  Rng rng(11);
+  EXPECT_NEAR(hutchinson_trace(h, 3, rng), 15.0, 1e-4);
+}
+
+TEST(Hutchinson, RejectsMisuse) {
+  Rng rng(12);
+  const Matrix rect(2, 3);
+  EXPECT_THROW(hutchinson_trace(rect, 4, rng), Error);
+  const Matrix sq(3, 3);
+  EXPECT_THROW(hutchinson_trace(sq, 0, rng), Error);
+}
+
+}  // namespace
+}  // namespace aptq

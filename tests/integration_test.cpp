@@ -1,0 +1,202 @@
+// End-to-end integration: train a micro model to competence, quantize it
+// with the full pipeline, and verify the cross-method orderings the paper's
+// evaluation rests on (perplexity, mixed precision, allocator ablation,
+// zero-shot scoring above chance).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.hpp"
+#include "eval/harness.hpp"
+#include "eval/perplexity.hpp"
+#include "eval/tasks.hpp"
+#include "model/sampler.hpp"
+#include "train/trainer.hpp"
+
+namespace aptq {
+namespace {
+
+// One trained micro model + corpus shared by the whole suite (expensive to
+// build, so construct once).
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MarkovSpec spec;
+    spec.seed = 0xFEED;
+    spec.vocab_size = 32;
+    spec.topics = 2;
+    spec.branching = 4;
+    spec.latent_rank = 8;
+    corpus_ = new Corpus("micro-c4", spec, 60000, 6000, 0xD00D);
+
+    ModelConfig mc;
+    mc.vocab_size = 32;
+    mc.dim = 24;
+    mc.n_layers = 3;
+    mc.n_heads = 2;
+    mc.ffn_dim = 48;
+    model_ = new Model(Model::init(mc, 0xBEEF));
+
+    TrainConfig tc;
+    tc.steps = 700;
+    tc.batch_size = 6;
+    tc.seq_len = 32;
+    tc.peak_lr = 8e-3f;
+    tc.seed = 5;
+    train_model(*model_, *corpus_, tc);
+  }
+
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete model_;
+    corpus_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static PipelineConfig pipeline_config() {
+    PipelineConfig cfg;
+    cfg.calib_segments = 24;
+    cfg.calib_seq_len = 32;
+    cfg.group_size = 8;
+    return cfg;
+  }
+
+  static double ppl_of(const QuantizedModel& qm) {
+    const auto segs = corpus_->eval_segments(32, 48);
+    return evaluate_perplexity(qm.model, segs, qm.forward_options)
+        .perplexity;
+  }
+
+  static Corpus* corpus_;
+  static Model* model_;
+};
+
+Corpus* IntegrationTest::corpus_ = nullptr;
+Model* IntegrationTest::model_ = nullptr;
+
+TEST_F(IntegrationTest, TrainingBeatUniform) {
+  const QuantizedModel fp =
+      quantize_model(*model_, *corpus_, Method::fp, pipeline_config());
+  const double ppl = ppl_of(fp);
+  EXPECT_LT(ppl, 14.0);  // far below uniform (32)
+  EXPECT_GT(ppl, std::exp(corpus_->oracle_eval_nll()) * 0.9);
+}
+
+TEST_F(IntegrationTest, FourBitNearLossless) {
+  const auto cfg = pipeline_config();
+  const double fp = ppl_of(quantize_model(*model_, *corpus_, Method::fp, cfg));
+  const double aptq =
+      ppl_of(quantize_model(*model_, *corpus_, Method::aptq, cfg));
+  EXPECT_LT(aptq, fp * 1.10);
+}
+
+TEST_F(IntegrationTest, SecondOrderBeatsRtnAtTwoBits) {
+  PipelineConfig cfg = pipeline_config();
+  cfg.bits = 2;
+  const double rtn =
+      ppl_of(quantize_model(*model_, *corpus_, Method::rtn, cfg));
+  const double gptq =
+      ppl_of(quantize_model(*model_, *corpus_, Method::gptq, cfg));
+  const double aptq =
+      ppl_of(quantize_model(*model_, *corpus_, Method::aptq, cfg));
+  EXPECT_LT(gptq, rtn);
+  EXPECT_LT(aptq, rtn);
+}
+
+TEST_F(IntegrationTest, MixedPrecisionDegradesMonotonically) {
+  const auto cfg = pipeline_config();
+  double prev = 0.0;
+  for (const double r : {1.0, 0.75, 0.5, 0.25}) {
+    PipelineConfig c = cfg;
+    c.ratio_high = r;
+    const double ppl =
+        ppl_of(quantize_model(*model_, *corpus_, Method::aptq_mixed, c));
+    EXPECT_GT(ppl, prev * 0.98) << "R=" << r;  // allow small non-monotone noise
+    prev = ppl;
+  }
+}
+
+TEST_F(IntegrationTest, TraceAllocationBeatsBlockwise) {
+  // Table 3's claim, end to end.
+  PipelineConfig cfg = pipeline_config();
+  cfg.ratio_high = 0.5;
+  const double aptq =
+      ppl_of(quantize_model(*model_, *corpus_, Method::aptq_mixed, cfg));
+  const double blockwise = ppl_of(
+      quantize_model(*model_, *corpus_, Method::blockwise_mixed, cfg));
+  EXPECT_LT(aptq, blockwise * 1.02);
+}
+
+TEST_F(IntegrationTest, PbLlmWorseThanAptqAtComparableSize) {
+  PipelineConfig cfg = pipeline_config();
+  cfg.pbllm_salient_fraction = 0.2;
+  const double pbllm =
+      ppl_of(quantize_model(*model_, *corpus_, Method::pbllm, cfg));
+  PipelineConfig mixed = pipeline_config();
+  mixed.ratio_high = 0.75;
+  const double aptq =
+      ppl_of(quantize_model(*model_, *corpus_, Method::aptq_mixed, mixed));
+  EXPECT_LT(aptq, pbllm);
+}
+
+TEST_F(IntegrationTest, ZeroShotAboveChanceAndOrdered) {
+  TaskGenConfig tcfg;
+  tcfg.n_items = 60;
+  tcfg.context_len = 12;
+  tcfg.continuation_len = 6;
+  const auto suite = generate_task_suite(*corpus_, tcfg);
+  const ZeroShotReport fp = evaluate_zero_shot(*model_, suite);
+  // Trained model is far above chance on the easy task and above chance on
+  // average (chance: piqa/wino 0.5, others 0.25 → mean 0.35).
+  EXPECT_GT(fp.tasks[2].accuracy, 0.6);  // arc-easy
+  EXPECT_GT(fp.mean_accuracy, 0.40);
+
+  // Heavy quantization costs accuracy.
+  PipelineConfig cfg = pipeline_config();
+  cfg.ratio_high = 0.25;
+  const QuantizedModel crushed =
+      quantize_model(*model_, *corpus_, Method::aptq_mixed, cfg);
+  const ZeroShotReport q = evaluate_zero_shot(crushed.model, suite);
+  EXPECT_LE(q.mean_accuracy, fp.mean_accuracy + 0.03);
+}
+
+TEST_F(IntegrationTest, SamplerProducesLearnedStatistics) {
+  // Sequences sampled from the trained model should score far better under
+  // the model than uniform-random sequences do.
+  Rng rng(9);
+  SampleConfig scfg;
+  const TokenSeq sampled = sample_from_model(*model_, 32, rng, scfg);
+  EXPECT_EQ(sampled.size(), 32u);
+  TokenSeq random(32);
+  for (auto& t : random) {
+    t = static_cast<TokenId>(rng.index(32));
+  }
+  const std::vector<TokenSeq> s1 = {sampled};
+  const std::vector<TokenSeq> s2 = {random};
+  EXPECT_LT(evaluate_perplexity(*model_, s1).nll,
+            evaluate_perplexity(*model_, s2).nll);
+}
+
+TEST_F(IntegrationTest, PackedStorageMatchesAverageBits) {
+  const auto cfg = pipeline_config();
+  const QuantizedModel q4 =
+      quantize_model(*model_, *corpus_, Method::gptq, cfg);
+  PipelineConfig c2 = cfg;
+  c2.bits = 2;
+  const QuantizedModel q2 =
+      quantize_model(*model_, *corpus_, Method::gptq, c2);
+  EXPECT_LT(q2.packed_bytes(), q4.packed_bytes());
+  // Total packed bits per weight ≈ nominal + group overhead.
+  std::size_t weights = 0;
+  for (const auto& l : q4.layers) {
+    weights += l.weight_count;
+  }
+  const double bits_per_weight =
+      8.0 * static_cast<double>(q4.packed_bytes()) /
+      static_cast<double>(weights);
+  EXPECT_GT(bits_per_weight, 4.0);
+  EXPECT_LT(bits_per_weight, 11.0);
+}
+
+}  // namespace
+}  // namespace aptq

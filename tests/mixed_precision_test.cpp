@@ -1,0 +1,131 @@
+// Unit tests for the Hessian-trace mixed-precision allocator (paper §3.3 /
+// eq. 18) and the manual block-wise baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/mixed_precision.hpp"
+
+namespace aptq {
+namespace {
+
+// Hand-built ranking: 2 blocks × 2 layers with controlled sensitivities.
+std::vector<LayerSensitivity> toy_ranking() {
+  return {
+      {"layers.0.a", 10.0, 100, 0},
+      {"layers.0.b", 1.0, 100, 0},
+      {"layers.1.a", 5.0, 100, 1},
+      {"layers.1.b", 0.5, 100, 1},
+  };
+}
+
+TEST(Allocate, FullRatioGivesAllHighBits) {
+  const auto alloc = allocate_by_sensitivity(toy_ranking(), 1.0);
+  for (const auto& [name, bits] : alloc) {
+    EXPECT_EQ(bits, 4) << name;
+  }
+  EXPECT_DOUBLE_EQ(average_bits(alloc, toy_ranking()), 4.0);
+}
+
+TEST(Allocate, ZeroRatioGivesAllLowBits) {
+  const auto alloc = allocate_by_sensitivity(toy_ranking(), 0.0);
+  for (const auto& [name, bits] : alloc) {
+    EXPECT_EQ(bits, 2) << name;
+  }
+  EXPECT_DOUBLE_EQ(average_bits(alloc, toy_ranking()), 2.0);
+}
+
+TEST(Allocate, MostSensitiveLayersGetHighBits) {
+  const auto alloc = allocate_by_sensitivity(toy_ranking(), 0.5);
+  EXPECT_EQ(alloc.at("layers.0.a"), 4);  // sensitivity 10
+  EXPECT_EQ(alloc.at("layers.1.a"), 4);  // sensitivity 5
+  EXPECT_EQ(alloc.at("layers.0.b"), 2);
+  EXPECT_EQ(alloc.at("layers.1.b"), 2);
+  EXPECT_DOUBLE_EQ(high_bit_fraction(alloc, toy_ranking()), 0.5);
+  // eq. 18: 4R + 2(1-R).
+  EXPECT_DOUBLE_EQ(average_bits(alloc, toy_ranking()), 4 * 0.5 + 2 * 0.5);
+}
+
+TEST(Allocate, CoverageReachesAtLeastRatio) {
+  // Uneven layer sizes: allocation overshoots rather than undershoots R.
+  std::vector<LayerSensitivity> ranking = {
+      {"big", 10.0, 300, 0},
+      {"small1", 5.0, 50, 0},
+      {"small2", 1.0, 50, 1},
+  };
+  const auto alloc = allocate_by_sensitivity(ranking, 0.5);
+  EXPECT_EQ(alloc.at("big"), 4);
+  EXPECT_GE(high_bit_fraction(alloc, ranking), 0.5);
+}
+
+TEST(Allocate, CustomBitPair) {
+  const auto alloc = allocate_by_sensitivity(toy_ranking(), 0.5, 8, 3);
+  EXPECT_EQ(alloc.at("layers.0.a"), 8);
+  EXPECT_EQ(alloc.at("layers.1.b"), 3);
+  EXPECT_DOUBLE_EQ(average_bits(alloc, toy_ranking()), 5.5);
+}
+
+TEST(Allocate, RejectsBadArguments) {
+  EXPECT_THROW(allocate_by_sensitivity(toy_ranking(), 1.5), Error);
+  EXPECT_THROW(allocate_by_sensitivity(toy_ranking(), 0.5, 2, 4), Error);
+  EXPECT_THROW(allocate_blockwise(toy_ranking(), -0.1), Error);
+}
+
+TEST(Blockwise, AssignsWholeBlocksInOrder) {
+  const auto alloc = allocate_blockwise(toy_ranking(), 0.5);
+  // Block 0 (earliest) gets high bits regardless of sensitivity.
+  EXPECT_EQ(alloc.at("layers.0.a"), 4);
+  EXPECT_EQ(alloc.at("layers.0.b"), 4);
+  EXPECT_EQ(alloc.at("layers.1.a"), 2);
+  EXPECT_EQ(alloc.at("layers.1.b"), 2);
+}
+
+TEST(Blockwise, DiffersFromSensitivityAllocation) {
+  // The ablation's entire premise: the two allocators disagree when
+  // sensitivity doesn't align with block order.
+  const auto trace_alloc = allocate_by_sensitivity(toy_ranking(), 0.5);
+  const auto block_alloc = allocate_blockwise(toy_ranking(), 0.5);
+  EXPECT_NE(trace_alloc.at("layers.0.b"), block_alloc.at("layers.0.b"));
+  EXPECT_NE(trace_alloc.at("layers.1.a"), block_alloc.at("layers.1.a"));
+}
+
+TEST(AverageBits, ChecksAllocationCompleteness) {
+  BitAllocation incomplete = {{"layers.0.a", 4}};
+  EXPECT_THROW(average_bits(incomplete, toy_ranking()), Error);
+}
+
+class RatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioSweep, AverageBitsTracksEquation18) {
+  // With equal-size layers the realized average should stay within one
+  // layer's granularity of 4R + 2(1−R).
+  const double r = GetParam();
+  std::vector<LayerSensitivity> ranking;
+  for (int i = 0; i < 16; ++i) {
+    ranking.push_back({"layer" + std::to_string(i),
+                       static_cast<double>(16 - i), 100,
+                       static_cast<std::size_t>(i / 4)});
+  }
+  const auto alloc = allocate_by_sensitivity(ranking, r);
+  const double expected = 4.0 * r + 2.0 * (1.0 - r);
+  EXPECT_NEAR(average_bits(alloc, ranking), expected, 2.0 / 16.0 + 1e-9);
+  EXPECT_GE(high_bit_fraction(alloc, ranking), r - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+TEST(RankSensitivities, RejectsEmpty) {
+  CalibrationResult empty;
+  ModelConfig mc;
+  mc.vocab_size = 8;
+  mc.dim = 8;
+  mc.n_layers = 1;
+  mc.n_heads = 2;
+  mc.ffn_dim = 8;
+  const Model m = Model::init(mc, 1);
+  EXPECT_THROW(rank_sensitivities(empty, m), Error);
+}
+
+}  // namespace
+}  // namespace aptq

@@ -1,0 +1,442 @@
+// Unit tests for src/tensor: Matrix invariants, every GEMM variant against a
+// naive reference, softmax/RMSNorm/SiLU forward and backward (finite
+// differences), RoPE round-trips, and the Cholesky identities the GPTQ
+// solver relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/cholesky.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace aptq {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::randn(r, c, rng);
+}
+
+// Reference O(n^3) product with explicit transposes.
+Matrix naive_matmul(const Matrix& a, const Matrix& b, Trans ta, Trans tb) {
+  const std::size_t m = ta == Trans::no ? a.rows() : a.cols();
+  const std::size_t k = ta == Trans::no ? a.cols() : a.rows();
+  const std::size_t n = tb == Trans::no ? b.cols() : b.rows();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ta == Trans::no ? a(i, p) : a(p, i);
+        const float bv = tb == Trans::no ? b(p, j) : b(j, p);
+        acc += static_cast<double>(av) * bv;
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void expect_close(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.flat()[i], b.flat()[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(Matrix, ConstructionAndInvariants) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (const float v : m.flat()) {
+    EXPECT_EQ(v, 0.0f);
+  }
+  Matrix f(2, 2, 1.5f);
+  EXPECT_EQ(f(1, 1), 1.5f);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 3), Error);
+  EXPECT_THROW(m.row(2), Error);
+  EXPECT_NO_THROW(m.at(1, 2));
+}
+
+TEST(Matrix, RowViewWritesThrough) {
+  Matrix m(2, 3);
+  auto r = m.row(1);
+  r[2] = 9.0f;
+  EXPECT_EQ(m(1, 2), 9.0f);
+}
+
+TEST(Matrix, TransposedIsInvolution) {
+  const Matrix m = random_matrix(5, 7, 1);
+  expect_close(m.transposed().transposed(), m, 0.0f);
+  EXPECT_EQ(m.transposed()(3, 2), m(2, 3));
+}
+
+TEST(Matrix, IdentityAndEquality) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_EQ(i3(0, 0), 1.0f);
+  EXPECT_EQ(i3(0, 1), 0.0f);
+  EXPECT_TRUE(i3 == Matrix::identity(3));
+  EXPECT_FALSE(i3 == Matrix::identity(4));
+}
+
+TEST(Matrix, RandnIsDeterministicInSeed) {
+  Rng a(9), b(9);
+  EXPECT_TRUE(Matrix::randn(4, 4, a) == Matrix::randn(4, 4, b));
+}
+
+class GemmVariants
+    : public ::testing::TestWithParam<std::tuple<Trans, Trans>> {};
+
+TEST_P(GemmVariants, MatchesNaive) {
+  const auto [ta, tb] = GetParam();
+  // Shapes chosen so m, n, k all differ (catches index swaps).
+  const std::size_t m = 5, k = 7, n = 3;
+  const Matrix a = ta == Trans::no ? random_matrix(m, k, 2)
+                                   : random_matrix(k, m, 2);
+  const Matrix b = tb == Trans::no ? random_matrix(k, n, 3)
+                                   : random_matrix(n, k, 3);
+  expect_close(matmul(a, b, ta, tb), naive_matmul(a, b, ta, tb));
+}
+
+TEST_P(GemmVariants, AlphaBetaComposition) {
+  const auto [ta, tb] = GetParam();
+  const std::size_t m = 4, k = 6, n = 5;
+  const Matrix a = ta == Trans::no ? random_matrix(m, k, 4)
+                                   : random_matrix(k, m, 4);
+  const Matrix b = tb == Trans::no ? random_matrix(k, n, 5)
+                                   : random_matrix(n, k, 5);
+  Matrix c = random_matrix(m, n, 6);
+  Matrix expected = c;
+  const Matrix prod = naive_matmul(a, b, ta, tb);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expected.flat()[i] = 0.5f * expected.flat()[i] + 2.0f * prod.flat()[i];
+  }
+  gemm(a, ta, b, tb, c, 2.0f, 0.5f);
+  expect_close(c, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposes, GemmVariants,
+    ::testing::Combine(::testing::Values(Trans::no, Trans::yes),
+                       ::testing::Values(Trans::no, Trans::yes)));
+
+TEST(Gemm, RejectsBadShapes) {
+  const Matrix a(2, 3), b(4, 5);
+  Matrix c(2, 5);
+  EXPECT_THROW(gemm(a, Trans::no, b, Trans::no, c), Error);
+  const Matrix b2(3, 5);
+  Matrix bad_c(3, 5);
+  EXPECT_THROW(gemm(a, Trans::no, b2, Trans::no, bad_c), Error);
+}
+
+TEST(Ops, AxpyAndScale) {
+  Matrix x(2, 2, 1.0f);
+  Matrix y(2, 2, 3.0f);
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y(0, 0), 5.0f);
+  scale(y, 0.5f);
+  EXPECT_EQ(y(1, 1), 2.5f);
+  Matrix wrong(3, 2);
+  EXPECT_THROW(axpy(1.0f, wrong, y), Error);
+}
+
+TEST(Ops, DotAndNorms) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(dot(a, b), 12.0f);
+  Matrix m(1, 3);
+  m(0, 0) = 3.0f;
+  m(0, 2) = 4.0f;
+  EXPECT_DOUBLE_EQ(sum_squares(m), 25.0);
+  Matrix z(1, 3);
+  EXPECT_DOUBLE_EQ(frobenius_distance(m, z), 5.0);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Matrix m = random_matrix(6, 9, 7);
+  softmax_rows(m);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double sum = 0.0;
+    for (const float v : m.row(r)) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, CausalMaskZeroesFuture) {
+  Matrix m = random_matrix(5, 5, 8);
+  softmax_rows(m, /*causal_offset=*/0);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 5; ++c) {
+      if (c > r) {
+        EXPECT_EQ(m(r, c), 0.0f);
+      }
+      sum += m(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, ShiftInvariance) {
+  Matrix a = random_matrix(3, 4, 9);
+  Matrix b = a;
+  for (float& v : b.flat()) {
+    v += 100.0f;
+  }
+  softmax_rows(a);
+  softmax_rows(b);
+  expect_close(a, b, 1e-5f);
+}
+
+TEST(Softmax, BackwardMatchesFiniteDifference) {
+  const std::size_t rows = 3, cols = 5;
+  Matrix scores = random_matrix(rows, cols, 10);
+  const Matrix upstream = random_matrix(rows, cols, 11);
+
+  Matrix probs = scores;
+  softmax_rows(probs);
+  Matrix analytic;
+  softmax_rows_backward(probs, upstream, analytic);
+
+  const float eps = 1e-3f;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      Matrix plus = scores, minus = scores;
+      plus(r, c) += eps;
+      minus(r, c) -= eps;
+      softmax_rows(plus);
+      softmax_rows(minus);
+      double dplus = 0.0, dminus = 0.0;
+      for (std::size_t i = 0; i < plus.size(); ++i) {
+        dplus += static_cast<double>(plus.flat()[i]) * upstream.flat()[i];
+        dminus += static_cast<double>(minus.flat()[i]) * upstream.flat()[i];
+      }
+      const double numeric = (dplus - dminus) / (2.0 * eps);
+      EXPECT_NEAR(analytic(r, c), numeric, 5e-3) << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(RmsNorm, ForwardNormalizes) {
+  const std::size_t cols = 8;
+  const Matrix in = random_matrix(4, cols, 12);
+  const std::vector<float> gain(cols, 1.0f);
+  Matrix out;
+  std::vector<float> inv_rms;
+  rmsnorm_forward(in, gain, 1e-6f, out, inv_rms);
+  ASSERT_EQ(inv_rms.size(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    double ms = 0.0;
+    for (const float v : out.row(r)) {
+      ms += static_cast<double>(v) * v;
+    }
+    EXPECT_NEAR(ms / cols, 1.0, 1e-3);
+  }
+}
+
+TEST(RmsNorm, BackwardMatchesFiniteDifference) {
+  const std::size_t rows = 3, cols = 6;
+  const Matrix in = random_matrix(rows, cols, 13);
+  std::vector<float> gain(cols);
+  Rng rng(14);
+  for (float& g : gain) {
+    g = rng.uniform(0.5f, 1.5f);
+  }
+  const Matrix upstream = random_matrix(rows, cols, 15);
+  const float eps_norm = 1e-5f;
+
+  Matrix out;
+  std::vector<float> inv_rms;
+  rmsnorm_forward(in, gain, eps_norm, out, inv_rms);
+  Matrix grad_in;
+  std::vector<float> grad_gain(cols, 0.0f);
+  rmsnorm_backward(in, gain, inv_rms, upstream, grad_in, grad_gain);
+
+  const auto loss = [&](const Matrix& x, const std::vector<float>& g) {
+    Matrix o;
+    std::vector<float> ir;
+    rmsnorm_forward(x, g, eps_norm, o, ir);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      acc += static_cast<double>(o.flat()[i]) * upstream.flat()[i];
+    }
+    return acc;
+  };
+
+  const float eps = 1e-3f;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      Matrix plus = in, minus = in;
+      plus(r, c) += eps;
+      minus(r, c) -= eps;
+      const double numeric = (loss(plus, gain) - loss(minus, gain)) / (2 * eps);
+      EXPECT_NEAR(grad_in(r, c), numeric, 5e-3);
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    auto plus = gain, minus = gain;
+    plus[c] += eps;
+    minus[c] -= eps;
+    const double numeric = (loss(in, plus) - loss(in, minus)) / (2 * eps);
+    EXPECT_NEAR(grad_gain[c], numeric, 5e-3);
+  }
+}
+
+TEST(Silu, ForwardValues) {
+  Matrix in(1, 3);
+  in(0, 0) = 0.0f;
+  in(0, 1) = 10.0f;
+  in(0, 2) = -10.0f;
+  Matrix out;
+  silu(in, out);
+  EXPECT_NEAR(out(0, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(out(0, 1), 10.0f, 1e-3f);
+  EXPECT_NEAR(out(0, 2), 0.0f, 1e-3f);
+}
+
+TEST(Silu, BackwardMatchesFiniteDifference) {
+  const Matrix in = random_matrix(4, 5, 16);
+  const Matrix upstream = random_matrix(4, 5, 17);
+  Matrix grad;
+  silu_backward(in, upstream, grad);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    Matrix plus = in, minus = in;
+    plus.flat()[i] += eps;
+    minus.flat()[i] -= eps;
+    Matrix op, om;
+    silu(plus, op);
+    silu(minus, om);
+    const double numeric =
+        (static_cast<double>(op.flat()[i]) - om.flat()[i]) / (2 * eps) *
+        upstream.flat()[i];
+    EXPECT_NEAR(grad.flat()[i], numeric, 5e-3);
+  }
+}
+
+TEST(Rope, InverseRoundTrips) {
+  Matrix x = random_matrix(6, 8, 18);
+  const Matrix original = x;
+  rope_apply(x, /*head_dim=*/4);
+  EXPECT_GT(frobenius_distance(x, original), 1e-3);  // actually rotates
+  rope_apply(x, 4, 10000.0f, /*inverse=*/true);
+  expect_close(x, original, 1e-5f);
+}
+
+TEST(Rope, PositionZeroIsIdentity) {
+  Matrix x = random_matrix(1, 8, 19);
+  const Matrix original = x;
+  rope_apply(x, 4);
+  expect_close(x, original, 1e-6f);
+}
+
+TEST(Rope, PreservesNorms) {
+  Matrix x = random_matrix(5, 8, 20);
+  const double before = sum_squares(x);
+  rope_apply(x, 4);
+  EXPECT_NEAR(sum_squares(x), before, 1e-3);
+}
+
+TEST(Rope, RejectsBadHeadDim) {
+  Matrix x(2, 8);
+  EXPECT_THROW(rope_apply(x, 3), Error);
+  EXPECT_THROW(rope_apply(x, 5), Error);
+}
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  const Matrix a = random_matrix(n, n + 3, seed);
+  Matrix h = matmul(a, a, Trans::no, Trans::yes);
+  for (std::size_t i = 0; i < n; ++i) {
+    h(i, i) += 0.5f;
+  }
+  return h;
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  const Matrix h = random_spd(8, 21);
+  const auto l = cholesky_lower(h);
+  ASSERT_TRUE(l.has_value());
+  expect_close(matmul(*l, *l, Trans::no, Trans::yes), h, 1e-3f);
+  // Strict upper triangle is zero.
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      EXPECT_EQ((*l)(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix m = Matrix::identity(3);
+  m(2, 2) = -1.0f;
+  EXPECT_FALSE(cholesky_lower(m).has_value());
+}
+
+TEST(Cholesky, InverseIsInverse) {
+  const Matrix h = random_spd(10, 22);
+  const Matrix inv = spd_inverse(h);
+  expect_close(matmul(h, inv), Matrix::identity(10), 2e-3f);
+}
+
+TEST(Cholesky, GptqFactorIdentity) {
+  // The GPTQ solver requires U upper-triangular with H⁻¹ = Uᵀ·U.
+  const Matrix h = random_spd(12, 23);
+  const Matrix u = gptq_inverse_factor(h);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_EQ(u(i, j), 0.0f) << "U not upper triangular";
+    }
+  }
+  const Matrix utu = matmul(u, u, Trans::yes, Trans::no);
+  expect_close(utu, spd_inverse(h), 2e-3f);
+}
+
+TEST(Cholesky, SolvesTriangularSystems) {
+  const Matrix h = random_spd(6, 24);
+  const auto l = cholesky_lower(h);
+  ASSERT_TRUE(l.has_value());
+  Rng rng(25);
+  std::vector<float> b(6), x(6), y(6);
+  for (float& v : b) {
+    v = rng.normal(0.0f, 1.0f);
+  }
+  solve_lower(*l, b, x);
+  // Check L x = b.
+  for (std::size_t i = 0; i < 6; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) {
+      acc += (*l)(i, k) * x[k];
+    }
+    EXPECT_NEAR(acc, b[i], 1e-4);
+  }
+  solve_lower_transposed(*l, b, y);
+  for (std::size_t i = 0; i < 6; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = i; k < 6; ++k) {
+      acc += (*l)(k, i) * y[k];
+    }
+    EXPECT_NEAR(acc, b[i], 1e-4);
+  }
+}
+
+TEST(Ops, TraceAndDiagMean) {
+  Matrix m = Matrix::identity(4);
+  m(2, 2) = 5.0f;
+  EXPECT_DOUBLE_EQ(trace(m), 8.0);
+  EXPECT_DOUBLE_EQ(diag_mean(m), 2.0);
+  Matrix rect(2, 3);
+  EXPECT_THROW(trace(rect), Error);
+}
+
+}  // namespace
+}  // namespace aptq

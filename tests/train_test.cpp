@@ -1,0 +1,214 @@
+// Unit tests for src/train: cross-entropy forward/gradient, AdamW mechanics,
+// LR schedule, clipping, and an end-to-end "training reduces loss" check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/corpus.hpp"
+#include "model/forward.hpp"
+#include "train/adamw.hpp"
+#include "train/loss.hpp"
+#include "train/trainer.hpp"
+
+namespace aptq {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig c;
+  c.vocab_size = 16;
+  c.dim = 8;
+  c.n_layers = 1;
+  c.n_heads = 2;
+  c.ffn_dim = 12;
+  return c;
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogV) {
+  Matrix logits(4, 16);  // all-zero logits = uniform distribution
+  const TokenSeq tokens = {1, 2, 3, 4};
+  const auto r = cross_entropy_next_token(logits, tokens);
+  EXPECT_NEAR(r.loss, std::log(16.0), 1e-5);
+  EXPECT_EQ(r.count, 3u);
+}
+
+TEST(CrossEntropy, PerfectPredictionGivesNearZero) {
+  Matrix logits(3, 16);
+  const TokenSeq tokens = {0, 5, 9};
+  logits(0, 5) = 50.0f;
+  logits(1, 9) = 50.0f;
+  const auto r = cross_entropy_next_token(logits, tokens);
+  EXPECT_LT(r.loss, 1e-4);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(1);
+  Matrix logits = Matrix::randn(4, 8, rng);
+  const TokenSeq tokens = {1, 7, 3, 0};
+  const auto r = cross_entropy_next_token(logits, tokens);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Matrix plus = logits, minus = logits;
+    plus.flat()[i] += eps;
+    minus.flat()[i] -= eps;
+    const double numeric =
+        (cross_entropy_next_token(plus, tokens, false).loss -
+         cross_entropy_next_token(minus, tokens, false).loss) /
+        (2 * eps);
+    EXPECT_NEAR(r.grad_logits.flat()[i], numeric, 2e-4);
+  }
+}
+
+TEST(CrossEntropy, LastRowGradientIsZero) {
+  Rng rng(2);
+  const Matrix logits = Matrix::randn(5, 8, rng);
+  const TokenSeq tokens = {1, 2, 3, 4, 5};
+  const auto r = cross_entropy_next_token(logits, tokens);
+  for (std::size_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(r.grad_logits(4, v), 0.0f);
+  }
+}
+
+TEST(CrossEntropy, RejectsDegenerateInput) {
+  Matrix logits(1, 8);
+  EXPECT_THROW(cross_entropy_next_token(logits, TokenSeq{3}), Error);
+  Matrix logits2(2, 8);
+  EXPECT_THROW(cross_entropy_next_token(logits2, TokenSeq{0, 99}), Error);
+}
+
+TEST(AdamW, MovesAgainstGradient) {
+  Model m = Model::init(tiny_config(), 3);
+  Gradients g = Gradients::zeros_like(m);
+  const float before = m.blocks[0].wq(0, 0);
+  g.blocks[0].wq(0, 0) = 1.0f;  // positive gradient → parameter decreases
+  AdamWConfig cfg;
+  cfg.weight_decay = 0.0f;
+  AdamW opt(cfg);
+  opt.step(m, g, 0.01f);
+  EXPECT_LT(m.blocks[0].wq(0, 0), before);
+  EXPECT_EQ(opt.steps_taken(), 1u);
+}
+
+TEST(AdamW, WeightDecayShrinksUntouchedParams) {
+  Model m = Model::init(tiny_config(), 4);
+  m.blocks[0].wv(1, 1) = 2.0f;
+  Gradients g = Gradients::zeros_like(m);
+  AdamWConfig cfg;
+  cfg.weight_decay = 0.1f;
+  AdamW opt(cfg);
+  opt.step(m, g, 0.1f);
+  EXPECT_LT(m.blocks[0].wv(1, 1), 2.0f);
+  EXPECT_GT(m.blocks[0].wv(1, 1), 1.9f);
+}
+
+TEST(AdamW, StepSizeBoundedByLr) {
+  // Adam's per-step displacement is ≈ lr regardless of gradient magnitude.
+  Model m = Model::init(tiny_config(), 5);
+  Gradients g = Gradients::zeros_like(m);
+  g.blocks[0].wq(0, 0) = 1e6f;
+  const float before = m.blocks[0].wq(0, 0);
+  AdamWConfig cfg;
+  cfg.weight_decay = 0.0f;
+  AdamW opt(cfg);
+  opt.step(m, g, 0.01f);
+  EXPECT_NEAR(before - m.blocks[0].wq(0, 0), 0.01f, 2e-3f);
+}
+
+TEST(ClipGradNorm, ClipsAndReportsPreNorm) {
+  Model m = Model::init(tiny_config(), 6);
+  Gradients g = Gradients::zeros_like(m);
+  g.lm_head(0, 0) = 30.0f;
+  g.lm_head(0, 1) = 40.0f;
+  const double pre = clip_grad_norm(g, 1.0);
+  EXPECT_NEAR(pre, 50.0, 1e-4);
+  EXPECT_NEAR(g.l2_norm(), 1.0, 1e-5);
+  // Below threshold: untouched.
+  const double pre2 = clip_grad_norm(g, 10.0);
+  EXPECT_NEAR(pre2, 1.0, 1e-5);
+  EXPECT_NEAR(g.l2_norm(), 1.0, 1e-5);
+}
+
+TEST(CosineLr, WarmupThenDecay) {
+  TrainConfig cfg;
+  cfg.steps = 100;
+  cfg.warmup_steps = 10;
+  cfg.peak_lr = 1.0f;
+  cfg.final_lr_fraction = 0.1f;
+  EXPECT_LT(cosine_lr(0, cfg), 0.2f);
+  EXPECT_NEAR(cosine_lr(9, cfg), 1.0f, 1e-5f);
+  EXPECT_GT(cosine_lr(10, cfg), cosine_lr(50, cfg));
+  EXPECT_GT(cosine_lr(50, cfg), cosine_lr(99, cfg));
+  EXPECT_GE(cosine_lr(99, cfg), 0.1f - 1e-5f);
+}
+
+TEST(Trainer, ReducesLossOnLearnableData) {
+  MarkovSpec spec;
+  spec.seed = 13;
+  spec.vocab_size = 16;
+  spec.topics = 1;
+  spec.branching = 2;
+  spec.topic_switch_prob = 0.0;
+  const Corpus corpus("train", spec, 4000, 500, 7);
+
+  ModelConfig mc = tiny_config();
+  Model m = Model::init(mc, 7);
+
+  // Initial loss on random weights ≈ log(V).
+  Rng rng(8);
+  const TokenSeq probe = corpus.sample_train_segment(32, rng);
+  const double initial =
+      cross_entropy_next_token(model_forward(m, probe), probe, false).loss;
+  EXPECT_NEAR(initial, std::log(16.0), 1.5);
+
+  TrainConfig tc;
+  tc.steps = 500;
+  tc.batch_size = 4;
+  tc.seq_len = 32;
+  tc.peak_lr = 1e-2f;
+  tc.seed = 9;
+  std::size_t callbacks = 0;
+  tc.log_every = 100;
+  const double final_loss = train_model(
+      m, corpus, tc, [&callbacks](const TrainProgress&) { ++callbacks; });
+  EXPECT_LT(final_loss, initial - 0.4);
+  EXPECT_GE(callbacks, 2u);
+
+  const double trained =
+      cross_entropy_next_token(model_forward(m, probe), probe, false).loss;
+  EXPECT_LT(trained, initial - 0.3);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  MarkovSpec spec;
+  spec.seed = 14;
+  spec.vocab_size = 16;
+  spec.topics = 1;
+  spec.branching = 3;
+  const Corpus corpus("train", spec, 2000, 200, 7);
+  TrainConfig tc;
+  tc.steps = 20;
+  tc.batch_size = 2;
+  tc.seq_len = 16;
+  Model a = Model::init(tiny_config(), 10);
+  Model b = Model::init(tiny_config(), 10);
+  train_model(a, corpus, tc);
+  train_model(b, corpus, tc);
+  EXPECT_TRUE(a.blocks[0].wq == b.blocks[0].wq);
+  EXPECT_TRUE(a.lm_head == b.lm_head);
+}
+
+TEST(Trainer, RejectsEmptyCorpora) {
+  Model m = Model::init(tiny_config(), 11);
+  TrainConfig tc;
+  EXPECT_THROW(train_model(m, std::span<const Corpus* const>{}, tc), Error);
+}
+
+TEST(SequenceNll, MatchesCrossEntropy) {
+  Rng rng(12);
+  const Matrix logits = Matrix::randn(5, 16, rng);
+  const TokenSeq tokens = {0, 3, 7, 11, 2};
+  EXPECT_DOUBLE_EQ(sequence_nll(logits, tokens),
+                   cross_entropy_next_token(logits, tokens).loss);
+}
+
+}  // namespace
+}  // namespace aptq
