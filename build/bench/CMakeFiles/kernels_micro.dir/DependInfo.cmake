@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/kernels_micro.cpp" "bench/CMakeFiles/kernels_micro.dir/kernels_micro.cpp.o" "gcc" "bench/CMakeFiles/kernels_micro.dir/kernels_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/aptq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/aptq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aptq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aptq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/aptq_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/aptq_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

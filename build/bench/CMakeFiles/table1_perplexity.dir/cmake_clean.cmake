@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_perplexity.dir/table1_perplexity.cpp.o"
+  "CMakeFiles/table1_perplexity.dir/table1_perplexity.cpp.o.d"
+  "table1_perplexity"
+  "table1_perplexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_perplexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

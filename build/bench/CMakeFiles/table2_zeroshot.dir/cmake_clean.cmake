@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_zeroshot.dir/table2_zeroshot.cpp.o"
+  "CMakeFiles/table2_zeroshot.dir/table2_zeroshot.cpp.o.d"
+  "table2_zeroshot"
+  "table2_zeroshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_zeroshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

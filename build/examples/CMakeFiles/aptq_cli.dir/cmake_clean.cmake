@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptq_cli.dir/aptq_cli.cpp.o"
+  "CMakeFiles/aptq_cli.dir/aptq_cli.cpp.o.d"
+  "aptq_cli"
+  "aptq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_deploy.dir/edge_deploy.cpp.o"
+  "CMakeFiles/edge_deploy.dir/edge_deploy.cpp.o.d"
+  "edge_deploy"
+  "edge_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

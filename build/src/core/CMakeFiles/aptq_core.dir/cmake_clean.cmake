@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptq_core.dir/model_zoo.cpp.o"
+  "CMakeFiles/aptq_core.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/aptq_core.dir/pipeline.cpp.o"
+  "CMakeFiles/aptq_core.dir/pipeline.cpp.o.d"
+  "libaptq_core.a"
+  "libaptq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptq_data.dir/corpus.cpp.o"
+  "CMakeFiles/aptq_data.dir/corpus.cpp.o.d"
+  "CMakeFiles/aptq_data.dir/markov.cpp.o"
+  "CMakeFiles/aptq_data.dir/markov.cpp.o.d"
+  "libaptq_data.a"
+  "libaptq_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptq_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/harness.cpp" "src/eval/CMakeFiles/aptq_eval.dir/harness.cpp.o" "gcc" "src/eval/CMakeFiles/aptq_eval.dir/harness.cpp.o.d"
+  "/root/repo/src/eval/perplexity.cpp" "src/eval/CMakeFiles/aptq_eval.dir/perplexity.cpp.o" "gcc" "src/eval/CMakeFiles/aptq_eval.dir/perplexity.cpp.o.d"
+  "/root/repo/src/eval/tasks.cpp" "src/eval/CMakeFiles/aptq_eval.dir/tasks.cpp.o" "gcc" "src/eval/CMakeFiles/aptq_eval.dir/tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/aptq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/aptq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/aptq_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aptq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/aptq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aptq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

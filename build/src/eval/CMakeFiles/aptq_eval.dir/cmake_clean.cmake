@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptq_eval.dir/harness.cpp.o"
+  "CMakeFiles/aptq_eval.dir/harness.cpp.o.d"
+  "CMakeFiles/aptq_eval.dir/perplexity.cpp.o"
+  "CMakeFiles/aptq_eval.dir/perplexity.cpp.o.d"
+  "CMakeFiles/aptq_eval.dir/tasks.cpp.o"
+  "CMakeFiles/aptq_eval.dir/tasks.cpp.o.d"
+  "libaptq_eval.a"
+  "libaptq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/backward.cpp" "src/model/CMakeFiles/aptq_model.dir/backward.cpp.o" "gcc" "src/model/CMakeFiles/aptq_model.dir/backward.cpp.o.d"
+  "/root/repo/src/model/decoder.cpp" "src/model/CMakeFiles/aptq_model.dir/decoder.cpp.o" "gcc" "src/model/CMakeFiles/aptq_model.dir/decoder.cpp.o.d"
+  "/root/repo/src/model/forward.cpp" "src/model/CMakeFiles/aptq_model.dir/forward.cpp.o" "gcc" "src/model/CMakeFiles/aptq_model.dir/forward.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/aptq_model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/aptq_model.dir/model.cpp.o.d"
+  "/root/repo/src/model/sampler.cpp" "src/model/CMakeFiles/aptq_model.dir/sampler.cpp.o" "gcc" "src/model/CMakeFiles/aptq_model.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/aptq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/aptq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aptq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

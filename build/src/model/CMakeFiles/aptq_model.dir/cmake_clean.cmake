@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptq_model.dir/backward.cpp.o"
+  "CMakeFiles/aptq_model.dir/backward.cpp.o.d"
+  "CMakeFiles/aptq_model.dir/decoder.cpp.o"
+  "CMakeFiles/aptq_model.dir/decoder.cpp.o.d"
+  "CMakeFiles/aptq_model.dir/forward.cpp.o"
+  "CMakeFiles/aptq_model.dir/forward.cpp.o.d"
+  "CMakeFiles/aptq_model.dir/model.cpp.o"
+  "CMakeFiles/aptq_model.dir/model.cpp.o.d"
+  "CMakeFiles/aptq_model.dir/sampler.cpp.o"
+  "CMakeFiles/aptq_model.dir/sampler.cpp.o.d"
+  "libaptq_model.a"
+  "libaptq_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptq_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

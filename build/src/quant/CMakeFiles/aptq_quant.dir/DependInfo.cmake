@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/aptq.cpp" "src/quant/CMakeFiles/aptq_quant.dir/aptq.cpp.o" "gcc" "src/quant/CMakeFiles/aptq_quant.dir/aptq.cpp.o.d"
+  "/root/repo/src/quant/baselines.cpp" "src/quant/CMakeFiles/aptq_quant.dir/baselines.cpp.o" "gcc" "src/quant/CMakeFiles/aptq_quant.dir/baselines.cpp.o.d"
+  "/root/repo/src/quant/diagnostics.cpp" "src/quant/CMakeFiles/aptq_quant.dir/diagnostics.cpp.o" "gcc" "src/quant/CMakeFiles/aptq_quant.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/quant/gptq.cpp" "src/quant/CMakeFiles/aptq_quant.dir/gptq.cpp.o" "gcc" "src/quant/CMakeFiles/aptq_quant.dir/gptq.cpp.o.d"
+  "/root/repo/src/quant/hessian.cpp" "src/quant/CMakeFiles/aptq_quant.dir/hessian.cpp.o" "gcc" "src/quant/CMakeFiles/aptq_quant.dir/hessian.cpp.o.d"
+  "/root/repo/src/quant/mixed_precision.cpp" "src/quant/CMakeFiles/aptq_quant.dir/mixed_precision.cpp.o" "gcc" "src/quant/CMakeFiles/aptq_quant.dir/mixed_precision.cpp.o.d"
+  "/root/repo/src/quant/packed_model.cpp" "src/quant/CMakeFiles/aptq_quant.dir/packed_model.cpp.o" "gcc" "src/quant/CMakeFiles/aptq_quant.dir/packed_model.cpp.o.d"
+  "/root/repo/src/quant/qformat.cpp" "src/quant/CMakeFiles/aptq_quant.dir/qformat.cpp.o" "gcc" "src/quant/CMakeFiles/aptq_quant.dir/qformat.cpp.o.d"
+  "/root/repo/src/quant/qmodel.cpp" "src/quant/CMakeFiles/aptq_quant.dir/qmodel.cpp.o" "gcc" "src/quant/CMakeFiles/aptq_quant.dir/qmodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/aptq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/aptq_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aptq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/aptq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aptq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptq_quant.dir/aptq.cpp.o"
+  "CMakeFiles/aptq_quant.dir/aptq.cpp.o.d"
+  "CMakeFiles/aptq_quant.dir/baselines.cpp.o"
+  "CMakeFiles/aptq_quant.dir/baselines.cpp.o.d"
+  "CMakeFiles/aptq_quant.dir/diagnostics.cpp.o"
+  "CMakeFiles/aptq_quant.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/aptq_quant.dir/gptq.cpp.o"
+  "CMakeFiles/aptq_quant.dir/gptq.cpp.o.d"
+  "CMakeFiles/aptq_quant.dir/hessian.cpp.o"
+  "CMakeFiles/aptq_quant.dir/hessian.cpp.o.d"
+  "CMakeFiles/aptq_quant.dir/mixed_precision.cpp.o"
+  "CMakeFiles/aptq_quant.dir/mixed_precision.cpp.o.d"
+  "CMakeFiles/aptq_quant.dir/packed_model.cpp.o"
+  "CMakeFiles/aptq_quant.dir/packed_model.cpp.o.d"
+  "CMakeFiles/aptq_quant.dir/qformat.cpp.o"
+  "CMakeFiles/aptq_quant.dir/qformat.cpp.o.d"
+  "CMakeFiles/aptq_quant.dir/qmodel.cpp.o"
+  "CMakeFiles/aptq_quant.dir/qmodel.cpp.o.d"
+  "libaptq_quant.a"
+  "libaptq_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptq_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptq_tensor.dir/cholesky.cpp.o"
+  "CMakeFiles/aptq_tensor.dir/cholesky.cpp.o.d"
+  "CMakeFiles/aptq_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/aptq_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/aptq_tensor.dir/ops.cpp.o"
+  "CMakeFiles/aptq_tensor.dir/ops.cpp.o.d"
+  "libaptq_tensor.a"
+  "libaptq_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptq_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

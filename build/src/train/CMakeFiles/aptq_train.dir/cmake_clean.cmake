@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptq_train.dir/adamw.cpp.o"
+  "CMakeFiles/aptq_train.dir/adamw.cpp.o.d"
+  "CMakeFiles/aptq_train.dir/loss.cpp.o"
+  "CMakeFiles/aptq_train.dir/loss.cpp.o.d"
+  "CMakeFiles/aptq_train.dir/trainer.cpp.o"
+  "CMakeFiles/aptq_train.dir/trainer.cpp.o.d"
+  "libaptq_train.a"
+  "libaptq_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptq_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

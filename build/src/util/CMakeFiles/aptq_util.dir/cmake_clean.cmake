@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptq_util.dir/args.cpp.o"
+  "CMakeFiles/aptq_util.dir/args.cpp.o.d"
+  "CMakeFiles/aptq_util.dir/check.cpp.o"
+  "CMakeFiles/aptq_util.dir/check.cpp.o.d"
+  "CMakeFiles/aptq_util.dir/io.cpp.o"
+  "CMakeFiles/aptq_util.dir/io.cpp.o.d"
+  "CMakeFiles/aptq_util.dir/rng.cpp.o"
+  "CMakeFiles/aptq_util.dir/rng.cpp.o.d"
+  "CMakeFiles/aptq_util.dir/table.cpp.o"
+  "CMakeFiles/aptq_util.dir/table.cpp.o.d"
+  "libaptq_util.a"
+  "libaptq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaptq_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptq_calib_test.dir/aptq_calib_test.cpp.o"
+  "CMakeFiles/aptq_calib_test.dir/aptq_calib_test.cpp.o.d"
+  "aptq_calib_test"
+  "aptq_calib_test.pdb"
+  "aptq_calib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptq_calib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptq_test.dir/gptq_test.cpp.o"
+  "CMakeFiles/gptq_test.dir/gptq_test.cpp.o.d"
+  "gptq_test"
+  "gptq_test.pdb"
+  "gptq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

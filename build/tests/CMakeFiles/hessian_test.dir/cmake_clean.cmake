@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hessian_test.dir/hessian_test.cpp.o"
+  "CMakeFiles/hessian_test.dir/hessian_test.cpp.o.d"
+  "hessian_test"
+  "hessian_test.pdb"
+  "hessian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hessian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

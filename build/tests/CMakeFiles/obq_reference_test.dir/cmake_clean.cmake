@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obq_reference_test.dir/obq_reference_test.cpp.o"
+  "CMakeFiles/obq_reference_test.dir/obq_reference_test.cpp.o.d"
+  "obq_reference_test"
+  "obq_reference_test.pdb"
+  "obq_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obq_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

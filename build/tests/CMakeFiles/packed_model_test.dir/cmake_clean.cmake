@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_model_test.dir/packed_model_test.cpp.o"
+  "CMakeFiles/packed_model_test.dir/packed_model_test.cpp.o.d"
+  "packed_model_test"
+  "packed_model_test.pdb"
+  "packed_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qformat_test.dir/qformat_test.cpp.o"
+  "CMakeFiles/qformat_test.dir/qformat_test.cpp.o.d"
+  "qformat_test"
+  "qformat_test.pdb"
+  "qformat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qformat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
