@@ -1,13 +1,32 @@
 // google-benchmark microbenches for the compute kernels underlying the
 // pipeline: GEMM variants, softmax, RMSNorm, Cholesky/GPTQ factor, RTN vs
 // GPTQ solver cost, bit-packing and the fused dequantize-matmul.
+//
+// Before the google-benchmark suite runs, a threads sweep times the three
+// parallelized hot kernels (matmul, Hessian accumulation, GPTQ solve) at
+// 1/2/4 threads plus any `--threads N` and writes the serial-vs-parallel
+// numbers to BENCH_kernels.json. Flags: `--threads N` (pool size for the
+// gbench suite and an extra sweep point), `--sweep-out PATH`, `--no-sweep`.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "model/forward.hpp"
 #include "quant/gptq.hpp"
 #include "quant/hessian.hpp"
 #include "tensor/cholesky.hpp"
 #include "tensor/ops.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
 
 namespace aptq {
 namespace {
@@ -30,6 +49,25 @@ void BM_GemmNN(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_GemmNN)->Arg(48)->Arg(128)->Arg(256);
+
+// Same GEMM at a fixed 256³ problem across pool sizes — the quick in-suite
+// view of the threading win (the standalone sweep below covers 512³).
+void BM_GemmNNThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool::set_global_threads(threads);
+  const std::size_t n = 256;
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    gemm(a, Trans::no, b, Trans::no, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+  ThreadPool::set_global_threads(1);
+}
+BENCHMARK(BM_GemmNNThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_GemmNT(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -193,7 +231,155 @@ void BM_ModelForward(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelForward);
 
+// ---- standalone serial-vs-parallel sweep ----------------------------------
+
+// Best-of-`reps` wall time of `fn`.
+double best_seconds(int reps, const std::function<void()>& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+struct SweepRow {
+  std::string kernel;
+  std::size_t threads = 1;
+  double seconds = 0.0;
+  double speedup_vs_1 = 1.0;
+};
+
+// Time the three parallelized hot kernels at each pool size. The thread
+// counts sweep the pool, never the problem: every timing runs the identical
+// deterministic computation, so the numbers isolate scheduling cost/win.
+std::vector<SweepRow> run_threads_sweep(
+    const std::vector<std::size_t>& thread_counts) {
+  // matmul: the acceptance-criterion 512x512x512 problem.
+  const Matrix ga = random_matrix(512, 512, 21);
+  const Matrix gb = random_matrix(512, 512, 22);
+  Matrix gc(512, 512);
+  // Hessian accumulation: one large calibration batch.
+  const Matrix hx = random_matrix(768, 256, 23);
+  // GPTQ solve: a 192-wide layer.
+  const Matrix qw = random_matrix(192, 192, 24);
+  HessianAccumulator qacc(192);
+  qacc.add_matrix(random_matrix(768, 192, 25));
+  const Matrix qh = qacc.finalized();
+  GptqConfig qcfg;
+  qcfg.spec.bits = 4;
+  qcfg.spec.group_size = 16;
+
+  struct KernelCase {
+    const char* name;
+    std::function<void()> fn;
+  };
+  const KernelCase kernels[] = {
+      {"matmul_512", [&] { gemm(ga, Trans::no, gb, Trans::no, gc); }},
+      {"hessian_accumulate_768x256",
+       [&] {
+         HessianAccumulator acc(256);
+         acc.add_matrix(hx);
+       }},
+      {"gptq_solve_192",
+       [&] { benchmark::DoNotOptimize(gptq_quantize(qw, qh, qcfg).weight); }},
+  };
+
+  std::vector<SweepRow> rows;
+  for (const auto& kernel : kernels) {
+    double serial_seconds = 0.0;
+    for (const std::size_t threads : thread_counts) {
+      ThreadPool::set_global_threads(threads);
+      SweepRow row;
+      row.kernel = kernel.name;
+      row.threads = threads;
+      row.seconds = best_seconds(3, kernel.fn);
+      if (threads == 1) {
+        serial_seconds = row.seconds;
+      }
+      row.speedup_vs_1 =
+          serial_seconds > 0.0 ? serial_seconds / row.seconds : 1.0;
+      rows.push_back(row);
+    }
+  }
+  ThreadPool::set_global_threads(1);
+  return rows;
+}
+
+bool write_sweep_json(const std::vector<SweepRow>& rows,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "kernels_micro: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n";
+  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"kernel\": \"" << r.kernel << "\", \"threads\": "
+        << r.threads << ", \"seconds\": " << r.seconds
+        << ", \"speedup_vs_1\": " << r.speedup_vs_1 << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.good();
+}
+
 }  // namespace
 }  // namespace aptq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::size_t requested_threads = 0;  // 0 = hardware concurrency
+  bool run_sweep = true;
+  std::string sweep_out = "BENCH_kernels.json";
+  // Peel our flags off before google-benchmark parses the rest.
+  std::vector<char*> gbench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      requested_threads =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--no-sweep") {
+      run_sweep = false;
+    } else if (arg == "--sweep-out" && i + 1 < argc) {
+      sweep_out = argv[++i];
+    } else {
+      gbench_args.push_back(argv[i]);
+    }
+  }
+
+  if (run_sweep) {
+    std::vector<std::size_t> counts = {1, 2, 4};
+    if (requested_threads != 0 &&
+        std::find(counts.begin(), counts.end(), requested_threads) ==
+            counts.end()) {
+      counts.push_back(requested_threads);
+    }
+    const auto rows = aptq::run_threads_sweep(counts);
+    if (aptq::write_sweep_json(rows, sweep_out)) {
+      std::printf("threads sweep written to %s\n", sweep_out.c_str());
+    }
+    for (const auto& r : rows) {
+      std::printf("  %-28s threads=%zu  %.6fs  speedup=%.2fx\n",
+                  r.kernel.c_str(), r.threads, r.seconds, r.speedup_vs_1);
+    }
+  }
+
+  aptq::ThreadPool::set_global_threads(requested_threads == 0
+                                           ? 1
+                                           : requested_threads);
+  int gbench_argc = static_cast<int>(gbench_args.size());
+  benchmark::Initialize(&gbench_argc, gbench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc,
+                                             gbench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -91,7 +91,7 @@ int usage() {
       "usage: aptq_cli <quantize|eval|zeroshot|sensitivity|drift|generate> "
       "[--model 7b|13b] [--method NAME] [--ratio R] [--bits N] "
       "[--group G] [--out FILE] [--packed FILE] [--items N] "
-      "[--length N] [--temp T]\n");
+      "[--length N] [--temp T] [--threads N]\n");
   return 2;
 }
 
@@ -103,6 +103,9 @@ int main(int argc, char** argv) {
     if (args.command().empty()) {
       return usage();
     }
+    // --threads N (default: hardware concurrency; 1 = fully serial). All
+    // results are bitwise identical at any thread count.
+    configure_threads(args);
     auto corpora = make_standard_corpora();
     ModelZoo zoo;
 

@@ -5,6 +5,7 @@
 
 #include "quant/gptq.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
 
 namespace aptq {
 
@@ -155,6 +156,29 @@ QuantizedLayerInfo quantize_hessian_layer(const LinearRef& ref,
   return info;
 }
 
+// Fan the independent per-layer quantization jobs of one calibration result
+// out across the thread pool. Each job reads its own Hessian and writes its
+// own weight matrix, so the jobs commute; the info records are appended in
+// calibration order regardless of scheduling.
+template <typename BitsFn>
+void quantize_layers(const CalibrationResult& calib,
+                     const std::map<std::string, const LinearRef*>& by_name,
+                     Method method, const PipelineConfig& config,
+                     const BitsFn& layer_bits,
+                     std::vector<QuantizedLayerInfo>& out) {
+  const std::size_t base = out.size();
+  out.resize(base + calib.layers.size());
+  parallel_for(0, calib.layers.size(), 1,
+               [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const LayerCalibration& layer = calib.layers[i];
+      const LinearRef* ref = by_name.at(layer.name);
+      out[base + i] = quantize_hessian_layer(*ref, layer, method,
+                                             layer_bits(layer.name), config);
+    }
+  });
+}
+
 }  // namespace
 
 QuantizedModel quantize_model_with_segments(
@@ -287,24 +311,17 @@ QuantizedModel quantize_model_with_segments(
 
   if (config.sequential) {
     // GPTQ protocol: quantize block by block, re-deriving each block's
-    // Hessians on the partially quantized model.
+    // Hessians on the partially quantized model. Within a block the layer
+    // jobs are independent and run concurrently.
     for (std::size_t b = 0; b < qm.model.config.n_layers; ++b) {
       const CalibrationResult calib =
           collect_block_calibration(qm.model, segments, b, calib_cfg);
-      for (const auto& layer : calib.layers) {
-        const LinearRef* ref = by_name.at(layer.name);
-        qm.layers.push_back(quantize_hessian_layer(
-            *ref, layer, method, layer_bits(layer.name), config));
-      }
+      quantize_layers(calib, by_name, method, config, layer_bits, qm.layers);
     }
   } else {
     const CalibrationResult calib =
         collect_calibration(fp_model, segments, calib_cfg);
-    for (const auto& layer : calib.layers) {
-      const LinearRef* ref = by_name.at(layer.name);
-      qm.layers.push_back(quantize_hessian_layer(
-          *ref, layer, method, layer_bits(layer.name), config));
-    }
+    quantize_layers(calib, by_name, method, config, layer_bits, qm.layers);
   }
   return qm;
 }

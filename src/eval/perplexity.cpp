@@ -4,26 +4,52 @@
 
 #include "train/loss.hpp"
 #include "util/check.hpp"
+#include "util/threadpool.hpp"
 
 namespace aptq {
+
+namespace {
+
+// Per-segment contribution: summed NLL and the token count behind it.
+struct SegmentStat {
+  double nll = 0.0;
+  std::size_t tokens = 0;
+};
+
+}  // namespace
 
 PerplexityResult evaluate_perplexity(const Model& model,
                                      std::span<const TokenSeq> segments,
                                      const ForwardOptions& options) {
   APTQ_CHECK(!segments.empty(), "evaluate_perplexity: no segments");
-  double total_nll = 0.0;
-  std::size_t total_tokens = 0;
-  for (const auto& segment : segments) {
-    APTQ_CHECK(segment.size() >= 2, "evaluate_perplexity: segment too short");
-    const Matrix logits = model_forward(model, segment, options);
-    const auto ce =
-        cross_entropy_next_token(logits, segment, /*want_grad=*/false);
-    total_nll += ce.loss * static_cast<double>(ce.count);
-    total_tokens += ce.count;
-  }
+  // Segments evaluate independently (each forward uses its own cache), so
+  // they fan out across the thread pool; grain 1 plus the fixed-order fold
+  // of parallel_reduce reproduces the serial left fold over segments
+  // bitwise at any thread count.
+  const SegmentStat total = parallel_reduce(
+      0, segments.size(), 1, SegmentStat{},
+      [&](std::size_t b, std::size_t e) {
+        SegmentStat stat;
+        for (std::size_t si = b; si < e; ++si) {
+          const auto& segment = segments[si];
+          APTQ_CHECK(segment.size() >= 2,
+                     "evaluate_perplexity: segment too short");
+          const Matrix logits = model_forward(model, segment, options);
+          const auto ce =
+              cross_entropy_next_token(logits, segment, /*want_grad=*/false);
+          stat.nll += ce.loss * static_cast<double>(ce.count);
+          stat.tokens += ce.count;
+        }
+        return stat;
+      },
+      [](SegmentStat acc, const SegmentStat& part) {
+        acc.nll += part.nll;
+        acc.tokens += part.tokens;
+        return acc;
+      });
   PerplexityResult result;
-  result.tokens = total_tokens;
-  result.nll = total_nll / static_cast<double>(total_tokens);
+  result.tokens = total.tokens;
+  result.nll = total.nll / static_cast<double>(total.tokens);
   result.perplexity = std::exp(result.nll);
   return result;
 }

@@ -5,6 +5,7 @@
 #include "model/backward.hpp"
 #include "model/forward.hpp"
 #include "tensor/ops.hpp"
+#include "util/threadpool.hpp"
 
 namespace aptq {
 
@@ -109,11 +110,16 @@ CalibrationResult collect_impl(const Model& model,
     model_forward(model, segment, cache);
     // γ per block (computed once, shared by that block's q/k/v slots). The
     // probe RNG is keyed to (seed, segment, block) so per-block collection
-    // reproduces exactly the γ a full-model pass would produce.
+    // reproduces exactly the γ a full-model pass would produce — and so the
+    // blocks' probe passes can run concurrently, each on its own stream.
     std::vector<AttentionGammas> gammas(model.config.n_layers);
     if (config.mode == HessianMode::aptq) {
-      for (auto& slot : slots) {
-        if (slot.ref.kind == LinearKind::q_proj) {
+      parallel_for(0, slots.size(), 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const auto& slot = slots[i];
+          if (slot.ref.kind != LinearKind::q_proj) {
+            continue;
+          }
           Rng probe_rng(config.seed ^ (si * 1000003ull) ^
                         (slot.ref.block * 7919ull + 1));
           gammas[slot.ref.block] =
@@ -121,26 +127,32 @@ CalibrationResult collect_impl(const Model& model,
                                cache.blocks[slot.ref.block],
                                config.probes, probe_rng);
         }
-      }
+      });
     }
-    for (auto& slot : slots) {
-      const Matrix& x = linear_input(cache, slot.ref.kind, slot.ref.block);
-      std::span<const float> gamma;
-      if (config.mode == HessianMode::aptq) {
-        const auto& bg = gammas[slot.ref.block];
-        switch (slot.ref.kind) {
-          case LinearKind::q_proj: gamma = bg.q; break;
-          case LinearKind::k_proj: gamma = bg.k; break;
-          case LinearKind::v_proj: gamma = bg.v; break;
-          default: break;  // o_proj / FFN / lm_head: γ ≡ 1 (eq. 9)
+    // Per-layer Hessian accumulation: every slot owns its accumulator and
+    // reads the shared forward cache, so the layer fan-out is embarrassingly
+    // parallel and each layer's token order matches the serial path.
+    parallel_for(0, slots.size(), 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        auto& slot = slots[i];
+        const Matrix& x = linear_input(cache, slot.ref.kind, slot.ref.block);
+        std::span<const float> gamma;
+        if (config.mode == HessianMode::aptq) {
+          const auto& bg = gammas[slot.ref.block];
+          switch (slot.ref.kind) {
+            case LinearKind::q_proj: gamma = bg.q; break;
+            case LinearKind::k_proj: gamma = bg.k; break;
+            case LinearKind::v_proj: gamma = bg.v; break;
+            default: break;  // o_proj / FFN / lm_head: γ ≡ 1 (eq. 9)
+          }
+        }
+        slot.acc.add_matrix(x, gamma);
+        for (const float gv : gamma) {
+          slot.gamma_sum += gv;
+          ++slot.gamma_count;
         }
       }
-      slot.acc.add_matrix(x, gamma);
-      for (const float gv : gamma) {
-        slot.gamma_sum += gv;
-        ++slot.gamma_count;
-      }
-    }
+    });
   }
 
   CalibrationResult result;

@@ -6,6 +6,7 @@
 #include "quant/hessian.hpp"
 #include "tensor/cholesky.hpp"
 #include "tensor/ops.hpp"
+#include "util/threadpool.hpp"
 
 namespace aptq {
 
@@ -93,73 +94,73 @@ GptqResult gptq_quantize(const Matrix& w, const Matrix& h,
 
   const std::size_t group =
       config.spec.group_size == 0 ? d_in : config.spec.group_size;
-  std::vector<GroupParams> row_params(d_out);  // params of the active group
-  std::vector<float> err_col(d_out);
-  double proxy_loss = 0.0;
-
   const std::size_t block = config.block_size;
-  Matrix err_block(d_out, block);
-  for (std::size_t i1 = 0; i1 < d_in; i1 += block) {
-    const std::size_t i2 = std::min(i1 + block, d_in);
-    err_block.set_zero();
 
-    for (std::size_t j = i1; j < i2; ++j) {
-      if (j % group == 0) {
-        // Fit each row's grid on the *updated* weights of this group
-        // (error feedback from earlier columns is already applied).
-        const std::size_t glen = std::min(group, d_in - j);
-        for (std::size_t r = 0; r < d_out; ++r) {
-          row_params[r] = fit_group_params(
-              std::span<const float>(work.data() + r * d_in + j, glen),
-              config.spec);
-        }
-      }
-      if (keep_fp[j]) {
-        continue;  // weak column kept in full precision: no error to spread
-      }
-      const float djj = u(j, j);
-      for (std::size_t r = 0; r < d_out; ++r) {
-        const float wv = work(r, j);
-        const float q =
-            quantize_dequantize_value(wv, row_params[r], config.spec);
-        work(r, j) = q;
-        const float e = (wv - q) / djj;
-        err_col[r] = e;
-        err_block(r, j - i1) = e;
-        proxy_loss += static_cast<double>(e) * e;
-      }
-      // Propagate into the remaining columns of this block.
-      for (std::size_t r = 0; r < d_out; ++r) {
-        const float e = err_col[r];
-        if (e == 0.0f) {
-          continue;
-        }
-        float* wr = work.data() + r * d_in;
-        const float* ur = u.data() + j * d_in;
-        for (std::size_t c = j + 1; c < i2; ++c) {
-          wr[c] -= e * ur[c];
-        }
-      }
-    }
+  // Rows solve independently: each reads only the shared inverse factor and
+  // its own weight row, so the rows fan out across the thread pool and every
+  // row runs the exact serial column sweep (bitwise-identical weights at any
+  // thread count). Per-row Σe² partials are folded in ascending row order,
+  // which keeps the reported proxy loss thread-count invariant too.
+  const double proxy_loss = parallel_reduce(
+      0, d_out, 1, 0.0,
+      [&](std::size_t r0, std::size_t r1) {
+        std::vector<float> err_block(block);
+        double loss = 0.0;
+        for (std::size_t r = r0; r < r1; ++r) {
+          float* wr = work.data() + r * d_in;
+          GroupParams params;  // params of the active group
+          for (std::size_t i1 = 0; i1 < d_in; i1 += block) {
+            const std::size_t i2 = std::min(i1 + block, d_in);
 
-    // Lazy update of everything beyond the block:
-    // W[:, i2:] -= Err · U[i1:i2, i2:].
-    if (i2 < d_in) {
-      for (std::size_t r = 0; r < d_out; ++r) {
-        float* wr = work.data() + r * d_in;
-        for (std::size_t j = i1; j < i2; ++j) {
-          const float e = err_block(r, j - i1);
-          if (e == 0.0f) {
-            continue;
-          }
-          const float* ur = u.data() + j * d_in;
-          for (std::size_t c = i2; c < d_in; ++c) {
-            wr[c] -= e * ur[c];
+            for (std::size_t j = i1; j < i2; ++j) {
+              if (j % group == 0) {
+                // Fit the row's grid on the *updated* weights of this group
+                // (error feedback from earlier columns is already applied).
+                const std::size_t glen = std::min(group, d_in - j);
+                params = fit_group_params(
+                    std::span<const float>(wr + j, glen), config.spec);
+              }
+              if (keep_fp[j]) {
+                // Weak column kept in full precision: no error to spread.
+                err_block[j - i1] = 0.0f;
+                continue;
+              }
+              const float djj = u(j, j);
+              const float wv = wr[j];
+              const float q =
+                  quantize_dequantize_value(wv, params, config.spec);
+              wr[j] = q;
+              const float e = (wv - q) / djj;
+              err_block[j - i1] = e;
+              loss += static_cast<double>(e) * e;
+              // Propagate into the remaining columns of this block.
+              if (e != 0.0f) {
+                const float* ur = u.data() + j * d_in;
+                for (std::size_t c = j + 1; c < i2; ++c) {
+                  wr[c] -= e * ur[c];
+                }
+              }
+            }
+
+            // Lazy update of everything beyond the block:
+            // W[r, i2:] -= Err · U[i1:i2, i2:].
+            if (i2 < d_in) {
+              for (std::size_t j = i1; j < i2; ++j) {
+                const float e = err_block[j - i1];
+                if (e == 0.0f) {
+                  continue;
+                }
+                const float* ur = u.data() + j * d_in;
+                for (std::size_t c = i2; c < d_in; ++c) {
+                  wr[c] -= e * ur[c];
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
+        return loss;
+      },
+      [](double acc, double partial) { return acc + partial; });
 
   GptqResult result;
   if (config.act_order) {

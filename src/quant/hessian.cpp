@@ -1,6 +1,7 @@
 #include "quant/hessian.hpp"
 
 #include "tensor/ops.hpp"
+#include "util/threadpool.hpp"
 
 namespace aptq {
 
@@ -30,9 +31,35 @@ void HessianAccumulator::add_matrix(const Matrix& x,
                                     std::span<const float> gamma) {
   APTQ_CHECK(gamma.empty() || gamma.size() == x.rows(),
              "HessianAccumulator: gamma length mismatch");
-  for (std::size_t t = 0; t < x.rows(); ++t) {
-    add_token(x.row(t), gamma.empty() ? 1.0f : gamma[t]);
+  const std::size_t d = h_.rows();
+  APTQ_CHECK(x.cols() == d || x.rows() == 0,
+             "HessianAccumulator: token width mismatch");
+  for (const float g : gamma) {
+    APTQ_CHECK(g >= 0.0f, "HessianAccumulator: negative weight");
   }
+  // Parallel over rows of H: each element h(i, j) is owned by exactly one
+  // chunk and accumulates its tokens in call order, so the result is
+  // bitwise identical to the serial token-by-token path at any thread
+  // count. The upper triangle makes early rows heavier, so the grain is
+  // kept small to let chunk scheduling balance the load.
+  const std::size_t t_count = x.rows();
+  parallel_for(0, d, 4, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t t = 0; t < t_count; ++t) {
+      const float* xt = x.data() + t * d;
+      const float g = gamma.empty() ? 1.0f : gamma[t];
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float gi = g * xt[i];
+        if (gi == 0.0f) {
+          continue;
+        }
+        float* row = h_.data() + i * d;
+        for (std::size_t j = i; j < d; ++j) {
+          row[j] += gi * xt[j];
+        }
+      }
+    }
+  });
+  tokens_ += t_count;
 }
 
 Matrix HessianAccumulator::finalized() const {

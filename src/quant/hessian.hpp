@@ -31,6 +31,9 @@ class HessianAccumulator {
   void add_token(std::span<const float> x, float gamma = 1.0f);
 
   /// Add every row of `x`; `gamma` is either empty (all ones) or per-row.
+  /// Rows of H are split across the thread pool with a fixed per-element
+  /// accumulation order, so the result is bitwise identical to the serial
+  /// token-by-token path at any thread count.
   void add_matrix(const Matrix& x, std::span<const float> gamma = {});
 
   /// The accumulated Hessian, normalized by the token count (the scale-free

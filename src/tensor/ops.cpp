@@ -3,29 +3,49 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/threadpool.hpp"
+
 namespace aptq {
 
 namespace {
+
+// Row-chunk size for parallel gemm: aim for at least ~32k flops per chunk
+// so small matmuls stay on one thread. Depends only on the shape (never the
+// thread count), so chunk boundaries — and therefore results — are
+// reproducible (docs/PARALLELISM.md).
+std::size_t gemm_row_grain(std::size_t flops_per_row) {
+  constexpr std::size_t kMinChunkFlops = 32768;
+  return std::max<std::size_t>(
+      1, kMinChunkFlops / std::max<std::size_t>(1, flops_per_row));
+}
+
+// Every gemm variant parallelizes over rows of C. Each output element is
+// written by exactly one chunk and accumulated in the same per-element
+// order as the serial loops, so results are bitwise identical at any
+// thread count.
 
 // C += alpha * A * B, all row-major; ikj ordering vectorizes over j.
 void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    float* crow = c.data() + i * n;
-    const float* arow = a.data() + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = alpha * arow[p];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* brow = b.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
+  parallel_for(0, m, gemm_row_grain(2 * k * n),
+               [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* crow = c.data() + i * n;
+      const float* arow = a.data() + i * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = alpha * arow[p];
+        if (av == 0.0f) {
+          continue;
+        }
+        const float* brow = b.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
 }
 
 // C += alpha * A * B^T; rows of A dot rows of B (both contiguous).
@@ -33,39 +53,46 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = c.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) {
-        acc += arow[p] * brow[p];
+  parallel_for(0, m, gemm_row_grain(2 * k * n),
+               [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* arow = a.data() + i * k;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b.data() + j * k;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) {
+          acc += arow[p] * brow[p];
+        }
+        crow[j] += alpha * acc;
       }
-      crow[j] += alpha * acc;
     }
-  }
+  });
 }
 
-// C += alpha * A^T * B; rank-1 update per shared row index.
+// C += alpha * A^T * B. Rows of C are independent; per element the
+// accumulation still runs over the shared index p in ascending order, the
+// same fold the old p-outer rank-1 formulation produced.
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
   const std::size_t k = a.rows();  // shared dimension
   const std::size_t m = a.cols();
   const std::size_t n = b.cols();
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = a.data() + p * m;
-    const float* brow = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = alpha * arow[i];
-      if (av == 0.0f) {
-        continue;
-      }
+  parallel_for(0, m, gemm_row_grain(2 * k * n),
+               [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
       float* crow = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = alpha * a.data()[p * m + i];
+        if (av == 0.0f) {
+          continue;
+        }
+        const float* brow = b.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
 }
 
 // C += alpha * A^T * B^T (rare; used only in gradient checks).
@@ -73,15 +100,18 @@ void gemm_tt(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
   const std::size_t m = a.cols();
   const std::size_t k = a.rows();
   const std::size_t n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) {
-        acc += a(p, i) * b(j, p);
+  parallel_for(0, m, gemm_row_grain(2 * k * n),
+               [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) {
+          acc += a(p, i) * b(j, p);
+        }
+        c(i, j) += alpha * acc;
       }
-      c(i, j) += alpha * acc;
     }
-  }
+  });
 }
 
 }  // namespace

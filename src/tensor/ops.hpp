@@ -1,9 +1,11 @@
 // Dense linear-algebra and neural-network kernels over Matrix.
 //
 // These are the compute substrate for the transformer forward/backward pass
-// and the quantization solvers. All kernels are single-threaded and written
-// so the compiler can auto-vectorize the innermost loops (contiguous unit
-// stride, no aliasing through the Matrix API).
+// and the quantization solvers. The gemm variants split their output rows
+// across the global thread pool (chunk boundaries depend only on the shape,
+// so results are bitwise identical at any thread count — see
+// docs/PARALLELISM.md); all kernels keep contiguous unit-stride inner loops
+// so the compiler can auto-vectorize them.
 #pragma once
 
 #include <span>

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/threadpool.hpp"
+
 namespace aptq {
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
@@ -66,6 +68,12 @@ long ArgParser::get_long(const std::string& flag, long fallback) const {
   return v;
 }
 
+std::size_t ArgParser::threads() const {
+  const long n = get_long("threads", 0);
+  APTQ_CHECK(n >= 0, "flag --threads must be non-negative");
+  return static_cast<std::size_t>(n);
+}
+
 std::vector<std::string> ArgParser::unused() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : flags_) {
@@ -74,6 +82,11 @@ std::vector<std::string> ArgParser::unused() const {
     }
   }
   return out;
+}
+
+std::size_t configure_threads(const ArgParser& args) {
+  ThreadPool::set_global_threads(args.threads());
+  return ThreadPool::global_thread_count();
 }
 
 }  // namespace aptq

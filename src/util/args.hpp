@@ -30,10 +30,19 @@ class ArgParser {
   /// Flags that were provided but never read (typo detection).
   std::vector<std::string> unused() const;
 
+  /// Thread count requested via `--threads N`; 0 (the default when the
+  /// flag is absent) means one thread per hardware core.
+  std::size_t threads() const;
+
  private:
   std::string command_;
   std::map<std::string, std::string> flags_;
   mutable std::map<std::string, bool> read_;
 };
+
+/// Applies the standard `--threads N` flag to the global thread pool
+/// (N == 0 or flag absent: one thread per hardware core; N == 1 restores
+/// fully serial execution). Returns the effective thread count.
+std::size_t configure_threads(const ArgParser& args);
 
 }  // namespace aptq

@@ -1,0 +1,173 @@
+#include "util/threadpool.hpp"
+
+namespace aptq {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+// RAII flag for the duration of chunk execution on any thread (worker or
+// submitter), so nested parallel_for calls degrade to serial inline loops.
+struct InWorkerScope {
+  InWorkerScope() : previous(t_in_worker) { t_in_worker = true; }
+  ~InWorkerScope() { t_in_worker = previous; }
+  bool previous;
+};
+
+std::size_t resolve_thread_count(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+  }
+  return threads == 0 ? 1 : threads;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t total = resolve_thread_count(threads);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+void ThreadPool::run_chunks(Job& job) {
+  InWorkerScope scope;
+  for (;;) {
+    const std::size_t c = job.next_chunk.fetch_add(1);
+    if (c >= job.nchunks) {
+      break;
+    }
+    if (!job.failed.load()) {
+      try {
+        const std::size_t cb = job.begin + c * job.grain;
+        const std::size_t ce =
+            cb + job.grain < job.end ? cb + job.grain : job.end;
+        (*job.fn)(cb, ce);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.done_mutex);
+        if (!job.error) {
+          job.error = std::current_exception();
+        }
+        job.failed.store(true);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(job.done_mutex);
+      if (++job.chunks_done == job.nchunks) {
+        job.done_cv.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait(lock, [&] {
+        return stop_ || (job_seq_ != seen && job_ != nullptr);
+      });
+      if (stop_) {
+        return;
+      }
+      seen = job_seq_;
+      job = job_;
+    }
+    run_chunks(*job);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) {
+    return;
+  }
+  grain = grain == 0 ? 1 : grain;
+  const std::size_t nchunks = (end - begin + grain - 1) / grain;
+  if (workers_.empty() || in_worker() || nchunks == 1) {
+    for (std::size_t cb = begin; cb < end; cb += grain) {
+      fn(cb, cb + grain < end ? cb + grain : end);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->nchunks = nchunks;
+  job->fn = &fn;
+  {
+    // One top-level job at a time; later submitters queue here.
+    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      job_ = job;
+      ++job_seq_;
+    }
+    wake_cv_.notify_all();
+    run_chunks(*job);
+    {
+      std::unique_lock<std::mutex> lock(job->done_mutex);
+      job->done_cv.wait(lock, [&] { return job->chunks_done == job->nchunks; });
+    }
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      job_ = nullptr;
+    }
+  }
+  if (job->error) {
+    std::rethrow_exception(job->error);
+  }
+}
+
+namespace {
+
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (!slot) {
+    slot = std::make_unique<ThreadPool>(0);
+  }
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  global_pool_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+std::size_t ThreadPool::global_thread_count() {
+  return global().thread_count();
+}
+
+}  // namespace aptq

@@ -1,0 +1,156 @@
+// Thread-pool parallelism for the quantization hot paths.
+//
+// The pool exposes one primitive, parallel_for(begin, end, grain, fn):
+// [begin, end) is split into fixed grain-sized chunks
+// [begin + k·grain, min(begin + (k+1)·grain, end)) and `fn(chunk_begin,
+// chunk_end)` is invoked exactly once per chunk, on unspecified threads in
+// unspecified order. The chunk boundaries are a pure function of
+// (begin, end, grain) — never of the thread count — which is what makes the
+// parallel results reproducible: a kernel whose chunks write disjoint
+// outputs and read shared inputs produces bitwise-identical results at any
+// thread count, including the serial one (see docs/PARALLELISM.md).
+//
+// parallel_reduce adds a deterministic reduction on top: per-chunk partials
+// are computed in parallel and then combined in ascending chunk order, so
+// the floating-point fold order is fixed regardless of how chunks were
+// scheduled. With grain == 1 the fold is exactly the serial left fold.
+//
+// Nested parallel_for calls (a parallel kernel invoked from inside a worker)
+// run serially inline on the calling thread: deadlock-free by construction
+// and still covered by the determinism guarantee.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace aptq {
+
+/// A fixed-size pool of worker threads executing chunked index ranges.
+/// The submitting thread participates in the work, so a pool with
+/// thread_count() == n uses n - 1 dedicated workers. Reusable across any
+/// number of parallel_for submissions; concurrent top-level submissions
+/// from different threads are serialized.
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (dedicated workers + the submitting thread).
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Invoke `fn(chunk_begin, chunk_end)` once per grain-sized chunk of
+  /// [begin, end). Blocks until every chunk has completed. If any chunk
+  /// throws, remaining chunks are skipped (already-started ones finish) and
+  /// the first exception is rethrown here.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// True on a thread currently executing pool work (nested parallel_for
+  /// detects this and degrades to a serial inline loop).
+  static bool in_worker();
+
+  /// The process-wide pool used by the free parallel_for/parallel_reduce.
+  /// Created on first use with the hardware thread count.
+  static ThreadPool& global();
+
+  /// Replace the global pool with one of `threads` threads (0 = hardware
+  /// concurrency). Call at startup or between parallel regions, not while
+  /// work is in flight.
+  static void set_global_threads(std::size_t threads);
+
+  /// thread_count() of the global pool.
+  static std::size_t global_thread_count();
+
+ private:
+  struct Job {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::size_t nchunks = 0;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<bool> failed{false};
+    std::size_t chunks_done = 0;  // guarded by done_mutex
+    std::exception_ptr error;     // guarded by done_mutex
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+
+  void worker_loop();
+  static void run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::shared_ptr<Job> job_;        // guarded by wake_mutex_
+  std::uint64_t job_seq_ = 0;       // guarded by wake_mutex_
+  bool stop_ = false;               // guarded by wake_mutex_
+  std::mutex submit_mutex_;         // serializes top-level submissions
+};
+
+/// Chunked loop over [begin, end) on the global pool. Serial fast path
+/// (same chunk structure, ascending order) when the pool has one thread or
+/// the caller is already inside pool work.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Fn&& fn) {
+  if (end <= begin) {
+    return;
+  }
+  const std::size_t g = grain == 0 ? 1 : grain;
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.thread_count() <= 1 || ThreadPool::in_worker() ||
+      end - begin <= g) {
+    for (std::size_t cb = begin; cb < end; cb += g) {
+      fn(cb, cb + g < end ? cb + g : end);
+    }
+    return;
+  }
+  pool.parallel_for(begin, end, g,
+                    std::function<void(std::size_t, std::size_t)>(
+                        std::forward<Fn>(fn)));
+}
+
+/// Deterministic parallel reduction: `chunk_fn(chunk_begin, chunk_end)`
+/// produces one partial per grain-sized chunk (computed in parallel), and
+/// `combine(acc, partial)` folds the partials in ascending chunk order.
+/// The result is therefore independent of the thread count and of chunk
+/// scheduling; with grain == 1 it equals the serial left fold over
+/// single-element terms.
+template <typename T, typename ChunkFn, typename CombineFn>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T init, ChunkFn chunk_fn, CombineFn combine) {
+  if (end <= begin) {
+    return init;
+  }
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t nchunks = (end - begin + g - 1) / g;
+  std::vector<T> partials(nchunks);
+  parallel_for(0, nchunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const std::size_t b = begin + c * g;
+      const std::size_t e = b + g < end ? b + g : end;
+      partials[c] = chunk_fn(b, e);
+    }
+  });
+  T acc = std::move(init);
+  for (T& partial : partials) {
+    acc = combine(std::move(acc), std::move(partial));
+  }
+  return acc;
+}
+
+}  // namespace aptq

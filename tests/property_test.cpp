@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "quant/gptq.hpp"
+#include "quant/qformat.hpp"
 #include "quant/hessian.hpp"
 #include "tensor/cholesky.hpp"
 #include "tensor/ops.hpp"
@@ -81,6 +83,121 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(GridCase{2, 8, false}, GridCase{2, 0, true},
                       GridCase{3, 8, false}, GridCase{4, 16, false},
                       GridCase{4, 0, true}, GridCase{8, 8, false}));
+
+// ---- round-trip sweep across every supported bit width -------------------
+
+// Row length 23 with groups {5, 8, 0}: 23 is divisible by none of them, so
+// every case exercises a short tail group at the row boundary.
+class BitWidthRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitWidthRoundTrip, ErrorWithinHalfStepPerGroup) {
+  const int bits = GetParam();
+  for (const std::size_t group : {std::size_t{5}, std::size_t{8},
+                                  std::size_t{0}}) {
+    QuantSpec spec;
+    spec.bits = bits;
+    spec.group_size = group;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      Rng rng(6000 + seed);
+      std::vector<float> row(23);
+      for (auto& v : row) {
+        v = rng.normal(0.0f, rng.uniform(0.2f, 2.0f));
+      }
+      const std::vector<float> orig = row;
+      const auto params = quantize_dequantize_row(row, spec);
+      ASSERT_EQ(params.size(), group_count(row.size(), spec));
+      const std::size_t g = group == 0 ? row.size() : group;
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        // Round-to-nearest on an affine grid spanning the group's min..max:
+        // at most half a step of error for values inside the span.
+        const float step = params[c / g].scale;
+        EXPECT_LE(std::fabs(row[c] - orig[c]), 0.5f * step + 1e-6f)
+            << "bits=" << bits << " group=" << group << " seed=" << seed
+            << " col=" << c;
+      }
+    }
+  }
+}
+
+TEST_P(BitWidthRoundTrip, DoubleQuantizationIsIdempotent) {
+  const int bits = GetParam();
+  for (const std::size_t group : {std::size_t{5}, std::size_t{0}}) {
+    QuantSpec spec;
+    spec.bits = bits;
+    spec.group_size = group;
+    Rng rng(6100 + static_cast<std::uint64_t>(bits));
+    std::vector<float> row(23);
+    for (auto& v : row) {
+      v = rng.normal(0.0f, 1.0f);
+    }
+    quantize_dequantize_row(row, spec);
+    std::vector<float> again = row;
+    quantize_dequantize_row(again, spec);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      EXPECT_NEAR(again[c], row[c], 1e-4f)
+          << "bits=" << bits << " group=" << group << " col=" << c;
+    }
+  }
+}
+
+TEST_P(BitWidthRoundTrip, TailGroupGetsItsOwnScale) {
+  // The 3-element tail of a 23-wide row under group 5 must be fit from its
+  // own min/max, not the previous group's: plant a tail with a much smaller
+  // range and check its error bound tracks the tail scale.
+  const int bits = GetParam();
+  QuantSpec spec;
+  spec.bits = bits;
+  spec.group_size = 5;
+  std::vector<float> row(23);
+  Rng rng(6200);
+  for (std::size_t c = 0; c < 20; ++c) {
+    row[c] = rng.normal(0.0f, 5.0f);  // loud leading groups
+  }
+  for (std::size_t c = 20; c < 23; ++c) {
+    row[c] = rng.normal(0.0f, 0.01f);  // quiet tail
+  }
+  const std::vector<float> orig = row;
+  const auto params = quantize_dequantize_row(row, spec);
+  ASSERT_EQ(params.size(), 5u);
+  const float tail_step = params[4].scale;
+  for (std::size_t c = 20; c < 23; ++c) {
+    EXPECT_LE(std::fabs(row[c] - orig[c]), 0.5f * tail_step + 1e-7f);
+  }
+  // A tail reusing a loud group's scale would show a much larger step.
+  EXPECT_LT(tail_step, params[0].scale * 0.1f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitWidths, BitWidthRoundTrip,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(Fp4Properties, RoundTripBoundAndIdempotence) {
+  QuantSpec spec;
+  spec.format = QFormat::fp4_e2m1;
+  spec.bits = 4;
+  for (const std::size_t group : {std::size_t{5}, std::size_t{8},
+                                  std::size_t{0}}) {
+    spec.group_size = group;
+    Rng rng(6300 + group);
+    std::vector<float> row(23);
+    for (auto& v : row) {
+      v = rng.normal(0.0f, 1.5f);
+    }
+    const std::vector<float> orig = row;
+    const auto params = quantize_dequantize_row(row, spec);
+    const std::size_t g = group == 0 ? row.size() : group;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      // E2M1 magnitudes are {0, .5, 1, 1.5, 2, 3, 4, 6}·scale; the widest
+      // gap (4..6) gives a worst-case error of one scale unit.
+      EXPECT_LE(std::fabs(row[c] - orig[c]), params[c / g].scale * 1.01f)
+          << "group=" << group << " col=" << c;
+    }
+    std::vector<float> again = row;
+    quantize_dequantize_row(again, spec);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      EXPECT_NEAR(again[c], row[c], 1e-4f) << "group=" << group;
+    }
+  }
+}
 
 // ---- Hessian properties --------------------------------------------------
 

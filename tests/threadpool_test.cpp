@@ -1,0 +1,166 @@
+// Unit tests for the ThreadPool primitive itself: chunking contract, edge
+// ranges, exception propagation, nesting, reduction determinism, and reuse
+// across many submissions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/threadpool.hpp"
+
+namespace aptq {
+namespace {
+
+TEST(ThreadPool, EmptyRangeNeverInvokes) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, 2, [&](std::size_t, std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, 2, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, RangeSmallerThanGrainIsOneChunk) {
+  ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(3, 7, 100, [&](std::size_t b, std::size_t e) {
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{3, 7}));
+}
+
+TEST(ThreadPool, ChunkBoundariesAreGrainMultiples) {
+  // 0..23 with grain 5 must split into {0..5, 5..10, 10..15, 15..20, 20..23}
+  // at every thread count — boundaries never depend on the pool size.
+  for (const std::size_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    std::mutex m;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(0, 23, 5, [&](std::size_t b, std::size_t e) {
+      std::lock_guard<std::mutex> lock(m);
+      chunks.emplace(b, e);
+    });
+    const std::set<std::pair<std::size_t, std::size_t>> expected = {
+        {0, 5}, {5, 10}, {10, 15}, {15, 20}, {20, 23}};
+    EXPECT_EQ(chunks, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<int> visits(n, 0);
+  pool.parallel_for(0, n, 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      ++visits[i];  // disjoint chunks: no data race
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesOutOfWorker) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [&](std::size_t b, std::size_t) {
+                          if (b == 37) {
+                            throw std::runtime_error("worker failure");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool survives a failed job and remains usable.
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 10, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPool, AptqErrorsKeepTheirMessage) {
+  ThreadPool pool(3);
+  try {
+    pool.parallel_for(0, 8, 1, [&](std::size_t b, std::size_t) {
+      APTQ_CHECK(b != 5, "chunk 5 violated an invariant");
+    });
+    FAIL() << "expected aptq::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("chunk 5"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool::set_global_threads(4);
+  std::atomic<std::size_t> total{0};
+  parallel_for(0, 16, 1, [&](std::size_t, std::size_t) {
+    // Nested call: must degrade to a serial inline loop, not wait for pool
+    // workers that are all busy with the outer loop.
+    parallel_for(0, 32, 4, [&](std::size_t b, std::size_t e) {
+      total += e - b;
+    });
+  });
+  EXPECT_EQ(total.load(), 16u * 32u);
+  ThreadPool::set_global_threads(1);
+}
+
+TEST(ThreadPool, ReusableAcrossManySubmissions) {
+  ThreadPool pool(4);
+  std::size_t grand_total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(0, 64, 3, [&](std::size_t b, std::size_t e) {
+      std::size_t local = 0;
+      for (std::size_t i = b; i < e; ++i) {
+        local += i;
+      }
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2u) << "round " << round;
+    grand_total += sum.load();
+  }
+  EXPECT_EQ(grand_total, 200u * (64u * 63u / 2u));
+}
+
+TEST(ThreadPool, ParallelReduceMatchesSerialLeftFold) {
+  // Summing a sequence of magnitudes spanning many exponents is sensitive
+  // to fold order; grain 1 must reproduce the serial left fold bitwise at
+  // every thread count.
+  std::vector<double> values(513);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = (i % 2 == 0 ? 1.0 : -1.0) / static_cast<double>(1 + i * i);
+  }
+  double serial = 0.0;
+  for (const double v : values) {
+    serial += v;
+  }
+  for (const std::size_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool::set_global_threads(threads);
+    const double parallel = parallel_reduce(
+        0, values.size(), 1, 0.0,
+        [&](std::size_t b, std::size_t e) {
+          double acc = 0.0;
+          for (std::size_t i = b; i < e; ++i) {
+            acc += values[i];
+          }
+          return acc;
+        },
+        [](double acc, double part) { return acc + part; });
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+  ThreadPool::set_global_threads(1);
+}
+
+TEST(ThreadPool, GlobalThreadCountFollowsConfiguration) {
+  ThreadPool::set_global_threads(5);
+  EXPECT_EQ(ThreadPool::global_thread_count(), 5u);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global_thread_count(), 1u);
+  ThreadPool::set_global_threads(0);  // hardware concurrency, at least 1
+  EXPECT_GE(ThreadPool::global_thread_count(), 1u);
+  ThreadPool::set_global_threads(1);
+}
+
+}  // namespace
+}  // namespace aptq
