@@ -10,6 +10,7 @@
 #include "core/model_zoo.hpp"
 #include "core/pipeline.hpp"
 #include "eval/perplexity.hpp"
+#include "quant/packed_model.hpp"
 
 using namespace aptq;
 
@@ -58,12 +59,25 @@ int main(int argc, char** argv) {
     if (fits && !deployed) {
       deployed = true;
       std::printf("\n  selected %s: %.2f avg bits, %.1f%% of fp32 size, "
-                  "ppl +%.2f%% over FP\n\n",
+                  "ppl +%.2f%% over FP\n",
                   qm.method.c_str(), qm.average_bits(),
                   100.0 * static_cast<double>(qm.packed_bytes()) /
                       static_cast<double>(fp.parameter_count() *
                                           sizeof(float)),
                   100.0 * (ppl / fp_ppl - 1.0));
+      // On-device generation: sample straight from the packed artifact via
+      // the KV-cache engine (per-token steps hit the packed GEMV kernel).
+      const PackedModel packed = PackedModel::pack(qm, c.group_size);
+      Rng gen_rng(7);
+      SampleConfig scfg;
+      scfg.temperature = 0.8f;
+      scfg.top_k = 8;
+      const TokenSeq sample = sample_from_packed(packed, 24, gen_rng, scfg);
+      std::printf("  sample from the packed model (KV-cached decode):");
+      for (const TokenId t : sample) {
+        std::printf(" %d", t);
+      }
+      std::printf("\n\n");
     }
   }
   if (!deployed) {

@@ -1,0 +1,97 @@
+#include "model/decode.hpp"
+
+namespace aptq {
+
+DecodeState::DecodeState(const ModelConfig& config, std::size_t max_context)
+    : config_(config), max_context_(max_context) {
+  config.validate();
+  APTQ_CHECK(max_context >= 1, "DecodeState: max_context must be positive");
+  const std::size_t kv_dim = config.kv_dim();
+  k_cache_.reserve(config.n_layers);
+  v_cache_.reserve(config.n_layers);
+  for (std::size_t l = 0; l < config.n_layers; ++l) {
+    k_cache_.emplace_back(max_context, kv_dim);
+    v_cache_.emplace_back(max_context, kv_dim);
+  }
+}
+
+void DecodeState::reset() {
+  // The engine only reads rows [0, pos_), so rewinding the cursor suffices;
+  // stale rows beyond it are overwritten before they are read.
+  pos_ = 0;
+}
+
+void DecodeState::advance(std::size_t n) {
+  APTQ_CHECK(pos_ + n <= max_context_, "DecodeState: advance past capacity");
+  pos_ += n;
+}
+
+Matrix cache_head(const Matrix& cache, std::size_t rows, std::size_t h,
+                  std::size_t head_dim) {
+  APTQ_CHECK(rows <= cache.rows() && (h + 1) * head_dim <= cache.cols(),
+             "cache_head: slice out of range");
+  Matrix out(rows, head_dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* src = cache.data() + r * cache.cols() + h * head_dim;
+    std::copy(src, src + head_dim, out.row(r).begin());
+  }
+  return out;
+}
+
+namespace {
+
+// Weight access over the dense fp32 model (see the adapter contract in
+// decode.hpp).
+class DenseDecodeAdapter {
+ public:
+  explicit DenseDecodeAdapter(const Model& model) : model_(model) {}
+
+  const ModelConfig& config() const { return model_.config; }
+  std::span<const float> embedding(std::size_t token) const {
+    return model_.tok_embed.row(token);
+  }
+  std::span<const float> attn_norm(std::size_t layer) const {
+    return model_.blocks[layer].attn_norm;
+  }
+  std::span<const float> ffn_norm(std::size_t layer) const {
+    return model_.blocks[layer].ffn_norm;
+  }
+  std::span<const float> final_norm() const { return model_.final_norm; }
+
+  Matrix project(std::size_t layer, LinearKind kind, const Matrix& x) const {
+    const BlockWeights& b = model_.blocks[layer];
+    switch (kind) {
+      case LinearKind::q_proj: return matmul(x, b.wq);
+      case LinearKind::k_proj: return matmul(x, b.wk);
+      case LinearKind::v_proj: return matmul(x, b.wv);
+      case LinearKind::o_proj: return matmul(x, b.wo);
+      case LinearKind::gate_proj: return matmul(x, b.w_gate);
+      case LinearKind::up_proj: return matmul(x, b.w_up);
+      case LinearKind::down_proj: return matmul(x, b.w_down);
+      case LinearKind::lm_head: break;
+    }
+    APTQ_FAIL("DenseDecodeAdapter: unexpected projection kind");
+  }
+
+  Matrix head(const Matrix& x) const { return matmul(x, model_.lm_head); }
+
+ private:
+  const Model& model_;
+};
+
+}  // namespace
+
+Matrix decode_prefill(const Model& model, std::span<const TokenId> tokens,
+                      DecodeState& state, const ForwardOptions& options) {
+  return detail::decode_prefill_impl(DenseDecodeAdapter(model), tokens, state,
+                                     options);
+}
+
+std::vector<float> decode_step(const Model& model, TokenId token,
+                               DecodeState& state,
+                               const ForwardOptions& options) {
+  return detail::decode_step_impl(DenseDecodeAdapter(model), token, state,
+                                  options);
+}
+
+}  // namespace aptq

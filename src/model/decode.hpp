@@ -1,0 +1,306 @@
+// Incremental decoding engine with per-layer KV caches, shared by the
+// dense Model and (via an adapter instantiated in src/quant) the bit-packed
+// PackedModel.
+//
+// model_forward() recomputes the whole prefix at every step — fine for
+// training and calibration, quadratic waste for generation. The engine
+// keeps the rotated keys and raw values of every processed position per
+// layer in a DecodeState and offers two entry points:
+//
+//   decode_prefill(model, tokens, state)  — consume a batch of tokens with
+//       one batched causal-attention pass (GEMM-shaped, O(T²) once),
+//       filling the caches and returning the (T × V) logits of the batch;
+//   decode_step(model, token, state)      — consume one token, attending
+//       only to the cached context: O(context) per generated token.
+//
+// Logits agree with the full forward pass up to f32 rounding (the batched
+// and single-row kernels reassociate differently); the equivalence is
+// enforced by tests/decode_test.cpp and tests/decoder_test.cpp for both
+// model types, serial and multi-threaded.
+//
+// The shared implementation is a template over a small weight-access
+// adapter (config / embedding / norms / per-layer projections / lm head),
+// so the packed overloads can live in src/quant without aptq_model
+// depending on aptq_quant. See docs/DECODING.md for the design.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "data/vocab.hpp"
+#include "model/forward.hpp"
+#include "model/model.hpp"
+#include "tensor/ops.hpp"
+
+namespace aptq {
+
+/// Per-layer K/V buffers for one decoding session, sized to a maximum
+/// context. Reusable across sessions via reset(); the engine throws before
+/// writing past max_context().
+class DecodeState {
+ public:
+  DecodeState() = default;
+
+  /// Buffers for `config`-shaped layers holding up to `max_context`
+  /// positions. Throws if max_context is zero.
+  DecodeState(const ModelConfig& config, std::size_t max_context);
+
+  /// Number of tokens consumed so far.
+  std::size_t pos() const { return pos_; }
+  /// Cache capacity in positions.
+  std::size_t max_context() const { return max_context_; }
+  const ModelConfig& config() const { return config_; }
+
+  /// Drop all cached state and restart from an empty context.
+  void reset();
+
+  // Engine internals: rows [0, pos()) of layer `layer`'s caches hold the
+  // rotated keys / raw values of the consumed positions, (max_context ×
+  // kv_dim) each.
+  Matrix& k_cache(std::size_t layer) { return k_cache_[layer]; }
+  Matrix& v_cache(std::size_t layer) { return v_cache_[layer]; }
+  const Matrix& k_cache(std::size_t layer) const { return k_cache_[layer]; }
+  const Matrix& v_cache(std::size_t layer) const { return v_cache_[layer]; }
+  void advance(std::size_t n);
+
+ private:
+  ModelConfig config_;
+  std::size_t max_context_ = 0;
+  std::size_t pos_ = 0;
+  std::vector<Matrix> k_cache_;
+  std::vector<Matrix> v_cache_;
+};
+
+/// Batched prefill over the dense model: appends `tokens` to the context
+/// and returns their (T × V) logits. Throws if capacity would be exceeded.
+Matrix decode_prefill(const Model& model, std::span<const TokenId> tokens,
+                      DecodeState& state, const ForwardOptions& options = {});
+
+/// One incremental step over the dense model: appends `token` and returns
+/// its next-token logits.
+std::vector<float> decode_step(const Model& model, TokenId token,
+                               DecodeState& state,
+                               const ForwardOptions& options = {});
+
+/// First `rows` rows of head `h` (columns [h·head_dim, (h+1)·head_dim)) of
+/// a cache matrix, as a copy — the per-head K/V view used by prefill.
+Matrix cache_head(const Matrix& cache, std::size_t rows, std::size_t h,
+                  std::size_t head_dim);
+
+namespace detail {
+
+// --- shared engine -------------------------------------------------------
+//
+// Adapter requirements (duck-typed; see DenseDecodeAdapter below and
+// PackedDecodeAdapter in src/quant/packed_model.cpp):
+//   const ModelConfig& config() const;
+//   std::span<const float> embedding(std::size_t token) const;
+//   std::span<const float> attn_norm(std::size_t layer) const;
+//   std::span<const float> ffn_norm(std::size_t layer) const;
+//   std::span<const float> final_norm() const;
+//   Matrix project(std::size_t layer, LinearKind kind, const Matrix& x);
+//   Matrix head(const Matrix& x) const;   // lm_head logits
+
+template <typename Adapter>
+void decode_check_token(const Adapter& adapter, TokenId token) {
+  APTQ_CHECK(token >= 0 && static_cast<std::size_t>(token) <
+                               adapter.config().vocab_size,
+             "decode: token id out of range");
+}
+
+template <typename Adapter>
+Matrix decode_prefill_impl(const Adapter& adapter,
+                           std::span<const TokenId> tokens,
+                           DecodeState& state,
+                           const ForwardOptions& options) {
+  const ModelConfig& cfg = adapter.config();
+  APTQ_CHECK(state.config() == cfg,
+             "decode_prefill: state built for a different model config");
+  APTQ_CHECK(!tokens.empty(), "decode_prefill: empty input");
+  APTQ_CHECK(state.pos() + tokens.size() <= state.max_context(),
+             "decode: context capacity exceeded");
+  const std::size_t t_len = tokens.size();
+  const std::size_t prior = state.pos();
+  const std::size_t d = cfg.dim;
+  const std::size_t hd = cfg.head_dim();
+  const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
+  const auto maybe_quant = [&options](Matrix& m) {
+    if (options.act_quant_bits > 0) {
+      fake_quant_rows(m, options.act_quant_bits);
+    }
+  };
+
+  Matrix x(t_len, d);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    decode_check_token(adapter, tokens[t]);
+    const auto src =
+        adapter.embedding(static_cast<std::size_t>(tokens[t]));
+    std::copy(src.begin(), src.end(), x.row(t).begin());
+  }
+
+  Matrix normed;
+  std::vector<float> inv_rms;
+  for (std::size_t layer = 0; layer < cfg.n_layers; ++layer) {
+    rmsnorm_forward(x, adapter.attn_norm(layer), cfg.norm_eps, normed,
+                    inv_rms);
+    maybe_quant(normed);
+
+    Matrix q = adapter.project(layer, LinearKind::q_proj, normed);
+    Matrix k = adapter.project(layer, LinearKind::k_proj, normed);
+    const Matrix v = adapter.project(layer, LinearKind::v_proj, normed);
+    rope_apply(q, hd, cfg.rope_theta, /*inverse=*/false, prior);
+    rope_apply(k, hd, cfg.rope_theta, /*inverse=*/false, prior);
+    Matrix& kc = state.k_cache(layer);
+    Matrix& vc = state.v_cache(layer);
+    for (std::size_t t = 0; t < t_len; ++t) {
+      std::copy(k.row(t).begin(), k.row(t).end(), kc.row(prior + t).begin());
+      std::copy(v.row(t).begin(), v.row(t).end(), vc.row(prior + t).begin());
+    }
+
+    const std::size_t ctx = prior + t_len;
+    Matrix attn_cat(t_len, d);
+    const std::size_t group_factor = cfg.group_factor();
+    for (std::size_t h = 0; h < cfg.n_heads; ++h) {
+      const std::size_t g = h / group_factor;  // shared kv head (GQA)
+      const Matrix qh = extract_head(q, h, hd);
+      const Matrix kh = cache_head(kc, ctx, g, hd);
+      const Matrix vh = cache_head(vc, ctx, g, hd);
+      Matrix scores(t_len, ctx);
+      gemm(qh, Trans::no, kh, Trans::yes, scores, inv_sqrt_hd);
+      // Row r sits at absolute position prior + r, so it may attend to the
+      // prior context plus its own causal prefix of the batch.
+      softmax_rows(scores, static_cast<long>(prior));
+      accumulate_head(attn_cat, matmul(scores, vh), h, hd);
+    }
+    maybe_quant(attn_cat);
+    axpy(1.0f, adapter.project(layer, LinearKind::o_proj, attn_cat), x);
+
+    rmsnorm_forward(x, adapter.ffn_norm(layer), cfg.norm_eps, normed,
+                    inv_rms);
+    maybe_quant(normed);
+    Matrix gate_pre = adapter.project(layer, LinearKind::gate_proj, normed);
+    const Matrix up = adapter.project(layer, LinearKind::up_proj, normed);
+    Matrix act;
+    silu(gate_pre, act);
+    for (std::size_t i = 0; i < act.size(); ++i) {
+      act.flat()[i] *= up.flat()[i];
+    }
+    maybe_quant(act);
+    axpy(1.0f, adapter.project(layer, LinearKind::down_proj, act), x);
+  }
+
+  rmsnorm_forward(x, adapter.final_norm(), cfg.norm_eps, normed, inv_rms);
+  maybe_quant(normed);
+  state.advance(t_len);
+  return adapter.head(normed);
+}
+
+template <typename Adapter>
+std::vector<float> decode_step_impl(const Adapter& adapter, TokenId token,
+                                    DecodeState& state,
+                                    const ForwardOptions& options) {
+  const ModelConfig& cfg = adapter.config();
+  APTQ_CHECK(state.config() == cfg,
+             "decode_step: state built for a different model config");
+  APTQ_CHECK(state.pos() < state.max_context(),
+             "decode: context capacity exceeded");
+  decode_check_token(adapter, token);
+  const std::size_t d = cfg.dim;
+  const std::size_t hd = cfg.head_dim();
+  const std::size_t kv_dim = cfg.kv_dim();
+  const std::size_t pos = state.pos();
+  const std::size_t ctx = pos + 1;
+  const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
+  const auto maybe_quant = [&options](Matrix& m) {
+    if (options.act_quant_bits > 0) {
+      fake_quant_rows(m, options.act_quant_bits);
+    }
+  };
+
+  Matrix x(1, d);
+  {
+    const auto src = adapter.embedding(static_cast<std::size_t>(token));
+    std::copy(src.begin(), src.end(), x.row(0).begin());
+  }
+
+  Matrix normed;
+  std::vector<float> inv_rms;
+  std::vector<float> scores(ctx);
+  for (std::size_t layer = 0; layer < cfg.n_layers; ++layer) {
+    rmsnorm_forward(x, adapter.attn_norm(layer), cfg.norm_eps, normed,
+                    inv_rms);
+    maybe_quant(normed);
+
+    Matrix q = adapter.project(layer, LinearKind::q_proj, normed);
+    Matrix k = adapter.project(layer, LinearKind::k_proj, normed);
+    const Matrix v = adapter.project(layer, LinearKind::v_proj, normed);
+    rope_apply(q, hd, cfg.rope_theta, /*inverse=*/false, pos);
+    rope_apply(k, hd, cfg.rope_theta, /*inverse=*/false, pos);
+    const Matrix& kc = state.k_cache(layer);
+    const Matrix& vc = state.v_cache(layer);
+    std::copy(k.row(0).begin(), k.row(0).end(),
+              state.k_cache(layer).row(pos).begin());
+    std::copy(v.row(0).begin(), v.row(0).end(),
+              state.v_cache(layer).row(pos).begin());
+
+    Matrix attn_cat(1, d);
+    const std::size_t group_factor = cfg.group_factor();
+    for (std::size_t h = 0; h < cfg.n_heads; ++h) {
+      const std::size_t g = h / group_factor;  // shared kv head (GQA)
+      const float* qh = q.data() + h * hd;
+      // Scores over all cached positions (causality is implicit: only
+      // positions <= pos are cached).
+      float max_s = -1e30f;
+      for (std::size_t t = 0; t < ctx; ++t) {
+        const float* kh = kc.data() + t * kv_dim + g * hd;
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < hd; ++c) {
+          acc += qh[c] * kh[c];
+        }
+        scores[t] = acc * inv_sqrt_hd;
+        max_s = std::max(max_s, scores[t]);
+      }
+      float sum = 0.0f;
+      for (std::size_t t = 0; t < ctx; ++t) {
+        scores[t] = std::exp(scores[t] - max_s);
+        sum += scores[t];
+      }
+      const float inv_sum = 1.0f / sum;
+      float* out = attn_cat.data() + h * hd;
+      for (std::size_t t = 0; t < ctx; ++t) {
+        const float p = scores[t] * inv_sum;
+        const float* vh = vc.data() + t * kv_dim + g * hd;
+        for (std::size_t c = 0; c < hd; ++c) {
+          out[c] += p * vh[c];
+        }
+      }
+    }
+    maybe_quant(attn_cat);
+    axpy(1.0f, adapter.project(layer, LinearKind::o_proj, attn_cat), x);
+
+    rmsnorm_forward(x, adapter.ffn_norm(layer), cfg.norm_eps, normed,
+                    inv_rms);
+    maybe_quant(normed);
+    Matrix gate_pre = adapter.project(layer, LinearKind::gate_proj, normed);
+    const Matrix up = adapter.project(layer, LinearKind::up_proj, normed);
+    Matrix act;
+    silu(gate_pre, act);
+    for (std::size_t i = 0; i < act.size(); ++i) {
+      act.flat()[i] *= up.flat()[i];
+    }
+    maybe_quant(act);
+    axpy(1.0f, adapter.project(layer, LinearKind::down_proj, act), x);
+  }
+
+  rmsnorm_forward(x, adapter.final_norm(), cfg.norm_eps, normed, inv_rms);
+  maybe_quant(normed);
+  const Matrix logits = adapter.head(normed);
+  state.advance(1);
+  return {logits.row(0).begin(), logits.row(0).end()};
+}
+
+}  // namespace detail
+
+}  // namespace aptq

@@ -1,168 +1,30 @@
 #include "model/decoder.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "tensor/ops.hpp"
+#include "model/sampler.hpp"
 
 namespace aptq {
 
 Decoder::Decoder(const Model& model, std::size_t max_seq,
                  const ForwardOptions& options)
-    : model_(model), options_(options), max_seq_(max_seq) {
-  APTQ_CHECK(max_seq >= 1, "Decoder: capacity must be positive");
-  const auto& cfg = model.config;
-  k_cache_.assign(cfg.n_layers, Matrix(max_seq, cfg.kv_dim()));
-  v_cache_.assign(cfg.n_layers, Matrix(max_seq, cfg.kv_dim()));
-}
-
-void Decoder::reset() {
-  position_ = 0;
-  for (auto& m : k_cache_) {
-    m.set_zero();
-  }
-  for (auto& m : v_cache_) {
-    m.set_zero();
-  }
-}
+    : model_(model), options_(options), state_(model.config, max_seq) {}
 
 std::vector<float> Decoder::prefill(std::span<const TokenId> tokens) {
-  APTQ_CHECK(!tokens.empty(), "Decoder::prefill: empty input");
-  std::vector<float> logits;
-  for (const TokenId t : tokens) {
-    logits = step(t);
-  }
-  return logits;
+  const Matrix logits = decode_prefill(model_, tokens, state_, options_);
+  const auto last = logits.row(logits.rows() - 1);
+  return {last.begin(), last.end()};
 }
 
 std::vector<float> Decoder::step(TokenId token) {
-  const auto& cfg = model_.config;
-  APTQ_CHECK(position_ < max_seq_, "Decoder: context capacity exceeded");
-  APTQ_CHECK(token >= 0 && static_cast<std::size_t>(token) < cfg.vocab_size,
-             "Decoder: token id out of range");
-  const std::size_t d = cfg.dim;
-  const std::size_t hd = cfg.head_dim();
-  const std::size_t heads = cfg.n_heads;
-  const std::size_t pos = position_;
-  const std::size_t ctx = pos + 1;
-  const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
-
-  const auto maybe_quant = [this](Matrix& m) {
-    if (options_.act_quant_bits > 0) {
-      fake_quant_rows(m, options_.act_quant_bits);
-    }
-  };
-
-  Matrix x(1, d);
-  {
-    const auto src = model_.tok_embed.row(static_cast<std::size_t>(token));
-    std::copy(src.begin(), src.end(), x.row(0).begin());
-  }
-
-  Matrix normed;
-  std::vector<float> inv_rms;
-  for (std::size_t layer = 0; layer < cfg.n_layers; ++layer) {
-    const auto& w = model_.blocks[layer];
-    rmsnorm_forward(x, w.attn_norm, cfg.norm_eps, normed, inv_rms);
-    maybe_quant(normed);
-
-    Matrix q = matmul(normed, w.wq);
-    Matrix k = matmul(normed, w.wk);
-    const Matrix v = matmul(normed, w.wv);
-    rope_apply(q, hd, cfg.rope_theta, /*inverse=*/false, pos);
-    rope_apply(k, hd, cfg.rope_theta, /*inverse=*/false, pos);
-    std::copy(k.row(0).begin(), k.row(0).end(),
-              k_cache_[layer].row(pos).begin());
-    std::copy(v.row(0).begin(), v.row(0).end(),
-              v_cache_[layer].row(pos).begin());
-
-    Matrix attn_cat(1, d);
-    std::vector<float> scores(ctx);
-    const std::size_t kv_dim = cfg.kv_dim();
-    const std::size_t group_factor = cfg.group_factor();
-    for (std::size_t h = 0; h < heads; ++h) {
-      const std::size_t g = h / group_factor;  // shared kv head (GQA)
-      const float* qh = q.data() + h * hd;
-      // scores over all cached positions (causality is implicit: only
-      // positions <= pos are cached).
-      float max_s = -1e30f;
-      for (std::size_t t = 0; t < ctx; ++t) {
-        const float* kh = k_cache_[layer].data() + t * kv_dim + g * hd;
-        float acc = 0.0f;
-        for (std::size_t c = 0; c < hd; ++c) {
-          acc += qh[c] * kh[c];
-        }
-        scores[t] = acc * inv_sqrt_hd;
-        max_s = std::max(max_s, scores[t]);
-      }
-      float sum = 0.0f;
-      for (std::size_t t = 0; t < ctx; ++t) {
-        scores[t] = std::exp(scores[t] - max_s);
-        sum += scores[t];
-      }
-      const float inv_sum = 1.0f / sum;
-      float* out = attn_cat.data() + h * hd;
-      for (std::size_t t = 0; t < ctx; ++t) {
-        const float p = scores[t] * inv_sum;
-        const float* vh = v_cache_[layer].data() + t * kv_dim + g * hd;
-        for (std::size_t c = 0; c < hd; ++c) {
-          out[c] += p * vh[c];
-        }
-      }
-    }
-    maybe_quant(attn_cat);
-    const Matrix attn_out = matmul(attn_cat, w.wo);
-    axpy(1.0f, attn_out, x);
-
-    rmsnorm_forward(x, w.ffn_norm, cfg.norm_eps, normed, inv_rms);
-    maybe_quant(normed);
-    const Matrix gate_pre = matmul(normed, w.w_gate);
-    const Matrix up = matmul(normed, w.w_up);
-    Matrix act;
-    silu(gate_pre, act);
-    for (std::size_t i = 0; i < act.size(); ++i) {
-      act.flat()[i] *= up.flat()[i];
-    }
-    maybe_quant(act);
-    const Matrix ffn_out = matmul(act, w.w_down);
-    axpy(1.0f, ffn_out, x);
-  }
-
-  rmsnorm_forward(x, model_.final_norm, cfg.norm_eps, normed, inv_rms);
-  maybe_quant(normed);
-  const Matrix logits = matmul(normed, model_.lm_head);
-  ++position_;
-  return {logits.row(0).begin(), logits.row(0).end()};
+  return decode_step(model_, token, state_, options_);
 }
 
 TokenSeq decode_sample(const Model& model, std::size_t length, Rng& rng,
                        float temperature, const TokenSeq& prompt) {
-  APTQ_CHECK(temperature > 0.0f, "decode_sample: temperature must be positive");
-  APTQ_CHECK(length > prompt.size(), "decode_sample: length must exceed prompt");
-  const std::size_t v = model.config.vocab_size;
-
-  Decoder decoder(model, length);
-  TokenSeq tokens = prompt;
-  if (tokens.empty()) {
-    tokens.push_back(static_cast<TokenId>(rng.index(v)));
-  }
-  std::vector<float> logits = decoder.prefill(tokens);
-  std::vector<float> probs(v);
-  while (tokens.size() < length) {
-    float max_v = logits[0];
-    for (const float x : logits) {
-      max_v = std::max(max_v, x);
-    }
-    for (std::size_t i = 0; i < v; ++i) {
-      probs[i] = std::exp((logits[i] - max_v) / temperature);
-    }
-    const auto next = static_cast<TokenId>(rng.categorical(probs));
-    tokens.push_back(next);
-    if (tokens.size() < length) {
-      logits = decoder.step(next);
-    }
-  }
-  return tokens;
+  // sample_from_model runs on the same decode engine, so the two paths
+  // draw identical token sequences from identical RNG state.
+  SampleConfig config;
+  config.temperature = temperature;
+  return sample_from_model(model, length, rng, config, prompt);
 }
 
 }  // namespace aptq

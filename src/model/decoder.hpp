@@ -1,14 +1,11 @@
-// Incremental autoregressive decoding with per-layer KV caches.
-//
-// model_forward() recomputes the whole prefix at every step — fine for
-// training and calibration, quadratic waste for generation. Decoder keeps
-// the rotated keys and values of every processed position per layer and
-// advances one token at a time at O(context) cost. Produces logits
-// bit-identical (up to f32 rounding) to the full forward pass; the
-// equivalence is enforced by tests/decoder_test.cpp.
+// Streaming decoder façade over the incremental decoding engine
+// (model/decode.hpp): owns a DecodeState and pairs it with a borrowed dense
+// model. Kept for callers that want an object-style API; new code can use
+// decode_prefill / decode_step with an explicit DecodeState directly.
 #pragma once
 
 #include "data/vocab.hpp"
+#include "model/decode.hpp"
 #include "model/forward.hpp"
 #include "model/model.hpp"
 #include "util/rng.hpp"
@@ -24,27 +21,24 @@ class Decoder {
           const ForwardOptions& options = {});
 
   /// Number of tokens processed so far.
-  std::size_t position() const { return position_; }
-  std::size_t capacity() const { return max_seq_; }
+  std::size_t position() const { return state_.pos(); }
+  std::size_t capacity() const { return state_.max_context(); }
 
-  /// Process `tokens` (appended to the context); returns the logits of the
-  /// last token. Throws if the context would exceed capacity.
+  /// Process `tokens` (appended to the context) in one batched pass;
+  /// returns the logits of the last token. Throws if the context would
+  /// exceed capacity.
   std::vector<float> prefill(std::span<const TokenId> tokens);
 
   /// Process one token; returns the next-token logits.
   std::vector<float> step(TokenId token);
 
   /// Drop all cached state and restart from an empty context.
-  void reset();
+  void reset() { state_.reset(); }
 
  private:
   const Model& model_;
   ForwardOptions options_;
-  std::size_t max_seq_ = 0;
-  std::size_t position_ = 0;
-  // Per layer: rotated keys and raw values, (max_seq × d), filled row by row.
-  std::vector<Matrix> k_cache_;
-  std::vector<Matrix> v_cache_;
+  DecodeState state_;
 };
 
 /// Sample `length` tokens with the incremental decoder (same token

@@ -88,8 +88,13 @@ std::string to_string(LinearKind kind) {
   APTQ_FAIL("unknown LinearKind");
 }
 
-std::vector<LinearRef> collect_linears(Model& model, bool include_lm_head) {
-  std::vector<LinearRef> out;
+namespace {
+
+// Shared walk for the mutable and const collect_linears overloads (RefT
+// differs only in the constness of its weight pointer).
+template <typename RefT, typename ModelT>
+std::vector<RefT> collect_linears_impl(ModelT& model, bool include_lm_head) {
+  std::vector<RefT> out;
   for (std::size_t i = 0; i < model.blocks.size(); ++i) {
     auto& b = model.blocks[i];
     const std::string prefix = "layers." + std::to_string(i) + ".";
@@ -107,6 +112,17 @@ std::vector<LinearRef> collect_linears(Model& model, bool include_lm_head) {
     out.push_back({"lm_head", LinearKind::lm_head, 0, &model.lm_head});
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<LinearRef> collect_linears(Model& model, bool include_lm_head) {
+  return collect_linears_impl<LinearRef>(model, include_lm_head);
+}
+
+std::vector<ConstLinearRef> collect_linears(const Model& model,
+                                            bool include_lm_head) {
+  return collect_linears_impl<ConstLinearRef>(model, include_lm_head);
 }
 
 void visit_params(Model& model,

@@ -96,10 +96,22 @@ struct LinearRef {
   Matrix* weight;      ///< (d_in × d_out), borrowed from the Model
 };
 
+/// A named, read-only reference to one quantizable linear layer.
+struct ConstLinearRef {
+  std::string name;    ///< e.g. "layers.2.self_attn.k_proj"
+  LinearKind kind;
+  std::size_t block;   ///< owning block index; unused for lm_head
+  const Matrix* weight;  ///< (d_in × d_out), borrowed from the Model
+};
+
 /// All quantizable linear layers in network order. `include_lm_head`
-/// defaults to false per the GPTQ evaluation convention.
+/// defaults to false per the GPTQ evaluation convention. The const
+/// overload serves read-only consumers (packing, sensitivity ranking,
+/// calibration) without const_cast.
 std::vector<LinearRef> collect_linears(Model& model,
                                        bool include_lm_head = false);
+std::vector<ConstLinearRef> collect_linears(const Model& model,
+                                            bool include_lm_head = false);
 
 /// Apply `fn` to every trainable parameter span in a fixed canonical order
 /// (used by the optimizer; Gradients::visit uses the same order).

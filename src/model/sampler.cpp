@@ -3,32 +3,35 @@
 #include <algorithm>
 #include <cmath>
 
-#include "model/forward.hpp"
+#include "model/decode.hpp"
 
 namespace aptq {
 
-TokenSeq sample_from_model(const Model& model, std::size_t length, Rng& rng,
-                           const SampleConfig& config, const TokenSeq& prompt) {
+TokenSeq sample_with_engine(
+    std::size_t vocab_size, std::size_t length, Rng& rng,
+    const SampleConfig& config, const TokenSeq& prompt,
+    const std::function<std::vector<float>(std::span<const TokenId>)>& prefill,
+    const std::function<std::vector<float>(TokenId)>& step) {
   APTQ_CHECK(config.temperature > 0.0f,
-             "sample_from_model: temperature must be positive");
+             "sample_with_engine: temperature must be positive");
   APTQ_CHECK(length > prompt.size(),
-             "sample_from_model: length must exceed prompt");
-  const std::size_t v = model.config.vocab_size;
+             "sample_with_engine: length must exceed prompt");
+  const std::size_t v = vocab_size;
 
   TokenSeq tokens = prompt;
   if (tokens.empty()) {
     tokens.push_back(static_cast<TokenId>(rng.index(v)));
   }
+  std::vector<float> logits = prefill(tokens);
   std::vector<float> probs(v);
   while (tokens.size() < length) {
-    const Matrix logits = model_forward(model, tokens);
-    const auto last = logits.row(logits.rows() - 1);
-    float max_v = last[0];
-    for (const float x : last) {
+    APTQ_CHECK(logits.size() == v, "sample_with_engine: logit size mismatch");
+    float max_v = logits[0];
+    for (const float x : logits) {
       max_v = std::max(max_v, x);
     }
     for (std::size_t i = 0; i < v; ++i) {
-      probs[i] = std::exp((last[i] - max_v) / config.temperature);
+      probs[i] = std::exp((logits[i] - max_v) / config.temperature);
     }
     if (config.top_k > 0 && config.top_k < v) {
       std::vector<float> sorted = probs;
@@ -43,9 +46,26 @@ TokenSeq sample_from_model(const Model& model, std::size_t length, Rng& rng,
         }
       }
     }
-    tokens.push_back(static_cast<TokenId>(rng.categorical(probs)));
+    const auto next = static_cast<TokenId>(rng.categorical(probs));
+    tokens.push_back(next);
+    if (tokens.size() < length) {
+      logits = step(next);
+    }
   }
   return tokens;
+}
+
+TokenSeq sample_from_model(const Model& model, std::size_t length, Rng& rng,
+                           const SampleConfig& config, const TokenSeq& prompt) {
+  DecodeState state(model.config, length);
+  return sample_with_engine(
+      model.config.vocab_size, length, rng, config, prompt,
+      [&](std::span<const TokenId> tokens) {
+        const Matrix logits = decode_prefill(model, tokens, state);
+        const auto last = logits.row(logits.rows() - 1);
+        return std::vector<float>(last.begin(), last.end());
+      },
+      [&](TokenId token) { return decode_step(model, token, state); });
 }
 
 }  // namespace aptq

@@ -1,7 +1,13 @@
 // Autoregressive sampling from a model — used by the data-free QAT baseline
 // (LLM-QAT samples its training data from the full-precision model) and by
-// the example programs.
+// the example programs. Sampling runs on the incremental decoding engine
+// (model/decode.hpp): one batched prefill over the prompt, then one
+// KV-cached step per generated token.
 #pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
 
 #include "data/vocab.hpp"
 #include "model/model.hpp"
@@ -21,5 +27,16 @@ struct SampleConfig {
 TokenSeq sample_from_model(const Model& model, std::size_t length, Rng& rng,
                            const SampleConfig& config = {},
                            const TokenSeq& prompt = {});
+
+/// Model-agnostic sampling loop over a decoding engine: `prefill` consumes
+/// the seed context and returns its last-token logits, `step` consumes one
+/// generated token and returns the next logits. Shared by the dense and
+/// packed samplers so both draw identical sequences from identical RNG
+/// state.
+TokenSeq sample_with_engine(
+    std::size_t vocab_size, std::size_t length, Rng& rng,
+    const SampleConfig& config, const TokenSeq& prompt,
+    const std::function<std::vector<float>(std::span<const TokenId>)>& prefill,
+    const std::function<std::vector<float>(TokenId)>& step);
 
 }  // namespace aptq

@@ -76,7 +76,7 @@ const Matrix& linear_input(const ForwardCache& cache, LinearKind kind,
 }
 
 struct LayerSlot {
-  LinearRef ref;
+  ConstLinearRef ref;
   HessianAccumulator acc;
   double gamma_sum = 0.0;
   std::size_t gamma_count = 0;
@@ -87,12 +87,8 @@ CalibrationResult collect_impl(const Model& model,
                                const CalibConfig& config,
                                long only_block) {
   APTQ_CHECK(!segments.empty(), "calibration: no segments");
-  // collect_linears needs a mutable model only to hand out weight pointers;
-  // calibration never writes through them.
-  auto& mutable_model = const_cast<Model&>(model);
   std::vector<LayerSlot> slots;
-  for (const auto& ref :
-       collect_linears(mutable_model, config.include_lm_head)) {
+  for (const auto& ref : collect_linears(model, config.include_lm_head)) {
     if (only_block >= 0 && ref.kind != LinearKind::lm_head &&
         ref.block != static_cast<std::size_t>(only_block)) {
       continue;

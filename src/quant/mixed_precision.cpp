@@ -13,8 +13,7 @@ std::vector<LayerSensitivity> rank_sensitivities(
   APTQ_CHECK(!calibration.layers.empty(), "rank_sensitivities: empty input");
   // Weight lookup for the error-weighted metric.
   std::map<std::string, const Matrix*> weights;
-  auto& mutable_model = const_cast<Model&>(model);
-  for (const auto& ref : collect_linears(mutable_model, true)) {
+  for (const auto& ref : collect_linears(model, true)) {
     weights[ref.name] = ref.weight;
   }
 
@@ -118,8 +117,7 @@ BitAllocation allocate_knapsack(const std::vector<LayerSensitivity>& ranking,
              "allocate_knapsack: target outside menu range");
 
   std::map<std::string, const Matrix*> weights;
-  auto& mutable_model = const_cast<Model&>(model);
-  for (const auto& ref : collect_linears(mutable_model, true)) {
+  for (const auto& ref : collect_linears(model, true)) {
     weights[ref.name] = ref.weight;
   }
 

@@ -9,7 +9,10 @@ namespace aptq {
 namespace {
 
 constexpr std::uint32_t kPackedMagic = 0x41505150u;  // "APQP"
-constexpr std::uint32_t kPackedVersion = 1u;
+// v1: f32 scale + i64 zero-point per group, no clip-search flag.
+// v2: i32 zero-points and the mse_clip_search flag in QuantizedLinear
+//     records (matches QuantizedLinear::storage_bytes()).
+constexpr std::uint32_t kPackedVersion = 2u;
 
 void write_matrix(BinaryWriter& w, const Matrix& m) {
   w.write_u64(m.rows());
@@ -28,6 +31,49 @@ Matrix read_matrix(BinaryReader& r) {
   return m;
 }
 
+// Weight access over packed linears for the shared decode engine (see the
+// adapter contract in model/decode.hpp). Multi-row projections go through
+// the fused dequantize-GEMM; single-row ones hit the GEMV kernel inside
+// matmul_transposed.
+class PackedDecodeAdapter {
+ public:
+  explicit PackedDecodeAdapter(const PackedModel& model) : model_(model) {}
+
+  const ModelConfig& config() const { return model_.config(); }
+  std::span<const float> embedding(std::size_t token) const {
+    return model_.tok_embed().row(token);
+  }
+  std::span<const float> attn_norm(std::size_t layer) const {
+    return model_.attn_norm(layer);
+  }
+  std::span<const float> ffn_norm(std::size_t layer) const {
+    return model_.ffn_norm(layer);
+  }
+  std::span<const float> final_norm() const { return model_.final_norm(); }
+
+  Matrix project(std::size_t layer, LinearKind kind, const Matrix& x) const {
+    const std::size_t base = layer * 7;
+    std::size_t idx = 0;
+    switch (kind) {
+      case LinearKind::q_proj: idx = 0; break;
+      case LinearKind::k_proj: idx = 1; break;
+      case LinearKind::v_proj: idx = 2; break;
+      case LinearKind::o_proj: idx = 3; break;
+      case LinearKind::gate_proj: idx = 4; break;
+      case LinearKind::up_proj: idx = 5; break;
+      case LinearKind::down_proj: idx = 6; break;
+      case LinearKind::lm_head:
+        APTQ_FAIL("PackedDecodeAdapter: unexpected projection kind");
+    }
+    return model_.linears()[base + idx].matmul_transposed(x);
+  }
+
+  Matrix head(const Matrix& x) const { return matmul(x, model_.lm_head()); }
+
+ private:
+  const PackedModel& model_;
+};
+
 }  // namespace
 
 PackedModel PackedModel::pack_impl(
@@ -41,8 +87,7 @@ PackedModel PackedModel::pack_impl(
     pm.attn_norms_.push_back(block.attn_norm);
     pm.ffn_norms_.push_back(block.ffn_norm);
   }
-  auto& mutable_model = const_cast<Model&>(model);
-  for (const auto& ref : collect_linears(mutable_model)) {
+  for (const auto& ref : collect_linears(model)) {
     const auto it = specs.find(ref.name);
     APTQ_CHECK(it != specs.end(),
                "PackedModel: no spec for layer " + ref.name);
@@ -71,8 +116,7 @@ PackedModel PackedModel::pack(const QuantizedModel& qm,
 PackedModel PackedModel::pack_uniform(const Model& model,
                                       const QuantSpec& spec) {
   std::map<std::string, QuantSpec> specs;
-  auto& mutable_model = const_cast<Model&>(model);
-  for (const auto& ref : collect_linears(mutable_model)) {
+  for (const auto& ref : collect_linears(model)) {
     specs[ref.name] = spec;
   }
   return pack_impl(model, specs);
@@ -102,63 +146,12 @@ Model PackedModel::unpack() const {
 }
 
 Matrix PackedModel::forward(std::span<const TokenId> tokens) const {
-  const auto& cfg = config_;
-  APTQ_CHECK(linears_.size() == cfg.n_layers * 7,
+  APTQ_CHECK(linears_.size() == config_.n_layers * 7,
              "PackedModel: not initialized");
-  const std::size_t t_len = tokens.size();
-  APTQ_CHECK(t_len >= 1, "PackedModel::forward: empty input");
-  const std::size_t d = cfg.dim;
-  const std::size_t hd = cfg.head_dim();
-  const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
-
-  Matrix x(t_len, d);
-  for (std::size_t t = 0; t < t_len; ++t) {
-    const TokenId tok = tokens[t];
-    APTQ_CHECK(tok >= 0 && static_cast<std::size_t>(tok) < cfg.vocab_size,
-               "PackedModel::forward: token out of range");
-    const auto src = tok_embed_.row(static_cast<std::size_t>(tok));
-    std::copy(src.begin(), src.end(), x.row(t).begin());
-  }
-
-  Matrix normed;
-  std::vector<float> inv_rms;
-  for (std::size_t layer = 0; layer < cfg.n_layers; ++layer) {
-    const std::size_t base = layer * 7;
-    rmsnorm_forward(x, attn_norms_[layer], cfg.norm_eps, normed, inv_rms);
-
-    Matrix q = linears_[base + 0].matmul_transposed(normed);
-    Matrix k = linears_[base + 1].matmul_transposed(normed);
-    const Matrix v = linears_[base + 2].matmul_transposed(normed);
-    rope_apply(q, hd, cfg.rope_theta);
-    rope_apply(k, hd, cfg.rope_theta);
-
-    Matrix attn_cat(t_len, d);
-    const std::size_t group_factor = cfg.group_factor();
-    for (std::size_t h = 0; h < cfg.n_heads; ++h) {
-      const std::size_t g = h / group_factor;  // shared kv head (GQA)
-      const Matrix qh = extract_head(q, h, hd);
-      const Matrix kh = extract_head(k, g, hd);
-      const Matrix vh = extract_head(v, g, hd);
-      Matrix scores(t_len, t_len);
-      gemm(qh, Trans::no, kh, Trans::yes, scores, inv_sqrt_hd);
-      softmax_rows(scores, /*causal_offset=*/0);
-      accumulate_head(attn_cat, matmul(scores, vh), h, hd);
-    }
-    axpy(1.0f, linears_[base + 3].matmul_transposed(attn_cat), x);
-
-    rmsnorm_forward(x, ffn_norms_[layer], cfg.norm_eps, normed, inv_rms);
-    const Matrix gate_pre = linears_[base + 4].matmul_transposed(normed);
-    const Matrix up = linears_[base + 5].matmul_transposed(normed);
-    Matrix act;
-    silu(gate_pre, act);
-    for (std::size_t i = 0; i < act.size(); ++i) {
-      act.flat()[i] *= up.flat()[i];
-    }
-    axpy(1.0f, linears_[base + 6].matmul_transposed(act), x);
-  }
-
-  rmsnorm_forward(x, final_norm_, cfg.norm_eps, normed, inv_rms);
-  return matmul(normed, lm_head_);
+  APTQ_CHECK(!tokens.empty(), "PackedModel::forward: empty input");
+  // One prefill over a throwaway state reproduces the full causal pass.
+  DecodeState state(config_, tokens.size());
+  return decode_prefill(*this, tokens, state);
 }
 
 std::size_t PackedModel::linear_storage_bytes() const {
@@ -211,8 +204,10 @@ void PackedModel::save(const std::string& path) const {
 PackedModel PackedModel::load(const std::string& path) {
   BinaryReader r(path);
   APTQ_CHECK(r.read_u32() == kPackedMagic, "packed model: bad magic " + path);
-  APTQ_CHECK(r.read_u32() == kPackedVersion,
-             "packed model: unsupported version " + path);
+  const std::uint32_t version = r.read_u32();
+  APTQ_CHECK(version == kPackedVersion,
+             "packed model: unsupported version " + std::to_string(version) +
+                 " in " + path);
   PackedModel pm;
   pm.config_.vocab_size = r.read_u64();
   pm.config_.dim = r.read_u64();
@@ -236,6 +231,36 @@ PackedModel PackedModel::load(const std::string& path) {
     pm.linears_.push_back(QuantizedLinear::deserialize(r));
   }
   return pm;
+}
+
+Matrix decode_prefill(const PackedModel& model, std::span<const TokenId> tokens,
+                      DecodeState& state) {
+  APTQ_CHECK(model.linears().size() == model.config().n_layers * 7,
+             "decode_prefill: packed model not initialized");
+  return detail::decode_prefill_impl(PackedDecodeAdapter(model), tokens, state,
+                                     ForwardOptions{});
+}
+
+std::vector<float> decode_step(const PackedModel& model, TokenId token,
+                               DecodeState& state) {
+  APTQ_CHECK(model.linears().size() == model.config().n_layers * 7,
+             "decode_step: packed model not initialized");
+  return detail::decode_step_impl(PackedDecodeAdapter(model), token, state,
+                                  ForwardOptions{});
+}
+
+TokenSeq sample_from_packed(const PackedModel& model, std::size_t length,
+                            Rng& rng, const SampleConfig& config,
+                            const TokenSeq& prompt) {
+  DecodeState state(model.config(), length);
+  return sample_with_engine(
+      model.config().vocab_size, length, rng, config, prompt,
+      [&](std::span<const TokenId> tokens) {
+        const Matrix logits = decode_prefill(model, tokens, state);
+        const auto last = logits.row(logits.rows() - 1);
+        return std::vector<float>(last.begin(), last.end());
+      },
+      [&](TokenId token) { return decode_step(model, token, state); });
 }
 
 }  // namespace aptq

@@ -6,15 +6,23 @@
 // Packing re-fits each group's grid from the (already grid-snapped) solver
 // output, which can re-snap a value by at most half a quantization step;
 // tests bound the resulting logit drift and perplexity delta.
+//
+// Incremental decoding: PackedModel plugs into the shared KV-cache engine
+// (model/decode.hpp) via the decode_prefill / decode_step overloads below;
+// single-token steps hit the packed GEMV kernel
+// (QuantizedLinear::matvec_transposed). See docs/DECODING.md.
 #pragma once
 
 #include <map>
 #include <string>
 
 #include "data/vocab.hpp"
+#include "model/decode.hpp"
 #include "model/model.hpp"
+#include "model/sampler.hpp"
 #include "quant/qformat.hpp"
 #include "quant/qmodel.hpp"
+#include "util/rng.hpp"
 
 namespace aptq {
 
@@ -49,6 +57,17 @@ class PackedModel {
   /// Per-layer packed tensors, in collect_linears order.
   const std::vector<QuantizedLinear>& linears() const { return linears_; }
 
+  // f32 tensors, exposed for the decode engine adapter.
+  const Matrix& tok_embed() const { return tok_embed_; }
+  const Matrix& lm_head() const { return lm_head_; }
+  std::span<const float> attn_norm(std::size_t layer) const {
+    return attn_norms_[layer];
+  }
+  std::span<const float> ffn_norm(std::size_t layer) const {
+    return ffn_norms_[layer];
+  }
+  std::span<const float> final_norm() const { return final_norm_; }
+
   /// Deploy-format round-trip.
   void save(const std::string& path) const;
   static PackedModel load(const std::string& path);
@@ -66,5 +85,21 @@ class PackedModel {
   // Seven per block, in collect_linears order (q,k,v,o,gate,up,down).
   std::vector<QuantizedLinear> linears_;
 };
+
+/// Batched prefill over packed weights: appends `tokens` to the context
+/// and returns their (T × V) logits.
+Matrix decode_prefill(const PackedModel& model, std::span<const TokenId> tokens,
+                      DecodeState& state);
+
+/// One incremental step over packed weights via the GEMV kernel: appends
+/// `token` and returns its next-token logits.
+std::vector<float> decode_step(const PackedModel& model, TokenId token,
+                               DecodeState& state);
+
+/// Sample `length` tokens autoregressively from a packed model (same loop
+/// and RNG consumption as sample_from_model, running on packed weights).
+TokenSeq sample_from_packed(const PackedModel& model, std::size_t length,
+                            Rng& rng, const SampleConfig& config = {},
+                            const TokenSeq& prompt = {});
 
 }  // namespace aptq

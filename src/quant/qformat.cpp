@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <string>
+
+#include "util/threadpool.hpp"
 
 namespace aptq {
 
@@ -100,7 +103,12 @@ GroupParams fit_group_params_minmax(std::span<const float> values,
       max_abs = std::max(max_abs, std::fabs(v));
     }
     const long half = 1L << (spec.bits - 1);
-    p.scale = max_abs > 0.0f ? max_abs / static_cast<float>(half)
+    // Codes span [1, 2^bits - 1]: code 0 is sacrificed so the grid is odd-
+    // symmetric around the zero-point and ±max_abs are both exactly
+    // representable. (With the former max_abs/half scale, +max_abs mapped
+    // to code 2^bits, clamped, and dequantized a full step short.)
+    const long span = half > 1 ? half - 1 : 1;
+    p.scale = max_abs > 0.0f ? max_abs / static_cast<float>(span)
                              : 1.0f;
     p.zero_point = static_cast<std::int32_t>(half);
     return p;
@@ -144,7 +152,10 @@ std::int32_t quantize_value(float v, const GroupParams& params,
     return static_cast<std::int32_t>((sign << 3) | static_cast<int>(best));
   }
   const long qmax = (1L << spec.bits) - 1;
-  return clamp_code(std::lround(v / params.scale) + params.zero_point, 0,
+  // Symmetric grids reserve code 0 (see fit_group_params_minmax) so that
+  // the code range is odd-symmetric around the zero-point.
+  const long qmin = spec.symmetric && spec.bits > 1 ? 1 : 0;
+  return clamp_code(std::lround(v / params.scale) + params.zero_point, qmin,
                     qmax);
 }
 
@@ -254,35 +265,91 @@ Matrix QuantizedLinear::dequantize() const {
 Matrix QuantizedLinear::matmul_transposed(const Matrix& x) const {
   APTQ_CHECK(x.cols() == cols_, "QuantizedLinear: input width mismatch");
   Matrix out(x.rows(), rows_);
+  if (x.rows() == 1) {
+    // Decode hot path: one token per call — fused GEMV, no row
+    // materialization.
+    matvec_transposed(x.row(0), out.row(0));
+    return out;
+  }
   const std::size_t groups = group_count(cols_, spec_);
   const std::size_t g = spec_.group_size == 0 ? cols_ : spec_.group_size;
-  std::vector<float> buf(cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    // Dequantize one weight row, then dot it with every input row.
-    for (std::size_t c = 0; c < cols_; ++c) {
-      const GroupParams& p = group_params_[r * groups + c / g];
-      const auto code = static_cast<std::int32_t>(code_at(r, c));
-      if (spec_.format == QFormat::fp4_e2m1) {
-        const float mag = fp4_magnitudes()[static_cast<std::size_t>(code & 7)];
-        buf[c] = ((code >> 3) != 0 ? -mag : mag) * p.scale;
-      } else {
-        buf[c] = dequantize_value(code, p);
-      }
-    }
-    for (std::size_t n = 0; n < x.rows(); ++n) {
-      const float* xr = x.data() + n * cols_;
-      float acc = 0.0f;
+  // Output rows are independent: split them across the pool (fixed grain,
+  // disjoint writes — bitwise identical at any thread count).
+  parallel_for(0, rows_, 8, [&](std::size_t rb, std::size_t re) {
+    std::vector<float> buf(cols_);
+    for (std::size_t r = rb; r < re; ++r) {
+      // Dequantize one weight row, then dot it with every input row.
       for (std::size_t c = 0; c < cols_; ++c) {
-        acc += xr[c] * buf[c];
+        const GroupParams& p = group_params_[r * groups + c / g];
+        const auto code = static_cast<std::int32_t>(code_at(r, c));
+        if (spec_.format == QFormat::fp4_e2m1) {
+          const float mag =
+              fp4_magnitudes()[static_cast<std::size_t>(code & 7)];
+          buf[c] = ((code >> 3) != 0 ? -mag : mag) * p.scale;
+        } else {
+          buf[c] = dequantize_value(code, p);
+        }
       }
-      out(n, r) = acc;
+      for (std::size_t n = 0; n < x.rows(); ++n) {
+        const float* xr = x.data() + n * cols_;
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < cols_; ++c) {
+          acc += xr[c] * buf[c];
+        }
+        out(n, r) = acc;
+      }
     }
-  }
+  });
   return out;
 }
 
+void QuantizedLinear::matvec_transposed(std::span<const float> x,
+                                        std::span<float> y) const {
+  APTQ_CHECK(x.size() == cols_, "QuantizedLinear: input width mismatch");
+  APTQ_CHECK(y.size() == rows_, "QuantizedLinear: output size mismatch");
+  const std::size_t groups = group_count(cols_, spec_);
+  const std::size_t g = spec_.group_size == 0 ? cols_ : spec_.group_size;
+  // Chunk width of the on-stack dequantization scratch: groups larger than
+  // this (including group_size == 0, i.e. whole-row groups) are processed
+  // in kChunk-wide slices under the same group parameters.
+  constexpr std::size_t kChunk = 128;
+  parallel_for(0, rows_, 16, [&](std::size_t rb, std::size_t re) {
+    float buf[kChunk];
+    for (std::size_t r = rb; r < re; ++r) {
+      float acc = 0.0f;
+      for (std::size_t start = 0, gi = 0; start < cols_; start += g, ++gi) {
+        const GroupParams& p = group_params_[r * groups + gi];
+        const std::size_t len = std::min(g, cols_ - start);
+        for (std::size_t cb = 0; cb < len; cb += kChunk) {
+          const std::size_t clen = std::min(kChunk, len - cb);
+          for (std::size_t i = 0; i < clen; ++i) {
+            const std::size_t c = start + cb + i;
+            const auto code = static_cast<std::int32_t>(code_at(r, c));
+            if (spec_.format == QFormat::fp4_e2m1) {
+              const float mag =
+                  fp4_magnitudes()[static_cast<std::size_t>(code & 7)];
+              buf[i] = ((code >> 3) != 0 ? -mag : mag) * p.scale;
+            } else {
+              buf[i] = dequantize_value(code, p);
+            }
+          }
+          const float* xc = x.data() + start + cb;
+          for (std::size_t i = 0; i < clen; ++i) {
+            acc += xc[i] * buf[i];
+          }
+        }
+      }
+      y[r] = acc;
+    }
+  });
+}
+
 std::size_t QuantizedLinear::storage_bytes() const {
-  return codes_.size() + group_params_.size() * (sizeof(float) + 1);
+  // Must match the serialized per-group layout exactly (f32 scale +
+  // i32 zero_point) so bits_per_weight() agrees with the on-disk size.
+  constexpr std::size_t kGroupParamBytes =
+      sizeof(float) + sizeof(std::int32_t);
+  return codes_.size() + group_params_.size() * kGroupParamBytes;
 }
 
 double QuantizedLinear::bits_per_weight() const {
@@ -295,6 +362,7 @@ void QuantizedLinear::serialize(BinaryWriter& writer) const {
   writer.write_u64(spec_.group_size);
   writer.write_u32(static_cast<std::uint32_t>(spec_.format));
   writer.write_u32(spec_.symmetric ? 1u : 0u);
+  writer.write_u32(spec_.mse_clip_search ? 1u : 0u);
   writer.write_u64(rows_);
   writer.write_u64(cols_);
   writer.write_u64(codes_per_byte_);
@@ -302,7 +370,7 @@ void QuantizedLinear::serialize(BinaryWriter& writer) const {
   writer.write_u64(group_params_.size());
   for (const GroupParams& p : group_params_) {
     writer.write_f32(p.scale);
-    writer.write_i64(p.zero_point);
+    writer.write_i32(p.zero_point);
   }
 }
 
@@ -310,8 +378,13 @@ QuantizedLinear QuantizedLinear::deserialize(BinaryReader& reader) {
   QuantizedLinear q;
   q.spec_.bits = static_cast<int>(reader.read_u32());
   q.spec_.group_size = reader.read_u64();
-  q.spec_.format = static_cast<QFormat>(reader.read_u32());
+  const std::uint32_t format_code = reader.read_u32();
+  APTQ_CHECK(format_code <= static_cast<std::uint32_t>(QFormat::fp4_e2m1),
+             "QuantizedLinear: unknown format code " +
+                 std::to_string(format_code));
+  q.spec_.format = static_cast<QFormat>(format_code);
   q.spec_.symmetric = reader.read_u32() != 0;
+  q.spec_.mse_clip_search = reader.read_u32() != 0;
   q.spec_.validate();
   q.rows_ = reader.read_u64();
   q.cols_ = reader.read_u64();
@@ -329,7 +402,7 @@ QuantizedLinear QuantizedLinear::deserialize(BinaryReader& reader) {
   q.group_params_.resize(n_params);
   for (auto& p : q.group_params_) {
     p.scale = reader.read_f32();
-    p.zero_point = static_cast<std::int32_t>(reader.read_i64());
+    p.zero_point = reader.read_i32();
   }
   return q;
 }
@@ -338,7 +411,9 @@ bool QuantizedLinear::operator==(const QuantizedLinear& other) const {
   return spec_.bits == other.spec_.bits &&
          spec_.group_size == other.spec_.group_size &&
          spec_.format == other.spec_.format &&
-         spec_.symmetric == other.spec_.symmetric && rows_ == other.rows_ &&
+         spec_.symmetric == other.spec_.symmetric &&
+         spec_.mse_clip_search == other.spec_.mse_clip_search &&
+         rows_ == other.rows_ &&
          cols_ == other.cols_ && codes_ == other.codes_ &&
          group_params_.size() == other.group_params_.size() &&
          std::equal(group_params_.begin(), group_params_.end(),

@@ -95,8 +95,15 @@ class QuantizedLinear {
   Matrix dequantize() const;
 
   /// Fused dequantize-then-multiply: returns x · Wᵀ_dq for x of shape
-  /// (n × in_features). Used by the kernel microbenches.
+  /// (n × in_features). Output rows are split across the global thread
+  /// pool; single-row inputs route through matvec_transposed.
   Matrix matmul_transposed(const Matrix& x) const;
+
+  /// Fused dequantize GEMV: y[r] = Σ_c x[c] · W_dq(r, c), for x of length
+  /// in_features and y of length out_features. Dequantizes group-by-group
+  /// into a small stack buffer (never materializing a full row) and
+  /// parallelizes over output rows — the per-token decode hot path.
+  void matvec_transposed(std::span<const float> x, std::span<float> y) const;
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }

@@ -67,6 +67,12 @@ std::uint64_t BinaryReader::read_u64() {
   return v;
 }
 
+std::int32_t BinaryReader::read_i32() {
+  std::int32_t v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
 std::int64_t BinaryReader::read_i64() {
   std::int64_t v = 0;
   read_raw(&v, sizeof v);

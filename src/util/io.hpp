@@ -19,6 +19,7 @@ class BinaryWriter {
 
   void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
   void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+  void write_i32(std::int32_t v) { write_raw(&v, sizeof v); }
   void write_i64(std::int64_t v) { write_raw(&v, sizeof v); }
   void write_f32(float v) { write_raw(&v, sizeof v); }
   void write_string(const std::string& s);
@@ -41,6 +42,7 @@ class BinaryReader {
 
   std::uint32_t read_u32();
   std::uint64_t read_u64();
+  std::int32_t read_i32();
   std::int64_t read_i64();
   float read_f32();
   std::string read_string();

@@ -79,8 +79,10 @@ TEST(Decoder, PrefillEqualsStepByStep) {
     via_steps = b.step(t);
   }
   ASSERT_EQ(via_prefill.size(), via_steps.size());
+  // Prefill runs batched (GEMM attention) and the steps run the per-token
+  // kernel; the two reassociate f32 sums differently.
   for (std::size_t i = 0; i < via_prefill.size(); ++i) {
-    EXPECT_FLOAT_EQ(via_prefill[i], via_steps[i]);
+    EXPECT_NEAR(via_prefill[i], via_steps[i], 2e-4f);
   }
   EXPECT_EQ(a.position(), 10u);
 }

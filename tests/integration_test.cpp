@@ -195,7 +195,9 @@ TEST_F(IntegrationTest, PackedStorageMatchesAverageBits) {
       8.0 * static_cast<double>(q4.packed_bytes()) /
       static_cast<double>(weights);
   EXPECT_GT(bits_per_weight, 4.0);
-  EXPECT_LT(bits_per_weight, 11.0);
+  // Nominal 4 bits plus per-group overhead (8 bytes per group, matching the
+  // serialized layout) at the pipeline's group size.
+  EXPECT_LT(bits_per_weight, 13.0);
 }
 
 }  // namespace

@@ -252,10 +252,11 @@ TEST(Packed, BitsPerWeightNearNominal) {
   Rng rng(13);
   const Matrix w = Matrix::randn(32, 128, rng);
   const QuantizedLinear q4(w, spec_of(4, 16));
-  // 4 bits + 5 bytes per 16-weight group = 4 + 2.5 = 6.5 bits.
-  EXPECT_NEAR(q4.bits_per_weight(), 6.5, 0.2);
+  // 4 bits + 8 bytes (f32 scale + i32 zero-point, matching the serialized
+  // layout) per 16-weight group = 4 + 4 = 8 bits.
+  EXPECT_NEAR(q4.bits_per_weight(), 8.0, 0.2);
   const QuantizedLinear q2(w, spec_of(2, 16));
-  EXPECT_NEAR(q2.bits_per_weight(), 4.5, 0.2);
+  EXPECT_NEAR(q2.bits_per_weight(), 6.0, 0.2);
 }
 
 TEST(Packed, FusedMatmulMatchesDequantMatmul) {
@@ -278,6 +279,70 @@ TEST(Packed, FusedMatmulMatchesDequantMatmul) {
   }
   const Matrix bad(5, 23);
   EXPECT_THROW(packed.matmul_transposed(bad), Error);
+}
+
+// Regression for the symmetric grid clipping bug: the grid used to span
+// codes [0, 2^bits - 1] around a centered zero-point, which made +max_abs
+// unrepresentable (it clipped to max_abs - scale). The fixed grid reserves
+// code 0 so ±max_abs are both exact at every width.
+class SymmetricExtremes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricExtremes, MaxAbsRepresentableWithBothSigns) {
+  const int bits = GetParam();
+  const float max_abs = 1.75f;
+  const std::vector<float> v = {max_abs, -0.4f, 0.9f};
+  const auto spec = spec_of(bits, 0, /*symmetric=*/true);
+  const GroupParams p = fit_group_params(v, spec);
+  const float qp = quantize_dequantize_value(max_abs, p, spec);
+  const float qn = quantize_dequantize_value(-max_abs, p, spec);
+  EXPECT_NEAR(qp, max_abs, 1e-5f) << "bits " << bits;
+  EXPECT_NEAR(qn, -max_abs, 1e-5f) << "bits " << bits;
+  EXPECT_EQ(qp, -qn) << "bits " << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, SymmetricExtremes, ::testing::Range(2, 9));
+
+TEST(Packed, MatvecMatchesDequantizedGemv) {
+  Rng rng(16);
+  // 300 columns cross the GEMV dequant chunk (128) with a ragged tail; the
+  // spec list covers grouped int grids, whole-row groups, and fp4.
+  std::vector<QuantSpec> specs = {spec_of(4, 16), spec_of(3, 8),
+                                  spec_of(2, 0), spec_of(8, 16, true)};
+  QuantSpec fp4;
+  fp4.format = QFormat::fp4_e2m1;
+  fp4.bits = 4;
+  fp4.group_size = 16;
+  specs.push_back(fp4);
+  const Matrix w = Matrix::randn(9, 300, rng);
+  const Matrix x = Matrix::randn(1, 300, rng);
+  for (const QuantSpec& spec : specs) {
+    const QuantizedLinear packed(w, spec);
+    const Matrix wdq = packed.dequantize();
+    std::vector<float> y(w.rows());
+    packed.matvec_transposed(x.row(0), y);
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      float ref = 0.0f;
+      for (std::size_t c = 0; c < w.cols(); ++c) {
+        ref += x(0, c) * wdq(r, c);
+      }
+      EXPECT_NEAR(y[r], ref, 1e-4f) << "row " << r;
+    }
+    // Single-row matmul_transposed routes through the same kernel.
+    const Matrix fused = packed.matmul_transposed(x);
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      EXPECT_EQ(fused(0, r), y[r]);
+    }
+  }
+}
+
+TEST(Packed, MatvecRejectsBadShapes) {
+  Rng rng(17);
+  const QuantizedLinear packed(Matrix::randn(4, 12, rng), spec_of(4, 4));
+  std::vector<float> x(12), y(4);
+  EXPECT_NO_THROW(packed.matvec_transposed(x, y));
+  std::vector<float> short_x(11), short_y(3);
+  EXPECT_THROW(packed.matvec_transposed(short_x, y), Error);
+  EXPECT_THROW(packed.matvec_transposed(x, short_y), Error);
 }
 
 TEST(Packed, RaggedColumnsPack) {
