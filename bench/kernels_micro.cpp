@@ -3,9 +3,11 @@
 // GPTQ solver cost, bit-packing and the fused dequantize-matmul.
 //
 // Before the google-benchmark suite runs, a threads sweep times the three
-// parallelized hot kernels (matmul, Hessian accumulation, GPTQ solve) at
-// 1/2/4 threads plus any `--threads N` and writes the serial-vs-parallel
-// numbers to BENCH_kernels.json. Flags: `--threads N` (pool size for the
+// hot kernels (matmul, Hessian accumulation, GPTQ solve) at 1/2/4 threads
+// plus any `--threads N`, for both the naive reference (aptq::ref) and the
+// register-tiled production path, and writes seconds / GFLOP/s /
+// speedup-vs-serial / speedup-vs-naive to BENCH_kernels.json. Each timing
+// is min-of-5 after 2 warmup runs. Flags: `--threads N` (pool size for the
 // gbench suite and an extra sweep point), `--sweep-out PATH`, `--no-sweep`.
 #include <benchmark/benchmark.h>
 
@@ -24,6 +26,7 @@
 #include "quant/gptq.hpp"
 #include "quant/hessian.hpp"
 #include "tensor/cholesky.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
@@ -231,10 +234,14 @@ void BM_ModelForward(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelForward);
 
-// ---- standalone serial-vs-parallel sweep ----------------------------------
+// ---- standalone naive-vs-tiled / serial-vs-parallel sweep -----------------
 
-// Best-of-`reps` wall time of `fn`.
-double best_seconds(int reps, const std::function<void()>& fn) {
+// Best-of-`reps` wall time of `fn` after `warmup` untimed runs (the warmups
+// fault in the pages and settle the pool so min-of-N measures steady state).
+double best_seconds(int warmup, int reps, const std::function<void()>& fn) {
+  for (int i = 0; i < warmup; ++i) {
+    fn();
+  }
   double best = std::numeric_limits<double>::infinity();
   for (int i = 0; i < reps; ++i) {
     Timer t;
@@ -246,14 +253,19 @@ double best_seconds(int reps, const std::function<void()>& fn) {
 
 struct SweepRow {
   std::string kernel;
+  std::string impl;  // "naive" (aptq::ref) or "tiled" (production path)
   std::size_t threads = 1;
   double seconds = 0.0;
+  double gflops = 0.0;
   double speedup_vs_1 = 1.0;
+  double speedup_vs_naive = 0.0;  // 0 = no naive baseline for this kernel
 };
 
-// Time the three parallelized hot kernels at each pool size. The thread
-// counts sweep the pool, never the problem: every timing runs the identical
-// deterministic computation, so the numbers isolate scheduling cost/win.
+// Time each hot kernel at each pool size, both as the retained naive
+// reference and as the register-tiled production path. The thread counts
+// sweep the pool, never the problem: every timing runs the identical
+// deterministic computation, so the numbers isolate scheduling cost/win;
+// the naive-vs-tiled pairs at equal thread count isolate the kernel win.
 std::vector<SweepRow> run_threads_sweep(
     const std::vector<std::size_t>& thread_counts) {
   // matmul: the acceptance-criterion 512x512x512 problem.
@@ -271,36 +283,69 @@ std::vector<SweepRow> run_threads_sweep(
   qcfg.spec.bits = 4;
   qcfg.spec.group_size = 16;
 
+  // Effective flop counts: 2mnk for GEMM, tokens·d·(d+1) for the
+  // upper-triangle SYRK (both impls do the same useful work), and a nominal
+  // 2·d³ for the GPTQ solve (dominated by its panel updates).
+  const double gemm_flops = 2.0 * 512.0 * 512.0 * 512.0;
+  const double syrk_flops = 768.0 * 256.0 * 257.0;
+  const double gptq_flops = 2.0 * 192.0 * 192.0 * 192.0;
+
   struct KernelCase {
-    const char* name;
+    const char* kernel;
+    const char* impl;
+    double flops;
     std::function<void()> fn;
   };
-  const KernelCase kernels[] = {
-      {"matmul_512", [&] { gemm(ga, Trans::no, gb, Trans::no, gc); }},
-      {"hessian_accumulate_768x256",
+  const KernelCase cases[] = {
+      {"matmul_512", "naive", gemm_flops,
+       [&] { ref::gemm(ga, Trans::no, gb, Trans::no, gc); }},
+      {"matmul_512", "tiled", gemm_flops,
+       [&] { gemm(ga, Trans::no, gb, Trans::no, gc); }},
+      {"hessian_accumulate_768x256", "naive", syrk_flops,
+       [&] {
+         Matrix h(256, 256);
+         ref::syrk_upper(hx, {}, 1.0f, h);
+         benchmark::DoNotOptimize(h.data());
+       }},
+      {"hessian_accumulate_768x256", "tiled", syrk_flops,
        [&] {
          HessianAccumulator acc(256);
          acc.add_matrix(hx);
+         benchmark::DoNotOptimize(acc.tokens_seen());
        }},
-      {"gptq_solve_192",
+      {"gptq_solve_192", "tiled", gptq_flops,
        [&] { benchmark::DoNotOptimize(gptq_quantize(qw, qh, qcfg).weight); }},
   };
 
   std::vector<SweepRow> rows;
-  for (const auto& kernel : kernels) {
+  for (const auto& c : cases) {
     double serial_seconds = 0.0;
     for (const std::size_t threads : thread_counts) {
       ThreadPool::set_global_threads(threads);
       SweepRow row;
-      row.kernel = kernel.name;
+      row.kernel = c.kernel;
+      row.impl = c.impl;
       row.threads = threads;
-      row.seconds = best_seconds(3, kernel.fn);
+      row.seconds = best_seconds(2, 5, c.fn);
+      row.gflops = row.seconds > 0.0 ? c.flops / row.seconds / 1e9 : 0.0;
       if (threads == 1) {
         serial_seconds = row.seconds;
       }
       row.speedup_vs_1 =
           serial_seconds > 0.0 ? serial_seconds / row.seconds : 1.0;
       rows.push_back(row);
+    }
+  }
+  // Pair up naive/tiled rows at equal thread count.
+  for (auto& tiled : rows) {
+    if (tiled.impl != "tiled") {
+      continue;
+    }
+    for (const auto& naive : rows) {
+      if (naive.impl == "naive" && naive.kernel == tiled.kernel &&
+          naive.threads == tiled.threads && tiled.seconds > 0.0) {
+        tiled.speedup_vs_naive = naive.seconds / tiled.seconds;
+      }
     }
   }
   ThreadPool::set_global_threads(1);
@@ -317,13 +362,30 @@ bool write_sweep_json(const std::vector<SweepRow>& rows,
   out << "{\n";
   out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ",\n";
+  out << "  \"build\": \""
+#if defined(__AVX2__)
+      << "APTQ_NATIVE (AVX2)"
+#elif defined(__AVX__)
+      << "APTQ_NATIVE (AVX)"
+#else
+      << "baseline (SSE2)"
+#endif
+      << "\",\n";
+  out << "  \"timing\": \"min of 5 reps after 2 warmup runs\",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
-    out << "    {\"kernel\": \"" << r.kernel << "\", \"threads\": "
-        << r.threads << ", \"seconds\": " << r.seconds
-        << ", \"speedup_vs_1\": " << r.speedup_vs_1 << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+    out << "    {\"kernel\": \"" << r.kernel << "\", \"impl\": \"" << r.impl
+        << "\", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+        << ", \"gflops\": " << r.gflops
+        << ", \"speedup_vs_1\": " << r.speedup_vs_1
+        << ", \"speedup_vs_naive\": ";
+    if (r.speedup_vs_naive > 0.0) {
+      out << r.speedup_vs_naive;
+    } else {
+      out << "null";
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
   out << "}\n";
@@ -365,8 +427,13 @@ int main(int argc, char** argv) {
       std::printf("threads sweep written to %s\n", sweep_out.c_str());
     }
     for (const auto& r : rows) {
-      std::printf("  %-28s threads=%zu  %.6fs  speedup=%.2fx\n",
-                  r.kernel.c_str(), r.threads, r.seconds, r.speedup_vs_1);
+      std::printf("  %-28s %-5s threads=%zu  %.6fs  %7.2f GF/s  vs1=%.2fx",
+                  r.kernel.c_str(), r.impl.c_str(), r.threads, r.seconds,
+                  r.gflops, r.speedup_vs_1);
+      if (r.speedup_vs_naive > 0.0) {
+        std::printf("  vs_naive=%.2fx", r.speedup_vs_naive);
+      }
+      std::printf("\n");
     }
   }
 

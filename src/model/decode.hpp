@@ -32,6 +32,7 @@
 #include "data/vocab.hpp"
 #include "model/forward.hpp"
 #include "model/model.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace aptq {
@@ -251,15 +252,13 @@ std::vector<float> decode_step_impl(const Adapter& adapter, TokenId token,
       const std::size_t g = h / group_factor;  // shared kv head (GQA)
       const float* qh = q.data() + h * hd;
       // Scores over all cached positions (causality is implicit: only
-      // positions <= pos are cached).
+      // positions <= pos are cached). The four-accumulator dot is the
+      // kernel layer's; the dense 1-row projections above already ride the
+      // gemv fast path inside gemm().
       float max_s = -1e30f;
       for (std::size_t t = 0; t < ctx; ++t) {
         const float* kh = kc.data() + t * kv_dim + g * hd;
-        float acc = 0.0f;
-        for (std::size_t c = 0; c < hd; ++c) {
-          acc += qh[c] * kh[c];
-        }
-        scores[t] = acc * inv_sqrt_hd;
+        scores[t] = kern::dot4(qh, kh, hd) * inv_sqrt_hd;
         max_s = std::max(max_s, scores[t]);
       }
       float sum = 0.0f;

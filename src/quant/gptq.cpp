@@ -5,6 +5,7 @@
 
 #include "quant/hessian.hpp"
 #include "tensor/cholesky.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "util/threadpool.hpp"
 
@@ -142,19 +143,15 @@ GptqResult gptq_quantize(const Matrix& w, const Matrix& h,
               }
             }
 
-            // Lazy update of everything beyond the block:
-            // W[r, i2:] -= Err · U[i1:i2, i2:].
+            // Lazy panel update of everything beyond the block:
+            // W[r, i2:] -= Err · U[i1:i2, i2:], folded four error rows at
+            // a time by the micro-kernel layer (the fold order depends
+            // only on the block shape, so results stay thread-count
+            // invariant; it reassociates relative to the old one-row-at-a-
+            // time sweep, covered by the existing solver tolerances).
             if (i2 < d_in) {
-              for (std::size_t j = i1; j < i2; ++j) {
-                const float e = err_block[j - i1];
-                if (e == 0.0f) {
-                  continue;
-                }
-                const float* ur = u.data() + j * d_in;
-                for (std::size_t c = i2; c < d_in; ++c) {
-                  wr[c] -= e * ur[c];
-                }
-              }
+              kern::rank_update(wr + i2, d_in - i2, err_block.data(),
+                                i2 - i1, u.data() + i1 * d_in + i2, d_in);
             }
           }
         }

@@ -31,9 +31,12 @@ class HessianAccumulator {
   void add_token(std::span<const float> x, float gamma = 1.0f);
 
   /// Add every row of `x`; `gamma` is either empty (all ones) or per-row.
-  /// Rows of H are split across the thread pool with a fixed per-element
-  /// accumulation order, so the result is bitwise identical to the serial
-  /// token-by-token path at any thread count.
+  /// Runs the register-tiled SYRK kernel (upper triangle only, half the
+  /// flops of the full product). Tile/chunk boundaries depend only on the
+  /// shape, so the result is bitwise identical at any thread count; it is
+  /// tolerance-equal (not bitwise) to the token-by-token add_token path
+  /// because the SYRK panels reassociate the token summation
+  /// (docs/KERNELS.md).
   void add_matrix(const Matrix& x, std::span<const float> gamma = {});
 
   /// The accumulated Hessian, normalized by the token count (the scale-free

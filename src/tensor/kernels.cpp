@@ -1,0 +1,548 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "util/threadpool.hpp"
+
+// GCC and Clang vector extensions give the micro-kernel register-resident
+// 4-wide accumulators on the baseline ISA (no intrinsics headers, no
+// -march requirement). Plain fixed-count float arrays express the same
+// computation but GCC 12's SLP vectorizer spills them to the stack behind a
+// shuffle storm, costing ~5x; the extension types pin the intended codegen.
+#if defined(__GNUC__) || defined(__clang__)
+#define APTQ_KERNEL_VEC_EXT 1
+#endif
+
+namespace aptq {
+
+namespace {
+
+constexpr std::size_t MR = kGemmMR;
+constexpr std::size_t KC = kGemmKC;
+constexpr std::size_t MC = kGemmMC;
+static_assert(MC % MR == 0, "parallel chunk must hold whole register tiles");
+
+#ifdef APTQ_KERNEL_VEC_EXT
+// Vector width tracks the compile-time ISA: 8 lanes when AVX is enabled
+// (APTQ_NATIVE on an AVX host), 4 lanes on the baseline target. Within one
+// binary the fold order is fixed, so the determinism contract holds;
+// different builds may differ in the low bits (tolerance-covered vs ref).
+#if defined(__AVX__)
+constexpr std::size_t kVecLanes = 8;
+#else
+constexpr std::size_t kVecLanes = 4;
+#endif
+typedef float vNf __attribute__((vector_size(kVecLanes * sizeof(float))));
+// The B panel always spans two vectors: MR×2 = 12 accumulator registers —
+// the full baseline SSE file, and enough independent FMA chains to cover
+// the FMA latency on AVX cores.
+constexpr std::size_t NR = 2 * kVecLanes;
+static_assert(NR % kGemmNR == 0 || kGemmNR % NR == 0,
+              "panel width must stay tile-compatible");
+#else
+constexpr std::size_t NR = kGemmNR;
+#endif
+
+// Logical element view of op(M) without materializing the transpose.
+struct OpView {
+  const float* data;
+  std::size_t ld;  // leading dimension of the stored matrix
+  bool trans;      // logical (i, j) reads data[j*ld + i] when set
+  float at(std::size_t i, std::size_t j) const {
+    return trans ? data[j * ld + i] : data[i * ld + j];
+  }
+};
+
+// Pack the k-slice [p0, p0+kc) of op(B) (k × n) into NR-wide panels:
+// panel jp occupies bp[jp*kc*NR ..), row p of it holding the NR (zero-padded
+// past n) consecutive columns — the unit-stride B feed of the micro-kernel.
+void pack_b(const OpView& b, std::size_t p0, std::size_t kc, std::size_t n,
+            float* bp) {
+  const std::size_t npanels = (n + NR - 1) / NR;
+  for (std::size_t jp = 0; jp < npanels; ++jp) {
+    const std::size_t j0 = jp * NR;
+    const std::size_t jn = std::min(NR, n - j0);
+    float* dst = bp + jp * kc * NR;
+    if (!b.trans) {
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* src = b.data + (p0 + p) * b.ld + j0;
+        float* row = dst + p * NR;
+        for (std::size_t j = 0; j < jn; ++j) {
+          row[j] = src[j];
+        }
+        for (std::size_t j = jn; j < NR; ++j) {
+          row[j] = 0.0f;
+        }
+      }
+    } else {
+      // op(B)(p, j) = B(j, p): gather columns of the stored matrix.
+      for (std::size_t j = 0; j < jn; ++j) {
+        const float* src = b.data + (j0 + j) * b.ld + p0;
+        for (std::size_t p = 0; p < kc; ++p) {
+          dst[p * NR + j] = src[p];
+        }
+      }
+      for (std::size_t j = jn; j < NR; ++j) {
+        for (std::size_t p = 0; p < kc; ++p) {
+          dst[p * NR + j] = 0.0f;
+        }
+      }
+    }
+  }
+}
+
+// Pack one MR-row tile of op(A) (m × k) over the k-slice [p0, p0+kc):
+// ap[p*MR + i] = op(A)(i0+i, p0+p), zero-padded past mr rows.
+void pack_a(const OpView& a, std::size_t i0, std::size_t mr, std::size_t p0,
+            std::size_t kc, float* ap) {
+  for (std::size_t i = 0; i < mr; ++i) {
+    if (!a.trans) {
+      const float* src = a.data + (i0 + i) * a.ld + p0;
+      for (std::size_t p = 0; p < kc; ++p) {
+        ap[p * MR + i] = src[p];
+      }
+    } else {
+      const float* src = a.data + p0 * a.ld + (i0 + i);
+      for (std::size_t p = 0; p < kc; ++p) {
+        ap[p * MR + i] = src[p * a.ld];
+      }
+    }
+  }
+  for (std::size_t i = mr; i < MR; ++i) {
+    for (std::size_t p = 0; p < kc; ++p) {
+      ap[p * MR + i] = 0.0f;
+    }
+  }
+}
+
+// The compute core shared by both store variants: the MR×NR accumulator
+// block over a packed A tile and a packed B panel, written out to `accf`.
+// Each k-step multiplies one broadcast A lane against the NR-wide B row;
+// the MR·NR/kVecLanes accumulator vectors stay in the vector register file
+// (12 of 16 on baseline SSE).
+#ifdef APTQ_KERNEL_VEC_EXT
+void micro_accumulate(std::size_t kc, const float* ap, const float* bp,
+                      float accf[MR][NR]) {
+  constexpr std::size_t NV = NR / kVecLanes;
+  vNf acc[MR][NV] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    vNf bv[NV];
+    std::memcpy(bv, bp + p * NR, sizeof bv);
+    const float* a = ap + p * MR;
+    for (std::size_t i = 0; i < MR; ++i) {
+      const vNf ai = vNf{} + a[i];  // scalar-vector op broadcasts the lane
+      for (std::size_t v = 0; v < NV; ++v) {
+        acc[i][v] += ai * bv[v];
+      }
+    }
+  }
+  std::memcpy(accf, acc, sizeof(vNf) * MR * NV);
+}
+#else
+// Portable fallback: same fold order, plain arrays.
+void micro_accumulate(std::size_t kc, const float* ap, const float* bp,
+                      float accf[MR][NR]) {
+  float acc[MR][NR] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
+    for (std::size_t i = 0; i < MR; ++i) {
+      for (std::size_t j = 0; j < NR; ++j) {
+        acc[i][j] += a[i] * b[j];
+      }
+    }
+  }
+  std::memcpy(accf, acc, sizeof acc);
+}
+#endif
+
+// Stores C += alpha·acc for the valid (mr × nr) corner of one tile.
+void micro_tile(std::size_t kc, const float* ap, const float* bp, float alpha,
+                float* c, std::size_t ldc, std::size_t mr, std::size_t nr) {
+  float acc[MR][NR];
+  micro_accumulate(kc, ap, bp, acc);
+  if (mr == MR && nr == NR) {
+    for (std::size_t i = 0; i < MR; ++i) {
+      float* crow = c + i * ldc;
+      for (std::size_t j = 0; j < NR; ++j) {
+        crow[j] += alpha * acc[i][j];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < mr; ++i) {
+      float* crow = c + i * ldc;
+      for (std::size_t j = 0; j < nr; ++j) {
+        crow[j] += alpha * acc[i][j];
+      }
+    }
+  }
+}
+
+// micro_tile for diagonal-crossing SYRK tiles: same compute, but the store
+// keeps only the upper-triangle entries (absolute column >= absolute row).
+void micro_tile_upper(std::size_t kc, const float* ap, const float* bp,
+                      float alpha, float* c, std::size_t ldc, std::size_t i0,
+                      std::size_t j0, std::size_t mr, std::size_t nr) {
+  float acc[MR][NR];
+  micro_accumulate(kc, ap, bp, acc);
+  for (std::size_t i = 0; i < mr; ++i) {
+    const std::size_t row = i0 + i;
+    float* crow = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) {
+      if (j0 + j >= row) {
+        crow[j] += alpha * acc[i][j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_tiled(const Matrix& a, Trans trans_a, const Matrix& b,
+                Trans trans_b, Matrix& c, float alpha) {
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t k = trans_a == Trans::no ? a.cols() : a.rows();
+  if (m == 0 || n == 0 || k == 0) {
+    return;
+  }
+  const OpView av{a.data(), a.cols(), trans_a == Trans::yes};
+  const OpView bv{b.data(), b.cols(), trans_b == Trans::yes};
+  const std::size_t npanels = (n + NR - 1) / NR;
+  const std::size_t mtiles = (m + MR - 1) / MR;
+  std::vector<float> bpack(KC * npanels * NR);
+  // k-slices accumulate into C in ascending order on every path; row-tile
+  // chunks depend only on the shape, so results are bitwise identical at
+  // any thread count.
+  for (std::size_t p0 = 0; p0 < k; p0 += KC) {
+    const std::size_t kc = std::min(KC, k - p0);
+    pack_b(bv, p0, kc, n, bpack.data());
+    parallel_for(0, mtiles, MC / MR, [&](std::size_t t0, std::size_t t1) {
+      std::vector<float> apack(kc * MR);
+      for (std::size_t t = t0; t < t1; ++t) {
+        const std::size_t i0 = t * MR;
+        const std::size_t mr = std::min(MR, m - i0);
+        pack_a(av, i0, mr, p0, kc, apack.data());
+        for (std::size_t jp = 0; jp < npanels; ++jp) {
+          const std::size_t j0 = jp * NR;
+          micro_tile(kc, apack.data(), bpack.data() + jp * kc * NR, alpha,
+                     c.data() + i0 * n + j0, n, mr,
+                     std::min(NR, n - j0));
+        }
+      }
+    });
+  }
+}
+
+void syrk_upper(const Matrix& x, std::span<const float> gamma, float alpha,
+                Matrix& c) {
+  const std::size_t tokens = x.rows();
+  const std::size_t d = x.cols();
+  APTQ_CHECK(c.rows() == d && c.cols() == d, "syrk_upper: C shape mismatch");
+  APTQ_CHECK(gamma.empty() || gamma.size() == tokens,
+             "syrk_upper: gamma length mismatch");
+  if (tokens == 0 || d == 0) {
+    return;
+  }
+  // op(A) = (diag(γ)X)ᵀ and op(B) = X feed the same NN micro-kernel as
+  // gemm_tiled; γ is folded in while packing A, matching the reference
+  // fold h(i, j) += (γ_t·x_ti)·x_tj. Only tiles touching the upper
+  // triangle run, and diagonal-crossing tiles mask their store.
+  const std::size_t npanels = (d + NR - 1) / NR;
+  const std::size_t mtiles = (d + MR - 1) / MR;
+  std::vector<float> bpack(KC * npanels * NR);
+  const OpView bv{x.data(), d, false};
+  for (std::size_t p0 = 0; p0 < tokens; p0 += KC) {
+    const std::size_t kc = std::min(KC, tokens - p0);
+    pack_b(bv, p0, kc, d, bpack.data());
+    // Small grain (2 tiles): upper-triangle tiles make early rows heavier,
+    // so finer chunks let the pool balance the load.
+    parallel_for(0, mtiles, 2, [&](std::size_t t0, std::size_t t1) {
+      std::vector<float> apack(kc * MR);
+      for (std::size_t t = t0; t < t1; ++t) {
+        const std::size_t i0 = t * MR;
+        const std::size_t mr = std::min(MR, d - i0);
+        // Pack γ-scaled columns of X: ap[p*MR + i] = γ_{p0+p} · X(p0+p, i0+i).
+        for (std::size_t p = 0; p < kc; ++p) {
+          const float g = gamma.empty() ? 1.0f : gamma[p0 + p];
+          const float* src = x.data() + (p0 + p) * d + i0;
+          float* dst = apack.data() + p * MR;
+          for (std::size_t i = 0; i < MR; ++i) {
+            dst[i] = i < mr ? g * src[i] : 0.0f;
+          }
+        }
+        // Panels strictly below the diagonal (j0 + NR <= i0) are skipped.
+        for (std::size_t jp = i0 / NR; jp < npanels; ++jp) {
+          const std::size_t j0 = jp * NR;
+          const std::size_t nr = std::min(NR, d - j0);
+          float* ctile = c.data() + i0 * d + j0;
+          if (j0 >= i0 + mr) {
+            micro_tile(kc, apack.data(), bpack.data() + jp * kc * NR, alpha,
+                       ctile, d, mr, nr);
+          } else {
+            micro_tile_upper(kc, apack.data(), bpack.data() + jp * kc * NR,
+                             alpha, ctile, d, i0, j0, mr, nr);
+          }
+        }
+      }
+    });
+  }
+}
+
+void symv_upper(const Matrix& h, std::span<const float> x,
+                std::span<float> y) {
+  const std::size_t d = h.rows();
+  APTQ_CHECK(h.cols() == d, "symv_upper: square matrix required");
+  APTQ_CHECK(x.size() == d && y.size() == d, "symv_upper: length mismatch");
+  std::fill(y.begin(), y.end(), 0.0f);
+  // One sweep over the diagonal + strict upper triangle: row i contributes
+  // h_ij·x_j to y_i (gather) and h_ij·x_i to y_j (scatter), both
+  // unit-stride.
+  for (std::size_t i = 0; i < d; ++i) {
+    const float* row = h.data() + i * d;
+    const float xi = x[i];
+    float acc = row[i] * xi;
+    float* yp = y.data();
+    for (std::size_t j = i + 1; j < d; ++j) {
+      acc += row[j] * x[j];
+      yp[j] += row[j] * xi;
+    }
+    yp[i] += acc;
+  }
+}
+
+namespace kern {
+
+void gemv(const float* x, const float* b, std::size_t k, std::size_t n,
+          float* y) {
+  std::size_t p = 0;
+  for (; p + 4 <= k; p += 4) {
+    const float x0 = x[p];
+    const float x1 = x[p + 1];
+    const float x2 = x[p + 2];
+    const float x3 = x[p + 3];
+    const float* b0 = b + p * n;
+    const float* b1 = b0 + n;
+    const float* b2 = b1 + n;
+    const float* b3 = b2 + n;
+    for (std::size_t j = 0; j < n; ++j) {
+      y[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+    }
+  }
+  for (; p < k; ++p) {
+    const float xp = x[p];
+    const float* br = b + p * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      y[j] += xp * br[j];
+    }
+  }
+}
+
+void gemv_t(const float* x, const float* b, std::size_t k, std::size_t n,
+            float* y) {
+  for (std::size_t j = 0; j < n; ++j) {
+    y[j] += dot4(x, b + j * k, k);
+  }
+}
+
+void rank_update(float* w, std::size_t n, const float* err, std::size_t r,
+                 const float* u, std::size_t ldu) {
+  std::size_t j = 0;
+  for (; j + 4 <= r; j += 4) {
+    const float e0 = err[j];
+    const float e1 = err[j + 1];
+    const float e2 = err[j + 2];
+    const float e3 = err[j + 3];
+    const float* u0 = u + j * ldu;
+    const float* u1 = u0 + ldu;
+    const float* u2 = u1 + ldu;
+    const float* u3 = u2 + ldu;
+    for (std::size_t c = 0; c < n; ++c) {
+      w[c] -= e0 * u0[c] + e1 * u1[c] + e2 * u2[c] + e3 * u3[c];
+    }
+  }
+  for (; j < r; ++j) {
+    const float e = err[j];
+    const float* ur = u + j * ldu;
+    for (std::size_t c = 0; c < n; ++c) {
+      w[c] -= e * ur[c];
+    }
+  }
+}
+
+float dot4(const float* a, const float* b, std::size_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  float tail = 0.0f;
+  for (; i < n; ++i) {
+    tail += a[i] * b[i];
+  }
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+}  // namespace kern
+
+namespace ref {
+
+namespace {
+
+// Row-chunk size for the parallel reference gemm: at least ~32k flops per
+// chunk so small matmuls stay on one thread. Depends only on the shape, so
+// chunk boundaries — and results — are reproducible.
+std::size_t gemm_row_grain(std::size_t flops_per_row) {
+  constexpr std::size_t kMinChunkFlops = 32768;
+  return std::max<std::size_t>(
+      1, kMinChunkFlops / std::max<std::size_t>(1, flops_per_row));
+}
+
+// The pre-tiling loops. The historical `if (av == 0.0f) continue;` skips
+// were removed: they blocked vectorization of the j loop and made
+// 0-coefficient rows swallow NaN/Inf from B (0·NaN now propagates as NaN,
+// matching the tiled kernels — covered in tensor_test.cpp).
+
+// C += alpha * A * B, all row-major; ikj ordering vectorizes over j.
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  parallel_for(0, m, gemm_row_grain(2 * k * n),
+               [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* crow = c.data() + i * n;
+      const float* arow = a.data() + i * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = alpha * arow[p];
+        const float* brow = b.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
+      }
+    }
+  });
+}
+
+// C += alpha * A * B^T; rows of A dot rows of B (both contiguous).
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  parallel_for(0, m, gemm_row_grain(2 * k * n),
+               [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* arow = a.data() + i * k;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b.data() + j * k;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) {
+          acc += arow[p] * brow[p];
+        }
+        crow[j] += alpha * acc;
+      }
+    }
+  });
+}
+
+// C += alpha * A^T * B.
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
+  const std::size_t k = a.rows();  // shared dimension
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  parallel_for(0, m, gemm_row_grain(2 * k * n),
+               [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* crow = c.data() + i * n;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = alpha * a.data()[p * m + i];
+        const float* brow = b.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
+      }
+    }
+  });
+}
+
+// C += alpha * A^T * B^T (rare; used only in gradient checks).
+void gemm_tt(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
+  const std::size_t m = a.cols();
+  const std::size_t k = a.rows();
+  const std::size_t n = b.rows();
+  parallel_for(0, m, gemm_row_grain(2 * k * n),
+               [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) {
+          acc += a(p, i) * b(j, p);
+        }
+        c(i, j) += alpha * acc;
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void gemm(const Matrix& a, Trans trans_a, const Matrix& b, Trans trans_b,
+          Matrix& c, float alpha, float beta) {
+  const std::size_t m = trans_a == Trans::no ? a.rows() : a.cols();
+  const std::size_t ka = trans_a == Trans::no ? a.cols() : a.rows();
+  const std::size_t kb = trans_b == Trans::no ? b.rows() : b.cols();
+  const std::size_t n = trans_b == Trans::no ? b.cols() : b.rows();
+  APTQ_CHECK(ka == kb, "ref::gemm: inner dimensions mismatch");
+  APTQ_CHECK(c.rows() == m && c.cols() == n, "ref::gemm: output shape mismatch");
+  if (beta == 0.0f) {
+    c.set_zero();
+  } else if (beta != 1.0f) {
+    scale(c, beta);
+  }
+  if (trans_a == Trans::no && trans_b == Trans::no) {
+    gemm_nn(a, b, c, alpha);
+  } else if (trans_a == Trans::no) {
+    gemm_nt(a, b, c, alpha);
+  } else if (trans_b == Trans::no) {
+    gemm_tn(a, b, c, alpha);
+  } else {
+    gemm_tt(a, b, c, alpha);
+  }
+}
+
+void syrk_upper(const Matrix& x, std::span<const float> gamma, float alpha,
+                Matrix& c) {
+  const std::size_t tokens = x.rows();
+  const std::size_t d = x.cols();
+  APTQ_CHECK(c.rows() == d && c.cols() == d,
+             "ref::syrk_upper: C shape mismatch");
+  APTQ_CHECK(gamma.empty() || gamma.size() == tokens,
+             "ref::syrk_upper: gamma length mismatch");
+  // The pre-SYRK HessianAccumulator::add_matrix loop, verbatim (including
+  // its γ·x == 0 skip): the tolerance oracle and the "naive" bench side.
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const float* xt = x.data() + t * d;
+    const float g = gamma.empty() ? 1.0f : gamma[t];
+    for (std::size_t i = 0; i < d; ++i) {
+      const float gi = alpha * g * xt[i];
+      if (gi == 0.0f) {
+        continue;
+      }
+      float* row = c.data() + i * d;
+      for (std::size_t j = i; j < d; ++j) {
+        row[j] += gi * xt[j];
+      }
+    }
+  }
+}
+
+}  // namespace ref
+
+}  // namespace aptq

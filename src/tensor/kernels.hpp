@@ -1,0 +1,91 @@
+// Register-tiled, cache-blocked micro-kernels — the single-core arithmetic
+// engine under gemm(), Hessian accumulation and the GPTQ panel updates.
+//
+// Design (docs/KERNELS.md):
+//   * One NN micro-kernel. Both operands are repacked into contiguous
+//     panels first, so all four Trans variants (and the SYRK below) reduce
+//     to the same inner loop: a kGemmMR-row accumulator block, two vector
+//     registers wide (8 floats baseline / 16 under AVX), held in GCC/Clang
+//     vector-extension types so the accumulators provably stay in the
+//     register file. Each k-step broadcasts one packed-A lane against the
+//     unit-stride packed-B row. No branches in the loop body.
+//   * Cache blocking: the shared dimension is cut into kGemmKC slices
+//     (packed B panel stays cache-resident), rows into kGemmMR tiles
+//     grouped kGemmMC at a time for the thread pool.
+//   * Determinism contract: tile and chunk boundaries are a pure function
+//     of the operand shapes — never of the thread count — so results are
+//     bitwise identical at any thread count. Tiling does reassociate the
+//     k-summation, so tiled results are *not* bitwise equal to the naive
+//     loops; aptq::ref keeps those as the tolerance oracle.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace aptq {
+
+enum class Trans;  // defined in tensor/ops.hpp
+
+/// Micro-kernel geometry, exposed so tests can probe tile boundaries.
+inline constexpr std::size_t kGemmMR = 6;    // rows per register tile
+inline constexpr std::size_t kGemmNR = 8;    // baseline cols per tile (AVX: 16)
+inline constexpr std::size_t kGemmKC = 256;  // k-slice per packed panel
+inline constexpr std::size_t kGemmMC = 96;   // rows per parallel chunk
+
+/// C += alpha * op(A) * op(B) through the packed-panel micro-kernel.
+/// Shapes must already agree (the public gemm() wrapper validates).
+void gemm_tiled(const Matrix& a, Trans trans_a, const Matrix& b,
+                Trans trans_b, Matrix& c, float alpha);
+
+/// SYRK fast path for Hessian accumulation: upper(C) += alpha · Xᵀ·diag(γ)·X
+/// where X is (tokens × d) and γ is per-token (empty ⇒ all ones). Only
+/// tiles that intersect the upper triangle are computed (half the flops of
+/// the full product); the strict lower triangle of C is never touched.
+void syrk_upper(const Matrix& x, std::span<const float> gamma, float alpha,
+                Matrix& c);
+
+/// Symmetric matvec y = H·x reading only the diagonal and strict upper
+/// triangle of H (one pass, d²/2 element reads): the SYRK-adjacent kernel
+/// for Hutchinson probes against the mirrored Hessian.
+void symv_upper(const Matrix& h, std::span<const float> x, std::span<float> y);
+
+namespace kern {
+
+/// y += xᵀ·B for row-major B (k × n): the dense matvec under 1-row GEMMs
+/// (incremental decoding projections). j-vectorized, k unrolled by 4.
+void gemv(const float* x, const float* b, std::size_t k, std::size_t n,
+          float* y);
+
+/// y += xᵀ·Bᵀ for row-major B (n × k): one contiguous dot per output.
+void gemv_t(const float* x, const float* b, std::size_t k, std::size_t n,
+            float* y);
+
+/// GPTQ panel update: w[c] -= Σ_j err[j] · u[j·ldu + c] for c in [0, n).
+/// The j-fold is blocked by 4 with a single combined subtract per element;
+/// the fold order depends only on r, so results are reproducible.
+void rank_update(float* w, std::size_t n, const float* err, std::size_t r,
+                 const float* u, std::size_t ldu);
+
+/// Four-accumulator dot product over contiguous spans (fixed fold order).
+float dot4(const float* a, const float* b, std::size_t n);
+
+}  // namespace kern
+
+namespace ref {
+
+/// The pre-tiling naive loops, retained verbatim as the tolerance oracle
+/// for the tiled kernels (and as the "naive" side of bench/kernels_micro).
+/// C = alpha * op(A) * op(B) + beta * C; shapes are validated.
+void gemm(const Matrix& a, Trans trans_a, const Matrix& b, Trans trans_b,
+          Matrix& c, float alpha = 1.0f, float beta = 0.0f);
+
+/// Naive token-loop SYRK: upper(C) += alpha · Σ_t γ_t x_t x_tᵀ — the old
+/// HessianAccumulator::add_matrix inner loop, kept as the oracle.
+void syrk_upper(const Matrix& x, std::span<const float> gamma, float alpha,
+                Matrix& c);
+
+}  // namespace ref
+
+}  // namespace aptq

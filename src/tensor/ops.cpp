@@ -2,117 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "tensor/kernels.hpp"
 #include "util/threadpool.hpp"
 
 namespace aptq {
 
 namespace {
 
-// Row-chunk size for parallel gemm: aim for at least ~32k flops per chunk
-// so small matmuls stay on one thread. Depends only on the shape (never the
-// thread count), so chunk boundaries — and therefore results — are
-// reproducible (docs/PARALLELISM.md).
-std::size_t gemm_row_grain(std::size_t flops_per_row) {
-  constexpr std::size_t kMinChunkFlops = 32768;
-  return std::max<std::size_t>(
-      1, kMinChunkFlops / std::max<std::size_t>(1, flops_per_row));
-}
-
-// Every gemm variant parallelizes over rows of C. Each output element is
-// written by exactly one chunk and accumulated in the same per-element
-// order as the serial loops, so results are bitwise identical at any
-// thread count.
-
-// C += alpha * A * B, all row-major; ikj ordering vectorizes over j.
-void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
-  const std::size_t m = a.rows();
-  const std::size_t k = a.cols();
-  const std::size_t n = b.cols();
-  parallel_for(0, m, gemm_row_grain(2 * k * n),
-               [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      float* crow = c.data() + i * n;
-      const float* arow = a.data() + i * k;
-      for (std::size_t p = 0; p < k; ++p) {
-        const float av = alpha * arow[p];
-        if (av == 0.0f) {
-          continue;
-        }
-        const float* brow = b.data() + p * n;
-        for (std::size_t j = 0; j < n; ++j) {
-          crow[j] += av * brow[j];
-        }
-      }
-    }
-  });
-}
-
-// C += alpha * A * B^T; rows of A dot rows of B (both contiguous).
-void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
-  const std::size_t m = a.rows();
-  const std::size_t k = a.cols();
-  const std::size_t n = b.rows();
-  parallel_for(0, m, gemm_row_grain(2 * k * n),
-               [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      const float* arow = a.data() + i * k;
-      float* crow = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* brow = b.data() + j * k;
-        float acc = 0.0f;
-        for (std::size_t p = 0; p < k; ++p) {
-          acc += arow[p] * brow[p];
-        }
-        crow[j] += alpha * acc;
-      }
-    }
-  });
-}
-
-// C += alpha * A^T * B. Rows of C are independent; per element the
-// accumulation still runs over the shared index p in ascending order, the
-// same fold the old p-outer rank-1 formulation produced.
-void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
-  const std::size_t k = a.rows();  // shared dimension
-  const std::size_t m = a.cols();
-  const std::size_t n = b.cols();
-  parallel_for(0, m, gemm_row_grain(2 * k * n),
-               [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      float* crow = c.data() + i * n;
-      for (std::size_t p = 0; p < k; ++p) {
-        const float av = alpha * a.data()[p * m + i];
-        if (av == 0.0f) {
-          continue;
-        }
-        const float* brow = b.data() + p * n;
-        for (std::size_t j = 0; j < n; ++j) {
-          crow[j] += av * brow[j];
-        }
-      }
-    }
-  });
-}
-
-// C += alpha * A^T * B^T (rare; used only in gradient checks).
-void gemm_tt(const Matrix& a, const Matrix& b, Matrix& c, float alpha) {
-  const std::size_t m = a.cols();
-  const std::size_t k = a.rows();
-  const std::size_t n = b.rows();
-  parallel_for(0, m, gemm_row_grain(2 * k * n),
-               [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        float acc = 0.0f;
-        for (std::size_t p = 0; p < k; ++p) {
-          acc += a(p, i) * b(j, p);
-        }
-        c(i, j) += alpha * acc;
-      }
-    }
-  });
-}
+// Below this flop count (2·m·n·k) the packing overhead of the tiled path
+// outweighs its register reuse; route to the naive reference loops. The
+// cutoff is a pure function of the shape, so the dispatch — and thus the
+// result — never depends on the thread count.
+constexpr std::size_t kTiledMinFlops = 1u << 16;  // ≈ a 32³ product
 
 }  // namespace
 
@@ -125,20 +28,40 @@ void gemm(const Matrix& a, Trans trans_a, const Matrix& b, Trans trans_b,
   APTQ_CHECK(ka == kb, "gemm: inner dimensions mismatch");
   APTQ_CHECK(c.rows() == m && c.cols() == n, "gemm: output shape mismatch");
 
+  if (m == 1) {
+    // Dense matvec fast path (decoding projections, per-token heads): the
+    // single row of op(A) is contiguous whether A is stored 1×k or k×1.
+    if (beta == 0.0f) {
+      c.set_zero();
+    } else if (beta != 1.0f) {
+      scale(c, beta);
+    }
+    const float* x = a.data();
+    std::vector<float> scaled;
+    if (alpha != 1.0f) {
+      scaled.assign(x, x + ka);
+      for (float& v : scaled) {
+        v *= alpha;
+      }
+      x = scaled.data();
+    }
+    if (trans_b == Trans::no) {
+      kern::gemv(x, b.data(), ka, n, c.data());
+    } else {
+      kern::gemv_t(x, b.data(), ka, n, c.data());
+    }
+    return;
+  }
+  if (2 * m * n * ka < kTiledMinFlops) {
+    ref::gemm(a, trans_a, b, trans_b, c, alpha, beta);
+    return;
+  }
   if (beta == 0.0f) {
     c.set_zero();
   } else if (beta != 1.0f) {
     scale(c, beta);
   }
-  if (trans_a == Trans::no && trans_b == Trans::no) {
-    gemm_nn(a, b, c, alpha);
-  } else if (trans_a == Trans::no) {
-    gemm_nt(a, b, c, alpha);
-  } else if (trans_b == Trans::no) {
-    gemm_tn(a, b, c, alpha);
-  } else {
-    gemm_tt(a, b, c, alpha);
-  }
+  gemm_tiled(a, trans_a, b, trans_b, c, alpha);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b, Trans trans_a, Trans trans_b) {
@@ -327,21 +250,32 @@ void rope_apply(Matrix& x, std::size_t head_dim, float theta_base,
   const std::size_t heads = x.cols() / head_dim;
   const std::size_t half = head_dim / 2;
   const float sign = inverse ? -1.0f : 1.0f;
+  // The frequencies depend only on the head geometry: one pow each, hoisted
+  // out of the row loop (previously recomputed rows×half times). Per row,
+  // the position's cos/sin pairs go into O(half) tables reused across every
+  // head — same float expressions as the per-element originals, so results
+  // are bitwise identical (pinned by tensor_test.cpp).
+  std::vector<float> freq(half), cos_tab(half), sin_tab(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    freq[i] = std::pow(theta_base, -2.0f * static_cast<float>(i) /
+                                       static_cast<float>(head_dim));
+  }
   for (std::size_t t = 0; t < x.rows(); ++t) {
-    float* row = x.data() + t * x.cols();
+    const float pos = static_cast<float>(t + position_offset);
     for (std::size_t i = 0; i < half; ++i) {
-      const float freq =
-          std::pow(theta_base, -2.0f * static_cast<float>(i) /
-                                    static_cast<float>(head_dim));
-      const float angle = static_cast<float>(t + position_offset) * freq;
-      const float cos_a = std::cos(angle);
-      const float sin_a = sign * std::sin(angle);
-      for (std::size_t h = 0; h < heads; ++h) {
-        float* pair = row + h * head_dim + 2 * i;
+      const float angle = pos * freq[i];
+      cos_tab[i] = std::cos(angle);
+      sin_tab[i] = sign * std::sin(angle);
+    }
+    float* row = x.data() + t * x.cols();
+    for (std::size_t h = 0; h < heads; ++h) {
+      float* head = row + h * head_dim;
+      for (std::size_t i = 0; i < half; ++i) {
+        float* pair = head + 2 * i;
         const float x0 = pair[0];
         const float x1 = pair[1];
-        pair[0] = cos_a * x0 - sin_a * x1;
-        pair[1] = sin_a * x0 + cos_a * x1;
+        pair[0] = cos_tab[i] * x0 - sin_tab[i] * x1;
+        pair[1] = sin_tab[i] * x0 + cos_tab[i] * x1;
       }
     }
   }

@@ -1,11 +1,15 @@
 // Dense linear-algebra and neural-network kernels over Matrix.
 //
 // These are the compute substrate for the transformer forward/backward pass
-// and the quantization solvers. The gemm variants split their output rows
-// across the global thread pool (chunk boundaries depend only on the shape,
-// so results are bitwise identical at any thread count — see
-// docs/PARALLELISM.md); all kernels keep contiguous unit-stride inner loops
-// so the compiler can auto-vectorize them.
+// and the quantization solvers. gemm() dispatches by shape onto the
+// register-tiled packed-panel micro-kernels in tensor/kernels.hpp (1-row
+// products take a dedicated matvec path; tiny products stay on the naive
+// aptq::ref loops). Every path splits work across the global thread pool
+// with shape-only chunk boundaries, so results are bitwise identical at any
+// thread count (docs/PARALLELISM.md); the tiled kernels reassociate the
+// k-summation relative to the naive loops, so cross-implementation
+// agreement is tolerance-based with aptq::ref::gemm as the oracle
+// (docs/KERNELS.md).
 #pragma once
 
 #include <span>

@@ -1,0 +1,253 @@
+// Tests for the register-tiled micro-kernel layer (tensor/kernels.hpp):
+// tiled GEMM vs the retained naive reference across all four Trans variants
+// and non-tile-multiple shapes, the SYRK upper-triangle fast path, the
+// symmetric matvec, the GPTQ panel update, the gemv matvec fast path — and
+// the determinism contract: bitwise-identical results at 1/2/4 threads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+#include "util/threadpool.hpp"
+
+namespace aptq {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::randn(r, c, rng);
+}
+
+// Tiled and naive kernels reassociate the k-fold differently, so agreement
+// is tolerance-based, scaled with the fold length.
+void expect_tolerance_equal(const Matrix& got, const Matrix& want,
+                            std::size_t fold_len) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  const float tol =
+      1e-5f * std::sqrt(static_cast<float>(std::max<std::size_t>(fold_len, 1)))
+      * 8.0f;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.flat()[i], want.flat()[i], tol) << "flat index " << i;
+  }
+}
+
+Matrix op_input(std::size_t rows, std::size_t cols, Trans t,
+                std::uint64_t seed) {
+  return t == Trans::no ? random_matrix(rows, cols, seed)
+                        : random_matrix(cols, rows, seed);
+}
+
+class TiledGemmVariants
+    : public ::testing::TestWithParam<std::tuple<Trans, Trans>> {};
+
+TEST_P(TiledGemmVariants, MatchesReferenceOnOddShapes) {
+  const auto [ta, tb] = GetParam();
+  // Shapes straddle the tile geometry: below one tile, exact multiples of
+  // (kGemmMR, kGemmNR), one past a multiple, and a k crossing kGemmKC.
+  const std::size_t shapes[][3] = {
+      {1, 1, 1},
+      {3, 5, 2},
+      {kGemmMR, kGemmNR, 16},
+      {kGemmMR + 1, kGemmNR + 1, 17},
+      {2 * kGemmMR, 3 * kGemmNR, kGemmKC},
+      {37, 41, kGemmKC + 19},
+  };
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0], n = s[1], k = s[2];
+    const Matrix a = op_input(m, k, ta, 11 * m + k);
+    const Matrix b = op_input(k, n, tb, 13 * n + k);
+    Matrix want(m, n);
+    ref::gemm(a, ta, b, tb, want, 1.0f, 0.0f);
+    Matrix got(m, n);
+    gemm_tiled(a, ta, b, tb, got, 1.0f);
+    expect_tolerance_equal(got, want, k);
+  }
+}
+
+TEST_P(TiledGemmVariants, AccumulatesWithAlphaIntoExistingC) {
+  const auto [ta, tb] = GetParam();
+  const std::size_t m = 13, n = 19, k = 29;
+  const Matrix a = op_input(m, k, ta, 31);
+  const Matrix b = op_input(k, n, tb, 32);
+  const Matrix c0 = random_matrix(m, n, 33);
+  Matrix want = c0;
+  ref::gemm(a, ta, b, tb, want, -0.7f, 1.0f);
+  Matrix got = c0;
+  gemm_tiled(a, ta, b, tb, got, -0.7f);
+  expect_tolerance_equal(got, want, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposes, TiledGemmVariants,
+    ::testing::Combine(::testing::Values(Trans::no, Trans::yes),
+                       ::testing::Values(Trans::no, Trans::yes)));
+
+TEST(TiledGemm, PublicGemmDispatchAgreesWithReference) {
+  // Exercise all three public dispatch arms (gemv, naive, tiled) against
+  // ref::gemm, with alpha/beta composition.
+  const std::size_t shapes[][3] = {
+      {1, 40, 64},   // matvec fast path
+      {5, 7, 3},     // below the tiled threshold
+      {64, 48, 56},  // tiled
+  };
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0], n = s[1], k = s[2];
+    for (const Trans tb : {Trans::no, Trans::yes}) {
+      const Matrix a = random_matrix(m, k, 7 * m + 1);
+      const Matrix b = op_input(k, n, tb, 7 * n + 2);
+      const Matrix c0 = random_matrix(m, n, 7 * k + 3);
+      Matrix want = c0;
+      ref::gemm(a, Trans::no, b, tb, want, 1.25f, 0.5f);
+      Matrix got = c0;
+      gemm(a, Trans::no, b, tb, got, 1.25f, 0.5f);
+      expect_tolerance_equal(got, want, k);
+    }
+  }
+}
+
+TEST(TiledGemm, BitwiseIdenticalAtAnyThreadCount) {
+  const Matrix a = random_matrix(130, 160, 41);
+  const Matrix b = random_matrix(160, 151, 42);
+  ThreadPool::set_global_threads(1);
+  Matrix serial(130, 151);
+  gemm_tiled(a, Trans::no, b, Trans::no, serial, 1.0f);
+  for (const std::size_t threads : {2u, 4u}) {
+    ThreadPool::set_global_threads(threads);
+    Matrix parallel(130, 151);
+    gemm_tiled(a, Trans::no, b, Trans::no, parallel, 1.0f);
+    EXPECT_TRUE(parallel == serial) << "threads=" << threads;
+  }
+  ThreadPool::set_global_threads(1);
+}
+
+TEST(SyrkUpper, MatchesReferenceUnweighted) {
+  for (const std::size_t d : {1ul, 7ul, 16ul, 37ul}) {
+    const Matrix x = random_matrix(71, d, 50 + d);
+    Matrix want(d, d);
+    ref::syrk_upper(x, {}, 1.0f, want);
+    Matrix got(d, d);
+    syrk_upper(x, {}, 1.0f, got);
+    expect_tolerance_equal(got, want, x.rows());
+  }
+}
+
+TEST(SyrkUpper, MatchesReferenceWeightedAcrossKcBoundary) {
+  const std::size_t d = 29;
+  const Matrix x = random_matrix(kGemmKC + 37, d, 61);
+  std::vector<float> gamma(x.rows());
+  Rng rng(62);
+  for (auto& g : gamma) {
+    g = rng.uniform(0.0f, 2.0f);
+  }
+  gamma[3] = 0.0f;
+  Matrix want(d, d);
+  ref::syrk_upper(x, gamma, 0.5f, want);
+  Matrix got(d, d);
+  syrk_upper(x, gamma, 0.5f, got);
+  expect_tolerance_equal(got, want, x.rows());
+}
+
+TEST(SyrkUpper, NeverTouchesStrictLowerTriangle) {
+  const std::size_t d = 23;
+  const Matrix x = random_matrix(40, d, 63);
+  Matrix c(d, d, -7.5f);
+  syrk_upper(x, {}, 1.0f, c);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_EQ(c(i, j), -7.5f) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SyrkUpper, BitwiseIdenticalAtAnyThreadCount) {
+  const std::size_t d = 45;
+  const Matrix x = random_matrix(300, d, 64);
+  std::vector<float> gamma(x.rows(), 1.25f);
+  ThreadPool::set_global_threads(1);
+  Matrix serial(d, d);
+  syrk_upper(x, gamma, 1.0f, serial);
+  for (const std::size_t threads : {2u, 4u}) {
+    ThreadPool::set_global_threads(threads);
+    Matrix parallel(d, d);
+    syrk_upper(x, gamma, 1.0f, parallel);
+    EXPECT_TRUE(parallel == serial) << "threads=" << threads;
+  }
+  ThreadPool::set_global_threads(1);
+}
+
+TEST(SymvUpper, MatchesDenseMatvecOnSymmetricInput) {
+  const std::size_t d = 33;
+  const Matrix a = random_matrix(d, d + 5, 70);
+  Matrix h(d, d);
+  gemm(a, Trans::no, a, Trans::yes, h);  // symmetric
+  Rng rng(71);
+  std::vector<float> z(d), got(d);
+  for (auto& v : z) {
+    v = rng.normal(0.0f, 1.0f);
+  }
+  symv_upper(h, z, got);
+  for (std::size_t i = 0; i < d; ++i) {
+    double want = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      want += static_cast<double>(h(i, j)) * z[j];
+    }
+    EXPECT_NEAR(got[i], want, 1e-3) << "row " << i;
+  }
+}
+
+TEST(RankUpdate, MatchesRowAtATimeSweep) {
+  for (const std::size_t r : {1ul, 3ul, 4ul, 7ul, 16ul}) {
+    const std::size_t n = 37, ldu = 64;
+    const Matrix u = random_matrix(r, ldu, 80 + r);
+    std::vector<float> err(r);
+    Rng rng(81);
+    for (auto& e : err) {
+      e = rng.normal(0.0f, 0.5f);
+    }
+    std::vector<float> want(n), got(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      want[c] = got[c] = rng.normal(0.0f, 1.0f);
+    }
+    for (std::size_t j = 0; j < r; ++j) {
+      for (std::size_t c = 0; c < n; ++c) {
+        want[c] -= err[j] * u(j, c);
+      }
+    }
+    kern::rank_update(got.data(), n, err.data(), r, u.data(), ldu);
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(got[c], want[c], 1e-5f) << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(Gemv, BothLayoutsMatchReferenceGemm) {
+  const std::size_t k = 53, n = 21;
+  const Matrix x = random_matrix(1, k, 90);
+  for (const Trans tb : {Trans::no, Trans::yes}) {
+    const Matrix b = op_input(k, n, tb, 91);
+    Matrix want(1, n);
+    ref::gemm(x, Trans::no, b, tb, want);
+    Matrix got(1, n);
+    gemm(x, Trans::no, b, tb, got);
+    expect_tolerance_equal(got, want, k);
+  }
+}
+
+TEST(Dot4, MatchesSerialDotWithinTolerance) {
+  for (const std::size_t n : {0ul, 1ul, 3ul, 4ul, 17ul, 128ul}) {
+    const Matrix a = random_matrix(1, std::max<std::size_t>(n, 1), 95 + n);
+    const Matrix b = random_matrix(1, std::max<std::size_t>(n, 1), 96 + n);
+    double want = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      want += static_cast<double>(a.flat()[i]) * b.flat()[i];
+    }
+    EXPECT_NEAR(kern::dot4(a.data(), b.data(), n), want, 1e-4)
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace aptq

@@ -2,7 +2,11 @@
 // accumulation, and the GPTQ solver must produce bitwise-identical results
 // at 2, 4, and 7 threads compared to the fully serial 1-thread path, on the
 // same seeded inputs. Shapes are deliberately not divisible by the chunk
-// grains to exercise chunk-boundary handling.
+// grains to exercise chunk-boundary handling. With the register-tiled
+// kernels (tensor/kernels.hpp) the guarantee is unchanged: tile and chunk
+// boundaries depend only on the operand shapes, never the thread count, so
+// both the naive-reference and tiled/SYRK dispatch arms stay bitwise
+// thread-count invariant (see docs/KERNELS.md).
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -50,8 +54,8 @@ TEST_F(ParallelEquivalenceTest, MatmulAllTransposeVariants) {
 }
 
 TEST_F(ParallelEquivalenceTest, MatmulLargeEnoughToActuallyChunk) {
-  // 2·k·n flops per row ≫ the 32k chunk threshold, so every row is its own
-  // chunk and all pool threads genuinely participate.
+  // Large enough to route through the tiled kernel with several MR-row tile
+  // chunks, so all pool threads genuinely participate.
   Rng rng(502);
   const Matrix a = Matrix::randn(130, 160, rng);
   const Matrix b = Matrix::randn(160, 150, rng);
@@ -90,7 +94,7 @@ TEST_F(ParallelEquivalenceTest, HessianAccumulation) {
   for (auto& g : gamma) {
     g = rng.uniform(0.0f, 2.0f);
   }
-  gamma[5] = 0.0f;  // exercise the zero-weight skip
+  gamma[5] = 0.0f;  // zero-weight token rides the multiply path in SYRK
 
   const auto accumulate = [&] {
     HessianAccumulator acc(d);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/cholesky.hpp"
 #include "tensor/matrix.hpp"
@@ -352,6 +353,82 @@ TEST(Rope, RejectsBadHeadDim) {
   Matrix x(2, 8);
   EXPECT_THROW(rope_apply(x, 3), Error);
   EXPECT_THROW(rope_apply(x, 5), Error);
+}
+
+// The pre-table implementation of rope_apply, kept verbatim: one pow per
+// (row, frequency) pair and per-element cos/sin. The production version
+// hoists these into tables but evaluates the exact same float expressions,
+// so the results must be bitwise identical.
+void rope_apply_per_element(Matrix& x, std::size_t head_dim, float theta_base,
+                            bool inverse, std::size_t position_offset) {
+  const std::size_t heads = x.cols() / head_dim;
+  const std::size_t half = head_dim / 2;
+  const float sign = inverse ? -1.0f : 1.0f;
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    float* row = x.data() + t * x.cols();
+    for (std::size_t i = 0; i < half; ++i) {
+      const float freq =
+          std::pow(theta_base, -2.0f * static_cast<float>(i) /
+                                    static_cast<float>(head_dim));
+      const float angle = static_cast<float>(t + position_offset) * freq;
+      const float cos_a = std::cos(angle);
+      const float sin_a = sign * std::sin(angle);
+      for (std::size_t h = 0; h < heads; ++h) {
+        float* pair = row + h * head_dim + 2 * i;
+        const float x0 = pair[0];
+        const float x1 = pair[1];
+        pair[0] = cos_a * x0 - sin_a * x1;
+        pair[1] = sin_a * x0 + cos_a * x1;
+      }
+    }
+  }
+}
+
+TEST(Rope, TableVersionIsBitwiseIdenticalToPerElement) {
+  for (const bool inverse : {false, true}) {
+    Matrix got = random_matrix(9, 24, 77);
+    Matrix want = got;
+    rope_apply(got, /*head_dim=*/8, 10000.0f, inverse, /*position_offset=*/3);
+    rope_apply_per_element(want, 8, 10000.0f, inverse, 3);
+#ifdef __FMA__
+    // APTQ_NATIVE builds contract a·b±c·d into FMA, and the contraction
+    // choice differs between the two loop shapes; low bits may diverge
+    // (see docs/KERNELS.md). Pin to one rounding of the O(1) inputs.
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got.flat()[i], want.flat()[i], 1e-6f)
+          << "inverse=" << inverse << " i=" << i;
+    }
+#else
+    EXPECT_TRUE(got == want) << "inverse=" << inverse;
+#endif
+  }
+}
+
+// The GEMM inner loops no longer skip zero coefficients, so IEEE semantics
+// apply: 0 × NaN = NaN now reaches the output (the old kernels silently
+// dropped it). These tests pin the new contract.
+TEST(Gemm, ZeroTimesNanPropagates) {
+  for (const std::size_t dim : {4ul, 64ul}) {  // naive and tiled dispatch arms
+    Matrix a(dim, dim);             // all zeros
+    Matrix b(dim, dim, 1.0f);
+    b(0, 0) = std::numeric_limits<float>::quiet_NaN();
+    Matrix c(dim, dim);
+    gemm(a, Trans::no, b, Trans::no, c);
+    EXPECT_TRUE(std::isnan(c(0, 0))) << "dim=" << dim;
+    EXPECT_EQ(c(dim - 1, dim - 1), 0.0f);
+  }
+}
+
+TEST(Gemm, NegativeZeroInputsStayFinite) {
+  // -0.0 coefficients take the multiply path; products of signed zeros are
+  // still zeros, so the result equals the all-positive-zero case.
+  Matrix a(3, 3, -0.0f);
+  const Matrix b = random_matrix(3, 3, 78);
+  Matrix c(3, 3, 1.0f);
+  gemm(a, Trans::no, b, Trans::no, c, 1.0f, 1.0f);
+  for (const float v : c.flat()) {
+    EXPECT_EQ(v, 1.0f);
+  }
 }
 
 Matrix random_spd(std::size_t n, std::uint64_t seed) {
