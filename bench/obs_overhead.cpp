@@ -1,0 +1,112 @@
+// Measures the tracing overhead on the quantization hot path: the SYRK
+// Hessian accumulation with its obs::TraceSpan, run with tracing disabled
+// (the production default) and enabled. Writes BENCH_obs.json with the
+// measured overhead against the 3% budget the observability layer promises
+// (docs/OBSERVABILITY.md). Always exits 0 — the JSON carries the verdict —
+// so a noisy CI box doesn't hard-fail the build. Flags: `--out PATH`.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "obs/control.hpp"
+#include "obs/trace.hpp"
+#include "quant/hessian.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace aptq {
+namespace {
+
+constexpr std::size_t kTokens = 768;
+constexpr std::size_t kDim = 256;
+constexpr int kWarmups = 2;
+constexpr int kReps = 5;
+constexpr double kBudgetPct = 3.0;
+
+// One timed repetition: several accumulation passes per timer read so the
+// measured interval is long enough that scheduler jitter on a busy host
+// stays small relative to it (the instrumented span sits inside
+// add_matrix, so every pass pays it).
+constexpr int kPassesPerRep = 8;
+
+double run_once(const Matrix& x) {
+  HessianAccumulator acc(kDim);
+  Timer timer;
+  for (int i = 0; i < kPassesPerRep; ++i) {
+    acc.add_matrix(x);
+  }
+  return timer.seconds() / kPassesPerRep;
+}
+
+// min-of-kReps after kWarmups discarded warmups.
+double measure(const Matrix& x) {
+  for (int i = 0; i < kWarmups; ++i) {
+    run_once(x);
+  }
+  double best = run_once(x);
+  for (int i = 1; i < kReps; ++i) {
+    best = std::min(best, run_once(x));
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace aptq
+
+int main(int argc, char** argv) {
+  using namespace aptq;
+  std::string out_path = "BENCH_obs.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--out") {
+      out_path = argv[i + 1];
+    }
+  }
+
+  Rng rng(23);
+  const Matrix x = Matrix::randn(kTokens, kDim, rng);
+
+  // Alternate the two modes across rounds so slow clock/thermal drift on
+  // the host can't masquerade as tracing overhead.
+  double disabled_s = 1e300;
+  double enabled_s = 1e300;
+  for (int round = 0; round < 3; ++round) {
+    obs::set_tracing(false);
+    disabled_s = std::min(disabled_s, measure(x));
+    obs::set_tracing(true);
+    enabled_s = std::min(enabled_s, measure(x));
+  }
+  obs::set_tracing(false);
+  obs::reset_trace_events();
+
+  const double overhead_pct =
+      disabled_s > 0.0 ? (enabled_s / disabled_s - 1.0) * 100.0 : 0.0;
+  const bool pass = overhead_pct < kBudgetPct;
+
+  std::printf("hessian_accumulate %zux%zu, min of %d after %d warmups\n",
+              kTokens, kDim, kReps, kWarmups);
+  std::printf("tracing disabled: %.6fs  enabled: %.6fs  overhead: %+.2f%% "
+              "(budget %.1f%%) -> %s\n",
+              disabled_s, enabled_s, overhead_pct, kBudgetPct,
+              pass ? "PASS" : "FAIL");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "obs_overhead: cannot write %s\n", out_path.c_str());
+    return 0;
+  }
+  out << "{\n";
+  out << "  \"workload\": \"hessian_accumulate_" << kTokens << "x" << kDim
+      << "\",\n";
+  out << "  \"timing\": \"min_of_" << kReps << "_after_" << kWarmups
+      << "_warmups\",\n";
+  out << "  \"disabled_seconds\": " << disabled_s << ",\n";
+  out << "  \"enabled_seconds\": " << enabled_s << ",\n";
+  out << "  \"overhead_pct\": " << overhead_pct << ",\n";
+  out << "  \"budget_pct\": " << kBudgetPct << ",\n";
+  out << "  \"pass\": " << (pass ? "true" : "false") << "\n";
+  out << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -3,15 +3,26 @@
 // widths. Paper reference numbers are printed alongside for shape
 // comparison (absolute values differ: different substrate; see
 // EXPERIMENTS.md).
+//
+// `--report FILE` writes the table as a run-report artifact (one eval row
+// per method/corpus cell) on top of the usual printed table.
 #include <cmath>
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
 
 using namespace aptq;
 using namespace aptq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  configure_threads(args);
+  const obs::ObsOptions obs_options = obs::configure_observability(args);
+  obs::RunReport report;
+  report.add_config("tool", std::string("table1_perplexity"));
+  report.add_config("model", std::string("llama7b-sim"));
   std::printf("=== Table 1: Perplexity of quantized llama7b-sim on "
               "C4Sim / WikiSim ===\n\n");
   BenchContext ctx = make_context();
@@ -53,6 +64,10 @@ int main() {
                    fmt_fixed(row.c4, 3), fmt_fixed(row.wiki, 3),
                    spec.paper_c4, spec.paper_wiki,
                    fmt_fixed(row.seconds, 1)});
+    const std::string tag =
+        row.method + "@" + fmt_fixed(row.avg_bits, 2) + "b";
+    report.add_eval(tag + "/C4Sim", row.c4, std::log(row.c4), 0);
+    report.add_eval(tag + "/WikiSim", row.wiki, std::log(row.wiki), 0);
     std::printf(".");
     std::fflush(stdout);
   }
@@ -60,5 +75,6 @@ int main() {
   std::printf(
       "shape checks: APTQ(4.0) ~= FP; APTQ < GPTQ < RTN at matched bits;\n"
       "APTQ mixed precision degrades gracefully; PB-LLM-20%% far worse.\n");
+  obs::finalize_observability(obs_options, report);
   return 0;
 }

@@ -20,11 +20,15 @@
 #include "eval/perplexity.hpp"
 #include "eval/tasks.hpp"
 #include "model/decoder.hpp"
+#include "obs/log.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "quant/diagnostics.hpp"
 #include "quant/mixed_precision.hpp"
 #include "quant/packed_model.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
 
 using namespace aptq;
 
@@ -91,21 +95,15 @@ int usage() {
       "usage: aptq_cli <quantize|eval|zeroshot|sensitivity|drift|generate> "
       "[--model 7b|13b] [--method NAME] [--ratio R] [--bits N] "
       "[--group G] [--out FILE] [--packed FILE] [--items N] "
-      "[--length N] [--temp T] [--threads N]\n");
+      "[--length N] [--temp T] [--threads N] "
+      "[--trace-out FILE] [--report FILE] "
+      "[--log-level error|warn|info|debug]\n");
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  try {
-    const ArgParser args(argc, argv);
-    if (args.command().empty()) {
-      return usage();
-    }
-    // --threads N (default: hardware concurrency; 1 = fully serial). All
-    // results are bitwise identical at any thread count.
-    configure_threads(args);
+// The subcommand dispatch, factored out of main so the observability
+// artifacts are finalized on every successful exit path.
+int run_cli(const ArgParser& args, obs::RunReport& report) {
     auto corpora = make_standard_corpora();
     ModelZoo zoo;
 
@@ -127,21 +125,33 @@ int main(int argc, char** argv) {
     const ZooSpec spec = parse_model(args.get_string("model", "7b"));
     const Model fp = zoo.get(spec, *corpora);
     const PipelineConfig cfg = config_from_args(args);
+    report.add_config("model", spec.name);
+    report.add_config("bits", static_cast<long>(cfg.bits));
+    report.add_config("group_size", static_cast<long>(cfg.group_size));
+    report.add_config("ratio_high", cfg.ratio_high);
+    report.add_config("threads",
+                      static_cast<long>(ThreadPool::global_thread_count()));
 
     if (args.command() == "quantize" || args.command() == "eval") {
       const Method method = parse_method(args.get_string("method", "aptq"));
       const QuantizedModel qm =
           quantize_model(fp, corpora->c4, method, cfg);
+      report.add_config("method", qm.method);
+      report.add_config("avg_bits", qm.average_bits());
       std::printf("%s on %s: avg %.2f bits, packed %zu bytes\n",
                   qm.method.c_str(), spec.name.c_str(), qm.average_bits(),
                   qm.packed_bytes());
       const auto c4 = corpora->c4.eval_segments(48, 96);
       const auto wiki = corpora->wiki.eval_segments(48, 96);
+      const PerplexityResult c4_res =
+          evaluate_perplexity(qm.model, c4, qm.forward_options);
+      const PerplexityResult wiki_res =
+          evaluate_perplexity(qm.model, wiki, qm.forward_options);
+      report.add_eval("C4Sim", c4_res.perplexity, c4_res.nll, c4_res.tokens);
+      report.add_eval("WikiSim", wiki_res.perplexity, wiki_res.nll,
+                      wiki_res.tokens);
       std::printf("perplexity: C4Sim %.3f  WikiSim %.3f\n",
-                  evaluate_perplexity(qm.model, c4, qm.forward_options)
-                      .perplexity,
-                  evaluate_perplexity(qm.model, wiki, qm.forward_options)
-                      .perplexity);
+                  c4_res.perplexity, wiki_res.perplexity);
       if (args.has("out")) {
         const std::string out = args.get_string("out", "");
         PackedModel::pack(qm, cfg.group_size).save(out);
@@ -158,13 +168,15 @@ int main(int argc, char** argv) {
       tcfg.n_items =
           static_cast<std::size_t>(args.get_long("items", 200));
       const auto suite = generate_task_suite(corpora->c4, tcfg);
-      const ZeroShotReport report =
+      report.add_config("method", qm.method);
+      const ZeroShotReport zs =
           evaluate_zero_shot(qm.model, suite, qm.forward_options);
+      report.add_config("zeroshot.mean_accuracy", zs.mean_accuracy);
       TextTable table({"task", "accuracy"});
-      for (const auto& t : report.tasks) {
+      for (const auto& t : zs.tasks) {
         table.add_row({t.task, fmt_percent(t.accuracy, 1)});
       }
-      table.add_row({"mean", fmt_percent(report.mean_accuracy, 2)});
+      table.add_row({"mean", fmt_percent(zs.mean_accuracy, 2)});
       std::printf("%s\n", table.render().c_str());
       return 0;
     }
@@ -191,6 +203,7 @@ int main(int argc, char** argv) {
           parse_method(args.get_string("method", "aptq-mixed"));
       const QuantizedModel qm =
           quantize_model(fp, corpora->c4, method, cfg);
+      report.add_config("method", qm.method);
       const auto segs = corpora->c4.eval_segments(48, 16);
       std::printf("%s drift vs FP on %s:\n%s\n", qm.method.c_str(),
                   spec.name.c_str(),
@@ -212,6 +225,29 @@ int main(int argc, char** argv) {
     }
 
     return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    if (args.command().empty()) {
+      return usage();
+    }
+    // --threads N (default: hardware concurrency; 1 = fully serial). All
+    // results are bitwise identical at any thread count.
+    configure_threads(args);
+    // --log-level / --trace-out / --report. Tracing and telemetry stay off
+    // unless their output file is requested, so the default run pays only
+    // the disabled-check loads.
+    const obs::ObsOptions obs_options = obs::configure_observability(args);
+    obs::RunReport report;
+    report.add_config("tool", std::string("aptq_cli"));
+    report.add_config("command", args.command());
+    const int rc = run_cli(args, report);
+    obs::finalize_observability(obs_options, report);
+    return rc;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

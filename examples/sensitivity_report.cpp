@@ -2,21 +2,53 @@
 // trace (the paper's §3.3 metric), its γ statistics, and the 2/4-bit
 // allocation APTQ derives from them at several ratios — the "which layers
 // matter" report a practitioner would consult before deploying.
+//
+// The table is driven by the quantization telemetry the calibration pass
+// records (obs::layer_stats_snapshot), so this tool doubles as a smoke test
+// of the telemetry layer; `--report FILE` writes the same data as a
+// machine-readable run-report artifact.
+//
+//   sensitivity_report [--model 7b|13b] [--threads N] [--report FILE]
+//                      [--trace-out FILE] [--log-level LVL]
 #include <algorithm>
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "core/model_zoo.hpp"
 #include "core/pipeline.hpp"
+#include "obs/control.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "quant/mixed_precision.hpp"
+#include "util/args.hpp"
 
 using namespace aptq;
 
-int main() {
-  std::printf("== Layer sensitivity report (llama7b-sim, attention-aware "
-              "Hessians) ==\n\n");
+namespace {
+
+// layer_stats_snapshot as name -> {key -> value} for keyed lookup.
+std::map<std::string, std::map<std::string, double>> stats_by_layer() {
+  std::map<std::string, std::map<std::string, double>> out;
+  for (const auto& row : obs::layer_stats_snapshot()) {
+    for (const auto& [key, value] : row.stats) {
+      out[row.name][key] = value;
+    }
+  }
+  return out;
+}
+
+int run(const ArgParser& args, obs::RunReport& report) {
+  std::printf("== Layer sensitivity report (%s, attention-aware "
+              "Hessians) ==\n\n",
+              args.get_string("model", "7b") == "13b" ? "llama13b-sim"
+                                                      : "llama7b-sim");
   auto corpora = make_standard_corpora();
   ModelZoo zoo;
-  Model fp = zoo.get(llama7b_sim(), *corpora);
+  const ZooSpec spec =
+      args.get_string("model", "7b") == "13b" ? llama13b_sim() : llama7b_sim();
+  Model fp = zoo.get(spec, *corpora);
+  report.add_config("model", spec.name);
 
   const auto segments = sample_calibration_set(corpora->c4, 64, 48, 0x5E45);
   CalibConfig ccfg;
@@ -38,19 +70,26 @@ int main() {
                      return x->sensitivity > y->sensitivity;
                    });
 
+  // The trace and γ columns come from the telemetry the calibration pass
+  // recorded, not from re-deriving them here.
+  const auto stats = stats_by_layer();
   std::printf("%-30s %12s %8s %8s  %s\n", "layer", "avg tr(H)/d", "gamma",
               "weights", "bits @ R=90/75/50%");
   for (const auto* s : order) {
-    const auto& layer = calib.by_name(s->name);
+    const auto& layer = stats.at(s->name);
     std::printf("%-30s %12.4f %8.3f %8zu  %d / %d / %d\n", s->name.c_str(),
-                s->sensitivity, layer.gamma_mean, s->weight_count,
-                a90.at(s->name), a75.at(s->name), a50.at(s->name));
+                layer.at("alloc.sensitivity"), layer.at("hessian.gamma_mean"),
+                s->weight_count, a90.at(s->name), a75.at(s->name),
+                a50.at(s->name));
   }
 
   std::printf("\nrealized average bits: R=90%%: %.2f  R=75%%: %.2f  "
               "R=50%%: %.2f (eq. 18 targets: 3.8 / 3.5 / 3.0)\n",
               average_bits(a90, ranking), average_bits(a75, ranking),
               average_bits(a50, ranking));
+  report.add_config("avg_bits.r90", average_bits(a90, ranking));
+  report.add_config("avg_bits.r75", average_bits(a75, ranking));
+  report.add_config("avg_bits.r50", average_bits(a50, ranking));
 
   // Aggregate view: which layer kinds are most sensitive?
   std::printf("\nmean sensitivity by projection kind:\n");
@@ -67,4 +106,25 @@ int main() {
     std::printf("  %-10s %.4f\n", kind, total / count);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    configure_threads(args);
+    const obs::ObsOptions obs_options = obs::configure_observability(args);
+    // The layer table is built from telemetry, so recording must be on
+    // even when no --report artifact was requested.
+    obs::set_telemetry(true);
+    obs::RunReport report;
+    report.add_config("tool", std::string("sensitivity_report"));
+    const int rc = run(args, report);
+    obs::finalize_observability(obs_options, report);
+    return rc;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "util/io.hpp"
 #include "util/timer.hpp"
 
@@ -75,34 +77,50 @@ Model ModelZoo::get(const ZooSpec& spec, const StandardCorpora& corpora,
     APTQ_CHECK(m.config == spec.config,
                "ModelZoo: cached checkpoint has a stale config; delete " +
                    path);
+    obs::log_debug("[zoo] " + spec.name + " loaded from cache: " + path);
     return m;
   }
-  if (verbose) {
-    std::printf("[zoo] training %s (%zu params, %zu steps)...\n",
-                spec.name.c_str(),
-                Model::init(spec.config, spec.init_seed).parameter_count(),
-                spec.train.steps);
-  }
+  // Cold cache: a full training run takes minutes — emit progress (step,
+  // loss, ETA) through the leveled logger so the run is distinguishable
+  // from a hang. Logs go to stderr; stdout stays machine-readable.
+  obs::PhaseSpan train_phase("zoo.train");
   Model m = Model::init(spec.config, spec.init_seed);
+  if (verbose) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "[zoo] training %s (%zu params, %zu steps)...",
+                  spec.name.c_str(), m.parameter_count(), spec.train.steps);
+    obs::log_info(line);
+  }
   const Corpus* corpus_ptrs[2] = {&corpora.c4, &corpora.wiki};
-  Timer timer;
+  Timer timer;  // drives the ETA estimate only; phase timing is the span's
   TrainConfig tc = spec.train;
   if (verbose) {
     tc.log_every = spec.train.steps / 6;
   }
   train_model(m, std::span<const Corpus* const>(corpus_ptrs, 2), tc,
               [&](const TrainProgress& p) {
-                if (verbose) {
-                  std::printf("[zoo]   step %-5zu loss %.4f (%.0fs)\n", p.step,
-                              p.loss, timer.seconds());
-                  std::fflush(stdout);
+                if (!verbose || p.step == 0) {
+                  return;
                 }
+                const double elapsed = timer.seconds();
+                const double frac = static_cast<double>(p.step) /
+                                    static_cast<double>(spec.train.steps);
+                const double eta = elapsed * (1.0 - frac) / frac;
+                char line[160];
+                std::snprintf(line, sizeof(line),
+                              "[zoo]   step %zu/%zu loss %.4f "
+                              "(%.0fs elapsed, ETA %.0fs)",
+                              p.step, spec.train.steps, p.loss, elapsed, eta);
+                obs::log_info(line);
               });
   make_directories(cache_dir_);
   save_checkpoint(m, path);
   if (verbose) {
-    std::printf("[zoo] %s trained in %.0fs, cached at %s\n", spec.name.c_str(),
-                timer.seconds(), path.c_str());
+    char line[256];
+    std::snprintf(line, sizeof(line), "[zoo] %s trained in %.0fs, cached at %s",
+                  spec.name.c_str(), timer.seconds(), path.c_str());
+    obs::log_info(line);
   }
   return m;
 }

@@ -3,7 +3,10 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quant/gptq.hpp"
+#include "tensor/ops.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
 
@@ -94,12 +97,20 @@ HessianMode hessian_mode_for(Method method) {
   }
 }
 
+// Mean squared element-wise error between the reference and quantized
+// weights — the per-layer "quant.mse" telemetry column.
+double weight_mse(const Matrix& w_ref, const Matrix& w_quant) {
+  const double dist = frobenius_distance(w_ref, w_quant);
+  return dist * dist / static_cast<double>(w_ref.size());
+}
+
 // Quantize one layer given its Hessian; returns the info record and writes
 // the quantized weights back through the ref.
 QuantizedLayerInfo quantize_hessian_layer(const LinearRef& ref,
                                           const LayerCalibration& calib,
                                           Method method, int layer_bits,
                                           const PipelineConfig& config) {
+  obs::TraceSpan span("layer:" + ref.name, "quant");
   const Matrix wt = ref.weight->transposed();  // out-major view
   QuantizedLayerInfo info;
   info.name = ref.name;
@@ -153,6 +164,17 @@ QuantizedLayerInfo quantize_hessian_layer(const LinearRef& ref,
     default:
       APTQ_FAIL("quantize_hessian_layer: not a Hessian method");
   }
+  if (obs::telemetry_enabled()) {
+    obs::layer_stat(ref.name, "alloc.bits", layer_bits);
+    obs::layer_stat(ref.name, "quant.bits_effective", info.bits);
+    obs::layer_stat(ref.name, "quant.mse",
+                    weight_mse(wt, ref.weight->transposed()));
+    obs::layer_stat(ref.name, "quant.proxy_loss", info.proxy_loss);
+    obs::layer_stat(ref.name, "quant.recon_error", info.recon_error);
+    obs::layer_stat(ref.name, "quant.packed_bytes",
+                    static_cast<double>(info.packed_bytes));
+    obs::layer_stat(ref.name, "hessian.damp", config.damp);
+  }
   return info;
 }
 
@@ -184,6 +206,7 @@ void quantize_layers(const CalibrationResult& calib,
 QuantizedModel quantize_model_with_segments(
     const Model& fp_model, std::span<const TokenSeq> segments, Method method,
     const PipelineConfig& config) {
+  obs::PhaseSpan phase("pipeline.quantize_model");
   QuantizedModel qm;
   qm.method = method_name(method, config);
   qm.model = fp_model;
@@ -205,7 +228,15 @@ QuantizedModel quantize_model_with_segments(
     }
     for (const auto& ref : linears) {
       Matrix wt = ref.weight->transposed();
+      Matrix original;
+      if (obs::telemetry_enabled()) {
+        original = wt;
+      }
       quantize_dequantize_matrix(wt, spec);
+      if (obs::telemetry_enabled()) {
+        obs::layer_stat(ref.name, "alloc.bits", spec.bits);
+        obs::layer_stat(ref.name, "quant.mse", weight_mse(original, wt));
+      }
       qm.layers.push_back(make_layer_info(ref.name, wt, spec, 0.0, 0.0));
       *ref.weight = wt.transposed();
     }
@@ -220,6 +251,7 @@ QuantizedModel quantize_model_with_segments(
                        config.mse_clip_search);
     awq_apply(qm.model, maxima, ac);
     for (const auto& ref : linears) {
+      obs::layer_stat(ref.name, "alloc.bits", ac.spec.bits);
       qm.layers.push_back(make_layer_info(ref.name, ref.weight->transposed(),
                                           ac.spec, 0.0, 0.0));
     }
@@ -237,6 +269,7 @@ QuantizedModel quantize_model_with_segments(
     smoothquant_apply(qm.model, maxima, sc);
     const QuantSpec spec = int_spec(config.bits, config.group_size);
     for (const auto& ref : linears) {
+      obs::layer_stat(ref.name, "alloc.bits", spec.bits);
       qm.layers.push_back(
           make_layer_info(ref.name, ref.weight->transposed(), spec, 0.0, 0.0));
     }
@@ -250,6 +283,7 @@ QuantizedModel quantize_model_with_segments(
     qm.model = qat_finetune(fp_model, qc);
     const auto trained_linears = collect_linears(qm.model);
     for (const auto& ref : trained_linears) {
+      obs::layer_stat(ref.name, "alloc.bits", qc.spec.bits);
       qm.layers.push_back(make_layer_info(ref.name, ref.weight->transposed(),
                                           qc.spec, 0.0, 0.0));
     }
@@ -269,6 +303,7 @@ QuantizedModel quantize_model_with_segments(
                      method == Method::blockwise_mixed ||
                      method == Method::aptq_knapsack;
   if (mixed) {
+    obs::PhaseSpan prepass_phase("pipeline.sensitivity_prepass");
     const CalibrationResult full =
         collect_calibration(fp_model, segments, calib_cfg);
     const auto ranking =
@@ -314,13 +349,22 @@ QuantizedModel quantize_model_with_segments(
     // Hessians on the partially quantized model. Within a block the layer
     // jobs are independent and run concurrently.
     for (std::size_t b = 0; b < qm.model.config.n_layers; ++b) {
-      const CalibrationResult calib =
-          collect_block_calibration(qm.model, segments, b, calib_cfg);
+      obs::TraceSpan block_span("block:" + std::to_string(b), "pipeline");
+      CalibrationResult calib;
+      {
+        obs::PhaseSpan calib_phase("pipeline.calibration");
+        calib = collect_block_calibration(qm.model, segments, b, calib_cfg);
+      }
+      obs::PhaseSpan solve_phase("pipeline.solve");
       quantize_layers(calib, by_name, method, config, layer_bits, qm.layers);
     }
   } else {
-    const CalibrationResult calib =
-        collect_calibration(fp_model, segments, calib_cfg);
+    CalibrationResult calib;
+    {
+      obs::PhaseSpan calib_phase("pipeline.calibration");
+      calib = collect_calibration(fp_model, segments, calib_cfg);
+    }
+    obs::PhaseSpan solve_phase("pipeline.solve");
     quantize_layers(calib, by_name, method, config, layer_bits, qm.layers);
   }
   return qm;

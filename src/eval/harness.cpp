@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace aptq {
@@ -56,10 +58,15 @@ std::size_t predict_choice(const Model& model, const TaskItem& item,
 TaskResult evaluate_task(const Model& model, const std::string& name,
                          std::span<const TaskItem> items,
                          const ForwardOptions& options) {
+  obs::TraceSpan span("task:" + name, "eval");
   APTQ_CHECK(!items.empty(), "evaluate_task: no items");
   std::size_t correct = 0;
   for (const auto& item : items) {
     correct += predict_choice(model, item, options) == item.label ? 1 : 0;
+  }
+  if (obs::telemetry_enabled()) {
+    static auto& items_scored = obs::counter("eval.task_items");
+    items_scored.add(items.size());
   }
   TaskResult result;
   result.task = name;
@@ -72,6 +79,7 @@ TaskResult evaluate_task(const Model& model, const std::string& name,
 ZeroShotReport evaluate_zero_shot(
     const Model& model, std::span<const std::vector<TaskItem>> suite,
     const ForwardOptions& options) {
+  obs::PhaseSpan phase("eval.zeroshot");
   APTQ_CHECK(suite.size() == all_task_families().size(),
              "evaluate_zero_shot: suite must hold all five tasks");
   ZeroShotReport report;

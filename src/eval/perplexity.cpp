@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "train/loss.hpp"
 #include "util/check.hpp"
 #include "util/threadpool.hpp"
@@ -21,6 +23,7 @@ struct SegmentStat {
 PerplexityResult evaluate_perplexity(const Model& model,
                                      std::span<const TokenSeq> segments,
                                      const ForwardOptions& options) {
+  obs::PhaseSpan phase("eval.perplexity");
   APTQ_CHECK(!segments.empty(), "evaluate_perplexity: no segments");
   // Segments evaluate independently (each forward uses its own cache), so
   // they fan out across the thread pool; grain 1 plus the fixed-order fold
@@ -29,6 +32,9 @@ PerplexityResult evaluate_perplexity(const Model& model,
   const SegmentStat total = parallel_reduce(
       0, segments.size(), 1, SegmentStat{},
       [&](std::size_t b, std::size_t e) {
+        // One span per chunk, recorded on whichever pool thread ran it —
+        // this is the eval-side flame-chart fan-out.
+        obs::TraceSpan chunk_span("eval.segment", "eval");
         SegmentStat stat;
         for (std::size_t si = b; si < e; ++si) {
           const auto& segment = segments[si];
@@ -51,6 +57,10 @@ PerplexityResult evaluate_perplexity(const Model& model,
   result.tokens = total.tokens;
   result.nll = total.nll / static_cast<double>(total.tokens);
   result.perplexity = std::exp(result.nll);
+  if (obs::telemetry_enabled()) {
+    static auto& tokens = obs::counter("eval.tokens");
+    tokens.add(result.tokens);
+  }
   return result;
 }
 

@@ -32,6 +32,8 @@
 #include "data/vocab.hpp"
 #include "model/forward.hpp"
 #include "model/model.hpp"
+#include "obs/control.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 
@@ -116,6 +118,10 @@ Matrix decode_prefill_impl(const Adapter& adapter,
                            std::span<const TokenId> tokens,
                            DecodeState& state,
                            const ForwardOptions& options) {
+  // Per-batch timing is gated on telemetry so the default decode path pays
+  // one relaxed load, never a clock read.
+  const std::uint64_t obs_start =
+      obs::telemetry_enabled() ? obs::now_ns() : 0;
   const ModelConfig& cfg = adapter.config();
   APTQ_CHECK(state.config() == cfg,
              "decode_prefill: state built for a different model config");
@@ -195,13 +201,22 @@ Matrix decode_prefill_impl(const Adapter& adapter,
   rmsnorm_forward(x, adapter.final_norm(), cfg.norm_eps, normed, inv_rms);
   maybe_quant(normed);
   state.advance(t_len);
-  return adapter.head(normed);
+  Matrix logits = adapter.head(normed);
+  if (obs_start != 0) {
+    static auto& prefill_ms = obs::histogram("decode.prefill_ms");
+    static auto& prefill_tokens = obs::counter("decode.prefill_tokens");
+    prefill_ms.record(static_cast<double>(obs::now_ns() - obs_start) * 1e-6);
+    prefill_tokens.add(t_len);
+  }
+  return logits;
 }
 
 template <typename Adapter>
 std::vector<float> decode_step_impl(const Adapter& adapter, TokenId token,
                                     DecodeState& state,
                                     const ForwardOptions& options) {
+  const std::uint64_t obs_start =
+      obs::telemetry_enabled() ? obs::now_ns() : 0;
   const ModelConfig& cfg = adapter.config();
   APTQ_CHECK(state.config() == cfg,
              "decode_step: state built for a different model config");
@@ -297,6 +312,12 @@ std::vector<float> decode_step_impl(const Adapter& adapter, TokenId token,
   maybe_quant(normed);
   const Matrix logits = adapter.head(normed);
   state.advance(1);
+  if (obs_start != 0) {
+    static auto& step_ms = obs::histogram("decode.step_ms");
+    static auto& tokens = obs::counter("decode.tokens");
+    step_ms.record(static_cast<double>(obs::now_ns() - obs_start) * 1e-6);
+    tokens.add(1);
+  }
   return {logits.row(0).begin(), logits.row(0).end()};
 }
 

@@ -1,6 +1,9 @@
 #include "model/decoder.hpp"
 
 #include "model/sampler.hpp"
+#include "obs/control.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aptq {
 
@@ -20,11 +23,23 @@ std::vector<float> Decoder::step(TokenId token) {
 
 TokenSeq decode_sample(const Model& model, std::size_t length, Rng& rng,
                        float temperature, const TokenSeq& prompt) {
+  obs::TraceSpan span("decode.sample", "decode");
+  const std::uint64_t obs_start =
+      obs::telemetry_enabled() ? obs::now_ns() : 0;
   // sample_from_model runs on the same decode engine, so the two paths
   // draw identical token sequences from identical RNG state.
   SampleConfig config;
   config.temperature = temperature;
-  return sample_from_model(model, length, rng, config, prompt);
+  TokenSeq out = sample_from_model(model, length, rng, config, prompt);
+  if (obs_start != 0) {
+    const double seconds =
+        static_cast<double>(obs::now_ns() - obs_start) * 1e-9;
+    if (seconds > 0.0) {
+      obs::gauge("decode.tokens_per_sec")
+          .set(static_cast<double>(out.size()) / seconds);
+    }
+  }
+  return out;
 }
 
 }  // namespace aptq

@@ -1,0 +1,52 @@
+#include "obs/control.hpp"
+
+#include <chrono>
+
+namespace aptq::obs {
+
+#ifndef APTQ_OBS_DISABLE
+namespace detail {
+std::atomic<bool> g_tracing{false};
+std::atomic<bool> g_telemetry{false};
+}  // namespace detail
+#endif
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<ClockFn> g_clock{nullptr};
+
+}  // namespace
+
+void set_tracing(bool on) {
+#ifdef APTQ_OBS_DISABLE
+  (void)on;
+#else
+  detail::g_tracing.store(on, std::memory_order_relaxed);
+#endif
+}
+
+void set_telemetry(bool on) {
+#ifdef APTQ_OBS_DISABLE
+  (void)on;
+#else
+  detail::g_telemetry.store(on, std::memory_order_relaxed);
+#endif
+}
+
+std::uint64_t now_ns() {
+  const ClockFn fn = g_clock.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn() : steady_now_ns();
+}
+
+void set_clock_for_testing(ClockFn fn) {
+  g_clock.store(fn, std::memory_order_relaxed);
+}
+
+}  // namespace aptq::obs

@@ -1,0 +1,58 @@
+// Runtime switches and the clock for the observability layer.
+//
+// Two independent switches, both off by default so the instrumented hot
+// paths cost one relaxed atomic load when idle:
+//
+//   - tracing: gates TraceSpan event recording (--trace-out sets it).
+//   - telemetry: gates metric/layer-stat recording at the hot call sites
+//     that would otherwise perturb micro-bench numbers (--report sets it).
+//
+// Defining APTQ_OBS_DISABLE at compile time turns both predicates into
+// `constexpr false`, letting the optimizer delete every instrumentation
+// site outright.
+//
+// All observability timestamps flow through now_ns(), which tests can pin
+// to a fixed function via set_clock_for_testing() so JSON snapshots are
+// byte-deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace aptq::obs {
+
+#ifdef APTQ_OBS_DISABLE
+
+constexpr bool tracing_enabled() { return false; }
+constexpr bool telemetry_enabled() { return false; }
+
+#else
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+extern std::atomic<bool> g_telemetry;
+}  // namespace detail
+
+inline bool tracing_enabled() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+inline bool telemetry_enabled() {
+  return detail::g_telemetry.load(std::memory_order_relaxed);
+}
+
+#endif  // APTQ_OBS_DISABLE
+
+void set_tracing(bool on);
+void set_telemetry(bool on);
+
+/// Monotonic nanoseconds since an arbitrary epoch (steady_clock by
+/// default; whatever the injected clock returns under test).
+using ClockFn = std::uint64_t (*)();
+std::uint64_t now_ns();
+
+/// Replace the observability clock (nullptr restores steady_clock).
+/// Test-only: not synchronized against concurrent now_ns() callers.
+void set_clock_for_testing(ClockFn fn);
+
+}  // namespace aptq::obs

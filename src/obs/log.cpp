@@ -1,0 +1,73 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+#include "util/check.hpp"
+
+namespace aptq::obs {
+
+namespace detail {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+}
+
+namespace {
+
+std::mutex& log_mutex() {
+  static std::mutex* m = new std::mutex;  // immortal
+  return *m;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level),
+                            std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(
+      detail::g_log_level.load(std::memory_order_relaxed));
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "error") {
+    return LogLevel::kError;
+  }
+  if (name == "warn") {
+    return LogLevel::kWarn;
+  }
+  if (name == "info") {
+    return LogLevel::kInfo;
+  }
+  if (name == "debug") {
+    return LogLevel::kDebug;
+  }
+  APTQ_FAIL("unknown log level: " + name +
+            " (expected error|warn|info|debug)");
+}
+
+void log(LogLevel level, const std::string& message) {
+  if (!log_enabled(level)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[aptq %s] %s\n", level_tag(level), message.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace aptq::obs

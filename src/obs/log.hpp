@@ -1,0 +1,56 @@
+// Leveled logger for human-facing diagnostics.
+//
+// Logs go to stderr (stdout stays machine-readable for tables and JSON),
+// one line per call, serialized under a mutex so concurrent workers don't
+// interleave. Level is a process-wide runtime setting (`--log-level` on
+// the CLI tools); messages above the level cost one relaxed atomic load.
+//
+//   obs::log_info("loaded model " + name);
+//   if (obs::log_enabled(obs::LogLevel::kDebug)) {
+//     obs::log_debug(expensive_summary());
+//   }
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace aptq::obs {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+namespace detail {
+extern std::atomic<int> g_log_level;
+}
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <=
+         detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "error" / "warn" / "info" / "debug" (throws aptq::Error on
+/// anything else).
+LogLevel parse_log_level(const std::string& name);
+
+void log(LogLevel level, const std::string& message);
+inline void log_error(const std::string& message) {
+  log(LogLevel::kError, message);
+}
+inline void log_warn(const std::string& message) {
+  log(LogLevel::kWarn, message);
+}
+inline void log_info(const std::string& message) {
+  log(LogLevel::kInfo, message);
+}
+inline void log_debug(const std::string& message) {
+  log(LogLevel::kDebug, message);
+}
+
+}  // namespace aptq::obs

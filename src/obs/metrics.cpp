@@ -1,0 +1,262 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "obs/json.hpp"
+
+namespace aptq::obs {
+
+double Histogram::upper_bound(std::size_t i) {
+  if (i + 1 >= kBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1e-3 * static_cast<double>(std::uint64_t{1} << i);
+}
+
+void Histogram::record(double v) {
+  if (std::isnan(v)) {
+    return;
+  }
+  std::size_t b = 0;
+  while (b + 1 < kBuckets && v >= upper_bound(b)) {
+    ++b;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++buckets_[b];
+  sum_ += v;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+}
+
+double Histogram::percentile_locked(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  // 1-based rank of the requested order statistic.
+  double rank = std::ceil(p / 100.0 * static_cast<double>(count_));
+  rank = std::clamp(rank, 1.0, static_cast<double>(count_));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets_[b];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (rank <= static_cast<double>(cumulative + in_bucket)) {
+      double lo = b == 0 ? min_ : upper_bound(b - 1);
+      double hi = upper_bound(b);
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi < lo) {
+        hi = lo;
+      }
+      const double frac =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lo + frac * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+double Histogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return percentile_locked(p);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.p50 = percentile_locked(50.0);
+  s.p90 = percentile_locked(90.0);
+  s.p99 = percentile_locked(99.0);
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+namespace {
+
+constexpr std::size_t kShards = 8;
+
+struct Shard {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+struct MetricsRegistry {
+  std::array<Shard, kShards> shards;
+};
+
+MetricsRegistry& metrics_registry() {
+  static MetricsRegistry* r = new MetricsRegistry;  // immortal
+  return *r;
+}
+
+Shard& shard_for(const std::string& name) {
+  return metrics_registry().shards[std::hash<std::string>{}(name) % kShards];
+}
+
+template <typename T>
+T& find_or_create(std::map<std::string, std::unique_ptr<T>>& table,
+                  std::mutex& mutex, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = table[name];
+  if (!slot) {
+    slot = std::make_unique<T>();
+  }
+  return *slot;
+}
+
+struct LayerShard {
+  std::mutex mutex;
+  std::map<std::string, std::map<std::string, double>> layers;
+};
+
+struct LayerRegistry {
+  std::array<LayerShard, kShards> shards;
+};
+
+LayerRegistry& layer_registry() {
+  static LayerRegistry* r = new LayerRegistry;  // immortal
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Shard& s = shard_for(name);
+  return find_or_create(s.counters, s.mutex, name);
+}
+
+Gauge& gauge(const std::string& name) {
+  Shard& s = shard_for(name);
+  return find_or_create(s.gauges, s.mutex, name);
+}
+
+Histogram& histogram(const std::string& name) {
+  Shard& s = shard_for(name);
+  return find_or_create(s.histograms, s.mutex, name);
+}
+
+std::string metrics_snapshot_json() {
+  // Merge all shards into sorted maps so output is deterministic.
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+  for (Shard& s : metrics_registry().shards) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (const auto& [name, c] : s.counters) {
+      counters[name] = c->value();
+    }
+    for (const auto& [name, g] : s.gauges) {
+      gauges[name] = g->value();
+    }
+    for (const auto& [name, h] : s.histograms) {
+      histograms[name] = h->snapshot();
+    }
+  }
+  std::string out = "{\"clock_ns\": " + json_u64(now_ns());
+  out += ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += (first ? "" : ", ");
+    out += "\"" + json_escape(name) + "\": " + json_u64(v);
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += (first ? "" : ", ");
+    out += "\"" + json_escape(name) + "\": " + json_double(v);
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, s] : histograms) {
+    out += (first ? "" : ", ");
+    out += "\"" + json_escape(name) + "\": {\"count\": " + json_u64(s.count) +
+           ", \"sum\": " + json_double(s.sum) +
+           ", \"min\": " + json_double(s.min) +
+           ", \"max\": " + json_double(s.max) +
+           ", \"p50\": " + json_double(s.p50) +
+           ", \"p90\": " + json_double(s.p90) +
+           ", \"p99\": " + json_double(s.p99) + "}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+void reset_metrics() {
+  for (Shard& s : metrics_registry().shards) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (auto& [name, c] : s.counters) {
+      c->reset();
+    }
+    for (auto& [name, g] : s.gauges) {
+      g->reset();
+    }
+    for (auto& [name, h] : s.histograms) {
+      h->reset();
+    }
+  }
+}
+
+void layer_stat(const std::string& layer, const char* key, double value) {
+  if (!telemetry_enabled()) {
+    return;
+  }
+  LayerShard& s =
+      layer_registry().shards[std::hash<std::string>{}(layer) % kShards];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.layers[layer][key] = value;
+}
+
+std::vector<LayerStatRow> layer_stats_snapshot() {
+  std::map<std::string, std::map<std::string, double>> merged;
+  for (LayerShard& s : layer_registry().shards) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (const auto& [layer, stats] : s.layers) {
+      merged[layer].insert(stats.begin(), stats.end());
+    }
+  }
+  std::vector<LayerStatRow> rows;
+  rows.reserve(merged.size());
+  for (auto& [layer, stats] : merged) {
+    LayerStatRow row;
+    row.name = layer;
+    row.stats.assign(stats.begin(), stats.end());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void reset_layer_stats() {
+  for (LayerShard& s : layer_registry().shards) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.layers.clear();
+  }
+}
+
+}  // namespace aptq::obs

@@ -1,0 +1,120 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+
+#include "obs/control.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+
+namespace aptq::obs {
+
+void RunReport::add_config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+void RunReport::add_config(const std::string& key, double value) {
+  config_.emplace_back(key, json_double(value));
+}
+
+void RunReport::add_config(const std::string& key, long value) {
+  config_.emplace_back(key, std::to_string(value));
+}
+
+void RunReport::add_eval(const std::string& name, double perplexity,
+                         double nll, std::uint64_t tokens) {
+  evals_.push_back(EvalRow{name, perplexity, nll, tokens});
+}
+
+std::string RunReport::json() const {
+  std::string out = "{\n\"schema\": \"";
+  out += kRunReportSchema;
+  out += "\",\n\"clock_ns\": " + json_u64(now_ns());
+  out += ",\n\"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : config_) {
+    out += (first ? "" : ", ");
+    out += "\"" + json_escape(key) + "\": " + value;
+    first = false;
+  }
+  out += "},\n\"layers\": [";
+  first = true;
+  for (const LayerStatRow& row : layer_stats_snapshot()) {
+    out += (first ? "\n" : ",\n");
+    out += "{\"name\": \"" + json_escape(row.name) + "\"";
+    for (const auto& [key, value] : row.stats) {
+      out += ", \"" + json_escape(key) + "\": " + json_double(value);
+    }
+    out += "}";
+    first = false;
+  }
+  out += "\n],\n\"phases\": [";
+  first = true;
+  for (const PhaseTotal& phase : phase_totals()) {
+    out += (first ? "\n" : ",\n");
+    out += "{\"name\": \"" + json_escape(phase.name) +
+           "\", \"seconds\": " + json_double(phase.seconds) +
+           ", \"count\": " + json_u64(phase.count) + "}";
+    first = false;
+  }
+  out += "\n],\n\"evals\": [";
+  first = true;
+  for (const EvalRow& eval : evals_) {
+    out += (first ? "\n" : ",\n");
+    out += "{\"name\": \"" + json_escape(eval.name) +
+           "\", \"perplexity\": " + json_double(eval.perplexity) +
+           ", \"nll\": " + json_double(eval.nll) +
+           ", \"tokens\": " + json_u64(eval.tokens) + "}";
+    first = false;
+  }
+  out += "\n],\n\"metrics\": " + metrics_snapshot_json();
+  out += "\n}\n";
+  return out;
+}
+
+void write_run_report(const RunReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  APTQ_CHECK(out.good(), "cannot open report output: " + path);
+  out << report.json();
+  APTQ_CHECK(out.good(), "failed writing report output: " + path);
+}
+
+ObsOptions configure_observability(const ArgParser& args) {
+  set_log_level(parse_log_level(args.log_level()));
+  ObsOptions options;
+  options.trace_path = args.get_string("trace-out", "");
+  options.report_path = args.get_string("report", "");
+  if (!options.trace_path.empty()) {
+    set_tracing(true);
+  }
+  if (!options.report_path.empty()) {
+    set_telemetry(true);
+  }
+  return options;
+}
+
+void finalize_observability(const ObsOptions& options,
+                            const RunReport& report) {
+  if (!options.trace_path.empty()) {
+    write_trace(options.trace_path);
+    log_info("wrote trace: " + options.trace_path + " (" +
+             std::to_string(trace_event_count()) +
+             " events; open at ui.perfetto.dev)");
+  }
+  if (!options.report_path.empty()) {
+    write_run_report(report, options.report_path);
+    log_info("wrote run report: " + options.report_path);
+  }
+}
+
+void reset_observability() {
+  reset_trace_events();
+  reset_phase_totals();
+  reset_metrics();
+  reset_layer_stats();
+}
+
+}  // namespace aptq::obs

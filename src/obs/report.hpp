@@ -1,0 +1,87 @@
+// Structured run-report artifact (--report report.json) and the shared
+// CLI wiring for the observability flags.
+//
+// A RunReport collects what only the caller knows — the configuration it
+// ran with and any eval results — and json() joins that with what the
+// observability layer recorded on its own: the per-layer quantization
+// telemetry table, accumulated phase timings, and a full metrics
+// snapshot. Schema (pinned by tests/obs_test.cpp):
+//
+//   {
+//     "schema": "aptq.run_report.v1",
+//     "clock_ns": <u64>,
+//     "config":  { "<key>": <string|number>, ... },
+//     "layers":  [ {"name": "...", "hessian.avg_trace": ..,
+//                   "alloc.bits": .., "quant.mse": .., ...}, ... ],
+//     "phases":  [ {"name": "...", "seconds": .., "count": ..}, ... ],
+//     "evals":   [ {"name": "...", "perplexity": .., "nll": ..,
+//                   "tokens": ..}, ... ],
+//     "metrics": { ...metrics_snapshot_json()... }
+//   }
+//
+// CLI tools call configure_observability(args) once after parsing
+// (applies --log-level, --trace-out, --report) and
+// finalize_observability(...) on the way out to write the artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aptq {
+class ArgParser;
+}
+
+namespace aptq::obs {
+
+inline constexpr const char* kRunReportSchema = "aptq.run_report.v1";
+
+class RunReport {
+ public:
+  void add_config(const std::string& key, const std::string& value);
+  void add_config(const std::string& key, double value);
+  void add_config(const std::string& key, long value);
+
+  void add_eval(const std::string& name, double perplexity, double nll,
+                std::uint64_t tokens);
+
+  /// Serializes the report, snapshotting layer stats / phase totals /
+  /// metrics at call time.
+  std::string json() const;
+
+ private:
+  // Values stored pre-encoded as JSON fragments.
+  std::vector<std::pair<std::string, std::string>> config_;
+  struct EvalRow {
+    std::string name;
+    double perplexity;
+    double nll;
+    std::uint64_t tokens;
+  };
+  std::vector<EvalRow> evals_;
+};
+
+/// Writes report.json() to `path`. Throws aptq::Error on I/O failure.
+void write_run_report(const RunReport& report, const std::string& path);
+
+struct ObsOptions {
+  std::string trace_path;   // empty: tracing stays off
+  std::string report_path;  // empty: telemetry stays off
+};
+
+/// Applies the shared observability flags: `--log-level LVL` sets the
+/// logger, `--trace-out FILE` enables tracing, `--report FILE` enables
+/// telemetry. Returns the chosen output paths for finalize.
+ObsOptions configure_observability(const ArgParser& args);
+
+/// Writes the trace and/or report artifacts configured earlier (no-op
+/// for paths that weren't requested) and logs where they went.
+void finalize_observability(const ObsOptions& options,
+                            const RunReport& report);
+
+/// Clears every recording the observability layer holds: trace events,
+/// phase totals, metric values, layer stats. Flags are left as-is.
+void reset_observability();
+
+}  // namespace aptq::obs

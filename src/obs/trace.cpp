@@ -1,0 +1,218 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+#include "util/threadpool.hpp"
+
+namespace aptq::obs {
+
+namespace {
+
+struct Event {
+  std::string name;
+  const char* category;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+// One buffer per thread that ever recorded a span. The owning thread
+// appends under buffer.mutex (uncontended except while trace_json() or
+// reset_trace_events() briefly holds it), so recording never serializes
+// distinct threads against each other.
+struct ThreadBuffer {
+  int tid = 0;
+  std::string thread_name;
+  std::mutex mutex;
+  std::vector<Event> events;
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 0;
+};
+
+TraceRegistry& registry() {
+  static TraceRegistry* r = new TraceRegistry;  // immortal: threads may
+  return *r;                                    // outlive static dtors
+}
+
+thread_local int t_span_depth = 0;
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    b->tid = reg.next_tid++;
+    const int wid = ThreadPool::worker_id();
+    if (wid >= 0) {
+      b->thread_name = "pool-worker-" + std::to_string(wid);
+    } else if (b->tid == 0) {
+      b->thread_name = "main";
+    } else {
+      b->thread_name = "thread-" + std::to_string(b->tid);
+    }
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void record_event(std::string name, const char* category,
+                  std::uint64_t start_ns, std::uint64_t dur_ns) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(Event{std::move(name), category, start_ns, dur_ns});
+}
+
+struct PhaseTable {
+  std::mutex mutex;
+  std::vector<PhaseTotal> totals;
+};
+
+PhaseTable& phase_table() {
+  static PhaseTable* t = new PhaseTable;
+  return *t;
+}
+
+void add_phase_sample(const char* name, double seconds) {
+  PhaseTable& table = phase_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  for (PhaseTotal& total : table.totals) {
+    if (total.name == name) {
+      total.seconds += seconds;
+      ++total.count;
+      return;
+    }
+  }
+  table.totals.push_back(PhaseTotal{name, seconds, 1});
+}
+
+}  // namespace
+
+void TraceSpan::begin(const char* name, const char* category) {
+  name_ = name;
+  category_ = category;
+  start_ns_ = now_ns();
+  active_ = true;
+  ++t_span_depth;
+}
+
+void TraceSpan::begin_dynamic(const std::string& name, const char* category) {
+  dynamic_name_ = name;
+  category_ = category;
+  start_ns_ = now_ns();
+  active_ = true;
+  ++t_span_depth;
+}
+
+void TraceSpan::end() {
+  const std::uint64_t end_ns = now_ns();
+  --t_span_depth;
+  active_ = false;
+  // Tracing may have been switched off while the span was live; the event
+  // is still completed so begin/end always pair up.
+  record_event(name_ != nullptr ? std::string(name_) : dynamic_name_,
+               category_, start_ns_, end_ns - start_ns_);
+}
+
+void PhaseSpan::begin(const char* name) {
+  name_ = name;
+  start_ns_ = now_ns();
+  active_ = true;
+  ++t_span_depth;
+}
+
+void PhaseSpan::end() {
+  const std::uint64_t end_ns = now_ns();
+  --t_span_depth;
+  active_ = false;
+  const std::uint64_t dur_ns = end_ns - start_ns_;
+  add_phase_sample(name_, static_cast<double>(dur_ns) * 1e-9);
+  if (tracing_enabled()) {
+    record_event(name_, "phase", start_ns_, dur_ns);
+  }
+}
+
+int current_span_depth() { return t_span_depth; }
+
+std::size_t trace_event_count() {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t n = 0;
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::string trace_json() {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::string out;
+  out += "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+  };
+  for (const auto& buf : reg.buffers) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(buf->tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           json_escape(buf->thread_name) + "\"}}";
+  }
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    for (const Event& ev : buf->events) {
+      sep();
+      // Timestamps are microseconds in the trace_event format.
+      out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(buf->tid) +
+             ",\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
+             json_escape(ev.category) + "\",\"ts\":" +
+             json_double(static_cast<double>(ev.start_ns) * 1e-3) +
+             ",\"dur\":" +
+             json_double(static_cast<double>(ev.dur_ns) * 1e-3) + "}";
+    }
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+void write_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  APTQ_CHECK(out.good(), "cannot open trace output: " + path);
+  out << trace_json();
+  APTQ_CHECK(out.good(), "failed writing trace output: " + path);
+}
+
+void reset_trace_events() {
+  TraceRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+std::vector<PhaseTotal> phase_totals() {
+  PhaseTable& table = phase_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  return table.totals;
+}
+
+void reset_phase_totals() {
+  PhaseTable& table = phase_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  table.totals.clear();
+}
+
+}  // namespace aptq::obs

@@ -1,0 +1,128 @@
+// RAII span tracing with Chrome/Perfetto trace_event JSON export.
+//
+// Usage at an instrumentation site:
+//
+//   void gptq_quantize(...) {
+//     obs::TraceSpan span("gptq.solve", "quant");
+//     ...
+//   }
+//
+// When tracing is off (the default) the constructor is a relaxed atomic
+// load and an early return: no clock read, no allocation, no lock. When
+// on, each completed span is appended to a per-thread buffer (one mutex
+// acquisition per span, never contended on the hot path because every
+// thread owns its buffer) and later serialized by trace_json() as a
+// complete "X" (duration) event. Thread attribution comes from
+// ThreadPool::worker_id(): buffers register themselves with a stable
+// small tid and a thread_name metadata record ("main", "pool-worker-N"),
+// so a Pipeline run renders as a flame chart across worker threads.
+//
+// PhaseSpan is the coarse sibling used for the phase timings reported in
+// run reports (pipeline.calibration, pipeline.solve, eval.perplexity...):
+// it additionally accumulates wall seconds into a global phase table that
+// is active when *either* tracing or telemetry is on, so `--report` alone
+// still yields phase timings without paying for full span recording.
+//
+// Spans may nest freely and may be constructed on any thread, including
+// inside ThreadPool workers. A span must be destroyed on the thread that
+// created it (automatic with RAII block scoping).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/control.hpp"
+
+namespace aptq::obs {
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "aptq") {
+    if (tracing_enabled()) {
+      begin(name, category);
+    }
+  }
+  /// Dynamic-name overload (e.g. per-layer spans). Only copies the string
+  /// when tracing is on.
+  TraceSpan(const std::string& name, const char* category = "aptq") {
+    if (tracing_enabled()) {
+      begin_dynamic(name, category);
+    }
+  }
+  ~TraceSpan() {
+    if (active_) {
+      end();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void begin(const char* name, const char* category);
+  void begin_dynamic(const std::string& name, const char* category);
+  void end();
+
+  const char* name_ = nullptr;       // static-name fast path
+  std::string dynamic_name_;         // empty unless the dynamic ctor ran
+  const char* category_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Coarse phase timer: records a trace event like TraceSpan *and*
+/// accumulates (seconds, count) into the global phase table consumed by
+/// run reports. Active when tracing or telemetry is enabled.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char* name) {
+    if (tracing_enabled() || telemetry_enabled()) {
+      begin(name);
+    }
+  }
+  ~PhaseSpan() {
+    if (active_) {
+      end();
+    }
+  }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Nesting depth of live spans on the calling thread (tests).
+int current_span_depth();
+
+/// Total recorded trace events across all threads.
+std::size_t trace_event_count();
+
+/// Serializes every recorded span as Chrome trace_event JSON
+/// (chrome://tracing and https://ui.perfetto.dev both load it). One event
+/// per line; "M" thread_name metadata first, then "X" duration events.
+std::string trace_json();
+
+/// Writes trace_json() to `path`. Throws aptq::Error on I/O failure.
+void write_trace(const std::string& path);
+
+/// Drops all recorded events (thread registrations persist).
+void reset_trace_events();
+
+/// Accumulated wall-clock per phase, insertion-ordered by first entry.
+struct PhaseTotal {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t count = 0;  // completed PhaseSpans folded in
+};
+std::vector<PhaseTotal> phase_totals();
+void reset_phase_totals();
+
+}  // namespace aptq::obs

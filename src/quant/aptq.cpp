@@ -1,9 +1,12 @@
 #include "quant/aptq.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "model/backward.hpp"
 #include "model/forward.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/threadpool.hpp"
 
@@ -102,8 +105,12 @@ CalibrationResult collect_impl(const Model& model,
 
   ForwardCache cache;
   for (std::size_t si = 0; si < segments.size(); ++si) {
+    obs::TraceSpan segment_span("calib.segment", "calib");
     const auto& segment = segments[si];
-    model_forward(model, segment, cache);
+    {
+      obs::TraceSpan forward_span("calib.forward", "calib");
+      model_forward(model, segment, cache);
+    }
     // γ per block (computed once, shared by that block's q/k/v slots). The
     // probe RNG is keyed to (seed, segment, block) so per-block collection
     // reproduces exactly the γ a full-model pass would produce — and so the
@@ -116,6 +123,7 @@ CalibrationResult collect_impl(const Model& model,
           if (slot.ref.kind != LinearKind::q_proj) {
             continue;
           }
+          obs::TraceSpan probe_span("calib.gamma_probe", "calib");
           Rng probe_rng(config.seed ^ (si * 1000003ull) ^
                         (slot.ref.block * 7919ull + 1));
           gammas[slot.ref.block] =
@@ -165,6 +173,21 @@ CalibrationResult collect_impl(const Model& model,
                            ? slot.gamma_sum /
                                  static_cast<double>(slot.gamma_count)
                            : 1.0;
+    if (obs::telemetry_enabled()) {
+      float diag_min = layer.hessian(0, 0);
+      float diag_max = diag_min;
+      for (std::size_t i = 1; i < layer.hessian.rows(); ++i) {
+        const float v = layer.hessian(i, i);
+        diag_min = std::min(diag_min, v);
+        diag_max = std::max(diag_max, v);
+      }
+      obs::layer_stat(layer.name, "hessian.avg_trace", layer.avg_trace);
+      obs::layer_stat(layer.name, "hessian.diag_min", diag_min);
+      obs::layer_stat(layer.name, "hessian.diag_max", diag_max);
+      obs::layer_stat(layer.name, "hessian.gamma_mean", layer.gamma_mean);
+      obs::layer_stat(layer.name, "hessian.tokens",
+                      static_cast<double>(slot.acc.tokens_seen()));
+    }
     result.layers.push_back(std::move(layer));
   }
   return result;

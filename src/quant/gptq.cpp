@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quant/hessian.hpp"
 #include "tensor/cholesky.hpp"
 #include "tensor/kernels.hpp"
@@ -39,6 +41,7 @@ Matrix permute_sym(const Matrix& in, const std::vector<std::size_t>& perm) {
 
 GptqResult gptq_quantize(const Matrix& w, const Matrix& h,
                          const GptqConfig& config) {
+  obs::TraceSpan span("gptq.solve", "quant");
   config.spec.validate();
   const std::size_t d_out = w.rows();
   const std::size_t d_in = w.cols();
@@ -172,6 +175,12 @@ GptqResult gptq_quantize(const Matrix& w, const Matrix& h,
   }
   result.proxy_loss = proxy_loss;
   result.recon_error = reconstruction_error(w, result.weight, h);
+  if (obs::telemetry_enabled()) {
+    static auto& layers = obs::counter("gptq.layers_solved");
+    static auto& cols = obs::counter("gptq.cols_quantized");
+    layers.add(1);
+    cols.add(d_in - config.fp_columns.size());
+  }
   return result;
 }
 

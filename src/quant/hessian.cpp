@@ -1,5 +1,7 @@
 #include "quant/hessian.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "util/threadpool.hpp"
@@ -46,9 +48,14 @@ void HessianAccumulator::add_matrix(const Matrix& x,
   // token-by-token add_token path, which ref::syrk_upper retains as the
   // oracle (docs/KERNELS.md).
   if (x.rows() > 0) {
+    obs::TraceSpan span("hessian.accumulate", "quant");
     syrk_upper(x, gamma, 1.0f, h_);
   }
   tokens_ += x.rows();
+  if (obs::telemetry_enabled()) {
+    static auto& tokens = obs::counter("hessian.tokens");
+    tokens.add(x.rows());
+  }
 }
 
 Matrix HessianAccumulator::finalized() const {

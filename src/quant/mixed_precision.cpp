@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quant/gptq.hpp"
 #include "tensor/ops.hpp"
 
@@ -10,6 +12,7 @@ namespace aptq {
 std::vector<LayerSensitivity> rank_sensitivities(
     const CalibrationResult& calibration, const Model& model,
     SensitivityMetric metric) {
+  obs::TraceSpan span("mixed.rank_sensitivities", "quant");
   APTQ_CHECK(!calibration.layers.empty(), "rank_sensitivities: empty input");
   // Weight lookup for the error-weighted metric.
   std::map<std::string, const Matrix*> weights;
@@ -38,6 +41,7 @@ std::vector<LayerSensitivity> rank_sensitivities(
       const double err = frobenius_distance(wt, q2);
       s.sensitivity *= err * err / static_cast<double>(wt.size());
     }
+    obs::layer_stat(s.name, "alloc.sensitivity", s.sensitivity);
     out.push_back(std::move(s));
   }
   return out;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace aptq {
@@ -78,6 +80,7 @@ class PackedDecodeAdapter {
 
 PackedModel PackedModel::pack_impl(
     const Model& model, const std::map<std::string, QuantSpec>& specs) {
+  obs::TraceSpan span("pack.model", "quant");
   PackedModel pm;
   pm.config_ = model.config;
   pm.tok_embed_ = model.tok_embed;
@@ -93,6 +96,10 @@ PackedModel PackedModel::pack_impl(
                "PackedModel: no spec for layer " + ref.name);
     // Pack in the out-major orientation (groups along the input dim).
     pm.linears_.emplace_back(ref.weight->transposed(), it->second);
+    if (obs::telemetry_enabled()) {
+      static auto& bytes = obs::counter("pack.bytes");
+      bytes.add(pm.linears_.back().storage_bytes());
+    }
   }
   return pm;
 }

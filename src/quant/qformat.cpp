@@ -357,6 +357,17 @@ double QuantizedLinear::bits_per_weight() const {
          static_cast<double>(rows_ * cols_);
 }
 
+double QuantizedLinear::mean_group_scale() const {
+  if (group_params_.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const GroupParams& p : group_params_) {
+    acc += p.scale;
+  }
+  return acc / static_cast<double>(group_params_.size());
+}
+
 void QuantizedLinear::serialize(BinaryWriter& writer) const {
   writer.write_u32(static_cast<std::uint32_t>(spec_.bits));
   writer.write_u64(spec_.group_size);

@@ -115,6 +115,10 @@ class QuantizedLinear {
   /// Effective bits per weight including group-parameter overhead.
   double bits_per_weight() const;
 
+  /// Mean of the per-group grid scales — the final scales the (optional)
+  /// MSE clip search settled on, exported as quantization telemetry.
+  double mean_group_scale() const;
+
   /// Binary round-trip (used by the packed-model deploy format).
   void serialize(BinaryWriter& writer) const;
   static QuantizedLinear deserialize(BinaryReader& reader);

@@ -1,5 +1,6 @@
 #include "quant/qmodel.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace aptq {
@@ -39,9 +40,12 @@ QuantizedLayerInfo make_layer_info(const std::string& name,
   info.name = name;
   info.bits = spec.bits;
   info.weight_count = w_outmajor.size();
-  info.packed_bytes = QuantizedLinear(w_outmajor, spec).storage_bytes();
+  const QuantizedLinear packed(w_outmajor, spec);
+  info.packed_bytes = packed.storage_bytes();
   info.proxy_loss = proxy_loss;
   info.recon_error = recon_error;
+  // The grid scales the (optional) MSE clip search settled on.
+  obs::layer_stat(name, "quant.clip_scale_mean", packed.mean_group_scale());
   return info;
 }
 

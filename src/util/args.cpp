@@ -74,6 +74,10 @@ std::size_t ArgParser::threads() const {
   return static_cast<std::size_t>(n);
 }
 
+std::string ArgParser::log_level() const {
+  return get_string("log-level", "info");
+}
+
 std::vector<std::string> ArgParser::unused() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : flags_) {

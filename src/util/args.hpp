@@ -34,6 +34,10 @@ class ArgParser {
   /// flag is absent) means one thread per hardware core.
   std::size_t threads() const;
 
+  /// Log level requested via `--log-level error|warn|info|debug`
+  /// (default "info"). Validation happens in obs::parse_log_level.
+  std::string log_level() const;
+
  private:
   std::string command_;
   std::map<std::string, std::string> flags_;

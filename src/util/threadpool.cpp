@@ -5,6 +5,7 @@ namespace aptq {
 namespace {
 
 thread_local bool t_in_worker = false;
+thread_local int t_worker_id = -1;
 
 // RAII flag for the duration of chunk execution on any thread (worker or
 // submitter), so nested parallel_for calls degrade to serial inline loops.
@@ -27,7 +28,10 @@ ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t total = resolve_thread_count(threads);
   workers_.reserve(total - 1);
   for (std::size_t i = 0; i + 1 < total; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      t_worker_id = static_cast<int>(i);
+      worker_loop();
+    });
   }
 }
 
@@ -43,6 +47,8 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::in_worker() { return t_in_worker; }
+
+int ThreadPool::worker_id() { return t_worker_id; }
 
 void ThreadPool::run_chunks(Job& job) {
   InWorkerScope scope;

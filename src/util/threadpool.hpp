@@ -62,6 +62,11 @@ class ThreadPool {
   /// detects this and degrades to a serial inline loop).
   static bool in_worker();
 
+  /// Stable 0-based index of the current dedicated pool worker, or -1 on
+  /// any other thread (including the submitting thread, which also runs
+  /// chunks). Used by the tracing layer to attribute spans to threads.
+  static int worker_id();
+
   /// The process-wide pool used by the free parallel_for/parallel_reduce.
   /// Created on first use with the hardware thread count.
   static ThreadPool& global();

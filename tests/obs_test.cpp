@@ -1,0 +1,440 @@
+// Tests for the observability layer: span tracing (nesting, thread
+// attribution, trace JSON shape), histogram percentile math, snapshot
+// determinism under an injected clock, the run-report schema, and the
+// pinned zero-cost guarantee for disabled tracing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <map>
+#include <new>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model_zoo.hpp"
+#include "core/pipeline.hpp"
+#include "obs/control.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "quant/gptq.hpp"
+#include "util/threadpool.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every path through the replaced operator new
+// bumps it, letting tests pin "disabled tracing allocates nothing" and
+// "the GPTQ solve allocates deterministically".
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace aptq {
+namespace {
+
+// Fake clocks injectable via obs::set_clock_for_testing. ClockFn is a
+// plain function pointer, so state lives in a file-scope atomic.
+std::atomic<std::uint64_t> g_fake_ns{0};
+
+std::uint64_t ticking_clock() {
+  // Every observation advances time by 1 µs: spans get distinct,
+  // strictly ordered timestamps.
+  return g_fake_ns.fetch_add(1000, std::memory_order_relaxed) + 1000;
+}
+
+std::uint64_t fixed_clock() { return 42; }
+
+// Minimal parser for the one-event-per-line trace JSON.
+struct ParsedEvent {
+  std::string ph;
+  int tid = -1;
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+std::vector<ParsedEvent> parse_events(const std::string& json) {
+  std::vector<ParsedEvent> out;
+  std::istringstream in(json);
+  std::string line;
+  auto field_num = [](const std::string& l, const char* key) {
+    const auto pos = l.find(key);
+    if (pos == std::string::npos) {
+      return 0.0;
+    }
+    return std::atof(l.c_str() + pos + std::string(key).size());
+  };
+  auto field_str = [](const std::string& l, const char* key) {
+    const auto pos = l.find(key);
+    if (pos == std::string::npos) {
+      return std::string();
+    }
+    const auto start = pos + std::string(key).size();
+    return l.substr(start, l.find('"', start) - start);
+  };
+  while (std::getline(in, line)) {
+    if (line.find("\"ph\":") == std::string::npos) {
+      continue;
+    }
+    ParsedEvent ev;
+    ev.ph = field_str(line, "\"ph\":\"");
+    ev.tid = static_cast<int>(field_num(line, "\"tid\":"));
+    ev.name = field_str(line, "\"name\":\"");
+    ev.ts = field_num(line, "\"ts\":");
+    ev.dur = field_num(line, "\"dur\":");
+    out.push_back(ev);
+  }
+  return out;
+}
+
+// Every test starts and ends with observability fully off and empty.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+
+  static void reset() {
+    obs::set_tracing(false);
+    obs::set_telemetry(false);
+    obs::set_clock_for_testing(nullptr);
+    obs::set_log_level(obs::LogLevel::kInfo);
+    obs::reset_observability();
+  }
+};
+
+TEST_F(ObsTest, SpanNestingRecordsChildWithinParent) {
+  obs::set_clock_for_testing(&ticking_clock);
+  obs::set_tracing(true);
+  EXPECT_EQ(obs::current_span_depth(), 0);
+  {
+    obs::TraceSpan outer("outer", "test");
+    EXPECT_EQ(obs::current_span_depth(), 1);
+    {
+      obs::TraceSpan inner(std::string("inner"), "test");
+      EXPECT_EQ(obs::current_span_depth(), 2);
+    }
+    EXPECT_EQ(obs::current_span_depth(), 1);
+  }
+  EXPECT_EQ(obs::current_span_depth(), 0);
+  obs::set_tracing(false);
+
+  const auto events = parse_events(obs::trace_json());
+  const ParsedEvent* outer = nullptr;
+  const ParsedEvent* inner = nullptr;
+  for (const auto& ev : events) {
+    if (ev.name == "outer") {
+      outer = &ev;
+    }
+    if (ev.name == "inner") {
+      inner = &ev;
+    }
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The child's [ts, ts+dur] interval sits inside the parent's.
+  EXPECT_GT(inner->ts, outer->ts);
+  EXPECT_LT(inner->ts + inner->dur, outer->ts + outer->dur);
+  EXPECT_EQ(outer->tid, inner->tid);
+}
+
+TEST_F(ObsTest, TraceJsonIsOneEventPerLineWithMetadataFirst) {
+  obs::set_tracing(true);
+  { obs::TraceSpan span("solo", "test"); }
+  obs::set_tracing(false);
+
+  const std::string json = obs::trace_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  // Metadata names the recording thread; the X event carries the span.
+  const auto meta_pos = json.find("\"ph\":\"M\"");
+  const auto span_pos = json.find("\"ph\":\"X\"");
+  ASSERT_NE(meta_pos, std::string::npos);
+  ASSERT_NE(span_pos, std::string::npos);
+  EXPECT_LT(meta_pos, span_pos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  // One event per line: every event line is a complete {...} object.
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"ph\":") == std::string::npos) {
+      continue;
+    }
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_TRUE(line.back() == '}' || line.substr(line.size() - 2) == "},");
+  }
+}
+
+TEST_F(ObsTest, SpansOnPoolWorkersGetDistinctThreadIds) {
+  ThreadPool::set_global_threads(4);
+  obs::set_tracing(true);
+  // Chunks sleep a little so dedicated workers reliably claim some of
+  // them; scheduling can still be unlucky, hence the retry loop.
+  std::set<int> tids;
+  for (int attempt = 0; attempt < 20 && tids.size() < 2; ++attempt) {
+    obs::reset_trace_events();
+    parallel_for(0, 16, 1, [](std::size_t, std::size_t) {
+      obs::TraceSpan span("chunk", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+    tids.clear();
+    for (const auto& ev : parse_events(obs::trace_json())) {
+      if (ev.ph == "X" && ev.name == "chunk") {
+        tids.insert(ev.tid);
+      }
+    }
+  }
+  obs::set_tracing(false);
+  EXPECT_GE(tids.size(), 2u);
+  // Dedicated pool workers announce themselves in the thread metadata.
+  EXPECT_NE(obs::trace_json().find("pool-worker-"), std::string::npos);
+  ThreadPool::set_global_threads(1);
+}
+
+TEST_F(ObsTest, WorkerIdIsMinusOneOffPoolAndStableOnWorkers) {
+  EXPECT_EQ(ThreadPool::worker_id(), -1);
+  ThreadPool::set_global_threads(4);
+  std::mutex mutex;
+  std::set<int> ids;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    parallel_for(0, 16, 1, [&](std::size_t, std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(mutex);
+      ids.insert(ThreadPool::worker_id());
+    });
+    std::lock_guard<std::mutex> lock(mutex);
+    if (ids.size() >= 2) {
+      break;
+    }
+  }
+  // The submitting thread reports -1; dedicated workers 0..2.
+  for (const int id : ids) {
+    EXPECT_GE(id, -1);
+    EXPECT_LE(id, 2);
+  }
+  EXPECT_GE(ids.size(), 2u);
+  ThreadPool::set_global_threads(1);
+}
+
+TEST_F(ObsTest, PhaseTotalsAccumulateUnderTelemetryWithoutTraceEvents) {
+  obs::set_clock_for_testing(&ticking_clock);
+  obs::set_telemetry(true);  // tracing stays off
+  { obs::PhaseSpan phase("test.phase"); }
+  { obs::PhaseSpan phase("test.phase"); }
+  const auto totals = obs::phase_totals();
+  const auto it = std::find_if(
+      totals.begin(), totals.end(),
+      [](const obs::PhaseTotal& t) { return t.name == "test.phase"; });
+  ASSERT_NE(it, totals.end());
+  EXPECT_EQ(it->count, 2u);
+  EXPECT_GT(it->seconds, 0.0);
+  // --report alone yields phase timings but no trace events.
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST_F(ObsTest, HistogramAllEqualSamplesReportExactPercentiles) {
+  obs::Histogram h;
+  for (int i = 0; i < 7; ++i) {
+    h.record(3.25);
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 7u);
+  EXPECT_NEAR(snap.sum, 7 * 3.25, 1e-12);
+  EXPECT_DOUBLE_EQ(snap.min, 3.25);
+  EXPECT_DOUBLE_EQ(snap.max, 3.25);
+  // Interpolation clamps to [min, max], so equal samples are exact.
+  EXPECT_DOUBLE_EQ(snap.p50, 3.25);
+  EXPECT_DOUBLE_EQ(snap.p90, 3.25);
+  EXPECT_DOUBLE_EQ(snap.p99, 3.25);
+}
+
+TEST_F(ObsTest, HistogramPercentilesInterpolateAndStayOrdered) {
+  obs::Histogram h;
+  for (int v = 1; v <= 100; ++v) {
+    h.record(static_cast<double>(v));
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_NEAR(snap.sum, 5050.0, 1e-9);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  // Geometric buckets are coarse at the top, so bounds are loose; the
+  // ordering and rough placement are the contract.
+  EXPECT_GE(snap.p50, 35.0);
+  EXPECT_LE(snap.p50, 65.0);
+  EXPECT_GE(snap.p90, 70.0);
+  EXPECT_LE(snap.p90, 100.0);
+  EXPECT_GE(snap.p99, 85.0);
+  EXPECT_LE(snap.p99, 100.0);
+  EXPECT_LE(snap.p50, snap.p90);
+  EXPECT_LE(snap.p90, snap.p99);
+  // Extremes clamp to the observed range (within bucket resolution at
+  // the bottom, exact at the top where max clips the bucket).
+  EXPECT_NEAR(h.percentile(0.0), 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+  // NaN samples are dropped.
+  h.record(std::nan(""));
+  EXPECT_EQ(h.snapshot().count, 100u);
+}
+
+TEST_F(ObsTest, MetricsSnapshotIsByteDeterministicUnderFixedClock) {
+  obs::set_clock_for_testing(&fixed_clock);
+  obs::counter("obs_test.count").add(3);
+  obs::gauge("obs_test.gauge").set(1.5);
+  obs::histogram("obs_test.hist").record(2.0);
+  const std::string first = obs::metrics_snapshot_json();
+  const std::string second = obs::metrics_snapshot_json();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"clock_ns\": 42"), std::string::npos);
+  EXPECT_NE(first.find("\"obs_test.count\": 3"), std::string::npos);
+  EXPECT_NE(first.find("\"obs_test.gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(first.find("\"obs_test.hist\""), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothingAndAllocatesNothing) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  ASSERT_FALSE(obs::telemetry_enabled());
+  const std::size_t events_before = obs::trace_event_count();
+  const std::size_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    obs::TraceSpan span("hot.loop", "test");
+    obs::PhaseSpan phase("hot.phase");
+  }
+  const std::size_t allocs_after =
+      g_alloc_count.load(std::memory_order_relaxed);
+  // Pinned zero-cost contract: a disabled span is a relaxed load and an
+  // early return — no heap traffic, no recorded events.
+  EXPECT_EQ(allocs_after - allocs_before, 0u);
+  EXPECT_EQ(obs::trace_event_count(), events_before);
+  EXPECT_TRUE(obs::phase_totals().empty());
+}
+
+TEST_F(ObsTest, GptqSolveAllocationCountIsRunToRunDeterministic) {
+  ThreadPool::set_global_threads(1);
+  Rng rng(7);
+  const Matrix w = Matrix::randn(8, 16, rng);
+  Matrix h(16, 16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    h.at(i, i) = 1.0f + 0.01f * static_cast<float>(i);
+  }
+  GptqConfig config;
+  auto count_allocs = [&] {
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    const GptqResult result = gptq_quantize(w, h, config);
+    EXPECT_EQ(result.weight.rows(), 8u);
+    return g_alloc_count.load(std::memory_order_relaxed) - before;
+  };
+  const std::size_t warm = count_allocs();  // warm any lazy statics
+  (void)warm;
+  EXPECT_EQ(count_allocs(), count_allocs());
+}
+
+TEST_F(ObsTest, LogLevelParsingAndGating) {
+  EXPECT_EQ(obs::parse_log_level("error"), obs::LogLevel::kError);
+  EXPECT_EQ(obs::parse_log_level("warn"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::parse_log_level("info"), obs::LogLevel::kInfo);
+  EXPECT_EQ(obs::parse_log_level("debug"), obs::LogLevel::kDebug);
+  EXPECT_THROW(obs::parse_log_level("verbose"), Error);
+  obs::set_log_level(obs::LogLevel::kWarn);
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kError));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kWarn));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kInfo));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kDebug));
+}
+
+// The run-report schema pin: quantizing a tiny model with telemetry on
+// must produce hessian.avg_trace, alloc.bits, and quant.mse for every
+// quantized linear, and RunReport::json() must carry them under the
+// pinned schema identifier.
+TEST_F(ObsTest, RunReportPinsSchemaAndPerLayerTelemetry) {
+  obs::set_telemetry(true);
+  ModelConfig mc;
+  mc.vocab_size = 16;
+  mc.dim = 12;
+  mc.n_layers = 2;
+  mc.n_heads = 2;
+  mc.ffn_dim = 16;
+  const Corpus corpus("calib",
+                      [] {
+                        MarkovSpec s;
+                        s.seed = 41;
+                        s.vocab_size = 16;
+                        s.topics = 2;
+                        s.branching = 3;
+                        return s;
+                      }(),
+                      4000, 500, 42);
+  const Model model = Model::init(mc, 43);
+  PipelineConfig cfg;
+  cfg.calib_segments = 8;
+  cfg.calib_seq_len = 16;
+  cfg.group_size = 4;
+  cfg.ratio_high = 0.5;
+  const QuantizedModel qm =
+      quantize_model(model, corpus, Method::aptq_mixed, cfg);
+  ASSERT_EQ(qm.layers.size(), 14u);
+
+  std::map<std::string, std::map<std::string, double>> stats;
+  for (const auto& row : obs::layer_stats_snapshot()) {
+    for (const auto& [key, value] : row.stats) {
+      stats[row.name][key] = value;
+    }
+  }
+  for (const auto& layer : qm.layers) {
+    ASSERT_TRUE(stats.count(layer.name)) << layer.name;
+    const auto& s = stats.at(layer.name);
+    EXPECT_TRUE(s.count("hessian.avg_trace")) << layer.name;
+    EXPECT_TRUE(s.count("alloc.bits")) << layer.name;
+    EXPECT_TRUE(s.count("quant.mse")) << layer.name;
+    EXPECT_GT(s.at("hessian.avg_trace"), 0.0) << layer.name;
+    EXPECT_GT(s.at("quant.mse"), 0.0) << layer.name;
+    // alloc.bits mirrors the bookkeeping the pipeline reports.
+    EXPECT_NEAR(s.at("quant.bits_effective"), layer.bits, 1e-9) << layer.name;
+  }
+
+  obs::RunReport report;
+  report.add_config("model", std::string("tiny"));
+  report.add_config("ratio_high", cfg.ratio_high);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"schema\": \"aptq.run_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"layers\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"phases\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"hessian.avg_trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"quant.mse\""), std::string::npos);
+  EXPECT_NE(json.find(qm.layers.front().name), std::string::npos);
+  // Phase timings from the pipeline run landed in the report too.
+  EXPECT_NE(json.find("pipeline.quantize_model"), std::string::npos);
+  EXPECT_NE(json.find("\"ratio_high\": 0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aptq
