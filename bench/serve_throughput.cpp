@@ -1,0 +1,204 @@
+// Continuous-batching serving throughput: aggregate tokens/sec of the
+// ServeEngine over a fixed synthetic workload, swept across batch size and
+// pool threads, for the dense model and the bit-packed model. The point of
+// the sweep: aggregate throughput should climb with max_batch (requests
+// decode in parallel across the pool) while each request's token stream
+// stays byte-identical to a solo decode. Writes BENCH_serve.json.
+// Flags: `--requests N` (workload size, default 24), `--out PATH`.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "quant/packed_model.hpp"
+#include "serve/engine.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace aptq::serve {
+namespace {
+
+struct Row {
+  std::string model;
+  std::size_t batch = 0;
+  std::size_t threads = 0;
+  std::size_t requests = 0;
+  std::uint64_t generated = 0;
+  std::size_t engine_steps = 0;
+  double wall_s = 0.0;
+  double tokens_per_sec = 0.0;
+};
+
+ModelConfig bench_config() {
+  ModelConfig c;
+  c.vocab_size = 256;
+  c.dim = 128;
+  c.n_layers = 4;
+  c.n_heads = 4;
+  c.ffn_dim = 256;
+  return c;
+}
+
+TokenSeq random_tokens(std::size_t n, std::uint64_t seed, std::size_t vocab) {
+  Rng rng(seed);
+  TokenSeq t(n);
+  for (auto& v : t) {
+    v = static_cast<TokenId>(rng.index(vocab));
+  }
+  return t;
+}
+
+// A fixed mixed workload: short and long prompts, varying budgets and
+// sampling params. Identical across every (model, batch, threads) cell so
+// the rows are comparable.
+std::vector<Request> make_workload(std::size_t n, std::size_t vocab) {
+  std::vector<Request> reqs;
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    Request r;
+    r.prompt = random_tokens(8 + rng.index(25), 50 + i, vocab);
+    r.max_new_tokens = 12 + rng.index(13);
+    r.sampling.temperature = 0.8f + 0.05f * static_cast<float>(i % 5);
+    r.sampling.top_k = (i % 2 == 0) ? 0 : 40;
+    r.seed = 9000 + i;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+Row measure(const std::string& name, const Backend& backend,
+            const std::vector<Request>& reqs, std::size_t batch,
+            std::size_t threads) {
+  ThreadPool::set_global_threads(threads);
+  ServeConfig cfg;
+  cfg.max_batch = batch;
+  cfg.max_context = 96;
+  ServeEngine engine(Backend(backend), cfg);
+  for (const Request& r : reqs) {
+    engine.submit(r);
+  }
+  const Timer timer;
+  const auto results = engine.run();
+  Row row;
+  row.model = name;
+  row.batch = batch;
+  row.threads = threads;
+  row.requests = results.size();
+  row.wall_s = timer.seconds();
+  for (const auto& r : results) {
+    row.generated += r.tokens.size();
+  }
+  row.engine_steps = engine.stats().engine_steps;
+  row.tokens_per_sec = row.wall_s > 0.0
+                           ? static_cast<double>(row.generated) / row.wall_s
+                           : 0.0;
+  return row;
+}
+
+bool write_json(const std::vector<Row>& rows, double batch_gain,
+                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "serve_throughput: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n";
+  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"packed_batch8_over_batch1\": " << batch_gain << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"model\": \"" << r.model << "\", \"batch\": " << r.batch
+        << ", \"threads\": " << r.threads << ", \"requests\": " << r.requests
+        << ", \"generated_tokens\": " << r.generated
+        << ", \"engine_steps\": " << r.engine_steps
+        << ", \"wall_s\": " << r.wall_s
+        << ", \"tokens_per_sec\": " << r.tokens_per_sec << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.good();
+}
+
+int run(std::size_t n_requests, const std::string& out_path) {
+  const ModelConfig cfg = bench_config();
+  const Model model = Model::init(cfg, 42);
+  QuantSpec spec;
+  spec.bits = 4;
+  spec.group_size = 16;
+  const PackedModel packed = PackedModel::pack_uniform(model, spec);
+  const std::vector<Request> workload =
+      make_workload(n_requests, cfg.vocab_size);
+
+  const std::vector<std::size_t> batches = {1, 2, 4, 8};
+  const std::vector<std::size_t> thread_counts = {1, 4};
+  std::vector<Row> rows;
+  for (const std::size_t threads : thread_counts) {
+    for (const std::size_t batch : batches) {
+      rows.push_back(
+          measure("dense", make_backend(model), workload, batch, threads));
+      rows.push_back(measure("packed_w4g16", make_backend(packed), workload,
+                             batch, threads));
+    }
+  }
+  ThreadPool::set_global_threads(1);
+
+  // Headline: packed-model batching gain at the widest pool in the sweep.
+  const std::size_t top_threads = thread_counts.back();
+  double b1 = 0.0;
+  double b8 = 0.0;
+  for (const Row& r : rows) {
+    if (r.model == "packed_w4g16" && r.threads == top_threads) {
+      if (r.batch == 1) {
+        b1 = r.tokens_per_sec;
+      }
+      if (r.batch == 8) {
+        b8 = r.tokens_per_sec;
+      }
+    }
+  }
+  const double batch_gain = b1 > 0.0 ? b8 / b1 : 0.0;
+
+  std::printf("%-14s %6s %8s %10s %8s %16s\n", "model", "batch", "threads",
+              "generated", "wall_s", "tokens_per_sec");
+  for (const Row& r : rows) {
+    std::printf("%-14s %6zu %8zu %10llu %8.3f %16.1f\n", r.model.c_str(),
+                r.batch, r.threads,
+                static_cast<unsigned long long>(r.generated), r.wall_s,
+                r.tokens_per_sec);
+  }
+  std::printf("packed batch=8 vs batch=1 at %zu threads: %.2fx\n", top_threads,
+              batch_gain);
+  if (write_json(rows, batch_gain, out_path)) {
+    std::printf("serving throughput results written to %s\n",
+                out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aptq::serve
+
+int main(int argc, char** argv) {
+  std::size_t n_requests = 24;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--requests" && i + 1 < argc) {
+      n_requests =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_throughput [--requests N] [--out PATH]\n");
+      return 1;
+    }
+  }
+  return aptq::serve::run(n_requests == 0 ? 1 : n_requests, out_path);
+}

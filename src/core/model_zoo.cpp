@@ -73,12 +73,27 @@ Model ModelZoo::get(const ZooSpec& spec, const StandardCorpora& corpora,
   spec.config.validate();
   const std::string path = checkpoint_path(spec);
   if (file_exists(path)) {
-    Model m = load_checkpoint(path);
-    APTQ_CHECK(m.config == spec.config,
-               "ModelZoo: cached checkpoint has a stale config; delete " +
-                   path);
-    obs::log_debug("[zoo] " + spec.name + " loaded from cache: " + path);
-    return m;
+    // A checkpoint that fails to parse (format drift, truncation, bit rot)
+    // is a cache miss, not a fatal error: warn and fall through to
+    // retraining, which overwrites it. A checkpoint that parses but holds
+    // a different config still throws — the caller asked for a model the
+    // cache genuinely contradicts.
+    bool usable = true;
+    Model m;
+    try {
+      m = load_checkpoint(path);
+    } catch (const Error& e) {
+      usable = false;
+      obs::log_warn("[zoo] discarding unreadable checkpoint " + path + " (" +
+                    e.what() + "); retraining");
+    }
+    if (usable) {
+      APTQ_CHECK(m.config == spec.config,
+                 "ModelZoo: cached checkpoint has a stale config; delete " +
+                     path);
+      obs::log_debug("[zoo] " + spec.name + " loaded from cache: " + path);
+      return m;
+    }
   }
   // Cold cache: a full training run takes minutes — emit progress (step,
   // loss, ETA) through the leveled logger so the run is distinguishable

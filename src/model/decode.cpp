@@ -22,7 +22,10 @@ void DecodeState::reset() {
 }
 
 void DecodeState::advance(std::size_t n) {
-  APTQ_CHECK(pos_ + n <= max_context_, "DecodeState: advance past capacity");
+  APTQ_CHECK(pos_ + n <= max_context_,
+             "DecodeState: advance past capacity (" + std::to_string(pos_) +
+                 " + " + std::to_string(n) + " > " +
+                 std::to_string(max_context_) + ")");
   pos_ += n;
 }
 

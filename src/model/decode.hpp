@@ -127,7 +127,10 @@ Matrix decode_prefill_impl(const Adapter& adapter,
              "decode_prefill: state built for a different model config");
   APTQ_CHECK(!tokens.empty(), "decode_prefill: empty input");
   APTQ_CHECK(state.pos() + tokens.size() <= state.max_context(),
-             "decode: context capacity exceeded");
+             "decode_prefill: context capacity exceeded (" +
+                 std::to_string(state.pos()) + " cached + " +
+                 std::to_string(tokens.size()) + " new > max_context " +
+                 std::to_string(state.max_context()) + ")");
   const std::size_t t_len = tokens.size();
   const std::size_t prior = state.pos();
   const std::size_t d = cfg.dim;
@@ -221,7 +224,11 @@ std::vector<float> decode_step_impl(const Adapter& adapter, TokenId token,
   APTQ_CHECK(state.config() == cfg,
              "decode_step: state built for a different model config");
   APTQ_CHECK(state.pos() < state.max_context(),
-             "decode: context capacity exceeded");
+             "decode_step: context capacity exceeded (" +
+                 std::to_string(state.pos()) +
+                 " positions cached, max_context " +
+                 std::to_string(state.max_context()) +
+                 "); the caller must evict or grow the state");
   decode_check_token(adapter, token);
   const std::size_t d = cfg.dim;
   const std::size_t hd = cfg.head_dim();

@@ -7,6 +7,36 @@
 
 namespace aptq {
 
+TokenId sample_token(std::span<const float> logits, const SampleConfig& config,
+                     Rng& rng) {
+  APTQ_CHECK(config.temperature > 0.0f,
+             "sample_token: temperature must be positive");
+  APTQ_CHECK(!logits.empty(), "sample_token: empty logits");
+  const std::size_t v = logits.size();
+  float max_v = logits[0];
+  for (const float x : logits) {
+    max_v = std::max(max_v, x);
+  }
+  std::vector<float> probs(v);
+  for (std::size_t i = 0; i < v; ++i) {
+    probs[i] = std::exp((logits[i] - max_v) / config.temperature);
+  }
+  if (config.top_k > 0 && config.top_k < v) {
+    std::vector<float> sorted = probs;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(
+                                          config.top_k - 1),
+                     sorted.end(), std::greater<>());
+    const float cutoff = sorted[config.top_k - 1];
+    for (auto& p : probs) {
+      if (p < cutoff) {
+        p = 0.0f;
+      }
+    }
+  }
+  return static_cast<TokenId>(rng.categorical(probs));
+}
+
 TokenSeq sample_with_engine(
     std::size_t vocab_size, std::size_t length, Rng& rng,
     const SampleConfig& config, const TokenSeq& prompt,
@@ -23,30 +53,9 @@ TokenSeq sample_with_engine(
     tokens.push_back(static_cast<TokenId>(rng.index(v)));
   }
   std::vector<float> logits = prefill(tokens);
-  std::vector<float> probs(v);
   while (tokens.size() < length) {
     APTQ_CHECK(logits.size() == v, "sample_with_engine: logit size mismatch");
-    float max_v = logits[0];
-    for (const float x : logits) {
-      max_v = std::max(max_v, x);
-    }
-    for (std::size_t i = 0; i < v; ++i) {
-      probs[i] = std::exp((logits[i] - max_v) / config.temperature);
-    }
-    if (config.top_k > 0 && config.top_k < v) {
-      std::vector<float> sorted = probs;
-      std::nth_element(sorted.begin(),
-                       sorted.begin() + static_cast<std::ptrdiff_t>(
-                                            config.top_k - 1),
-                       sorted.end(), std::greater<>());
-      const float cutoff = sorted[config.top_k - 1];
-      for (auto& p : probs) {
-        if (p < cutoff) {
-          p = 0.0f;
-        }
-      }
-    }
-    const auto next = static_cast<TokenId>(rng.categorical(probs));
+    const TokenId next = sample_token(logits, config, rng);
     tokens.push_back(next);
     if (tokens.size() < length) {
       logits = step(next);

@@ -21,6 +21,13 @@ struct SampleConfig {
   std::size_t top_k = 0;     ///< keep only the k most likely tokens (0 = all)
 };
 
+/// Draw one token from `logits` under `config`, consuming exactly one
+/// categorical draw from `rng`. This is the single sampling primitive every
+/// decoding path shares (sequential sampling loops and the serving engine),
+/// which is what makes their token streams comparable draw-for-draw.
+TokenId sample_token(std::span<const float> logits, const SampleConfig& config,
+                     Rng& rng);
+
 /// Sample `length` tokens autoregressively. `prompt` seeds the context; if
 /// empty, one token is drawn uniformly first. The returned sequence includes
 /// the prompt.

@@ -29,6 +29,14 @@ void RunReport::add_eval(const std::string& name, double perplexity,
   evals_.push_back(EvalRow{name, perplexity, nll, tokens});
 }
 
+void RunReport::add_serving(const std::string& key, double value) {
+  serving_.emplace_back(key, json_double(value));
+}
+
+void RunReport::add_serving(const std::string& key, std::uint64_t value) {
+  serving_.emplace_back(key, json_u64(value));
+}
+
 std::string RunReport::json() const {
   std::string out = "{\n\"schema\": \"";
   out += kRunReportSchema;
@@ -70,7 +78,18 @@ std::string RunReport::json() const {
            ", \"tokens\": " + json_u64(eval.tokens) + "}";
     first = false;
   }
-  out += "\n],\n\"metrics\": " + metrics_snapshot_json();
+  out += "\n]";
+  if (!serving_.empty()) {
+    out += ",\n\"serving\": {";
+    first = true;
+    for (const auto& [key, value] : serving_) {
+      out += (first ? "" : ", ");
+      out += "\"" + json_escape(key) + "\": " + value;
+      first = false;
+    }
+    out += "}";
+  }
+  out += ",\n\"metrics\": " + metrics_snapshot_json();
   out += "\n}\n";
   return out;
 }

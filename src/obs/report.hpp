@@ -16,6 +16,7 @@
 //     "phases":  [ {"name": "...", "seconds": .., "count": ..}, ... ],
 //     "evals":   [ {"name": "...", "perplexity": .., "nll": ..,
 //                   "tokens": ..}, ... ],
+//     "serving": { "<key>": <number>, ... },   // only when add_serving ran
 //     "metrics": { ...metrics_snapshot_json()... }
 //   }
 //
@@ -46,6 +47,13 @@ class RunReport {
   void add_eval(const std::string& name, double perplexity, double nll,
                 std::uint64_t tokens);
 
+  /// Serving-run statistics (queue/throughput aggregates from the serving
+  /// engine). The "serving" section is emitted only when at least one
+  /// entry was added, so quantization-only reports keep their exact
+  /// pre-serving byte layout (pinned by tests/report_golden_test.cpp).
+  void add_serving(const std::string& key, double value);
+  void add_serving(const std::string& key, std::uint64_t value);
+
   /// Serializes the report, snapshotting layer stats / phase totals /
   /// metrics at call time.
   std::string json() const;
@@ -60,6 +68,7 @@ class RunReport {
     std::uint64_t tokens;
   };
   std::vector<EvalRow> evals_;
+  std::vector<std::pair<std::string, std::string>> serving_;
 };
 
 /// Writes report.json() to `path`. Throws aptq::Error on I/O failure.

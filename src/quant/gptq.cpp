@@ -66,10 +66,15 @@ GptqResult gptq_quantize(const Matrix& w, const Matrix& h,
   std::vector<std::size_t> perm(d_in);
   std::iota(perm.begin(), perm.end(), 0);
   if (config.act_order) {
-    std::stable_sort(perm.begin(), perm.end(),
-                     [&hess](std::size_t a, std::size_t b) {
-                       return hess(a, a) > hess(b, b);
-                     });
+    // Descending diagonal with an index tiebreak: equivalent to
+    // std::stable_sort but allocation-free on the hot path.
+    std::sort(perm.begin(), perm.end(),
+              [&hess](std::size_t a, std::size_t b) {
+                if (hess(a, a) != hess(b, b)) {
+                  return hess(a, a) > hess(b, b);
+                }
+                return a < b;
+              });
     work = permute_cols(work, perm);
     hess = permute_sym(hess, perm);
   }

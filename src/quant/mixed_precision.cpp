@@ -59,10 +59,17 @@ BitAllocation allocate_by_sensitivity(
     order.push_back(&s);
     total += s.weight_count;
   }
-  std::stable_sort(order.begin(), order.end(),
-                   [](const LayerSensitivity* a, const LayerSensitivity* b) {
-                     return a->sensitivity > b->sensitivity;
-                   });
+  // Descending sensitivity, ties broken by ranking order (the pointers
+  // index into `ranking`, so address order is ranking order). The explicit
+  // tiebreak makes std::sort reproduce std::stable_sort without the
+  // temporary buffer the latter allocates.
+  std::sort(order.begin(), order.end(),
+            [](const LayerSensitivity* a, const LayerSensitivity* b) {
+              if (a->sensitivity != b->sensitivity) {
+                return a->sensitivity > b->sensitivity;
+              }
+              return a < b;
+            });
   BitAllocation alloc;
   const double target = ratio_high * static_cast<double>(total);
   double covered = 0.0;

@@ -27,7 +27,12 @@ Matrix read_matrix(BinaryReader& r) {
   const std::size_t rows = r.read_u64();
   const std::size_t cols = r.read_u64();
   const std::vector<float> flat = r.read_f32_vector();
-  APTQ_CHECK(flat.size() == rows * cols, "packed model: matrix corrupt");
+  // Division form so a stomped dimension pair cannot overflow rows * cols
+  // into coincidentally matching the payload length.
+  APTQ_CHECK((rows == 0 && flat.empty()) ||
+                 (rows > 0 && cols == flat.size() / rows &&
+                  rows * cols == flat.size()),
+             "packed model: matrix corrupt");
   Matrix m(rows, cols);
   std::copy(flat.begin(), flat.end(), m.data());
   return m;

@@ -1,0 +1,290 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "obs/control.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "quant/packed_model.hpp"
+#include "util/threadpool.hpp"
+
+namespace aptq::serve {
+
+const char* to_string(FinishReason reason) {
+  switch (reason) {
+    case FinishReason::none: return "none";
+    case FinishReason::eos: return "eos";
+    case FinishReason::max_tokens: return "max_tokens";
+    case FinishReason::context_full: return "context_full";
+    case FinishReason::rejected: return "rejected";
+  }
+  return "unknown";
+}
+
+Backend make_backend(const Model& model) {
+  model.config.validate();
+  Backend b;
+  b.name = "dense";
+  b.config = model.config;
+  b.prefill = [&model](std::span<const TokenId> tokens, DecodeState& state) {
+    return decode_prefill(model, tokens, state);
+  };
+  b.step = [&model](TokenId token, DecodeState& state) {
+    return decode_step(model, token, state);
+  };
+  return b;
+}
+
+Backend make_backend(const PackedModel& model) {
+  Backend b;
+  b.name = "packed";
+  b.config = model.config();
+  b.prefill = [&model](std::span<const TokenId> tokens, DecodeState& state) {
+    return decode_prefill(model, tokens, state);
+  };
+  b.step = [&model](TokenId token, DecodeState& state) {
+    return decode_step(model, token, state);
+  };
+  return b;
+}
+
+ServeEngine::ServeEngine(Backend backend, const ServeConfig& config)
+    : backend_(std::move(backend)),
+      config_(config),
+      pool_(backend_.config, config.max_context,
+            config.kv_slots == 0 ? config.max_batch : config.kv_slots) {
+  APTQ_CHECK(config_.max_batch >= 1, "ServeEngine: max_batch must be >= 1");
+  APTQ_CHECK(backend_.prefill && backend_.step,
+             "ServeEngine: backend missing prefill/step");
+}
+
+RequestId ServeEngine::submit(Request request) {
+  APTQ_CHECK(config_.max_queue == 0 || queue_.size() < config_.max_queue,
+             "ServeEngine: queue full (max_queue " +
+                 std::to_string(config_.max_queue) + "); admission refused");
+  APTQ_CHECK(!request.prompt.empty(), "ServeEngine: empty prompt");
+  APTQ_CHECK(request.max_new_tokens >= 1,
+             "ServeEngine: max_new_tokens must be >= 1");
+  APTQ_CHECK(request.sampling.temperature > 0.0f,
+             "ServeEngine: temperature must be positive");
+  for (const TokenId t : request.prompt) {
+    APTQ_CHECK(t >= 0 && static_cast<std::size_t>(t) <
+                             backend_.config.vocab_size,
+               "ServeEngine: prompt token " + std::to_string(t) +
+                   " out of vocab range");
+  }
+  Pending p;
+  p.id = next_id_++;
+  p.request = std::move(request);
+  queue_.push_back(std::move(p));
+  ++stats_.submitted;
+  if (obs::telemetry_enabled()) {
+    static auto& submitted = obs::counter("serve.requests_submitted");
+    submitted.add(1);
+  }
+  update_gauges();
+  return queue_.back().id;
+}
+
+void ServeEngine::admit() {
+  while (active_.size() < config_.max_batch && !queue_.empty()) {
+    // Highest priority first; FIFO (smallest id) within a level.
+    auto best = queue_.begin();
+    for (auto it = queue_.begin() + 1; it != queue_.end(); ++it) {
+      if (it->request.priority > best->request.priority ||
+          (it->request.priority == best->request.priority &&
+           it->id < best->id)) {
+        best = it;
+      }
+    }
+    if (best->request.prompt.size() > config_.max_context) {
+      // Can never prefill: fail the request, keep serving the rest.
+      GenerationResult r;
+      r.id = best->id;
+      r.finish = FinishReason::rejected;
+      r.error = "prompt of " + std::to_string(best->request.prompt.size()) +
+                " tokens exceeds max_context " +
+                std::to_string(config_.max_context);
+      r.prompt_tokens = best->request.prompt.size();
+      r.total_ms = best->since_submit.millis();
+      r.completion_step = stats_.engine_steps;
+      results_.push_back(std::move(r));
+      ++stats_.rejected;
+      if (obs::telemetry_enabled()) {
+        static auto& rejected = obs::counter("serve.requests_rejected");
+        rejected.add(1);
+      }
+      queue_.erase(best);
+      continue;
+    }
+    DecodeState* state = pool_.acquire();
+    if (state == nullptr) {
+      break;  // no KV slot free: stays queued
+    }
+    Active a;
+    a.id = best->id;
+    a.request = std::move(best->request);
+    a.rng = Rng::for_stream(a.request.seed, a.id);
+    a.state = state;
+    a.since_submit = best->since_submit;
+    queue_.erase(best);
+    active_.push_back(std::move(a));
+    stats_.peak_active = std::max(stats_.peak_active, active_.size());
+  }
+}
+
+// One unit of work for one request: prefill-or-step, then sample the next
+// token from the request's private stream and evaluate the stopping rules.
+// Touches only `a` (plus the const backend), so requests advance in
+// parallel without synchronization.
+void ServeEngine::advance_one(Active& a) {
+  // Per-request span; the dynamic name is only built when tracing is on so
+  // the disabled path stays allocation-free.
+  std::optional<obs::TraceSpan> span;
+  if (obs::tracing_enabled()) {
+    span.emplace("serve.request." + std::to_string(a.id), "serve");
+  }
+  std::vector<float> logits;
+  if (a.needs_prefill) {
+    const Matrix all = backend_.prefill(a.request.prompt, *a.state);
+    const auto last = all.row(all.rows() - 1);
+    logits.assign(last.begin(), last.end());
+    a.needs_prefill = false;
+    a.ttft_ms = a.since_submit.millis();
+  } else {
+    logits = backend_.step(a.next_input, *a.state);
+  }
+  const TokenId token = sample_token(logits, a.request.sampling, a.rng);
+  a.generated.push_back(token);
+  a.next_input = token;
+  // Stopping rules, in contract order (eos beats max_tokens beats KV
+  // capacity; see docs/SERVING.md).
+  if (a.request.eos_token >= 0 && token == a.request.eos_token) {
+    a.finish = FinishReason::eos;
+  } else if (a.generated.size() >= a.request.max_new_tokens) {
+    a.finish = FinishReason::max_tokens;
+  } else if (a.state->pos() >= a.state->max_context()) {
+    // decode_step would throw "context capacity exceeded": evict instead.
+    a.finish = FinishReason::context_full;
+  }
+}
+
+void ServeEngine::retire_finished() {
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->finish == FinishReason::none) {
+      ++it;
+      continue;
+    }
+    GenerationResult r;
+    r.id = it->id;
+    r.tokens = std::move(it->generated);
+    r.finish = it->finish;
+    r.ttft_ms = it->ttft_ms;
+    r.total_ms = it->since_submit.millis();
+    r.prompt_tokens = it->request.prompt.size();
+    r.completion_step = stats_.engine_steps;
+    pool_.release(it->state);
+    ++stats_.completed;
+    stats_.prefill_tokens += r.prompt_tokens;
+    if (obs::telemetry_enabled()) {
+      static auto& completed = obs::counter("serve.requests_completed");
+      static auto& ttft = obs::histogram("serve.ttft_ms");
+      static auto& e2e = obs::histogram("serve.e2e_ms");
+      static auto& rate = obs::histogram("serve.request_tokens_per_sec");
+      completed.add(1);
+      ttft.record(r.ttft_ms);
+      e2e.record(r.total_ms);
+      if (r.total_ms > 0.0) {
+        rate.record(static_cast<double>(r.tokens.size()) * 1e3 / r.total_ms);
+      }
+    }
+    results_.push_back(std::move(r));
+    it = active_.erase(it);
+  }
+}
+
+void ServeEngine::update_gauges() {
+  if (!obs::telemetry_enabled()) {
+    return;
+  }
+  static auto& depth = obs::gauge("serve.queue_depth");
+  static auto& active = obs::gauge("serve.active_requests");
+  static auto& slots = obs::gauge("serve.kv_slots_in_use");
+  depth.set(static_cast<double>(queue_.size()));
+  active.set(static_cast<double>(active_.size()));
+  slots.set(static_cast<double>(pool_.in_use()));
+}
+
+std::size_t ServeEngine::step() {
+  obs::TraceSpan span("serve.step", "serve");
+  const Timer step_timer;
+  admit();
+  if (active_.empty()) {
+    update_gauges();
+    return 0;
+  }
+  // One prefill-or-step per in-flight request, swept across the pool.
+  // Inside a worker the decode kernels detect the nesting and run their
+  // own loops inline, so every request's math is bitwise identical to a
+  // solo run at any thread count and batch size (the determinism
+  // contract). With a single active request the sweep collapses to the
+  // calling thread and the kernels parallelize internally instead.
+  parallel_for(0, active_.size(), 1, [this](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      advance_one(active_[i]);
+    }
+  });
+  const std::size_t produced = active_.size();
+  ++stats_.engine_steps;
+  stats_.generated_tokens += produced;
+  retire_finished();
+  stats_.busy_seconds += step_timer.seconds();
+  if (obs::telemetry_enabled()) {
+    static auto& tokens = obs::counter("serve.tokens_generated");
+    static auto& steps = obs::counter("serve.engine_steps");
+    static auto& batch = obs::histogram("serve.batch_size");
+    tokens.add(produced);
+    steps.add(1);
+    batch.record(static_cast<double>(produced));
+  }
+  update_gauges();
+  return produced;
+}
+
+std::vector<GenerationResult> ServeEngine::run() {
+  obs::PhaseSpan phase("serve.run");
+  while (!idle()) {
+    step();
+  }
+  std::sort(results_.begin(), results_.end(),
+            [](const GenerationResult& a, const GenerationResult& b) {
+              return a.id < b.id;
+            });
+  return std::exchange(results_, {});
+}
+
+void ServeEngine::fill_report(obs::RunReport& report) const {
+  const std::string p = backend_.name + ".";
+  report.add_serving(p + "requests_submitted",
+                     static_cast<std::uint64_t>(stats_.submitted));
+  report.add_serving(p + "requests_completed",
+                     static_cast<std::uint64_t>(stats_.completed));
+  report.add_serving(p + "requests_rejected",
+                     static_cast<std::uint64_t>(stats_.rejected));
+  report.add_serving(p + "prefill_tokens", stats_.prefill_tokens);
+  report.add_serving(p + "generated_tokens", stats_.generated_tokens);
+  report.add_serving(p + "engine_steps",
+                     static_cast<std::uint64_t>(stats_.engine_steps));
+  report.add_serving(p + "peak_active",
+                     static_cast<std::uint64_t>(stats_.peak_active));
+  report.add_serving(p + "kv_slots", static_cast<std::uint64_t>(pool_.slots()));
+  report.add_serving(p + "kv_bytes", static_cast<std::uint64_t>(pool_.bytes()));
+  report.add_serving(p + "busy_seconds", stats_.busy_seconds);
+  report.add_serving(p + "tokens_per_sec", stats_.tokens_per_sec());
+}
+
+}  // namespace aptq::serve

@@ -1,0 +1,129 @@
+// Continuous-batching serving engine over the shared KV-cache decode
+// engine (model/decode.hpp).
+//
+// The engine multiplexes many concurrent generation requests over one
+// model. Each scheduler step
+//
+//   1. admits queued requests (highest priority first, FIFO within a
+//      level) while a batch seat and a KvPool slot are both free,
+//   2. runs one unit of work per in-flight request across the global
+//      ThreadPool — a batched decode_prefill over the whole prompt for a
+//      freshly admitted request, folded into the same parallel sweep as
+//      the single-token decode_step of every older request,
+//   3. samples each request's next token from its private RNG stream
+//      (Rng::for_stream(seed, request_id)) with its own temperature/top_k,
+//   4. retires finished requests (eos / max_new_tokens / KV capacity) and
+//      recycles their KV slot.
+//
+// Determinism contract: a request's token stream is a pure function of
+// (model, prompt, sampling, seed, request id) — byte-identical to running
+// it alone through decode_prefill/decode_step + sample_token — regardless
+// of batch composition, arrival order, or thread count. Enforced by
+// tests/serve_test.cpp; design notes in docs/SERVING.md.
+//
+// The engine is single-submitter: submit()/step()/run() are called from
+// one thread; parallelism lives inside step(). Instrumentation (spans,
+// serve.* metrics, the run-report serving section) activates with the
+// usual obs switches and costs one relaxed load when off.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "serve/kv_pool.hpp"
+#include "serve/request.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace aptq {
+class PackedModel;  // full definition only needed by make_backend's impl
+}
+
+namespace aptq::obs {
+class RunReport;
+}
+
+namespace aptq::serve {
+
+/// Type-erased decode backend: the engine drives any model that offers
+/// prefill/step over a DecodeState. The callables borrow the model — it
+/// must outlive the backend.
+struct Backend {
+  std::string name;  ///< "dense" / "packed" (report + bench labels)
+  ModelConfig config;
+  std::function<Matrix(std::span<const TokenId>, DecodeState&)> prefill;
+  std::function<std::vector<float>(TokenId, DecodeState&)> step;
+};
+
+/// Backend over the dense fp32 model.
+Backend make_backend(const Model& model);
+/// Backend over the bit-packed model (steps hit the fused dequant GEMV).
+Backend make_backend(const PackedModel& model);
+
+class ServeEngine {
+ public:
+  ServeEngine(Backend backend, const ServeConfig& config);
+
+  /// Enqueue one request; returns its id. Throws aptq::Error on invalid
+  /// requests (empty prompt, out-of-vocab token, zero max_new_tokens,
+  /// non-positive temperature) or when the queue is at max_queue.
+  RequestId submit(Request request);
+
+  /// One scheduler iteration (admission + one prefill-or-step per active
+  /// request + retirement). Returns the number of tokens sampled; 0 means
+  /// the engine is idle.
+  std::size_t step();
+
+  /// Drive step() until queue and batch are empty, then return every
+  /// result accumulated since construction (or the last run()), sorted by
+  /// request id.
+  std::vector<GenerationResult> run();
+
+  bool idle() const { return queue_.empty() && active_.empty(); }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t active_count() const { return active_.size(); }
+  const KvPool& pool() const { return pool_; }
+  const ServeConfig& config() const { return config_; }
+  const ServeStats& stats() const { return stats_; }
+
+  /// Adds the engine's aggregate stats to the report's "serving" section
+  /// (keys prefixed "<backend>.", e.g. "packed.tokens_per_sec").
+  void fill_report(obs::RunReport& report) const;
+
+ private:
+  struct Pending {
+    RequestId id = 0;
+    Request request;
+    Timer since_submit;
+  };
+  struct Active {
+    RequestId id = 0;
+    Request request;
+    Rng rng;
+    DecodeState* state = nullptr;
+    TokenSeq generated;
+    TokenId next_input = 0;      ///< token to feed the next decode_step
+    bool needs_prefill = true;
+    FinishReason finish = FinishReason::none;
+    double ttft_ms = 0.0;
+    Timer since_submit;
+  };
+
+  void admit();
+  void advance_one(Active& a);
+  void retire_finished();
+  void update_gauges();
+
+  Backend backend_;
+  ServeConfig config_;
+  KvPool pool_;
+  RequestId next_id_ = 0;
+  std::vector<Pending> queue_;
+  std::vector<Active> active_;
+  std::vector<GenerationResult> results_;
+  ServeStats stats_;
+};
+
+}  // namespace aptq::serve

@@ -1,0 +1,54 @@
+#include "serve/kv_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace aptq::serve {
+
+KvPool::KvPool(const ModelConfig& config, std::size_t max_context,
+               std::size_t slots)
+    : max_context_(max_context) {
+  APTQ_CHECK(slots >= 1, "KvPool: need at least one slot");
+  states_.reserve(slots);
+  free_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    states_.push_back(std::make_unique<DecodeState>(config, max_context));
+  }
+  // Free list in reverse so acquire() hands out slot 0 first (stable slot
+  // order is convenient when reading traces).
+  for (std::size_t i = slots; i > 0; --i) {
+    free_.push_back(states_[i - 1].get());
+  }
+}
+
+std::size_t KvPool::bytes() const {
+  if (states_.empty()) {
+    return 0;
+  }
+  const ModelConfig& cfg = states_.front()->config();
+  return states_.size() * cfg.n_layers * 2 * max_context_ * cfg.kv_dim() *
+         sizeof(float);
+}
+
+DecodeState* KvPool::acquire() {
+  if (free_.empty()) {
+    return nullptr;
+  }
+  DecodeState* state = free_.back();
+  free_.pop_back();
+  state->reset();
+  return state;
+}
+
+void KvPool::release(DecodeState* state) {
+  const bool owned =
+      std::any_of(states_.begin(), states_.end(),
+                  [state](const auto& s) { return s.get() == state; });
+  APTQ_CHECK(owned, "KvPool::release: state not owned by this pool");
+  APTQ_CHECK(std::find(free_.begin(), free_.end(), state) == free_.end(),
+             "KvPool::release: state already free");
+  free_.push_back(state);
+}
+
+}  // namespace aptq::serve

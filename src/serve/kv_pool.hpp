@@ -1,0 +1,47 @@
+// Pooled arena of DecodeStates for the serving engine.
+//
+// Every slot is allocated once at construction (config-shaped caches of
+// max_context positions) and recycled across requests: acquire() hands out
+// a reset state, release() returns it. No per-request heap traffic on the
+// serving hot path, and the slot count is the engine's hard bound on
+// resident KV memory — bytes() reports it for capacity planning.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "model/decode.hpp"
+
+namespace aptq::serve {
+
+class KvPool {
+ public:
+  /// `slots` states for `config`-shaped layers, each holding up to
+  /// `max_context` positions. Throws if slots or max_context is zero.
+  KvPool(const ModelConfig& config, std::size_t max_context,
+         std::size_t slots);
+
+  std::size_t slots() const { return states_.size(); }
+  std::size_t in_use() const { return states_.size() - free_.size(); }
+  std::size_t available() const { return free_.size(); }
+  std::size_t max_context() const { return max_context_; }
+
+  /// KV bytes resident across all slots (f32 K and V per layer).
+  std::size_t bytes() const;
+
+  /// A reset state, or nullptr when every slot is in use. The pool keeps
+  /// ownership; hand the pointer back via release().
+  DecodeState* acquire();
+
+  /// Return a state obtained from acquire(). Throws if `state` is not a
+  /// pool slot or is not currently in use.
+  void release(DecodeState* state);
+
+ private:
+  std::size_t max_context_ = 0;
+  std::vector<std::unique_ptr<DecodeState>> states_;
+  std::vector<DecodeState*> free_;
+};
+
+}  // namespace aptq::serve

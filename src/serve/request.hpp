@@ -1,0 +1,85 @@
+// Request/response types and configuration for the continuous-batching
+// serving engine (serve/engine.hpp).
+//
+// A Request carries everything that makes one generation independent of
+// every other: the prompt, the stopping rules, the per-request sampling
+// parameters, and the seed of its private RNG stream
+// (Rng::for_stream(seed, request_id)). The engine's determinism contract —
+// each request's token stream is byte-identical to decoding it alone —
+// rests on requests never sharing mutable state; see docs/SERVING.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/vocab.hpp"
+#include "model/sampler.hpp"
+
+namespace aptq::serve {
+
+/// Engine-assigned request identity (dense, starting at 0 per engine).
+using RequestId = std::uint64_t;
+
+/// Why a request left the engine.
+enum class FinishReason {
+  none,          ///< still queued or in flight
+  eos,           ///< sampled the request's eos_token
+  max_tokens,    ///< generated max_new_tokens
+  context_full,  ///< KV capacity reached before the other limits (evicted)
+  rejected,      ///< never admitted (e.g. prompt longer than max_context)
+};
+
+const char* to_string(FinishReason reason);
+
+/// One generation request. Validated at submit(): non-empty prompt, every
+/// token in vocab, max_new_tokens >= 1, temperature > 0.
+struct Request {
+  TokenSeq prompt;
+  std::size_t max_new_tokens = 16;
+  SampleConfig sampling;        ///< per-request temperature / top_k
+  std::uint64_t seed = 0;       ///< per-request RNG stream seed
+  int priority = 0;             ///< higher admits first; FIFO within a level
+  TokenId eos_token = -1;       ///< stop when sampled; -1 disables
+};
+
+/// Completed (or rejected) request.
+struct GenerationResult {
+  RequestId id = 0;
+  TokenSeq tokens;              ///< generated tokens (prompt excluded)
+  FinishReason finish = FinishReason::none;
+  std::string error;            ///< set when finish == rejected
+  double ttft_ms = 0.0;         ///< submit -> first sampled token
+  double total_ms = 0.0;        ///< submit -> completion
+  std::size_t prompt_tokens = 0;
+  std::size_t completion_step = 0;  ///< engine step() count at completion
+};
+
+/// Engine sizing. Defaults suit the sim-scale models; production values
+/// scale max_context / slots with available memory.
+struct ServeConfig {
+  std::size_t max_batch = 8;    ///< requests decoded per engine step
+  std::size_t max_context = 256;  ///< KV capacity per pooled DecodeState
+  std::size_t kv_slots = 0;     ///< pooled DecodeStates; 0 = max_batch
+  std::size_t max_queue = 0;    ///< submit() throws past this; 0 = unbounded
+};
+
+/// Aggregate counters for one engine lifetime (reported via
+/// RunReport::add_serving; see ServeEngine::fill_report).
+struct ServeStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;   ///< includes evictions, excludes rejections
+  std::size_t rejected = 0;
+  std::uint64_t prefill_tokens = 0;
+  std::uint64_t generated_tokens = 0;
+  std::size_t engine_steps = 0;
+  std::size_t peak_active = 0;
+  double busy_seconds = 0.0;   ///< wall time spent inside step()
+
+  double tokens_per_sec() const {
+    return busy_seconds > 0.0
+               ? static_cast<double>(generated_tokens) / busy_seconds
+               : 0.0;
+  }
+};
+
+}  // namespace aptq::serve

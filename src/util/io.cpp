@@ -47,6 +47,28 @@ void BinaryWriter::write_bytes(const std::vector<std::uint8_t>& v) {
 BinaryReader::BinaryReader(const std::string& path)
     : in_(path, std::ios::binary), path_(path) {
   APTQ_CHECK(in_.good(), "cannot open for reading: " + path);
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  APTQ_CHECK(!ec, "cannot stat: " + path + " (" + ec.message() + ")");
+  file_bytes_ = static_cast<std::uint64_t>(size);
+}
+
+std::uint64_t BinaryReader::remaining_bytes() {
+  const auto pos = in_.tellg();
+  if (pos < 0) {
+    return 0;
+  }
+  const auto consumed = static_cast<std::uint64_t>(pos);
+  return consumed >= file_bytes_ ? 0 : file_bytes_ - consumed;
+}
+
+void BinaryReader::check_payload(std::uint64_t count, std::size_t elem_size,
+                                 const char* what) {
+  const std::uint64_t left = remaining_bytes();
+  APTQ_CHECK(count <= left / elem_size,
+             std::string(what) + " length " + std::to_string(count) +
+                 " exceeds the " + std::to_string(left) +
+                 " bytes left in " + path_);
 }
 
 void BinaryReader::read_raw(void* data, std::size_t bytes) {
@@ -87,7 +109,7 @@ float BinaryReader::read_f32() {
 
 std::string BinaryReader::read_string() {
   const std::uint64_t n = read_u64();
-  APTQ_CHECK(n < (1ull << 32), "string too large in " + path_);
+  check_payload(n, 1, "string");
   std::string s(n, '\0');
   if (n > 0) {
     read_raw(s.data(), n);
@@ -97,7 +119,7 @@ std::string BinaryReader::read_string() {
 
 std::vector<float> BinaryReader::read_f32_vector() {
   const std::uint64_t n = read_u64();
-  APTQ_CHECK(n < (1ull << 34), "vector too large in " + path_);
+  check_payload(n, sizeof(float), "f32 vector");
   std::vector<float> v(n);
   if (n > 0) {
     read_raw(v.data(), n * sizeof(float));
@@ -107,7 +129,7 @@ std::vector<float> BinaryReader::read_f32_vector() {
 
 std::vector<std::uint32_t> BinaryReader::read_u32_vector() {
   const std::uint64_t n = read_u64();
-  APTQ_CHECK(n < (1ull << 34), "vector too large in " + path_);
+  check_payload(n, sizeof(std::uint32_t), "u32 vector");
   std::vector<std::uint32_t> v(n);
   if (n > 0) {
     read_raw(v.data(), n * sizeof(std::uint32_t));
@@ -117,7 +139,7 @@ std::vector<std::uint32_t> BinaryReader::read_u32_vector() {
 
 std::vector<std::uint8_t> BinaryReader::read_bytes() {
   const std::uint64_t n = read_u64();
-  APTQ_CHECK(n < (1ull << 34), "byte vector too large in " + path_);
+  check_payload(n, 1, "byte vector");
   std::vector<std::uint8_t> v(n);
   if (n > 0) {
     read_raw(v.data(), n);

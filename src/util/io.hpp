@@ -35,7 +35,10 @@ class BinaryWriter {
 };
 
 /// RAII binary reader mirroring BinaryWriter. Throws aptq::Error on short
-/// reads or I/O failure.
+/// reads or I/O failure. Length-prefixed reads validate the prefix against
+/// the bytes actually left in the file before allocating, so a corrupt or
+/// bit-flipped length field yields aptq::Error instead of a multi-gigabyte
+/// allocation attempt.
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
@@ -50,11 +53,19 @@ class BinaryReader {
   std::vector<std::uint32_t> read_u32_vector();
   std::vector<std::uint8_t> read_bytes();
 
+  /// Bytes between the read cursor and end-of-file.
+  std::uint64_t remaining_bytes();
+
  private:
   void read_raw(void* data, std::size_t bytes);
+  /// Throws unless `count` elements of `elem_size` bytes fit in the rest
+  /// of the file.
+  void check_payload(std::uint64_t count, std::size_t elem_size,
+                     const char* what);
 
   std::ifstream in_;
   std::string path_;
+  std::uint64_t file_bytes_ = 0;
 };
 
 /// True if a regular file exists at `path`.

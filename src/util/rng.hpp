@@ -86,6 +86,21 @@ class Rng {
   /// Derive an independent generator (for parallel or per-component streams).
   Rng split() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ull); }
 
+  /// Independent stream keyed by (seed, stream): the generator for stream k
+  /// under seed s is a pure function of the pair, unrelated to any other
+  /// stream. Used by the serving engine so request k's sampling draws do
+  /// not depend on batch composition or scheduling order (each request
+  /// owns stream `request_id`), and usable anywhere a family of decorrelated
+  /// per-item generators is needed.
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream) {
+    // SplitMix64 finalizer over a mixed pair; the odd multiplier keeps
+    // consecutive stream ids far apart in the seed space.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

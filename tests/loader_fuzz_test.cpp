@@ -1,0 +1,189 @@
+// Corruption and fuzz tests for the packed-model deploy loader.
+//
+// The contract under test: feeding PackedModel::load (and the underlying
+// BinaryReader / QuantizedLinear::deserialize) a truncated, bit-flipped, or
+// otherwise corrupt file must either succeed (flips that only perturb
+// payload values) or throw aptq::Error — never crash, never trip a
+// sanitizer, and never attempt a corrupt-length-field-sized allocation.
+// Run under APTQ_SANITIZE=ON (the CI sanitize job) this doubles as a
+// memory-safety check of the whole deserialization path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "quant/packed_model.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace aptq {
+namespace {
+
+ModelConfig small_config() {
+  ModelConfig c;
+  c.vocab_size = 16;
+  c.dim = 12;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.ffn_dim = 16;
+  return c;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string save_packed_fixture(const char* name) {
+  const Model m = Model::init(small_config(), 11);
+  QuantSpec spec;
+  spec.bits = 4;
+  spec.group_size = 4;
+  const PackedModel pm = PackedModel::pack_uniform(m, spec);
+  const std::string path = temp_path(name);
+  pm.save(path);
+  return path;
+}
+
+std::vector<std::uint8_t> read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_all(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+// Attempts a load; returns true if it threw aptq::Error, false if it
+// succeeded. Anything else (bad_alloc, segfault, sanitizer abort)
+// propagates and fails the test.
+bool load_throws_error(const std::string& path) {
+  try {
+    const PackedModel loaded = PackedModel::load(path);
+    (void)loaded;
+    return false;
+  } catch (const Error&) {
+    return true;
+  }
+}
+
+TEST(LoaderFuzz, IntactFileLoads) {
+  const std::string path = save_packed_fixture("aptq_fuzz_intact.bin");
+  EXPECT_FALSE(load_throws_error(path));
+  std::remove(path.c_str());
+}
+
+TEST(LoaderFuzz, EveryTruncationThrowsError) {
+  const std::string path = save_packed_fixture("aptq_fuzz_trunc_src.bin");
+  const std::vector<std::uint8_t> bytes = read_all(path);
+  ASSERT_GT(bytes.size(), 64u);
+  const std::string cut = temp_path("aptq_fuzz_trunc.bin");
+  // Every header byte boundary, then a coarse sweep through the payload,
+  // then the off-by-one tail.
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n < 64 && n < bytes.size(); ++n) {
+    lengths.push_back(n);
+  }
+  for (std::size_t n = 64; n < bytes.size(); n += bytes.size() / 40 + 1) {
+    lengths.push_back(n);
+  }
+  lengths.push_back(bytes.size() - 1);
+  for (const std::size_t n : lengths) {
+    write_all(cut, {bytes.begin(), bytes.begin() + n});
+    EXPECT_TRUE(load_throws_error(cut)) << "truncated to " << n << " bytes";
+  }
+  std::remove(path.c_str());
+  std::remove(cut.c_str());
+}
+
+TEST(LoaderFuzz, EveryHeaderBitFlipThrowsOrLoads) {
+  const std::string path = save_packed_fixture("aptq_fuzz_hdr_src.bin");
+  const std::vector<std::uint8_t> bytes = read_all(path);
+  const std::string flipped = temp_path("aptq_fuzz_hdr.bin");
+  // Magic, version, the six config u64s, rope/eps: first 64 bytes.
+  std::size_t threw = 0;
+  for (std::size_t byte = 0; byte < 64 && byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> mutated = bytes;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      write_all(flipped, mutated);
+      if (load_throws_error(flipped)) {
+        ++threw;
+      }
+    }
+  }
+  // Magic and version flips alone guarantee rejections happened.
+  EXPECT_GE(threw, 64u);
+  std::remove(path.c_str());
+  std::remove(flipped.c_str());
+}
+
+TEST(LoaderFuzz, RandomBitFlipsAnywhereNeverCrash) {
+  const std::string path = save_packed_fixture("aptq_fuzz_rand_src.bin");
+  const std::vector<std::uint8_t> bytes = read_all(path);
+  const std::string flipped = temp_path("aptq_fuzz_rand.bin");
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::uint8_t> mutated = bytes;
+    const std::size_t flips = 1 + rng.index(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.index(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.index(8));
+    }
+    write_all(flipped, mutated);
+    // Success (payload-only flips) and Error are both fine; anything else
+    // escapes load_throws_error and fails the test.
+    (void)load_throws_error(flipped);
+  }
+  std::remove(path.c_str());
+  std::remove(flipped.c_str());
+}
+
+TEST(LoaderFuzz, OutOfRangeFormatCodeRejected) {
+  Rng rng(3);
+  const Matrix w = Matrix::randn(4, 8, rng);
+  QuantSpec spec;
+  spec.bits = 4;
+  spec.group_size = 4;
+  const std::string path = temp_path("aptq_fuzz_format.bin");
+  {
+    BinaryWriter writer(path);
+    QuantizedLinear(w, spec).serialize(writer);
+  }
+  // Field layout: u32 bits, u64 group_size, then the u32 format code.
+  for (const std::uint8_t code : {std::uint8_t{7}, std::uint8_t{0x7F},
+                                  std::uint8_t{0xFF}}) {
+    std::vector<std::uint8_t> bytes = read_all(path);
+    ASSERT_GT(bytes.size(), 16u);
+    bytes[12] = code;
+    write_all(path, bytes);
+    BinaryReader reader(path);
+    EXPECT_THROW(QuantizedLinear::deserialize(reader), Error)
+        << "format code " << static_cast<int>(code);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LoaderFuzz, GiantLengthFieldFailsBeforeAllocating) {
+  const std::string path = temp_path("aptq_fuzz_len.bin");
+  {
+    BinaryWriter writer(path);
+    writer.write_u64(std::uint64_t{1} << 60);  // claims 2^60 elements
+    writer.write_f32(0.0f);
+  }
+  BinaryReader reader(path);
+  try {
+    reader.read_f32_vector();
+    FAIL() << "giant length accepted";
+  } catch (const Error& e) {
+    // The length check fires on the file size, before any allocation.
+    EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aptq

@@ -1,0 +1,179 @@
+// Golden regression test for the aptq.run_report.v1 artifact.
+//
+// Three guarantees:
+//   1. A synthetic fixture report, built from a pinned set of instruments
+//      under the injected fixed clock, is byte-identical to the committed
+//      golden file (tests/golden/run_report_seed.json). Any change to the
+//      report layout, JSON number formatting, key ordering, or snapshot
+//      structure shows up as a byte diff. Regenerate deliberately with
+//      APTQ_REGEN_GOLDEN=1 after reviewing the diff.
+//   2. The "serving" section is additive: it appears only when
+//      add_serving() ran, so quantization-only reports keep their exact
+//      pre-serving byte layout.
+//   3. A real quantization-pipeline report (seed config, one thread,
+//      fixed clock) is byte-stable across runs and contains no serve.*
+//      keys — the serving engine cannot perturb quant reports.
+//
+// The fixture test snapshots *every* registered instrument, so it must see
+// a registry containing exactly what it registers. ctest runs each test in
+// its own process (gtest_discover_tests), which guarantees that; when
+// running the binary manually, this file keeps the fixture test first and
+// registers pipeline instruments only in later tests.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "obs/control.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/threadpool.hpp"
+
+namespace aptq {
+namespace {
+
+std::uint64_t fixed_clock() { return 42; }
+
+class ReportGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+
+  static void reset() {
+    obs::set_tracing(false);
+    obs::set_telemetry(false);
+    obs::set_clock_for_testing(nullptr);
+    obs::reset_observability();
+  }
+};
+
+std::string golden_path() {
+  return std::string(APTQ_GOLDEN_DIR) + "/run_report_seed.json";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The pinned fixture: deterministic instrument values (all dyadic, so
+// their decimal renderings are exact), fixed clock, sorted snapshots.
+std::string build_fixture_report() {
+  obs::set_clock_for_testing(&fixed_clock);
+  obs::set_telemetry(true);
+  {
+    obs::PhaseSpan phase("golden.phase");
+  }
+  obs::counter("golden.tokens").add(7);
+  obs::gauge("golden.ratio").set(0.25);
+  obs::histogram("golden.step_ms").record(2.0);
+  obs::histogram("golden.step_ms").record(4.0);
+  obs::layer_stat("layers.0.self_attn.q_proj", "alloc.bits", 4.0);
+  obs::layer_stat("layers.0.self_attn.q_proj", "quant.mse", 0.125);
+  obs::layer_stat("layers.1.mlp.down_proj", "hessian.avg_trace", 2.5);
+
+  obs::RunReport report;
+  report.add_config("model", std::string("golden-fixture"));
+  report.add_config("bits", 4L);
+  report.add_config("ratio_high", 0.25);
+  report.add_eval("val", 12.5, 2.5, 1024);
+  return report.json();
+}
+
+TEST_F(ReportGoldenTest, SeedConfigReportMatchesGoldenBytes) {
+  const std::string json = build_fixture_report();
+  EXPECT_NE(json.find("\"schema\": \"aptq.run_report.v1\""),
+            std::string::npos);
+  if (std::getenv("APTQ_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary | std::ios::trunc);
+    out << json;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  const std::string golden = read_file(golden_path());
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << golden_path();
+  EXPECT_EQ(json, golden)
+      << "run_report.v1 bytes drifted from " << golden_path()
+      << "; if intentional, rerun with APTQ_REGEN_GOLDEN=1 and review";
+}
+
+TEST_F(ReportGoldenTest, ServingSectionIsStrictlyAdditive) {
+  obs::set_clock_for_testing(&fixed_clock);
+  obs::RunReport base;
+  base.add_config("model", std::string("x"));
+  const std::string without = base.json();
+  EXPECT_EQ(without.find("\"serving\""), std::string::npos);
+
+  obs::RunReport with = base;
+  with.add_serving("packed.generated_tokens", std::uint64_t{96});
+  with.add_serving("packed.tokens_per_sec", 12.5);
+  const std::string json = with.json();
+  const auto serving = json.find("\"serving\": {");
+  ASSERT_NE(serving, std::string::npos);
+  EXPECT_NE(json.find("\"packed.generated_tokens\": 96"), std::string::npos);
+  EXPECT_NE(json.find("\"packed.tokens_per_sec\": 12.5"), std::string::npos);
+  // Sits between evals and metrics, and removing it restores the original
+  // bytes exactly.
+  EXPECT_LT(json.find("\"evals\""), serving);
+  EXPECT_GT(json.find("\"metrics\""), serving);
+  const auto metrics = json.find("\"metrics\"");
+  const std::string stripped =
+      json.substr(0, json.find("\"serving\"")) + json.substr(metrics);
+  const std::string expected =
+      without.substr(0, without.find("\"metrics\"")) +
+      without.substr(without.find("\"metrics\""));
+  EXPECT_EQ(stripped, expected);
+}
+
+TEST_F(ReportGoldenTest, QuantPipelineReportIsStableAndServeFree) {
+  ThreadPool::set_global_threads(1);
+  auto run_once = [] {
+    obs::reset_observability();
+    obs::set_clock_for_testing(&fixed_clock);
+    obs::set_telemetry(true);
+    ModelConfig mc;
+    mc.vocab_size = 16;
+    mc.dim = 12;
+    mc.n_layers = 2;
+    mc.n_heads = 2;
+    mc.ffn_dim = 16;
+    const Corpus corpus("calib",
+                        [] {
+                          MarkovSpec s;
+                          s.seed = 41;
+                          s.vocab_size = 16;
+                          s.topics = 2;
+                          s.branching = 3;
+                          return s;
+                        }(),
+                        4000, 500, 42);
+    const Model model = Model::init(mc, 43);
+    PipelineConfig cfg;
+    cfg.calib_segments = 8;
+    cfg.calib_seq_len = 16;
+    cfg.group_size = 4;
+    cfg.ratio_high = 0.5;
+    const QuantizedModel qm =
+        quantize_model(model, corpus, Method::aptq_mixed, cfg);
+    EXPECT_EQ(qm.layers.size(), 14u);
+    obs::RunReport report;
+    report.add_config("model", std::string("tiny"));
+    report.add_config("ratio_high", cfg.ratio_high);
+    return report.json();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_EQ(first, second) << "pipeline report not byte-stable across runs";
+  // The serving engine never ran: no serving section, no serve.* metrics.
+  EXPECT_EQ(first.find("\"serving\""), std::string::npos);
+  EXPECT_EQ(first.find("serve."), std::string::npos);
+  EXPECT_NE(first.find("\"layers\": ["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aptq

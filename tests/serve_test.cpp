@@ -1,0 +1,399 @@
+// Equivalence and correctness suite for the continuous-batching serving
+// engine (serve/engine.hpp).
+//
+// The core contract: every request's token stream under continuous
+// batching is byte-identical to decoding that request alone through
+// decode_prefill / decode_step + sample_token with its private RNG stream
+// (Rng::for_stream(seed, id)) — across batch sizes, thread counts, dense
+// and packed backends, and staggered arrival orders. Plus scheduler
+// behavior (priority, admission, rejection), KV-pool lifecycle,
+// context-overflow eviction, and the serve.* telemetry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "obs/control.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "quant/packed_model.hpp"
+#include "serve/engine.hpp"
+#include "util/threadpool.hpp"
+
+namespace aptq::serve {
+namespace {
+
+ModelConfig test_config() {
+  ModelConfig c;
+  c.vocab_size = 24;
+  c.dim = 16;
+  c.n_layers = 3;
+  c.n_heads = 2;
+  c.ffn_dim = 24;
+  return c;
+}
+
+TokenSeq tokens_for(std::size_t n, std::uint64_t seed, std::size_t vocab) {
+  Rng rng(seed);
+  TokenSeq t(n);
+  for (auto& v : t) {
+    v = static_cast<TokenId>(rng.index(vocab));
+  }
+  return t;
+}
+
+PackedModel packed_for(const Model& m) {
+  QuantSpec spec;
+  spec.bits = 4;
+  spec.group_size = 8;
+  return PackedModel::pack_uniform(m, spec);
+}
+
+const ModelConfig& config_of(const Model& m) { return m.config; }
+const ModelConfig& config_of(const PackedModel& m) { return m.config(); }
+
+// The sequential oracle: one request, alone, on a fresh DecodeState, with
+// the same stopping rules the engine applies. This is the definition of
+// the determinism contract (docs/SERVING.md).
+struct ReferenceRun {
+  TokenSeq tokens;
+  FinishReason finish = FinishReason::none;
+};
+
+template <typename ModelT>
+ReferenceRun reference_run(const ModelT& model, const Request& req,
+                           RequestId id, std::size_t max_context) {
+  Rng rng = Rng::for_stream(req.seed, id);
+  DecodeState state(config_of(model), max_context);
+  const Matrix pre = decode_prefill(model, req.prompt, state);
+  const auto last = pre.row(pre.rows() - 1);
+  std::vector<float> logits(last.begin(), last.end());
+  ReferenceRun out;
+  while (true) {
+    const TokenId tok = sample_token(logits, req.sampling, rng);
+    out.tokens.push_back(tok);
+    if (req.eos_token >= 0 && tok == req.eos_token) {
+      out.finish = FinishReason::eos;
+      break;
+    }
+    if (out.tokens.size() >= req.max_new_tokens) {
+      out.finish = FinishReason::max_tokens;
+      break;
+    }
+    if (state.pos() >= state.max_context()) {
+      out.finish = FinishReason::context_full;
+      break;
+    }
+    logits = decode_step(model, tok, state);
+  }
+  return out;
+}
+
+// A mixed bag of requests: varying prompt lengths (so prefills of
+// different shapes fold into in-flight decode steps), temperatures, top-k,
+// seeds, priorities, and a couple of eos-terminated ones.
+std::vector<Request> make_requests(std::size_t vocab) {
+  std::vector<Request> reqs;
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    Request r;
+    r.prompt = tokens_for(3 + rng.index(8), 100 + static_cast<std::uint64_t>(i),
+                          vocab);
+    r.max_new_tokens = 4 + rng.index(9);
+    r.sampling.temperature = (i % 3 == 0) ? 0.7f : 1.1f;
+    r.sampling.top_k = (i % 2 == 0) ? 0 : 5;
+    r.seed = 1000 + static_cast<std::uint64_t>(i);
+    r.priority = static_cast<int>(rng.index(3));
+    if (i == 4 || i == 7) {
+      r.eos_token = static_cast<TokenId>(rng.index(vocab));
+    }
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+template <typename ModelT>
+void expect_equivalence(const ModelT& model, std::size_t max_batch,
+                        const char* label) {
+  ServeConfig cfg;
+  cfg.max_batch = max_batch;
+  cfg.max_context = 48;
+  ServeEngine engine(make_backend(model), cfg);
+  const std::vector<Request> reqs = make_requests(config_of(model).vocab_size);
+  for (const Request& r : reqs) {
+    engine.submit(r);
+  }
+  const std::vector<GenerationResult> results = engine.run();
+  ASSERT_EQ(results.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const ReferenceRun ref =
+        reference_run(model, reqs[i], results[i].id, cfg.max_context);
+    EXPECT_EQ(results[i].tokens, ref.tokens)
+        << label << " batch=" << max_batch << " request " << results[i].id;
+    EXPECT_EQ(results[i].finish, ref.finish)
+        << label << " batch=" << max_batch << " request " << results[i].id;
+    EXPECT_EQ(results[i].prompt_tokens, reqs[i].prompt.size());
+  }
+}
+
+// (batch size, thread count) grid: tokens must be identical to the solo
+// decode in every cell, for both backends.
+class ServeEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+ protected:
+  ServeEquivalence() {
+    ThreadPool::set_global_threads(std::get<1>(GetParam()));
+  }
+  ~ServeEquivalence() override { ThreadPool::set_global_threads(1); }
+};
+
+TEST_P(ServeEquivalence, DenseMatchesSequentialDecode) {
+  const Model m = Model::init(test_config(), 21);
+  expect_equivalence(m, std::get<0>(GetParam()), "dense");
+}
+
+TEST_P(ServeEquivalence, PackedMatchesSequentialDecode) {
+  const Model m = Model::init(test_config(), 22);
+  const PackedModel pm = packed_for(m);
+  expect_equivalence(pm, std::get<0>(GetParam()), "packed");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchByThreads, ServeEquivalence,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{8}),
+                       ::testing::Values(std::size_t{1}, std::size_t{4})));
+
+// Arrival order must not matter: requests submitted mid-flight (folded
+// into in-progress decode batches) still produce their solo streams.
+TEST(ServeStaggeredArrivals, TokensIndependentOfArrivalOrder) {
+  ThreadPool::set_global_threads(4);
+  const Model m = Model::init(test_config(), 21);
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_context = 48;
+  ServeEngine engine(make_backend(m), cfg);
+  const std::vector<Request> reqs = make_requests(m.config.vocab_size);
+
+  std::vector<RequestId> ids;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ids.push_back(engine.submit(reqs[i]));
+  }
+  engine.step();
+  engine.step();
+  for (std::size_t i = 3; i < 7; ++i) {
+    ids.push_back(engine.submit(reqs[i]));
+  }
+  engine.step();
+  for (std::size_t i = 7; i < reqs.size(); ++i) {
+    ids.push_back(engine.submit(reqs[i]));
+  }
+  const std::vector<GenerationResult> results = engine.run();
+  ThreadPool::set_global_threads(1);
+
+  ASSERT_EQ(results.size(), reqs.size());
+  std::map<RequestId, const GenerationResult*> by_id;
+  for (const auto& r : results) {
+    by_id[r.id] = &r;
+  }
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const ReferenceRun ref =
+        reference_run(m, reqs[i], ids[i], cfg.max_context);
+    ASSERT_TRUE(by_id.count(ids[i]));
+    EXPECT_EQ(by_id[ids[i]]->tokens, ref.tokens) << "request " << ids[i];
+  }
+}
+
+TEST(ServeScheduler, PriorityBeatsFifoAndFifoBreaksTies) {
+  const Model m = Model::init(test_config(), 23);
+  ServeConfig cfg;
+  cfg.max_batch = 1;  // serialize so completion order mirrors admission
+  cfg.max_context = 32;
+  ServeEngine engine(make_backend(m), cfg);
+  Request base;
+  base.prompt = tokens_for(4, 1, m.config.vocab_size);
+  base.max_new_tokens = 3;
+
+  Request low = base;
+  low.priority = 0;
+  Request high_a = base;
+  high_a.priority = 5;
+  Request high_b = base;
+  high_b.priority = 5;
+  const RequestId id_low = engine.submit(low);
+  const RequestId id_high_a = engine.submit(high_a);
+  const RequestId id_high_b = engine.submit(high_b);
+
+  std::map<RequestId, std::size_t> done_step;
+  for (const auto& r : engine.run()) {
+    done_step[r.id] = r.completion_step;
+  }
+  EXPECT_LT(done_step[id_high_a], done_step[id_high_b]);
+  EXPECT_LT(done_step[id_high_b], done_step[id_low]);
+}
+
+TEST(ServeScheduler, ContextOverflowEvictsInsteadOfThrowing) {
+  const Model m = Model::init(test_config(), 24);
+  ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_context = 8;
+  ServeEngine engine(make_backend(m), cfg);
+
+  Request big;
+  big.prompt = tokens_for(6, 2, m.config.vocab_size);
+  big.max_new_tokens = 50;  // cannot fit: 6 prompt + 2 steps of headroom
+  Request small;
+  small.prompt = tokens_for(3, 3, m.config.vocab_size);
+  small.max_new_tokens = 2;
+  const RequestId id_big = engine.submit(big);
+  const RequestId id_small = engine.submit(small);
+
+  const auto results = engine.run();
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    if (r.id == id_big) {
+      EXPECT_EQ(r.finish, FinishReason::context_full);
+      // Prefill fills 6 positions; one token from the prefill logits, then
+      // steps until the cache is full: 1 + (8 - 6) = 3 tokens.
+      EXPECT_EQ(r.tokens.size(), 3u);
+    } else {
+      EXPECT_EQ(r.id, id_small);
+      EXPECT_EQ(r.finish, FinishReason::max_tokens);
+      EXPECT_EQ(r.tokens.size(), 2u);
+    }
+  }
+  // The evicted slot was recycled: the pool is fully free again.
+  EXPECT_EQ(engine.pool().in_use(), 0u);
+}
+
+TEST(ServeScheduler, OverlongPromptIsRejectedNotFatal) {
+  const Model m = Model::init(test_config(), 25);
+  ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_context = 8;
+  ServeEngine engine(make_backend(m), cfg);
+
+  Request too_long;
+  too_long.prompt = tokens_for(9, 4, m.config.vocab_size);
+  Request fine;
+  fine.prompt = tokens_for(3, 5, m.config.vocab_size);
+  fine.max_new_tokens = 2;
+  const RequestId id_long = engine.submit(too_long);
+  const RequestId id_fine = engine.submit(fine);
+
+  const auto results = engine.run();
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    if (r.id == id_long) {
+      EXPECT_EQ(r.finish, FinishReason::rejected);
+      EXPECT_NE(r.error.find("max_context"), std::string::npos);
+      EXPECT_TRUE(r.tokens.empty());
+    } else {
+      EXPECT_EQ(r.id, id_fine);
+      EXPECT_EQ(r.finish, FinishReason::max_tokens);
+    }
+  }
+}
+
+TEST(ServeScheduler, AdmissionRefusesPastMaxQueue) {
+  const Model m = Model::init(test_config(), 26);
+  ServeConfig cfg;
+  cfg.max_queue = 2;
+  ServeEngine engine(make_backend(m), cfg);
+  Request r;
+  r.prompt = tokens_for(3, 6, m.config.vocab_size);
+  engine.submit(r);
+  engine.submit(r);
+  EXPECT_THROW(engine.submit(r), Error);
+}
+
+TEST(ServeScheduler, SubmitValidatesRequests) {
+  const Model m = Model::init(test_config(), 27);
+  ServeEngine engine(make_backend(m), ServeConfig{});
+  Request r;
+  EXPECT_THROW(engine.submit(r), Error);  // empty prompt
+  r.prompt = tokens_for(3, 7, m.config.vocab_size);
+  r.max_new_tokens = 0;
+  EXPECT_THROW(engine.submit(r), Error);
+  r.max_new_tokens = 4;
+  r.sampling.temperature = 0.0f;
+  EXPECT_THROW(engine.submit(r), Error);
+  r.sampling.temperature = 1.0f;
+  r.prompt[1] = static_cast<TokenId>(m.config.vocab_size);  // out of vocab
+  EXPECT_THROW(engine.submit(r), Error);
+}
+
+TEST(ServeRng, StreamsAreKeyedAndDecorrelated) {
+  Rng a = Rng::for_stream(7, 1);
+  Rng a_again = Rng::for_stream(7, 1);
+  Rng b = Rng::for_stream(7, 2);
+  Rng c = Rng::for_stream(8, 1);
+  EXPECT_EQ(a.next_u64(), a_again.next_u64());
+  Rng a2 = Rng::for_stream(7, 1);
+  EXPECT_NE(a2.next_u64(), b.next_u64());
+  Rng a3 = Rng::for_stream(7, 1);
+  EXPECT_NE(a3.next_u64(), c.next_u64());
+}
+
+TEST(KvPoolTest, AcquireReleaseLifecycle) {
+  const ModelConfig cfg = test_config();
+  KvPool pool(cfg, 16, 2);
+  EXPECT_EQ(pool.slots(), 2u);
+  EXPECT_GT(pool.bytes(), 0u);
+  DecodeState* a = pool.acquire();
+  DecodeState* b = pool.acquire();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.acquire(), nullptr);
+  EXPECT_EQ(pool.in_use(), 2u);
+  pool.release(a);
+  EXPECT_EQ(pool.available(), 1u);
+  DecodeState* again = pool.acquire();
+  EXPECT_EQ(again, a);       // recycled, not reallocated
+  EXPECT_EQ(again->pos(), 0u);  // and reset
+  pool.release(again);
+  pool.release(b);
+  EXPECT_THROW(pool.release(b), Error);  // double release
+  DecodeState foreign(cfg, 16);
+  EXPECT_THROW(pool.release(&foreign), Error);
+}
+
+TEST(ServeTelemetry, CountsTokensAndFillsReport) {
+  obs::reset_observability();
+  obs::set_telemetry(true);
+  const Model m = Model::init(test_config(), 28);
+  ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_context = 32;
+  ServeEngine engine(make_backend(m), cfg);
+  Request r;
+  r.prompt = tokens_for(4, 8, m.config.vocab_size);
+  r.max_new_tokens = 5;
+  engine.submit(r);
+  engine.submit(r);
+  const auto results = engine.run();
+  obs::set_telemetry(false);
+
+  std::uint64_t generated = 0;
+  for (const auto& res : results) {
+    generated += res.tokens.size();
+  }
+  EXPECT_EQ(generated, 10u);
+  EXPECT_EQ(obs::counter("serve.tokens_generated").value(), generated);
+  EXPECT_EQ(obs::counter("serve.requests_completed").value(), 2u);
+  EXPECT_EQ(engine.stats().generated_tokens, generated);
+  EXPECT_EQ(engine.stats().completed, 2u);
+  EXPECT_EQ(engine.stats().peak_active, 2u);
+
+  obs::RunReport report;
+  engine.fill_report(report);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"serving\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"dense.generated_tokens\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"dense.requests_completed\": 2"), std::string::npos);
+  obs::reset_observability();
+}
+
+}  // namespace
+}  // namespace aptq::serve
