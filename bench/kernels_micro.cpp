@@ -2,13 +2,16 @@
 // pipeline: GEMM variants, softmax, RMSNorm, Cholesky/GPTQ factor, RTN vs
 // GPTQ solver cost, bit-packing and the fused dequantize-matmul.
 //
-// Before the google-benchmark suite runs, a threads sweep times the three
-// hot kernels (matmul, Hessian accumulation, GPTQ solve) at 1/2/4 threads
-// plus any `--threads N`, for both the naive reference (aptq::ref) and the
-// register-tiled production path, and writes seconds / GFLOP/s /
+// Before the google-benchmark suite runs, a threads sweep times the hot
+// kernels (matmul, Hessian accumulation, GPTQ solve, and the blocked
+// dequant-GEMV behind packed decode) at 1/2/4 threads plus any
+// `--threads N`, for both the naive reference (aptq::ref) and the
+// vectorized production path, and writes seconds / GFLOP/s /
 // speedup-vs-serial / speedup-vs-naive to BENCH_kernels.json. Each timing
 // is min-of-5 after 2 warmup runs. Flags: `--threads N` (pool size for the
-// gbench suite and an extra sweep point), `--sweep-out PATH`, `--no-sweep`.
+// gbench suite and an extra sweep point), `--sweep-out PATH`, `--no-sweep`,
+// `--sweep-only` (skip the gbench suite), `--smoke` (reduced sizes/reps —
+// the CI bench-smoke configuration is `--smoke --sweep-only`).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -25,6 +28,7 @@
 #include "model/forward.hpp"
 #include "quant/gptq.hpp"
 #include "quant/hessian.hpp"
+#include "quant/qformat.hpp"
 #include "tensor/cholesky.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
@@ -266,29 +270,61 @@ struct SweepRow {
 // sweep the pool, never the problem: every timing runs the identical
 // deterministic computation, so the numbers isolate scheduling cost/win;
 // the naive-vs-tiled pairs at equal thread count isolate the kernel win.
+// `smoke` shrinks every problem and the rep count for the CI bench-smoke
+// step: same kernels and labels, a few seconds total instead of a minute.
 std::vector<SweepRow> run_threads_sweep(
-    const std::vector<std::size_t>& thread_counts) {
+    const std::vector<std::size_t>& thread_counts, bool smoke) {
+  const std::size_t gemm_n = smoke ? 192 : 512;
+  const std::size_t hess_t = smoke ? 256 : 768;
+  const std::size_t hess_d = smoke ? 128 : 256;
+  const std::size_t gptq_d = smoke ? 96 : 192;
+  const std::size_t qg_d = smoke ? 256 : 768;
+  const int warmup = smoke ? 1 : 2;
+  const int reps = smoke ? 3 : 5;
   // matmul: the acceptance-criterion 512x512x512 problem.
-  const Matrix ga = random_matrix(512, 512, 21);
-  const Matrix gb = random_matrix(512, 512, 22);
-  Matrix gc(512, 512);
+  const Matrix ga = random_matrix(gemm_n, gemm_n, 21);
+  const Matrix gb = random_matrix(gemm_n, gemm_n, 22);
+  Matrix gc(gemm_n, gemm_n);
   // Hessian accumulation: one large calibration batch.
-  const Matrix hx = random_matrix(768, 256, 23);
+  const Matrix hx = random_matrix(hess_t, hess_d, 23);
   // GPTQ solve: a 192-wide layer.
-  const Matrix qw = random_matrix(192, 192, 24);
-  HessianAccumulator qacc(192);
-  qacc.add_matrix(random_matrix(768, 192, 25));
+  const Matrix qw = random_matrix(gptq_d, gptq_d, 24);
+  HessianAccumulator qacc(gptq_d);
+  qacc.add_matrix(random_matrix(4 * gptq_d, gptq_d, 25));
   const Matrix qh = qacc.finalized();
   GptqConfig qcfg;
   qcfg.spec.bits = 4;
   qcfg.spec.group_size = 16;
+  // Quantized decode GEMV: one w4g16 layer in the blocked format, dotted
+  // with a single activation row — the packed decode hot path. The naive
+  // side is aptq::ref's per-element unpack-dequantize-accumulate loop over
+  // the identical blocks; both sides repeat the GEMV so each timed run is
+  // comfortably above clock resolution.
+  QuantSpec qgspec;
+  qgspec.bits = 4;
+  qgspec.group_size = 16;
+  const QuantizedLinear qglin(random_matrix(qg_d, qg_d, 26), qgspec);
+  const QBlock qgblk = qglin.block_view();
+  const std::vector<float> qgx = [&] {
+    Rng rng(27);
+    std::vector<float> v(qg_d);
+    for (auto& f : v) {
+      f = static_cast<float>(rng.normal());
+    }
+    return v;
+  }();
+  std::vector<float> qgy(qg_d);
+  const std::size_t qg_iters = 64;
 
   // Effective flop counts: 2mnk for GEMM, tokens·d·(d+1) for the
-  // upper-triangle SYRK (both impls do the same useful work), and a nominal
-  // 2·d³ for the GPTQ solve (dominated by its panel updates).
-  const double gemm_flops = 2.0 * 512.0 * 512.0 * 512.0;
-  const double syrk_flops = 768.0 * 256.0 * 257.0;
-  const double gptq_flops = 2.0 * 192.0 * 192.0 * 192.0;
+  // upper-triangle SYRK (both impls do the same useful work), a nominal
+  // 2·d³ for the GPTQ solve (dominated by its panel updates), and
+  // iters·2·d² for the repeated dequant-GEMV.
+  const auto dn = [](std::size_t n) { return static_cast<double>(n); };
+  const double gemm_flops = 2.0 * dn(gemm_n) * dn(gemm_n) * dn(gemm_n);
+  const double syrk_flops = dn(hess_t) * dn(hess_d) * dn(hess_d + 1);
+  const double gptq_flops = 2.0 * dn(gptq_d) * dn(gptq_d) * dn(gptq_d);
+  const double qgemv_flops = dn(qg_iters) * 2.0 * dn(qg_d) * dn(qg_d);
 
   struct KernelCase {
     const char* kernel;
@@ -303,18 +339,32 @@ std::vector<SweepRow> run_threads_sweep(
        [&] { gemm(ga, Trans::no, gb, Trans::no, gc); }},
       {"hessian_accumulate_768x256", "naive", syrk_flops,
        [&] {
-         Matrix h(256, 256);
+         Matrix h(hess_d, hess_d);
          ref::syrk_upper(hx, {}, 1.0f, h);
          benchmark::DoNotOptimize(h.data());
        }},
       {"hessian_accumulate_768x256", "tiled", syrk_flops,
        [&] {
-         HessianAccumulator acc(256);
+         HessianAccumulator acc(hess_d);
          acc.add_matrix(hx);
          benchmark::DoNotOptimize(acc.tokens_seen());
        }},
       {"gptq_solve_192", "tiled", gptq_flops,
        [&] { benchmark::DoNotOptimize(gptq_quantize(qw, qh, qcfg).weight); }},
+      {"quantized_gemv_w4g16", "naive", qgemv_flops,
+       [&] {
+         for (std::size_t i = 0; i < qg_iters; ++i) {
+           ref::qgemv(qgblk, qgx.data(), qgy.data());
+         }
+         benchmark::DoNotOptimize(qgy.data());
+       }},
+      {"quantized_gemv_w4g16", "tiled", qgemv_flops,
+       [&] {
+         for (std::size_t i = 0; i < qg_iters; ++i) {
+           kern::qgemv(qgblk, qgx.data(), qgy.data());
+         }
+         benchmark::DoNotOptimize(qgy.data());
+       }},
   };
 
   std::vector<SweepRow> rows;
@@ -326,7 +376,7 @@ std::vector<SweepRow> run_threads_sweep(
       row.kernel = c.kernel;
       row.impl = c.impl;
       row.threads = threads;
-      row.seconds = best_seconds(2, 5, c.fn);
+      row.seconds = best_seconds(warmup, reps, c.fn);
       row.gflops = row.seconds > 0.0 ? c.flops / row.seconds / 1e9 : 0.0;
       if (threads == 1) {
         serial_seconds = row.seconds;
@@ -398,6 +448,8 @@ bool write_sweep_json(const std::vector<SweepRow>& rows,
 int main(int argc, char** argv) {
   std::size_t requested_threads = 0;  // 0 = hardware concurrency
   bool run_sweep = true;
+  bool sweep_only = false;  // skip the gbench suite (CI bench-smoke)
+  bool smoke = false;       // reduced problem sizes and rep counts
   std::string sweep_out = "BENCH_kernels.json";
   // Peel our flags off before google-benchmark parses the rest.
   std::vector<char*> gbench_args{argv[0]};
@@ -408,6 +460,10 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--no-sweep") {
       run_sweep = false;
+    } else if (arg == "--sweep-only") {
+      sweep_only = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
     } else if (arg == "--sweep-out" && i + 1 < argc) {
       sweep_out = argv[++i];
     } else {
@@ -416,13 +472,14 @@ int main(int argc, char** argv) {
   }
 
   if (run_sweep) {
-    std::vector<std::size_t> counts = {1, 2, 4};
+    std::vector<std::size_t> counts =
+        smoke ? std::vector<std::size_t>{1, 4} : std::vector<std::size_t>{1, 2, 4};
     if (requested_threads != 0 &&
         std::find(counts.begin(), counts.end(), requested_threads) ==
             counts.end()) {
       counts.push_back(requested_threads);
     }
-    const auto rows = aptq::run_threads_sweep(counts);
+    const auto rows = aptq::run_threads_sweep(counts, smoke);
     if (aptq::write_sweep_json(rows, sweep_out)) {
       std::printf("threads sweep written to %s\n", sweep_out.c_str());
     }
@@ -435,6 +492,9 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
+  }
+  if (sweep_only) {
+    return 0;
   }
 
   aptq::ThreadPool::set_global_threads(requested_threads == 0

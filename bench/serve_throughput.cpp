@@ -3,7 +3,9 @@
 // pool threads, for the dense model and the bit-packed model. The point of
 // the sweep: aggregate throughput should climb with max_batch (requests
 // decode in parallel across the pool) while each request's token stream
-// stays byte-identical to a solo decode. Writes BENCH_serve.json.
+// stays byte-identical to a solo decode. Writes BENCH_serve.json, including
+// the packed_decode_slowdown_batch1 headline (dense over packed tokens/sec
+// at batch 1, single thread) that CI's bench-smoke step thresholds.
 // Flags: `--requests N` (workload size, default 24), `--out PATH`.
 #include <cstdio>
 #include <cstdlib>
@@ -99,7 +101,7 @@ Row measure(const std::string& name, const Backend& backend,
 }
 
 bool write_json(const std::vector<Row>& rows, double batch_gain,
-                const std::string& path) {
+                double packed_slowdown, const std::string& path) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "serve_throughput: cannot write %s\n", path.c_str());
@@ -109,6 +111,7 @@ bool write_json(const std::vector<Row>& rows, double batch_gain,
   out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ",\n";
   out << "  \"packed_batch8_over_batch1\": " << batch_gain << ",\n";
+  out << "  \"packed_decode_slowdown_batch1\": " << packed_slowdown << ",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -164,6 +167,19 @@ int run(std::size_t n_requests, const std::string& out_path) {
   }
   const double batch_gain = b1 > 0.0 ? b8 / b1 : 0.0;
 
+  // Headline: how much slower packed decode runs than dense at batch 1 on a
+  // single thread — the number the blocked kernels exist to hold near 1
+  // (CI's bench-smoke step fails when it regresses).
+  double dense_b1t1 = 0.0;
+  double packed_b1t1 = 0.0;
+  for (const Row& r : rows) {
+    if (r.batch == 1 && r.threads == 1) {
+      (r.model == "dense" ? dense_b1t1 : packed_b1t1) = r.tokens_per_sec;
+    }
+  }
+  const double packed_slowdown =
+      packed_b1t1 > 0.0 ? dense_b1t1 / packed_b1t1 : 0.0;
+
   std::printf("%-14s %6s %8s %10s %8s %16s\n", "model", "batch", "threads",
               "generated", "wall_s", "tokens_per_sec");
   for (const Row& r : rows) {
@@ -174,7 +190,9 @@ int run(std::size_t n_requests, const std::string& out_path) {
   }
   std::printf("packed batch=8 vs batch=1 at %zu threads: %.2fx\n", top_threads,
               batch_gain);
-  if (write_json(rows, batch_gain, out_path)) {
+  std::printf("packed decode slowdown vs dense (batch=1, 1 thread): %.2fx\n",
+              packed_slowdown);
+  if (write_json(rows, batch_gain, packed_slowdown, out_path)) {
     std::printf("serving throughput results written to %s\n",
                 out_path.c_str());
   }

@@ -13,8 +13,13 @@ namespace {
 constexpr std::uint32_t kPackedMagic = 0x41505150u;  // "APQP"
 // v1: f32 scale + i64 zero-point per group, no clip-search flag.
 // v2: i32 zero-points and the mse_clip_search flag in QuantizedLinear
-//     records (matches QuantizedLinear::storage_bytes()).
-constexpr std::uint32_t kPackedVersion = 2u;
+//     records; row-major packed codes.
+// v3: blocked QuantizedLinear records — per-group byte-aligned code blocks
+//     (split-nibble order, stride bytes_per_group) the dequant-dot kernels
+//     read directly. v2 checkpoints still load: the codes are repacked on
+//     read, value-identical (see QuantizedLinear::deserialize_v2).
+constexpr std::uint32_t kPackedVersionV2 = 2u;
+constexpr std::uint32_t kPackedVersion = 3u;
 
 void write_matrix(BinaryWriter& w, const Matrix& m) {
   w.write_u64(m.rows());
@@ -217,7 +222,7 @@ PackedModel PackedModel::load(const std::string& path) {
   BinaryReader r(path);
   APTQ_CHECK(r.read_u32() == kPackedMagic, "packed model: bad magic " + path);
   const std::uint32_t version = r.read_u32();
-  APTQ_CHECK(version == kPackedVersion,
+  APTQ_CHECK(version == kPackedVersion || version == kPackedVersionV2,
              "packed model: unsupported version " + std::to_string(version) +
                  " in " + path);
   PackedModel pm;
@@ -240,7 +245,9 @@ PackedModel PackedModel::load(const std::string& path) {
   const std::uint64_t n = r.read_u64();
   APTQ_CHECK(n == pm.config_.n_layers * 7, "packed model: layer count");
   for (std::uint64_t i = 0; i < n; ++i) {
-    pm.linears_.push_back(QuantizedLinear::deserialize(r));
+    pm.linears_.push_back(version == kPackedVersionV2
+                              ? QuantizedLinear::deserialize_v2(r)
+                              : QuantizedLinear::deserialize(r));
   }
   return pm;
 }

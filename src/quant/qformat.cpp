@@ -155,8 +155,14 @@ std::int32_t quantize_value(float v, const GroupParams& params,
   // Symmetric grids reserve code 0 (see fit_group_params_minmax) so that
   // the code range is odd-symmetric around the zero-point.
   const long qmin = spec.symmetric && spec.bits > 1 ? 1 : 0;
-  return clamp_code(std::lround(v / params.scale) + params.zero_point, qmin,
-                    qmax);
+  const float t = v / params.scale;
+  // kern::nearest_int is exact for |t| < 2^22; grid-fitted scales keep t
+  // within a few hundred, but corrupt or adversarial inputs can overflow
+  // the window — those saturate straight to the grid edge.
+  const long rounded = std::fabs(t) < 4194304.0f
+                           ? static_cast<long>(kern::nearest_int(t))
+                           : (t > 0.0f ? 1L << 30 : -(1L << 30));
+  return clamp_code(rounded + params.zero_point, qmin, qmax);
 }
 
 float dequantize_value(std::int32_t code, const GroupParams& params) {
@@ -205,51 +211,122 @@ void quantize_dequantize_matrix(Matrix& w, const QuantSpec& spec) {
 QuantizedLinear::QuantizedLinear(const Matrix& w, const QuantSpec& spec)
     : spec_(spec), rows_(w.rows()), cols_(w.cols()) {
   spec.validate();
-  // 1/2/4/8-bit codes pack exactly; 3-bit codes are stored in nibbles.
-  const int packed_bits = spec.bits == 3 ? 4 : spec.bits;
-  codes_per_byte_ = static_cast<std::size_t>(8 / packed_bits);
-  const std::size_t bytes_per_row =
-      (cols_ + codes_per_byte_ - 1) / codes_per_byte_;
-  codes_.assign(rows_ * bytes_per_row, 0);
-  const std::size_t groups = group_count(cols_, spec);
-  group_params_.assign(rows_ * groups, GroupParams{});
-
-  const std::size_t g = spec.group_size == 0 ? cols_ : spec.group_size;
-  const int bits = 8 / static_cast<int>(codes_per_byte_);
+  // Normalize group_size into [1, cols]: 0 (whole row) and over-long groups
+  // both mean "one group spans the row". Serialized v3 records therefore
+  // always carry an in-range group_size, which lets the loader reject 0 and
+  // > cols as corruption.
+  if (cols_ > 0 && (spec_.group_size == 0 || spec_.group_size > cols_)) {
+    spec_.group_size = cols_;
+  }
+  init_geometry();
+  codes_.assign(rows_ * groups_ * bytes_per_group_, 0);
+  group_params_.assign(rows_ * groups_, GroupParams{});
   for (std::size_t r = 0; r < rows_; ++r) {
     const auto row = w.row(r);
-    for (std::size_t start = 0, gi = 0; start < cols_; start += g, ++gi) {
-      const std::size_t len = std::min(g, cols_ - start);
+    for (std::size_t g = 0; g < groups_; ++g) {
+      const std::size_t start = g * group_len_;
+      const std::size_t len = std::min(group_len_, cols_ - start);
       const GroupParams p =
-          fit_group_params(row.subspan(start, len), spec);
-      group_params_[r * groups + gi] = p;
-      for (std::size_t c = start; c < start + len; ++c) {
-        const auto code =
-            static_cast<std::uint32_t>(quantize_value(row[c], p, spec));
-        const std::size_t byte = r * bytes_per_row + c / codes_per_byte_;
-        const int shift = static_cast<int>(c % codes_per_byte_) * bits;
-        codes_[byte] |= static_cast<std::uint8_t>(code << shift);
+          fit_group_params(row.subspan(start, len), spec_);
+      group_params_[r * groups_ + g] = p;
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::size_t c = start + i;
+        set_code(r, c,
+                 static_cast<std::uint32_t>(quantize_value(row[c], p, spec_)));
       }
     }
   }
+  finalize_dequant();
+}
+
+void QuantizedLinear::init_geometry() {
+  // 1/2/4/8-bit codes pack exactly; 3-bit codes (and fp4) ride in nibbles.
+  packed_bits_ = spec_.bits == 3 ? 4 : spec_.bits;
+  group_len_ = spec_.group_size == 0 ? cols_ : spec_.group_size;
+  groups_ = group_len_ > 0 ? (cols_ + group_len_ - 1) / group_len_ : 0;
+  bytes_per_group_ =
+      (group_len_ * static_cast<std::size_t>(packed_bits_) + 7) / 8;
+}
+
+void QuantizedLinear::finalize_dequant() {
+  if (spec_.format != QFormat::int_affine) {
+    dq_scale_.clear();
+    dq_bias_.clear();
+    return;
+  }
+  dq_scale_.resize(group_params_.size());
+  dq_bias_.resize(group_params_.size());
+  for (std::size_t i = 0; i < group_params_.size(); ++i) {
+    dq_scale_[i] = group_params_[i].scale;
+    dq_bias_[i] = -group_params_[i].scale *
+                  static_cast<float>(group_params_[i].zero_point);
+  }
+}
+
+bool QuantizedLinear::has_kernel_path() const {
+  return spec_.format == QFormat::int_affine && cols_ > 0 &&
+         (packed_bits_ == 4 || packed_bits_ == 8);
+}
+
+QBlock QuantizedLinear::block_view() const {
+  QBlock b;
+  b.codes = codes_.data();
+  b.scale = dq_scale_.data();
+  b.bias = dq_bias_.data();
+  b.rows = rows_;
+  b.cols = cols_;
+  b.group_len = group_len_;
+  b.groups = groups_;
+  b.bytes_per_group = bytes_per_group_;
+  b.bits = packed_bits_;
+  return b;
 }
 
 std::uint32_t QuantizedLinear::code_at(std::size_t r, std::size_t c) const {
-  const std::size_t bytes_per_row =
-      (cols_ + codes_per_byte_ - 1) / codes_per_byte_;
-  const int bits = 8 / static_cast<int>(codes_per_byte_);
-  const std::uint8_t byte = codes_[r * bytes_per_row + c / codes_per_byte_];
-  const int shift = static_cast<int>(c % codes_per_byte_) * bits;
-  return (byte >> shift) & ((1u << bits) - 1u);
+  const std::size_t g = c / group_len_;
+  const std::size_t k = c - g * group_len_;
+  const std::uint8_t* b =
+      codes_.data() + (r * groups_ + g) * bytes_per_group_;
+  if (packed_bits_ == 8) {
+    return b[k];
+  }
+  if (packed_bits_ == 4) {
+    // Split-nibble order (see QBlock): lows first, highs fold back onto the
+    // same bytes.
+    return k < bytes_per_group_
+               ? static_cast<std::uint32_t>(b[k] & 0x0Fu)
+               : static_cast<std::uint32_t>(b[k - bytes_per_group_] >> 4);
+  }
+  const std::size_t cpb = static_cast<std::size_t>(8 / packed_bits_);
+  const int shift = static_cast<int>(k % cpb) * packed_bits_;
+  return (b[k / cpb] >> shift) & ((1u << packed_bits_) - 1u);
+}
+
+void QuantizedLinear::set_code(std::size_t r, std::size_t c,
+                               std::uint32_t code) {
+  const std::size_t g = c / group_len_;
+  const std::size_t k = c - g * group_len_;
+  std::uint8_t* b = codes_.data() + (r * groups_ + g) * bytes_per_group_;
+  if (packed_bits_ == 8) {
+    b[k] = static_cast<std::uint8_t>(code);
+  } else if (packed_bits_ == 4) {
+    if (k < bytes_per_group_) {
+      b[k] |= static_cast<std::uint8_t>(code & 0x0Fu);
+    } else {
+      b[k - bytes_per_group_] |= static_cast<std::uint8_t>((code & 0x0Fu) << 4);
+    }
+  } else {
+    const std::size_t cpb = static_cast<std::size_t>(8 / packed_bits_);
+    const int shift = static_cast<int>(k % cpb) * packed_bits_;
+    b[k / cpb] |= static_cast<std::uint8_t>(code << shift);
+  }
 }
 
 Matrix QuantizedLinear::dequantize() const {
   Matrix w(rows_, cols_);
-  const std::size_t groups = group_count(cols_, spec_);
-  const std::size_t g = spec_.group_size == 0 ? cols_ : spec_.group_size;
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) {
-      const GroupParams& p = group_params_[r * groups + c / g];
+      const GroupParams& p = group_params_[r * groups_ + c / group_len_];
       const auto code = static_cast<std::int32_t>(code_at(r, c));
       if (spec_.format == QFormat::fp4_e2m1) {
         const float mag = fp4_magnitudes()[static_cast<std::size_t>(code & 7)];
@@ -271,16 +348,20 @@ Matrix QuantizedLinear::matmul_transposed(const Matrix& x) const {
     matvec_transposed(x.row(0), out.row(0));
     return out;
   }
-  const std::size_t groups = group_count(cols_, spec_);
-  const std::size_t g = spec_.group_size == 0 ? cols_ : spec_.group_size;
-  // Output rows are independent: split them across the pool (fixed grain,
-  // disjoint writes — bitwise identical at any thread count).
+  if (has_kernel_path()) {
+    // Each weight row is unpacked once and shared across the whole batch.
+    kern::qgemv_multi(block_view(), x.data(), x.rows(), out.data());
+    return out;
+  }
+  // Scalar fallback (fp4 and sub-nibble widths). Output rows are
+  // independent: split them across the pool (fixed grain, disjoint writes —
+  // bitwise identical at any thread count).
   parallel_for(0, rows_, 8, [&](std::size_t rb, std::size_t re) {
     std::vector<float> buf(cols_);
     for (std::size_t r = rb; r < re; ++r) {
       // Dequantize one weight row, then dot it with every input row.
       for (std::size_t c = 0; c < cols_; ++c) {
-        const GroupParams& p = group_params_[r * groups + c / g];
+        const GroupParams& p = group_params_[r * groups_ + c / group_len_];
         const auto code = static_cast<std::int32_t>(code_at(r, c));
         if (spec_.format == QFormat::fp4_e2m1) {
           const float mag =
@@ -307,19 +388,21 @@ void QuantizedLinear::matvec_transposed(std::span<const float> x,
                                         std::span<float> y) const {
   APTQ_CHECK(x.size() == cols_, "QuantizedLinear: input width mismatch");
   APTQ_CHECK(y.size() == rows_, "QuantizedLinear: output size mismatch");
-  const std::size_t groups = group_count(cols_, spec_);
-  const std::size_t g = spec_.group_size == 0 ? cols_ : spec_.group_size;
-  // Chunk width of the on-stack dequantization scratch: groups larger than
-  // this (including group_size == 0, i.e. whole-row groups) are processed
-  // in kChunk-wide slices under the same group parameters.
+  if (has_kernel_path()) {
+    kern::qgemv(block_view(), x.data(), y.data());
+    return;
+  }
+  // Scalar fallback for the non-kernel formats: dequantize in kChunk-wide
+  // slices to an on-stack scratch, dot against x.
   constexpr std::size_t kChunk = 128;
   parallel_for(0, rows_, 16, [&](std::size_t rb, std::size_t re) {
     float buf[kChunk];
     for (std::size_t r = rb; r < re; ++r) {
       float acc = 0.0f;
-      for (std::size_t start = 0, gi = 0; start < cols_; start += g, ++gi) {
-        const GroupParams& p = group_params_[r * groups + gi];
-        const std::size_t len = std::min(g, cols_ - start);
+      for (std::size_t g = 0; g < groups_; ++g) {
+        const GroupParams& p = group_params_[r * groups_ + g];
+        const std::size_t start = g * group_len_;
+        const std::size_t len = std::min(group_len_, cols_ - start);
         for (std::size_t cb = 0; cb < len; cb += kChunk) {
           const std::size_t clen = std::min(kChunk, len - cb);
           for (std::size_t i = 0; i < clen; ++i) {
@@ -368,6 +451,11 @@ double QuantizedLinear::mean_group_scale() const {
   return acc / static_cast<double>(group_params_.size());
 }
 
+// Blocked record (packed file format v3). The prologue keeps the v2 field
+// order (bits, group_size, format, flags, rows, cols) so header-offset
+// corruption tests stay valid; the geometry field after it is the block
+// stride bytes_per_group where v2 stored codes_per_byte, and the code bytes
+// are blocked rather than row-major.
 void QuantizedLinear::serialize(BinaryWriter& writer) const {
   writer.write_u32(static_cast<std::uint32_t>(spec_.bits));
   writer.write_u64(spec_.group_size);
@@ -376,7 +464,7 @@ void QuantizedLinear::serialize(BinaryWriter& writer) const {
   writer.write_u32(spec_.mse_clip_search ? 1u : 0u);
   writer.write_u64(rows_);
   writer.write_u64(cols_);
-  writer.write_u64(codes_per_byte_);
+  writer.write_u64(bytes_per_group_);
   writer.write_bytes(codes_);
   writer.write_u64(group_params_.size());
   for (const GroupParams& p : group_params_) {
@@ -399,13 +487,55 @@ QuantizedLinear QuantizedLinear::deserialize(BinaryReader& reader) {
   q.spec_.validate();
   q.rows_ = reader.read_u64();
   q.cols_ = reader.read_u64();
-  q.codes_per_byte_ = reader.read_u64();
-  APTQ_CHECK(q.codes_per_byte_ >= 1 && q.codes_per_byte_ <= 8,
-             "QuantizedLinear: corrupt codes_per_byte");
+  // v3 always writes the normalized group size; 0 and > cols are corrupt.
+  APTQ_CHECK(q.spec_.group_size >= 1 && q.spec_.group_size <= q.cols_,
+             "QuantizedLinear: corrupt group_size " +
+                 std::to_string(q.spec_.group_size));
+  q.init_geometry();
+  const std::uint64_t stride = reader.read_u64();
+  APTQ_CHECK(stride == q.bytes_per_group_,
+             "QuantizedLinear: corrupt block stride");
   q.codes_ = reader.read_bytes();
+  APTQ_CHECK(q.codes_.size() == q.rows_ * q.groups_ * q.bytes_per_group_,
+             "QuantizedLinear: corrupt code block");
+  const std::uint64_t n_params = reader.read_u64();
+  APTQ_CHECK(n_params == q.rows_ * q.groups_,
+             "QuantizedLinear: corrupt group parameters");
+  q.group_params_.resize(n_params);
+  for (auto& p : q.group_params_) {
+    p.scale = reader.read_f32();
+    p.zero_point = reader.read_i32();
+  }
+  q.finalize_dequant();
+  return q;
+}
+
+QuantizedLinear QuantizedLinear::deserialize_v2(BinaryReader& reader) {
+  // v2 record: same prologue, then codes_per_byte and row-major packed
+  // codes (byte c/cpb of row r, shifted (c%cpb)·bits). Decode with the old
+  // geometry, then repack each code into the blocked layout — codes and
+  // group parameters carry over exactly, so dequantized values are
+  // bit-identical to what the v2 reader produced.
+  QuantizedLinear q;
+  q.spec_.bits = static_cast<int>(reader.read_u32());
+  q.spec_.group_size = reader.read_u64();
+  const std::uint32_t format_code = reader.read_u32();
+  APTQ_CHECK(format_code <= static_cast<std::uint32_t>(QFormat::fp4_e2m1),
+             "QuantizedLinear: unknown format code " +
+                 std::to_string(format_code));
+  q.spec_.format = static_cast<QFormat>(format_code);
+  q.spec_.symmetric = reader.read_u32() != 0;
+  q.spec_.mse_clip_search = reader.read_u32() != 0;
+  q.spec_.validate();
+  q.rows_ = reader.read_u64();
+  q.cols_ = reader.read_u64();
+  const std::uint64_t codes_per_byte = reader.read_u64();
+  APTQ_CHECK(codes_per_byte >= 1 && codes_per_byte <= 8,
+             "QuantizedLinear: corrupt codes_per_byte");
+  const std::vector<std::uint8_t> v2_codes = reader.read_bytes();
   const std::size_t bytes_per_row =
-      (q.cols_ + q.codes_per_byte_ - 1) / q.codes_per_byte_;
-  APTQ_CHECK(q.codes_.size() == q.rows_ * bytes_per_row,
+      (q.cols_ + codes_per_byte - 1) / codes_per_byte;
+  APTQ_CHECK(v2_codes.size() == q.rows_ * bytes_per_row,
              "QuantizedLinear: corrupt code block");
   const std::uint64_t n_params = reader.read_u64();
   APTQ_CHECK(n_params == q.rows_ * group_count(q.cols_, q.spec_),
@@ -415,6 +545,27 @@ QuantizedLinear QuantizedLinear::deserialize(BinaryReader& reader) {
     p.scale = reader.read_f32();
     p.zero_point = reader.read_i32();
   }
+  // v2 stored whatever group_size the spec carried; normalize like the
+  // constructor does (group count is unchanged by normalization).
+  if (q.cols_ > 0 &&
+      (q.spec_.group_size == 0 || q.spec_.group_size > q.cols_)) {
+    q.spec_.group_size = q.cols_;
+  }
+  q.init_geometry();
+  APTQ_CHECK(q.rows_ * q.groups_ == n_params,
+             "QuantizedLinear: corrupt group parameters");
+  const int v2_bits = static_cast<int>(8 / codes_per_byte);
+  APTQ_CHECK(v2_bits == q.packed_bits_,
+             "QuantizedLinear: codes_per_byte disagrees with bits");
+  q.codes_.assign(q.rows_ * q.groups_ * q.bytes_per_group_, 0);
+  for (std::size_t r = 0; r < q.rows_; ++r) {
+    for (std::size_t c = 0; c < q.cols_; ++c) {
+      const std::uint8_t byte = v2_codes[r * bytes_per_row + c / codes_per_byte];
+      const int shift = static_cast<int>(c % codes_per_byte) * v2_bits;
+      q.set_code(r, c, (byte >> shift) & ((1u << v2_bits) - 1u));
+    }
+  }
+  q.finalize_dequant();
   return q;
 }
 

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
 #include "util/io.hpp"
 
@@ -80,30 +81,49 @@ void quantize_dequantize_matrix(Matrix& w, const QuantSpec& spec);
 /// Number of groups a row of `row_len` splits into under `spec`.
 std::size_t group_count(std::size_t row_len, const QuantSpec& spec);
 
-/// Bit-packed storage of one quantized linear layer (out-major codes plus
-/// per-row per-group parameters). Proves the storage story and provides the
-/// memory accounting used in the size/accuracy trade-off tables.
+/// Block-quantized storage of one linear layer: out-major rows cut into
+/// byte-aligned per-group blocks of packed codes, with the group's
+/// scale/zero beside them in struct-of-arrays form (the Q40/llama.cpp
+/// blocked layout, generalized to runtime group sizes). Provides the memory
+/// accounting used in the size/accuracy trade-off tables and the storage
+/// the vectorized dequant-dot kernels (kern::qgemv) read.
+///
+/// Block geometry: every group — including a ragged tail — occupies
+/// bytes_per_group = ceil(group_len · packed_bits / 8) bytes, so block g of
+/// row r starts at (r · groups + g) · bytes_per_group. 4-bit codes (also
+/// 3-bit and fp4, stored in nibbles) use the split-nibble order QBlock
+/// documents; 8-bit codes are one byte each; 1/2-bit codes pack
+/// little-endian within the block.
 class QuantizedLinear {
  public:
   QuantizedLinear() = default;
 
   /// Quantize `w` (out-major) into packed form. The codes are exactly the
-  /// ones quantize_dequantize_matrix would produce.
+  /// ones quantize_dequantize_matrix would produce. `spec.group_size` is
+  /// normalized into [1, cols]: 0 (whole row) and anything larger than the
+  /// row length both become one group spanning the row.
   QuantizedLinear(const Matrix& w, const QuantSpec& spec);
 
   /// Reconstruct the dequantized weight matrix.
   Matrix dequantize() const;
 
   /// Fused dequantize-then-multiply: returns x · Wᵀ_dq for x of shape
-  /// (n × in_features). Output rows are split across the global thread
-  /// pool; single-row inputs route through matvec_transposed.
+  /// (n × in_features). Affine 4/8-bit codes ride kern::qgemv_multi (each
+  /// row unpacked once per batch); single-row inputs route through
+  /// matvec_transposed.
   Matrix matmul_transposed(const Matrix& x) const;
 
   /// Fused dequantize GEMV: y[r] = Σ_c x[c] · W_dq(r, c), for x of length
-  /// in_features and y of length out_features. Dequantizes group-by-group
-  /// into a small stack buffer (never materializing a full row) and
-  /// parallelizes over output rows — the per-token decode hot path.
+  /// in_features and y of length out_features — the per-token decode hot
+  /// path, served by the vectorized kern::qgemv for affine 4/8-bit codes.
   void matvec_transposed(std::span<const float> x, std::span<float> y) const;
+
+  /// True when this layer's codes are served by the vectorized blocked
+  /// kernels (int_affine stored as nibbles or bytes: bits 3, 4, 8).
+  bool has_kernel_path() const;
+
+  /// Borrowed kernel view of the blocked storage (has_kernel_path() only).
+  QBlock block_view() const;
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -119,21 +139,37 @@ class QuantizedLinear {
   /// MSE clip search settled on, exported as quantization telemetry.
   double mean_group_scale() const;
 
-  /// Binary round-trip (used by the packed-model deploy format).
+  /// Binary round-trip (used by the packed-model deploy format). Writes the
+  /// blocked v3 record; deserialize() reads it back. deserialize_v2() reads
+  /// the pre-blocked row-major record (packed file format v2) and repacks
+  /// the codes into blocks — same codes, same dequantized values.
   void serialize(BinaryWriter& writer) const;
   static QuantizedLinear deserialize(BinaryReader& reader);
+  static QuantizedLinear deserialize_v2(BinaryReader& reader);
 
   bool operator==(const QuantizedLinear& other) const;
 
  private:
   std::uint32_t code_at(std::size_t r, std::size_t c) const;
+  void set_code(std::size_t r, std::size_t c, std::uint32_t code);
+  /// Derive blocked geometry + the dequant acceleration arrays from
+  /// spec_/rows_/cols_/group_params_ (ctor and both deserializers).
+  void init_geometry();
+  void finalize_dequant();
 
-  QuantSpec spec_;
+  QuantSpec spec_;  // group_size normalized into [1, cols]
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::size_t codes_per_byte_ = 1;
-  std::vector<std::uint8_t> codes_;       // packed, row-major
+  int packed_bits_ = 4;             // stored code width: 1/2/4/8
+  std::size_t group_len_ = 0;       // codes per full group
+  std::size_t groups_ = 0;          // groups per row
+  std::size_t bytes_per_group_ = 0; // uniform block stride, tail included
+  std::vector<std::uint8_t> codes_;       // rows × groups × bytes_per_group
   std::vector<GroupParams> group_params_;  // rows × groups
+  // Affine dequant planes for the kernels: w = dq_scale·q + dq_bias
+  // (dq_bias = -scale·zero). Derived, never serialized; empty for fp4.
+  std::vector<float> dq_scale_;
+  std::vector<float> dq_bias_;
 };
 
 }  // namespace aptq

@@ -389,6 +389,296 @@ float dot4(const float* a, const float* b, std::size_t n) {
   return ((s0 + s1) + (s2 + s3)) + tail;
 }
 
+namespace {
+
+// Geometry of one group g of a blocked row: `len` valid codes, of which
+// `lo_n` sit in low nibbles / leading bytes and `hi_n` in high nibbles.
+struct GroupShape {
+  std::size_t len;
+  std::size_t lo_n;
+  std::size_t hi_n;
+};
+
+inline GroupShape group_shape(const QBlock& q, std::size_t g) {
+  const std::size_t start = g * q.group_len;
+  const std::size_t len = std::min(q.group_len, q.cols - start);
+  if (q.bits == 8) {
+    return {len, len, 0};
+  }
+  const std::size_t lo_n = std::min(len, q.bytes_per_group);
+  return {len, lo_n, len - lo_n};
+}
+
+// Fused dequant-dot over one row. `xsum` must hold the per-group sums of x
+// (callers precompute via group_sums; the fold there matches the order an
+// on-the-fly fold would use, so precomputation never changes a bit).
+//
+// The group fold order is fixed (groups in ascending pairs, vector body
+// then scalar remainder, even/odd accumulator chains merged at the end),
+// so a given build is deterministic; vector and portable builds
+// reassociate differently (tolerance-covered vs aptq::ref).
+//
+// Two structural choices carry the performance:
+//   * Two-group unroll. One accumulator chain serializes the loop on FMA
+//     latency -- a group is 16 weights at g16, so a single `vacc +=` per
+//     group caps the row at ~4 weights/cycle regardless of vector width.
+//     Group pairs feed disjoint even/odd accumulators, keeping two groups'
+//     FMAs in flight. The accumulators must stay plain locals: indexing a
+//     vNf acc[2] by group parity spills the array to the stack, 2x slower.
+//   * A constant-trip-count fast path for full 4-bit groups. The generic
+//     per-group body re-derives its bounds (group_shape), re-tests the
+//     bit width, and keeps scalar remainder loops alive -- ~20 cycles of
+//     bookkeeping per group against ~6 cycles of vector math. When every
+//     byte of a group is two full nibbles and the byte count is a whole
+//     number of vector loads, all of that folds away.
+float qdot_row(const QBlock& q, const std::uint8_t* codes, const float* scale,
+               const float* bias, const float* x, const float* xsum) {
+  const std::size_t nb = q.bytes_per_group;
+#ifdef APTQ_KERNEL_VEC_EXT
+  typedef std::uint8_t vNu8 __attribute__((vector_size(kVecLanes)));
+  // Codes widen u8 -> i32 -> f32 in single-use convert chains, with the
+  // nibble mask/shift applied in the u8 domain: GCC folds each chain to
+  // pmovzx + cvtdq2ps. A direct u8 -> f32 convertvector, or widening once
+  // and reusing the i32 vector for both nibbles, scalarizes into per-lane
+  // pextrb/pinsrd/cvtsi2ss storms under -march=native.
+  typedef std::int32_t vNi32
+      __attribute__((vector_size(kVecLanes * sizeof(std::int32_t))));
+  vNf vlo0 = {};
+  vNf vhi0 = {};
+  vNf vlo1 = {};
+  vNf vhi1 = {};
+#else
+  int vlo0 = 0, vhi0 = 0, vlo1 = 0, vhi1 = 0;  // unused placeholders
+  (void)vlo0;
+  (void)vhi0;
+  (void)vlo1;
+  (void)vhi1;
+#endif
+  float sb0 = 0.0f;
+  float sb1 = 0.0f;
+  std::size_t g = 0;
+#ifdef APTQ_KERNEL_VEC_EXT
+  if (q.bits == 4 && nb % kVecLanes == 0) {
+    // Every group except a ragged tail is full: len == group_len, both
+    // nibble halves span exactly nb bytes.
+    const std::size_t full =
+        q.cols % q.group_len == 0 ? q.groups : q.groups - 1;
+    // kSingleVec specializes the dominant shape (one vector load per
+    // nibble half, e.g. g16 at 8 lanes): the inner j-loop folds to
+    // straight-line code. Same arithmetic, same fold order either way.
+    const auto pair_loop = [&]<bool kSingleVec>() {
+      for (; g + 2 <= full; g += 2) {
+        const std::uint8_t* b0 = codes + g * nb;
+        const std::uint8_t* b1 = b0 + nb;
+        const float* xg0 = x + g * q.group_len;
+        const float* xg1 = xg0 + q.group_len;
+        const vNf dv0 = vNf{} + scale[g];
+        const vNf dv1 = vNf{} + scale[g + 1];
+        for (std::size_t j = 0; j < (kSingleVec ? kVecLanes : nb);
+             j += kVecLanes) {
+          vNu8 bytes0, bytes1;
+          std::memcpy(&bytes0, b0 + j, sizeof bytes0);
+          std::memcpy(&bytes1, b1 + j, sizeof bytes1);
+          vNf xlo0, xhi0, xlo1, xhi1;
+          std::memcpy(&xlo0, xg0 + j, sizeof xlo0);
+          std::memcpy(&xhi0, xg0 + nb + j, sizeof xhi0);
+          std::memcpy(&xlo1, xg1 + j, sizeof xlo1);
+          std::memcpy(&xhi1, xg1 + nb + j, sizeof xhi1);
+          const vNf lo0 = __builtin_convertvector(
+              __builtin_convertvector(bytes0 & 0x0F, vNi32), vNf);
+          const vNf hi0 = __builtin_convertvector(
+              __builtin_convertvector(bytes0 >> 4, vNi32), vNf);
+          const vNf lo1 = __builtin_convertvector(
+              __builtin_convertvector(bytes1 & 0x0F, vNi32), vNf);
+          const vNf hi1 = __builtin_convertvector(
+              __builtin_convertvector(bytes1 >> 4, vNi32), vNf);
+          vlo0 += dv0 * (lo0 * xlo0);
+          vhi0 += dv0 * (hi0 * xhi0);
+          vlo1 += dv1 * (lo1 * xlo1);
+          vhi1 += dv1 * (hi1 * xhi1);
+        }
+        sb0 += bias[g] * xsum[g];
+        sb1 += bias[g + 1] * xsum[g + 1];
+      }
+    };
+    if (nb == kVecLanes) {
+      pair_loop.template operator()<true>();
+    } else {
+      pair_loop.template operator()<false>();
+    }
+  }
+#endif
+  // Generic per-group body: ragged tails, odd group geometries, and the
+  // 8-bit layout. Chains alternate with the caller loop's parity so the
+  // fold order stays a pure function of the shape.
+  const auto do_group = [&](std::size_t gi, auto& vlo_acc, auto& vhi_acc,
+                            float& sbacc) {
+    const auto [len, lo_n, hi_n] = group_shape(q, gi);
+    const std::uint8_t* b = codes + gi * nb;
+    const float* xg = x + gi * q.group_len;
+    const float d = scale[gi];
+    std::size_t j = 0;
+    float s = 0.0f;
+    if (q.bits == 4) {
+#ifdef APTQ_KERNEL_VEC_EXT
+      const vNf dv = vNf{} + d;
+      // Both halves of the split layout share each byte load; x stays
+      // unit-stride for both.
+      for (; j + kVecLanes <= hi_n; j += kVecLanes) {
+        vNu8 bytes;
+        std::memcpy(&bytes, b + j, sizeof bytes);
+        const vNf lo = __builtin_convertvector(
+            __builtin_convertvector(bytes & 0x0F, vNi32), vNf);
+        const vNf hi = __builtin_convertvector(
+            __builtin_convertvector(bytes >> 4, vNi32), vNf);
+        vNf xlo, xhi;
+        std::memcpy(&xlo, xg + j, sizeof xlo);
+        std::memcpy(&xhi, xg + nb + j, sizeof xhi);
+        vlo_acc += dv * (lo * xlo);
+        vhi_acc += dv * (hi * xhi);
+      }
+#endif
+      for (std::size_t t = j; t < hi_n; ++t) {
+        s += xg[nb + t] * static_cast<float>(b[t] >> 4);
+      }
+      for (std::size_t t = j; t < lo_n; ++t) {
+        s += xg[t] * static_cast<float>(b[t] & 0x0F);
+      }
+    } else {  // bits == 8: one code per byte, in order
+#ifdef APTQ_KERNEL_VEC_EXT
+      const vNf dv = vNf{} + d;
+      for (; j + kVecLanes <= len; j += kVecLanes) {
+        vNu8 bytes;
+        std::memcpy(&bytes, b + j, sizeof bytes);
+        vNf xv;
+        std::memcpy(&xv, xg + j, sizeof xv);
+        vlo_acc += dv * (__builtin_convertvector(
+                             __builtin_convertvector(bytes, vNi32), vNf) *
+                         xv);
+      }
+#endif
+      for (std::size_t t = j; t < len; ++t) {
+        s += xg[t] * static_cast<float>(b[t]);
+      }
+    }
+    sbacc += d * s + bias[gi] * xsum[gi];
+  };
+  for (; g + 2 <= q.groups; g += 2) {
+    do_group(g, vlo0, vhi0, sb0);
+    do_group(g + 1, vlo1, vhi1, sb1);
+  }
+  if (g < q.groups) {
+    do_group(g, vlo0, vhi0, sb0);
+  }
+  float sacc = sb0 + sb1;
+#ifdef APTQ_KERNEL_VEC_EXT
+  const vNf vsum = (vlo0 + vlo1) + (vhi0 + vhi1);
+  for (std::size_t v = 0; v < kVecLanes; ++v) {
+    sacc += vsum[v];
+  }
+#endif
+  return sacc;
+}
+
+// Dequantize one blocked row into `w` (length q.cols).
+void unpack_row(const QBlock& q, const std::uint8_t* codes, const float* scale,
+                const float* bias, float* w) {
+  const std::size_t nb = q.bytes_per_group;
+  for (std::size_t g = 0; g < q.groups; ++g) {
+    const auto [len, lo_n, hi_n] = group_shape(q, g);
+    const std::uint8_t* b = codes + g * nb;
+    float* wg = w + g * q.group_len;
+    const float d = scale[g];
+    const float m = bias[g];
+    if (q.bits == 4) {
+      for (std::size_t t = 0; t < lo_n; ++t) {
+        wg[t] = d * static_cast<float>(b[t] & 0x0F) + m;
+      }
+      for (std::size_t t = 0; t < hi_n; ++t) {
+        wg[nb + t] = d * static_cast<float>(b[t] >> 4) + m;
+      }
+    } else {
+      for (std::size_t t = 0; t < len; ++t) {
+        wg[t] = d * static_cast<float>(b[t]) + m;
+      }
+    }
+  }
+}
+
+// Per-group sums of x into `xsum` (length q.groups), each group folded in
+// fixed serial order — precomputing must not change any bit.
+void group_sums(const QBlock& q, const float* x, float* xsum) {
+  for (std::size_t g = 0; g < q.groups; ++g) {
+    const std::size_t start = g * q.group_len;
+    const std::size_t len = std::min(q.group_len, q.cols - start);
+    float s = 0.0f;
+    for (std::size_t t = 0; t < len; ++t) {
+      s += x[start + t];
+    }
+    xsum[g] = s;
+  }
+}
+
+// Group counts up to this fit a stack buffer; beyond it (cols/group_len >
+// 512) the sums spill to a heap vector. Decode-sized gemvs must not pay a
+// malloc per call -- at dim 128 the allocation costs as much as the dot.
+constexpr std::size_t kXsumStack = 512;
+
+}  // namespace
+
+float qdot(const QBlock& q, std::size_t row, const float* x,
+           const float* xsum) {
+  const std::size_t stride = q.groups * q.bytes_per_group;
+  const float* srow = q.scale + row * q.groups;
+  const float* brow = q.bias + row * q.groups;
+  if (xsum != nullptr) {
+    return qdot_row(q, q.codes + row * stride, srow, brow, x, xsum);
+  }
+  // group_sums folds each group in the same serial order an on-the-fly
+  // fold would, so computing them here cannot change a bit of the result.
+  float stack[kXsumStack];
+  std::vector<float> heap;
+  float* sums = stack;
+  if (q.groups > kXsumStack) {
+    heap.resize(q.groups);
+    sums = heap.data();
+  }
+  group_sums(q, x, sums);
+  return qdot_row(q, q.codes + row * stride, srow, brow, x, sums);
+}
+
+void qgemv(const QBlock& q, const float* x, float* y) {
+  float stack[kXsumStack];
+  std::vector<float> heap;
+  float* xsum = stack;
+  if (q.groups > kXsumStack) {
+    heap.resize(q.groups);
+    xsum = heap.data();
+  }
+  group_sums(q, x, xsum);
+  const std::size_t stride = q.groups * q.bytes_per_group;
+  parallel_for(0, q.rows, 16, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      y[r] = qdot_row(q, q.codes + r * stride, q.scale + r * q.groups,
+                      q.bias + r * q.groups, x, xsum);
+    }
+  });
+}
+
+void qgemv_multi(const QBlock& q, const float* x, std::size_t n, float* y) {
+  const std::size_t stride = q.groups * q.bytes_per_group;
+  parallel_for(0, q.rows, 8, [&](std::size_t rb, std::size_t re) {
+    std::vector<float> wbuf(q.cols);
+    for (std::size_t r = rb; r < re; ++r) {
+      unpack_row(q, q.codes + r * stride, q.scale + r * q.groups,
+                 q.bias + r * q.groups, wbuf.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        y[i * q.rows + r] += dot4(x + i * q.cols, wbuf.data(), q.cols);
+      }
+    }
+  });
+}
+
 }  // namespace kern
 
 namespace ref {
@@ -540,6 +830,31 @@ void syrk_upper(const Matrix& x, std::span<const float> gamma, float alpha,
         row[j] += gi * xt[j];
       }
     }
+  }
+}
+
+void qgemv(const QBlock& q, const float* x, float* y) {
+  // One code at a time: locate the byte, extract, dequantize, accumulate —
+  // the per-element access pattern of the pre-blocked scalar fused GEMV.
+  for (std::size_t r = 0; r < q.rows; ++r) {
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < q.cols; ++c) {
+      const std::size_t g = c / q.group_len;
+      const std::size_t k = c - g * q.group_len;
+      const std::size_t block = r * q.groups + g;
+      const std::uint8_t* b = q.codes + block * q.bytes_per_group;
+      std::uint32_t code;
+      if (q.bits == 8) {
+        code = b[k];
+      } else {
+        code = k < q.bytes_per_group ? (b[k] & 0x0Fu)
+                                     : static_cast<std::uint32_t>(
+                                           b[k - q.bytes_per_group] >> 4);
+      }
+      acc += x[c] *
+             (q.scale[block] * static_cast<float>(code) + q.bias[block]);
+    }
+    y[r] = acc;
   }
 }
 

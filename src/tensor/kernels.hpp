@@ -39,6 +39,28 @@ inline constexpr std::size_t kGemmMC = 96;   // rows per parallel chunk
 void gemm_tiled(const Matrix& a, Trans trans_a, const Matrix& b,
                 Trans trans_b, Matrix& c, float alpha);
 
+/// Borrowed view of one block-quantized matrix (the storage QuantizedLinear
+/// builds): rows × groups blocks, each `bytes_per_group` packed codes plus a
+/// per-group affine pair so that w = scale·q + bias (bias = -scale·zero).
+///
+/// Code order inside a 4-bit block follows the llama.cpp Q4 split: byte j
+/// holds code j in its low nibble and code j + bytes_per_group in its high
+/// nibble, so the dequant-dot kernels read x contiguously for both halves.
+/// 8-bit blocks store one code per byte in order. A short tail group (cols
+/// not a multiple of group_len) zero-pads its unused code slots; blocks are
+/// always byte-aligned at stride bytes_per_group.
+struct QBlock {
+  const std::uint8_t* codes = nullptr;  // rows × groups × bytes_per_group
+  const float* scale = nullptr;         // rows × groups
+  const float* bias = nullptr;          // rows × groups
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t group_len = 0;        // codes per full group
+  std::size_t groups = 0;           // groups per row
+  std::size_t bytes_per_group = 0;  // ceil(group_len · bits / 8)
+  int bits = 4;                     // packed code width: 4 or 8
+};
+
 /// SYRK fast path for Hessian accumulation: upper(C) += alpha · Xᵀ·diag(γ)·X
 /// where X is (tokens × d) and γ is per-token (empty ⇒ all ones). Only
 /// tiles that intersect the upper triangle are computed (half the flops of
@@ -71,6 +93,33 @@ void rank_update(float* w, std::size_t n, const float* err, std::size_t r,
 /// Four-accumulator dot product over contiguous spans (fixed fold order).
 float dot4(const float* a, const float* b, std::size_t n);
 
+/// llama.cpp's magic-number fast round-to-nearest (ties to even). Valid for
+/// |v| < 2^22; callers clamp afterwards, quantize grids never exceed that.
+inline int nearest_int(float v) {
+  const float biased = v + 12582912.0f;  // 1.5 · 2^23: shifts into the
+  int i;                                 // integer-exact mantissa window
+  __builtin_memcpy(&i, &biased, sizeof i);
+  return (i & 0x007fffff) - 0x00400000;
+}
+
+/// Fused dequant-dot of one blocked row against x (length q.cols):
+/// Σ_g scale_g · Σ_c x[c]·code[c] + bias_g · xsum[g]. `xsum` holds the
+/// per-group sums of x; pass nullptr to fold them on the fly (slower).
+/// Vectorized nibble unpack + FMA; one horizontal reduction per row.
+float qdot(const QBlock& q, std::size_t row, const float* x,
+           const float* xsum);
+
+/// y = Q_dq · x over every row (y length q.rows). Computes the per-group x
+/// sums once, shares them across rows, and splits rows over the global
+/// thread pool (fixed grain — bitwise identical at any thread count).
+void qgemv(const QBlock& q, const float* x, float* y);
+
+/// Row-blocked multi-vector variant: Y(n × rows) += X(n × cols) · Q_dqᵀ.
+/// Each weight row is unpacked once into a stack panel and dotted with all
+/// n inputs, amortizing the unpack across the batch (multi-token prefill,
+/// batched decode). Parallel over weight rows, same determinism contract.
+void qgemv_multi(const QBlock& q, const float* x, std::size_t n, float* y);
+
 }  // namespace kern
 
 namespace ref {
@@ -85,6 +134,12 @@ void gemm(const Matrix& a, Trans trans_a, const Matrix& b, Trans trans_b,
 /// HessianAccumulator::add_matrix inner loop, kept as the oracle.
 void syrk_upper(const Matrix& x, std::span<const float> gamma, float alpha,
                 Matrix& c);
+
+/// Naive blocked dequant-dot GEMV: per element, unpack one code, dequantize
+/// it, multiply-accumulate — the scalar fused-GEMV this PR's vectorized
+/// kern::qgemv replaced, kept as its tolerance oracle and as the "naive"
+/// side of the quantized_gemv microbench axis.
+void qgemv(const QBlock& q, const float* x, float* y);
 
 }  // namespace ref
 

@@ -1,13 +1,17 @@
 // Tests for the register-tiled micro-kernel layer (tensor/kernels.hpp):
 // tiled GEMM vs the retained naive reference across all four Trans variants
 // and non-tile-multiple shapes, the SYRK upper-triangle fast path, the
-// symmetric matvec, the GPTQ panel update, the gemv matvec fast path — and
-// the determinism contract: bitwise-identical results at 1/2/4 threads.
+// symmetric matvec, the GPTQ panel update, the gemv matvec fast path, the
+// blocked dequant-dot kernels (qgemv/qdot/qgemv_multi) vs their naive
+// oracle — and the determinism contract: bitwise-identical results at
+// 1/2/4 threads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
+#include "quant/qformat.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "util/threadpool.hpp"
@@ -246,6 +250,143 @@ TEST(Dot4, MatchesSerialDotWithinTolerance) {
     }
     EXPECT_NEAR(kern::dot4(a.data(), b.data(), n), want, 1e-4)
         << "n=" << n;
+  }
+}
+
+// ---- blocked dequant-dot kernels vs the naive oracle -----------------------
+//
+// kern::qgemv / qdot / qgemv_multi vectorize the nibble unpack and
+// reassociate the k-fold, so agreement with aptq::ref's per-element loop is
+// tolerance-based (pinned below); the determinism contract (bitwise equal
+// at any thread count within one build) is exact.
+
+// Pinned tolerance for one fused dequant-dot: vector-lane reassociation over
+// a fold of length k on O(1)-magnitude data.
+float qdot_tol(std::size_t k) {
+  return 1e-5f *
+         std::sqrt(static_cast<float>(std::max<std::size_t>(k, 1))) * 8.0f;
+}
+
+QuantSpec qspec(int bits, std::size_t group) {
+  QuantSpec s;
+  s.bits = bits;
+  s.group_size = group;
+  return s;
+}
+
+class QuantizedGemvOracle
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(QuantizedGemvOracle, MatchesNaiveDequantDotOnOddShapes) {
+  const auto [bits, group] = GetParam();
+  // Odd shapes: 1×1, single row × long K, prime dims, K < group (whole row
+  // collapses to one ragged group), K a prime just past the group.
+  const std::size_t shapes[][2] = {
+      {1, 1}, {1, 131}, {7, 53}, {3, group > 1 ? group - 1 : 1}, {13, 67},
+  };
+  for (const auto& s : shapes) {
+    const std::size_t rows = s[0], cols = s[1];
+    const Matrix w = random_matrix(rows, cols, 7 * rows + cols + group);
+    const Matrix x = random_matrix(1, cols, 19 * rows + cols);
+    const QuantizedLinear packed(w, qspec(bits, group));
+    ASSERT_TRUE(packed.has_kernel_path());
+    const QBlock q = packed.block_view();
+    std::vector<float> want(rows, 0.0f);
+    ref::qgemv(q, x.data(), want.data());
+    std::vector<float> got(rows, -1.0f);
+    kern::qgemv(q, x.data(), got.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      EXPECT_NEAR(got[r], want[r], qdot_tol(cols))
+          << "bits=" << bits << " group=" << group << " rows=" << rows
+          << " cols=" << cols << " r=" << r;
+      // qdot with on-the-fly group sums agrees with the same row.
+      EXPECT_NEAR(kern::qdot(q, r, x.data(), nullptr), want[r],
+                  qdot_tol(cols));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndGroups, QuantizedGemvOracle,
+    ::testing::Combine(::testing::Values(3, 4, 8),
+                       ::testing::Values(std::size_t{8}, std::size_t{16},
+                                         std::size_t{32})));
+
+TEST(QuantizedGemv, MultiRequestVariantMatchesPerRowGemv) {
+  const std::size_t rows = 11, cols = 75, n = 5;
+  const Matrix w = random_matrix(rows, cols, 201);
+  const Matrix x = random_matrix(n, cols, 202);
+  const QuantizedLinear packed(w, qspec(4, 16));
+  const QBlock q = packed.block_view();
+  std::vector<float> multi(n * rows, 0.0f);
+  kern::qgemv_multi(q, x.data(), n, multi.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<float> solo(rows, 0.0f);
+    ref::qgemv(q, x.data() + i * cols, solo.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      EXPECT_NEAR(multi[i * rows + r], solo[r], qdot_tol(cols))
+          << "request " << i << " row " << r;
+    }
+  }
+}
+
+TEST(QuantizedGemv, BitwiseIdenticalAtAnyThreadCount) {
+  const std::size_t rows = 29, cols = 140;
+  const Matrix w = random_matrix(rows, cols, 203);
+  const Matrix x = random_matrix(4, cols, 204);
+  const QuantizedLinear packed(w, qspec(4, 16));
+  const QBlock q = packed.block_view();
+  std::vector<float> base_gemv(rows), base_multi(4 * rows);
+  ThreadPool::set_global_threads(1);
+  kern::qgemv(q, x.data(), base_gemv.data());
+  std::fill(base_multi.begin(), base_multi.end(), 0.0f);
+  kern::qgemv_multi(q, x.data(), 4, base_multi.data());
+  for (const std::size_t threads : {2ul, 4ul}) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<float> y(rows, -7.0f);
+    kern::qgemv(q, x.data(), y.data());
+    EXPECT_EQ(y, base_gemv) << threads << " threads";
+    std::vector<float> ym(4 * rows, 0.0f);
+    kern::qgemv_multi(q, x.data(), 4, ym.data());
+    EXPECT_EQ(ym, base_multi) << threads << " threads";
+  }
+  ThreadPool::set_global_threads(1);
+}
+
+TEST(QuantizedGemv, XsumPrecomputationDoesNotChangeAnyBit) {
+  // qgemv precomputes per-group sums of x; qdot with xsum == nullptr folds
+  // them on the fly in the same fixed order — the two must agree exactly.
+  const std::size_t rows = 9, cols = 100;
+  const Matrix w = random_matrix(rows, cols, 205);
+  const Matrix x = random_matrix(1, cols, 206);
+  for (const int bits : {4, 8}) {
+    const QuantizedLinear packed(w, qspec(bits, 16));
+    const QBlock q = packed.block_view();
+    std::vector<float> y(rows);
+    kern::qgemv(q, x.data(), y.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(kern::qdot(q, r, x.data(), nullptr), y[r])
+          << "bits=" << bits << " row " << r;
+    }
+  }
+}
+
+TEST(NearestInt, RoundsToNearestWithTiesToEven) {
+  EXPECT_EQ(kern::nearest_int(0.0f), 0);
+  EXPECT_EQ(kern::nearest_int(1.4f), 1);
+  EXPECT_EQ(kern::nearest_int(1.6f), 2);
+  EXPECT_EQ(kern::nearest_int(-1.4f), -1);
+  EXPECT_EQ(kern::nearest_int(-1.6f), -2);
+  // Ties go to even (banker's rounding — matches the FMA pipeline's FP
+  // rounding mode, unlike lround's away-from-zero).
+  EXPECT_EQ(kern::nearest_int(0.5f), 0);
+  EXPECT_EQ(kern::nearest_int(1.5f), 2);
+  EXPECT_EQ(kern::nearest_int(2.5f), 2);
+  EXPECT_EQ(kern::nearest_int(-0.5f), 0);
+  EXPECT_EQ(kern::nearest_int(-1.5f), -2);
+  // Exact integers across the quantization code range.
+  for (int i = -300; i <= 300; ++i) {
+    EXPECT_EQ(kern::nearest_int(static_cast<float>(i)), i);
   }
 }
 

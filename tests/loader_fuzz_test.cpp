@@ -167,6 +167,95 @@ TEST(LoaderFuzz, OutOfRangeFormatCodeRejected) {
   std::remove(path.c_str());
 }
 
+// ---- format v3 specifics ---------------------------------------------------
+
+// v3 rejects out-of-range group sizes outright: the writer always
+// normalizes group_size into [1, cols], so 0 and > cols can only mean a
+// corrupt or forged record.
+TEST(LoaderFuzz, BadGroupSizeRejected) {
+  Rng rng(5);
+  const Matrix w = Matrix::randn(4, 8, rng);
+  QuantSpec spec;
+  spec.bits = 4;
+  spec.group_size = 4;
+  const std::string path = temp_path("aptq_fuzz_group.bin");
+  {
+    BinaryWriter writer(path);
+    QuantizedLinear(w, spec).serialize(writer);
+  }
+  const std::vector<std::uint8_t> good = read_all(path);
+  // group_size is the u64 at offset 4 (after the u32 bits field).
+  for (const std::uint64_t bad :
+       {std::uint64_t{0}, std::uint64_t{9}, std::uint64_t{1} << 40}) {
+    std::vector<std::uint8_t> bytes = good;
+    for (int i = 0; i < 8; ++i) {
+      bytes[4 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(bad >> (8 * i));
+    }
+    write_all(path, bytes);
+    BinaryReader reader(path);
+    EXPECT_THROW(QuantizedLinear::deserialize(reader), Error)
+        << "group_size " << bad;
+  }
+  std::remove(path.c_str());
+}
+
+// Truncating inside the group-parameter array (the trailing scale/zero
+// block) must throw at EOF, never read stale values.
+TEST(LoaderFuzz, TruncatedGroupScaleArrayThrows) {
+  Rng rng(6);
+  const Matrix w = Matrix::randn(6, 16, rng);
+  QuantSpec spec;
+  spec.bits = 4;
+  spec.group_size = 4;  // 6 rows × 4 groups × 8 bytes of params at the tail
+  const std::string path = temp_path("aptq_fuzz_params.bin");
+  {
+    BinaryWriter writer(path);
+    QuantizedLinear(w, spec).serialize(writer);
+  }
+  const std::vector<std::uint8_t> good = read_all(path);
+  const std::size_t params_bytes = 6 * 4 * 8;
+  ASSERT_GT(good.size(), params_bytes);
+  for (const std::size_t cut : {std::size_t{1}, std::size_t{7},
+                                params_bytes / 2, params_bytes - 1}) {
+    write_all(path, {good.begin(), good.end() - static_cast<long>(cut)});
+    BinaryReader reader(path);
+    EXPECT_THROW(QuantizedLinear::deserialize(reader), Error)
+        << "cut " << cut << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
+// The committed v2 fixture (written by the pre-blocked code at packed file
+// version 2) must keep loading through the back-compat reader, and its
+// repacked linears must be bit-identical to packing the same model fresh:
+// same codes, same group parameters, same dequantized weights.
+TEST(LoaderFuzz, CommittedV2FixtureLoadsByteCorrectly) {
+  const std::string fixture =
+      std::string(APTQ_GOLDEN_DIR) + "/packed_v2_fixture.bin";
+  ASSERT_TRUE(std::filesystem::exists(fixture))
+      << "missing fixture " << fixture;
+  const PackedModel loaded = PackedModel::load(fixture);
+  const Model m = Model::init(small_config(), 11);
+  QuantSpec spec;
+  spec.bits = 4;
+  spec.group_size = 4;
+  const PackedModel fresh = PackedModel::pack_uniform(m, spec);
+  ASSERT_EQ(loaded.linears().size(), fresh.linears().size());
+  for (std::size_t i = 0; i < fresh.linears().size(); ++i) {
+    EXPECT_TRUE(loaded.linears()[i] == fresh.linears()[i]) << "linear " << i;
+  }
+  EXPECT_TRUE(loaded.config() == fresh.config());
+  // And the v2-loaded model re-saves as a valid v3 file.
+  const std::string resaved = temp_path("aptq_fuzz_v2_resave.bin");
+  loaded.save(resaved);
+  const PackedModel round = PackedModel::load(resaved);
+  for (std::size_t i = 0; i < fresh.linears().size(); ++i) {
+    EXPECT_TRUE(round.linears()[i] == fresh.linears()[i]);
+  }
+  std::remove(resaved.c_str());
+}
+
 TEST(LoaderFuzz, GiantLengthFieldFailsBeforeAllocating) {
   const std::string path = temp_path("aptq_fuzz_len.bin");
   {

@@ -1,8 +1,13 @@
 // Unit tests for src/quant/qformat: grid fitting, round-trips, FP4 E2M1
-// semantics, bit-packing, and storage accounting.
+// semantics, bit-packing, storage accounting, and the blocked-format
+// property suite (random matrices × group sizes × bit widths, edge rows,
+// byte-identical serialization).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "quant/qformat.hpp"
 
@@ -355,6 +360,155 @@ TEST(Packed, RaggedColumnsPack) {
   for (std::size_t i = 0; i < fake.size(); ++i) {
     EXPECT_NEAR(unpacked.flat()[i], fake.flat()[i], 1e-5f);
   }
+}
+
+// ---- blocked-format property suite ----------------------------------------
+//
+// The blocked storage must be observationally identical to fake
+// quantization for every (bits, group_size, row length) combination: the
+// blocks are an encoding detail, never a semantics change.
+
+// Serialize a linear and return the raw record bytes.
+std::vector<std::uint8_t> record_bytes(const QuantizedLinear& q) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "aptq_qfmt_prop.bin").string();
+  {
+    BinaryWriter writer(path);
+    q.serialize(writer);
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  return bytes;
+}
+
+class BlockedProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(BlockedProperty, RandomMatricesRoundTripWithinGridTolerance) {
+  const auto [bits, group] = GetParam();
+  // Row lengths straddle the group size: shorter than one group, exact
+  // multiples, and ragged tails.
+  for (const std::size_t cols :
+       {group / 2 + 1, group, 2 * group, 2 * group + 3, std::size_t{129}}) {
+    Rng rng(100 + static_cast<std::uint64_t>(bits) * 7 + group + cols);
+    const Matrix w = Matrix::randn(5, cols, rng);
+    const auto spec = spec_of(bits, group);
+    const QuantizedLinear packed(w, spec);
+    Matrix fake = w;
+    quantize_dequantize_matrix(fake, spec);
+    const Matrix unpacked = packed.dequantize();
+    for (std::size_t i = 0; i < fake.size(); ++i) {
+      ASSERT_NEAR(unpacked.flat()[i], fake.flat()[i], 1e-6f)
+          << "bits=" << bits << " group=" << group << " cols=" << cols;
+    }
+    // Grid tolerance against the original values: every weight within half
+    // a step of its group's grid (the mean scale bounds a "typical" step;
+    // per-group check uses the matrix-wide max via mean upper bound).
+    const QuantizedLinear reloaded = [&] {
+      const auto path = (std::filesystem::temp_directory_path() /
+                         "aptq_qfmt_prop_rt.bin").string();
+      {
+        BinaryWriter writer(path);
+        packed.serialize(writer);
+      }
+      BinaryReader reader(path);
+      QuantizedLinear q = QuantizedLinear::deserialize(reader);
+      std::remove(path.c_str());
+      return q;
+    }();
+    EXPECT_TRUE(reloaded == packed);
+    // Byte-identical re-serialization (acceptance: v3 round-trips exactly).
+    EXPECT_EQ(record_bytes(reloaded), record_bytes(packed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GroupsAndWidths, BlockedProperty,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8),
+                       ::testing::Values(std::size_t{8}, std::size_t{16},
+                                         std::size_t{32}, std::size_t{64})));
+
+TEST(BlockedProperty, EdgeRowsQuantizeExactly) {
+  // Rows the grid must represent without error: all-zero, single repeated
+  // value, and alternating ±max_abs (grid endpoints).
+  constexpr std::size_t kCols = 37;  // ragged for every group size below
+  Matrix w(4, kCols);
+  const float kMax = 3.25f;
+  for (std::size_t c = 0; c < kCols; ++c) {
+    w(0, c) = 0.0f;
+    w(1, c) = 0.8125f;
+    w(2, c) = (c % 2 == 0) ? kMax : -kMax;
+    w(3, c) = (c % 2 == 0) ? kMax : 0.0f;
+  }
+  for (const int bits : {2, 3, 4, 8}) {
+    for (const std::size_t group : {std::size_t{8}, std::size_t{16}}) {
+      for (const bool symmetric : {false, true}) {
+        const auto spec = spec_of(bits, group, symmetric);
+        const QuantizedLinear packed(w, spec);
+        const Matrix dq = packed.dequantize();
+        const std::string ctx = "bits=" + std::to_string(bits) +
+                                " group=" + std::to_string(group) +
+                                " sym=" + std::to_string(symmetric);
+        // Symmetric grids reserve code 0 so ±max_abs are exact grid
+        // endpoints; asymmetric grids snap the zero-point to an integer
+        // code, which can shift ±max_abs off-grid by up to half a step.
+        const float step = 2.0f * kMax / static_cast<float>((1 << bits) - 1);
+        const float max_tol = symmetric ? 1e-5f : step * 0.5f + 1e-4f;
+        for (std::size_t c = 0; c < kCols; ++c) {
+          // All-zero rows are exactly zero (the grid always contains 0).
+          EXPECT_EQ(dq(0, c), 0.0f) << ctx;
+          // A constant row round-trips to itself (constant is a grid point
+          // in both grid constructions).
+          EXPECT_NEAR(dq(1, c), w(1, c), 1e-5f) << ctx;
+          EXPECT_NEAR(dq(2, c), w(2, c), max_tol) << ctx << " col " << c;
+        }
+        // Row 3 spans [0, max]: endpoints representable on asymmetric grids.
+        if (!symmetric) {
+          EXPECT_NEAR(dq(3, 0), kMax, 1e-5f) << ctx;
+          EXPECT_NEAR(dq(3, 1), 0.0f, 1e-5f) << ctx;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockedProperty, GroupSizeNormalizesToRowLength) {
+  Rng rng(55);
+  const Matrix w = Matrix::randn(3, 20, rng);
+  // 0 (whole row) and any group larger than the row mean the same thing;
+  // the stored spec and the serialized record must agree exactly.
+  const QuantizedLinear whole(w, spec_of(4, 0));
+  const QuantizedLinear large(w, spec_of(4, 64));
+  const QuantizedLinear exact(w, spec_of(4, 20));
+  EXPECT_EQ(whole.spec().group_size, 20u);
+  EXPECT_EQ(large.spec().group_size, 20u);
+  EXPECT_TRUE(whole == exact);
+  EXPECT_TRUE(large == exact);
+  EXPECT_EQ(record_bytes(whole), record_bytes(exact));
+}
+
+TEST(BlockedProperty, KernelPathCoversAffineNibbleAndByteWidths) {
+  Rng rng(56);
+  const Matrix w = Matrix::randn(2, 16, rng);
+  EXPECT_TRUE(QuantizedLinear(w, spec_of(3, 8)).has_kernel_path());
+  EXPECT_TRUE(QuantizedLinear(w, spec_of(4, 8)).has_kernel_path());
+  EXPECT_TRUE(QuantizedLinear(w, spec_of(8, 8)).has_kernel_path());
+  EXPECT_FALSE(QuantizedLinear(w, spec_of(2, 8)).has_kernel_path());
+  QuantSpec fp4;
+  fp4.format = QFormat::fp4_e2m1;
+  fp4.group_size = 8;
+  EXPECT_FALSE(QuantizedLinear(w, fp4).has_kernel_path());
+  // The view mirrors the blocked geometry.
+  const QuantizedLinear q(w, spec_of(4, 8));
+  const QBlock b = q.block_view();
+  EXPECT_EQ(b.rows, 2u);
+  EXPECT_EQ(b.cols, 16u);
+  EXPECT_EQ(b.group_len, 8u);
+  EXPECT_EQ(b.groups, 2u);
+  EXPECT_EQ(b.bytes_per_group, 4u);
+  EXPECT_EQ(b.bits, 4);
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
+#include <string>
 #include <tuple>
 
 #include "obs/control.hpp"
@@ -164,6 +166,53 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
                                          std::size_t{8}),
                        ::testing::Values(std::size_t{1}, std::size_t{4})));
+
+// Serving from the committed packed-format-v2 fixture must produce the
+// exact token streams of a fresh format-v3 pack of the same model: the
+// back-compat reader reproduces codes and group parameters bit-for-bit,
+// and the engine is deterministic, so there is no tolerance here. Dense
+// backends at the same batch sizes are pinned to the sequential oracle by
+// ServeEquivalence above.
+class ServeV2Oracle : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ServeV2Oracle, PackedV3StreamsMatchV2FixtureStreams) {
+  const std::string fixture =
+      std::string(APTQ_GOLDEN_DIR) + "/packed_v2_fixture.bin";
+  ASSERT_TRUE(std::filesystem::exists(fixture))
+      << "missing fixture " << fixture;
+  const PackedModel v2 = PackedModel::load(fixture);
+  ModelConfig c;
+  c.vocab_size = 16;
+  c.dim = 12;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.ffn_dim = 16;
+  QuantSpec spec;
+  spec.bits = 4;
+  spec.group_size = 4;
+  const PackedModel v3 = PackedModel::pack_uniform(Model::init(c, 11), spec);
+
+  ServeConfig cfg;
+  cfg.max_batch = GetParam();
+  cfg.max_context = 48;
+  ServeEngine a(make_backend(v2), cfg);
+  ServeEngine b(make_backend(v3), cfg);
+  const std::vector<Request> reqs = make_requests(c.vocab_size);
+  for (const Request& r : reqs) {
+    a.submit(r);
+    b.submit(r);
+  }
+  const std::vector<GenerationResult> ra = a.run();
+  const std::vector<GenerationResult> rb = b.run();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].tokens, rb[i].tokens) << "request " << ra[i].id;
+    EXPECT_EQ(ra[i].finish, rb[i].finish) << "request " << ra[i].id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batch, ServeV2Oracle,
+                         ::testing::Values(std::size_t{1}, std::size_t{8}));
 
 // Arrival order must not matter: requests submitted mid-flight (folded
 // into in-progress decode batches) still produce their solo streams.
