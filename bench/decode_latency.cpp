@@ -80,7 +80,51 @@ Row measure(const std::string& name, std::size_t context, FullFn&& full,
   return row;
 }
 
-bool write_json(const std::vector<Row>& rows, std::size_t threads,
+// Batched decode (decode_step_batch): per-token cost when `batch` requests
+// step together in one forward pass, vs stepping each alone.
+struct BatchedRow {
+  std::string model;
+  std::size_t context = 0;
+  std::size_t batch = 0;
+  double per_token_s = 0.0;
+  double vs_solo_speedup = 0.0;  // solo per-token / batched per-token
+};
+
+template <typename ModelT>
+BatchedRow measure_batched(const std::string& name, const ModelT& model,
+                           const ModelConfig& cfg, std::size_t context,
+                           std::size_t batch, double solo_per_token_s) {
+  constexpr std::size_t kSteps = 16;
+  const TokenSeq tokens = random_tokens(context, context, cfg.vocab_size);
+  std::vector<DecodeState> states;
+  states.reserve(batch);
+  std::vector<DecodeState*> ptrs;
+  for (std::size_t i = 0; i < batch; ++i) {
+    states.emplace_back(cfg, context + kSteps);
+    decode_prefill(model, tokens, states.back());
+  }
+  for (std::size_t i = 0; i < batch; ++i) {
+    ptrs.push_back(&states[i]);
+  }
+  const std::vector<TokenId> next(batch, tokens.front());
+  const Timer timer;
+  for (std::size_t i = 0; i < kSteps; ++i) {
+    decode_step_batch(model, next, ptrs);
+  }
+  BatchedRow row;
+  row.model = name;
+  row.context = context;
+  row.batch = batch;
+  row.per_token_s =
+      timer.seconds() / static_cast<double>(kSteps * batch);
+  row.vs_solo_speedup = row.per_token_s > 0.0
+                            ? solo_per_token_s / row.per_token_s
+                            : 0.0;
+  return row;
+}
+
+bool write_json(const std::vector<Row>& rows,
+                const std::vector<BatchedRow>& batched, std::size_t threads,
                 const std::string& path) {
   std::ofstream out(path);
   if (!out) {
@@ -99,6 +143,16 @@ bool write_json(const std::vector<Row>& rows, std::size_t threads,
         << ", \"decode_step_s\": " << r.decode_step_s
         << ", \"speedup\": " << r.speedup << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"batched_results\": [\n";
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    const BatchedRow& r = batched[i];
+    out << "    {\"model\": \"" << r.model << "\", \"context\": " << r.context
+        << ", \"batch\": " << r.batch
+        << ", \"per_token_s\": " << r.per_token_s
+        << ", \"vs_solo_speedup\": " << r.vs_solo_speedup << "}"
+        << (i + 1 < batched.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
   out << "}\n";
@@ -138,13 +192,39 @@ int run(std::size_t threads, const std::string& out_path) {
     }
   }
 
+  // Batched decode at one representative context: per-token amortization
+  // from stacking requests into a single forward pass.
+  std::vector<BatchedRow> batched;
+  {
+    const std::size_t context = 64;
+    double dense_solo = 0.0;
+    double packed_solo = 0.0;
+    for (const Row& r : rows) {
+      if (r.context == context) {
+        (r.model == "dense" ? dense_solo : packed_solo) = r.decode_step_s;
+      }
+    }
+    for (const std::size_t batch : {2ul, 8ul}) {
+      batched.push_back(measure_batched("dense", model, cfg, context, batch,
+                                        dense_solo));
+      batched.push_back(measure_batched("packed_w4g16", packed, cfg, context,
+                                        batch, packed_solo));
+    }
+  }
+
   std::printf("%-14s %8s %16s %16s %9s\n", "model", "context",
               "full_forward_s", "decode_step_s", "speedup");
   for (const Row& r : rows) {
     std::printf("%-14s %8zu %16.6f %16.6f %8.1fx\n", r.model.c_str(),
                 r.context, r.full_forward_s, r.decode_step_s, r.speedup);
   }
-  if (write_json(rows, threads, out_path)) {
+  std::printf("%-14s %8s %6s %16s %14s\n", "model", "context", "batch",
+              "per_token_s", "vs_solo");
+  for (const BatchedRow& r : batched) {
+    std::printf("%-14s %8zu %6zu %16.6f %13.2fx\n", r.model.c_str(),
+                r.context, r.batch, r.per_token_s, r.vs_solo_speedup);
+  }
+  if (write_json(rows, batched, threads, out_path)) {
     std::printf("decode latency results written to %s\n", out_path.c_str());
   }
   return 0;

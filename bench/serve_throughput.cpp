@@ -53,16 +53,21 @@ TokenSeq random_tokens(std::size_t n, std::uint64_t seed, std::size_t vocab) {
   return t;
 }
 
-// A fixed mixed workload: short and long prompts, varying budgets and
-// sampling params. Identical across every (model, batch, threads) cell so
-// the rows are comparable.
+// A fixed decode-dominated workload: short prompts of mixed lengths (so
+// prefills of different shapes still exercise admission) and generation
+// budgets an order of magnitude past the prompt, nearly uniform so the
+// batch stays full instead of draining one request at a time. The
+// tokens/sec headline then measures the batched decode path rather than
+// the per-request prefill constant or the tail where batch=8 has decayed
+// to batch=1. Identical across every (model, batch, threads) cell so the
+// rows are comparable.
 std::vector<Request> make_workload(std::size_t n, std::size_t vocab) {
   std::vector<Request> reqs;
   Rng rng(7);
   for (std::size_t i = 0; i < n; ++i) {
     Request r;
-    r.prompt = random_tokens(8 + rng.index(25), 50 + i, vocab);
-    r.max_new_tokens = 12 + rng.index(13);
+    r.prompt = random_tokens(2 + rng.index(5), 50 + i, vocab);
+    r.max_new_tokens = 40 + rng.index(3);
     r.sampling.temperature = 0.8f + 0.05f * static_cast<float>(i % 5);
     r.sampling.top_k = (i % 2 == 0) ? 0 : 40;
     r.seed = 9000 + i;
@@ -75,25 +80,36 @@ Row measure(const std::string& name, const Backend& backend,
             const std::vector<Request>& reqs, std::size_t batch,
             std::size_t threads) {
   ThreadPool::set_global_threads(threads);
-  ServeConfig cfg;
-  cfg.max_batch = batch;
-  cfg.max_context = 96;
-  ServeEngine engine(Backend(backend), cfg);
-  for (const Request& r : reqs) {
-    engine.submit(r);
-  }
-  const Timer timer;
-  const auto results = engine.run();
+  // Best-of-N: the workload is deterministic (identical token streams every
+  // repeat), so the min wall time is the stable statistic — it is what the
+  // CI thresholds on the batch/thread scaling ratios read.
+  constexpr std::size_t kRepeats = 3;
   Row row;
   row.model = name;
   row.batch = batch;
   row.threads = threads;
-  row.requests = results.size();
-  row.wall_s = timer.seconds();
-  for (const auto& r : results) {
-    row.generated += r.tokens.size();
+  row.wall_s = 1e30;
+  for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+    ServeConfig cfg;
+    cfg.max_batch = batch;
+    cfg.max_context = 96;
+    ServeEngine engine(Backend(backend), cfg);
+    for (const Request& r : reqs) {
+      engine.submit(r);
+    }
+    const Timer timer;
+    const auto results = engine.run();
+    const double wall = timer.seconds();
+    if (wall < row.wall_s) {
+      row.wall_s = wall;
+      row.requests = results.size();
+      row.generated = 0;
+      for (const auto& r : results) {
+        row.generated += r.tokens.size();
+      }
+      row.engine_steps = engine.stats().engine_steps;
+    }
   }
-  row.engine_steps = engine.stats().engine_steps;
   row.tokens_per_sec = row.wall_s > 0.0
                            ? static_cast<double>(row.generated) / row.wall_s
                            : 0.0;
@@ -101,7 +117,8 @@ Row measure(const std::string& name, const Backend& backend,
 }
 
 bool write_json(const std::vector<Row>& rows, double batch_gain,
-                double packed_slowdown, const std::string& path) {
+                double packed_slowdown, double thread_ratio,
+                const std::string& path) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "serve_throughput: cannot write %s\n", path.c_str());
@@ -112,6 +129,7 @@ bool write_json(const std::vector<Row>& rows, double batch_gain,
       << ",\n";
   out << "  \"packed_batch8_over_batch1\": " << batch_gain << ",\n";
   out << "  \"packed_decode_slowdown_batch1\": " << packed_slowdown << ",\n";
+  out << "  \"packed_threads4_over_threads1\": " << thread_ratio << ",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -180,6 +198,25 @@ int run(std::size_t n_requests, const std::string& out_path) {
   const double packed_slowdown =
       packed_b1t1 > 0.0 ? dense_b1t1 / packed_b1t1 : 0.0;
 
+  // Headline: thread scaling on the batched path — packed model at the
+  // widest batch, threads=4 over threads=1. The batched decode parallelizes
+  // inside the GEMMs, so more threads must never be slower (on a single
+  // hardware core the pool is bypassed and the ratio sits at ~1.0; on real
+  // multicore it exceeds 1).
+  double b8t1 = 0.0;
+  double b8t4 = 0.0;
+  for (const Row& r : rows) {
+    if (r.model == "packed_w4g16" && r.batch == 8) {
+      if (r.threads == 1) {
+        b8t1 = r.tokens_per_sec;
+      }
+      if (r.threads == 4) {
+        b8t4 = r.tokens_per_sec;
+      }
+    }
+  }
+  const double thread_ratio = b8t1 > 0.0 ? b8t4 / b8t1 : 0.0;
+
   std::printf("%-14s %6s %8s %10s %8s %16s\n", "model", "batch", "threads",
               "generated", "wall_s", "tokens_per_sec");
   for (const Row& r : rows) {
@@ -192,9 +229,21 @@ int run(std::size_t n_requests, const std::string& out_path) {
               batch_gain);
   std::printf("packed decode slowdown vs dense (batch=1, 1 thread): %.2fx\n",
               packed_slowdown);
-  if (write_json(rows, batch_gain, packed_slowdown, out_path)) {
+  std::printf("packed threads=4 vs threads=1 at batch=8: %.2fx\n",
+              thread_ratio);
+  if (write_json(rows, batch_gain, packed_slowdown, thread_ratio, out_path)) {
     std::printf("serving throughput results written to %s\n",
                 out_path.c_str());
+  }
+  // Regression tripwire for the per-request sweep this bench was built to
+  // catch: threads=4 materially slower than threads=1 on the batched path
+  // (0.95 absorbs scheduler timing noise, not a real regression).
+  if (thread_ratio > 0.0 && thread_ratio < 0.95) {
+    std::fprintf(stderr,
+                 "serve_throughput: threads=4 is slower than threads=1 on the "
+                 "batched path (%.2fx)\n",
+                 thread_ratio);
+    return 1;
   }
   return 0;
 }

@@ -1,24 +1,133 @@
 #include "model/decode.hpp"
 
+#include "tensor/kernels.hpp"
+
 namespace aptq {
 
-DecodeState::DecodeState(const ModelConfig& config, std::size_t max_context)
-    : config_(config), max_context_(max_context) {
+namespace {
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::size_t log2_of(std::size_t v) {
+  std::size_t s = 0;
+  while ((std::size_t{1} << s) < v) {
+    ++s;
+  }
+  return s;
+}
+
+}  // namespace
+
+KvArena::KvArena(const ModelConfig& config, std::size_t page_positions,
+                 std::size_t pages)
+    : page_positions_(page_positions), pages_(pages) {
+  config.validate();
+  APTQ_CHECK(is_pow2(page_positions),
+             "KvArena: page_positions must be a power of two (got " +
+                 std::to_string(page_positions) + ")");
+  APTQ_CHECK(pages >= 1, "KvArena: need at least one page");
+  stride_ = config.n_layers * 2 * page_positions * config.kv_dim();
+  slab_.assign(pages * stride_, 0.0f);
+  in_use_.assign(pages, 0);
+  free_.reserve(pages);
+  // Free list in reverse so acquire hands out page 0 first (stable page
+  // order is convenient when reading traces).
+  for (std::size_t i = pages; i > 0; --i) {
+    free_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+}
+
+std::uint32_t KvArena::acquire_page() {
+  if (free_.empty()) {
+    return kNoPage;
+  }
+  const std::uint32_t page = free_.back();
+  free_.pop_back();
+  in_use_[page] = 1;
+  return page;
+}
+
+void KvArena::release_page(std::uint32_t page) {
+  APTQ_CHECK(page < pages_, "KvArena: release of out-of-range page");
+  APTQ_CHECK(in_use_[page] != 0, "KvArena: page released twice");
+  in_use_[page] = 0;
+  free_.push_back(page);
+}
+
+DecodeState::DecodeState(const ModelConfig& config, std::size_t max_context,
+                         KvArena* arena, std::unique_ptr<KvArena> owned)
+    : config_(config),
+      max_context_(max_context),
+      kv_dim_(config.kv_dim()),
+      arena_(arena),
+      arena_owned_(std::move(owned)) {
+  if (arena_ == nullptr) {
+    arena_ = arena_owned_.get();
+  }
   config.validate();
   APTQ_CHECK(max_context >= 1, "DecodeState: max_context must be positive");
-  const std::size_t kv_dim = config.kv_dim();
-  k_cache_.reserve(config.n_layers);
-  v_cache_.reserve(config.n_layers);
-  for (std::size_t l = 0; l < config.n_layers; ++l) {
-    k_cache_.emplace_back(max_context, kv_dim);
-    v_cache_.emplace_back(max_context, kv_dim);
+  page_shift_ = log2_of(arena_->page_positions());
+  page_mask_ = arena_->page_positions() - 1;
+  table_.reserve(arena_->pages_for(max_context));
+}
+
+DecodeState::DecodeState(const ModelConfig& config, std::size_t max_context)
+    : DecodeState(config, max_context, nullptr,
+                  std::make_unique<KvArena>(
+                      config, kKvPagePositions,
+                      (max_context + kKvPagePositions - 1) /
+                          kKvPagePositions)) {
+  // Solo states keep the historical always-available semantics: the
+  // private arena is exactly big enough and fully mapped up front.
+  APTQ_CHECK(try_reserve(max_context_), "DecodeState: private arena sizing");
+}
+
+DecodeState::DecodeState(const ModelConfig& config, std::size_t max_context,
+                         KvArena& arena)
+    : DecodeState(config, max_context, &arena, nullptr) {}
+
+DecodeState::~DecodeState() {
+  if (arena_ != nullptr && arena_owned_ == nullptr) {
+    for (const std::uint32_t page : table_) {
+      arena_->release_page(page);
+    }
   }
 }
 
 void DecodeState::reset() {
   // The engine only reads rows [0, pos_), so rewinding the cursor suffices;
-  // stale rows beyond it are overwritten before they are read.
+  // stale rows beyond it are overwritten before they are read. Shared-arena
+  // states additionally return their pages so other sessions can map them.
   pos_ = 0;
+  if (arena_owned_ == nullptr && arena_ != nullptr) {
+    for (const std::uint32_t page : table_) {
+      arena_->release_page(page);
+    }
+    table_.clear();
+  }
+}
+
+bool DecodeState::try_reserve(std::size_t n) {
+  const std::size_t want = std::min(pos_ + n, max_context_);
+  const std::size_t need_pages = arena_->pages_for(want);
+  while (table_.size() < need_pages) {
+    const std::uint32_t page = arena_->acquire_page();
+    if (page == KvArena::kNoPage) {
+      return false;  // already-mapped pages stay mapped
+    }
+    table_.push_back(page);
+  }
+  return true;
+}
+
+std::size_t DecodeState::footprint_bytes() const {
+  const std::size_t table_bytes = table_.capacity() * sizeof(std::uint32_t);
+  if (arena_owned_ != nullptr) {
+    return arena_owned_->bytes() + table_bytes;
+  }
+  const std::size_t page_bytes =
+      arena_ != nullptr ? arena_->page_stride() * sizeof(float) : 0;
+  return table_.size() * page_bytes + table_bytes;
 }
 
 void DecodeState::advance(std::size_t n) {
@@ -26,19 +135,9 @@ void DecodeState::advance(std::size_t n) {
              "DecodeState: advance past capacity (" + std::to_string(pos_) +
                  " + " + std::to_string(n) + " > " +
                  std::to_string(max_context_) + ")");
+  APTQ_CHECK(pos_ + n <= table_.size() * arena_->page_positions(),
+             "DecodeState: advance past reserved pages");
   pos_ += n;
-}
-
-Matrix cache_head(const Matrix& cache, std::size_t rows, std::size_t h,
-                  std::size_t head_dim) {
-  APTQ_CHECK(rows <= cache.rows() && (h + 1) * head_dim <= cache.cols(),
-             "cache_head: slice out of range");
-  Matrix out(rows, head_dim);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* src = cache.data() + r * cache.cols() + h * head_dim;
-    std::copy(src, src + head_dim, out.row(r).begin());
-  }
-  return out;
 }
 
 namespace {
@@ -78,6 +177,40 @@ class DenseDecodeAdapter {
 
   Matrix head(const Matrix& x) const { return matmul(x, model_.lm_head); }
 
+  // Batched projections: row i of the result is bitwise identical to
+  // project()/head() on row i alone, because kern::gemv_batch replays the
+  // solo gemv fold per row (it only shares the streaming of B's rows).
+  Matrix project_batch(std::size_t layer, LinearKind kind,
+                       const Matrix& x) const {
+    const BlockWeights& b = model_.blocks[layer];
+    const Matrix* w = nullptr;
+    switch (kind) {
+      case LinearKind::q_proj: w = &b.wq; break;
+      case LinearKind::k_proj: w = &b.wk; break;
+      case LinearKind::v_proj: w = &b.wv; break;
+      case LinearKind::o_proj: w = &b.wo; break;
+      case LinearKind::gate_proj: w = &b.w_gate; break;
+      case LinearKind::up_proj: w = &b.w_up; break;
+      case LinearKind::down_proj: w = &b.w_down; break;
+      case LinearKind::lm_head:
+        APTQ_FAIL("DenseDecodeAdapter: unexpected projection kind");
+    }
+    APTQ_CHECK(x.cols() == w->rows(), "project_batch: shape mismatch");
+    Matrix out(x.rows(), w->cols());
+    kern::gemv_batch(x.data(), w->data(), x.rows(), x.cols(), w->cols(),
+                     out.data());
+    return out;
+  }
+
+  Matrix head_batch(const Matrix& x) const {
+    APTQ_CHECK(x.cols() == model_.lm_head.rows(),
+               "head_batch: shape mismatch");
+    Matrix out(x.rows(), model_.lm_head.cols());
+    kern::gemv_batch(x.data(), model_.lm_head.data(), x.rows(), x.cols(),
+                     model_.lm_head.cols(), out.data());
+    return out;
+  }
+
  private:
   const Model& model_;
 };
@@ -95,6 +228,13 @@ std::vector<float> decode_step(const Model& model, TokenId token,
                                const ForwardOptions& options) {
   return detail::decode_step_impl(DenseDecodeAdapter(model), token, state,
                                   options);
+}
+
+Matrix decode_step_batch(const Model& model, std::span<const TokenId> tokens,
+                         std::span<DecodeState* const> states,
+                         const ForwardOptions& options) {
+  return detail::decode_step_batch_impl(DenseDecodeAdapter(model), tokens,
+                                        states, options);
 }
 
 }  // namespace aptq

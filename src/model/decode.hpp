@@ -26,6 +26,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -36,19 +38,94 @@
 #include "obs/metrics.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "util/threadpool.hpp"
 
 namespace aptq {
 
-/// Per-layer K/V buffers for one decoding session, sized to a maximum
-/// context. Reusable across sessions via reset(); the engine throws before
-/// writing past max_context().
+/// Default positions per KV page (must be a power of two).
+inline constexpr std::size_t kKvPagePositions = 16;
+
+/// Slab of fixed-size KV pages with a free list — the backing store for
+/// paged DecodeStates (vLLM-style paged attention, CPU edition). One page
+/// holds `page_positions` consecutive context positions of *every* layer's
+/// K and V rows, so a request's page table is a single flat array and
+/// mapping one page extends all layers at once. Within a page, the row of
+/// (layer, K|V, local position p) sits at
+///   ((layer·2 + kind) · page_positions + p) · kv_dim
+/// — consecutive positions of one layer stay contiguous for the attention
+/// sweep. The slab is allocated once; acquire/release only touch the free
+/// list, so page churn is O(1) and allocation-free.
+class KvArena {
+ public:
+  /// Sentinel for "no page".
+  static constexpr std::uint32_t kNoPage = 0xffffffffu;
+
+  KvArena() = default;
+
+  /// `pages` pages of `page_positions` positions each, shaped for
+  /// `config`'s layers. page_positions must be a power of two >= 1.
+  KvArena(const ModelConfig& config, std::size_t page_positions,
+          std::size_t pages);
+
+  std::size_t page_positions() const { return page_positions_; }
+  std::size_t pages() const { return pages_; }
+  std::size_t free_pages() const { return free_.size(); }
+  /// Floats per page.
+  std::size_t page_stride() const { return stride_; }
+  /// Resident slab bytes (allocated once, independent of occupancy).
+  std::size_t bytes() const { return slab_.size() * sizeof(float); }
+  /// Pages needed to hold `positions` context positions.
+  std::size_t pages_for(std::size_t positions) const {
+    return (positions + page_positions_ - 1) / page_positions_;
+  }
+
+  /// Pop a free page, or kNoPage when the slab is exhausted.
+  std::uint32_t acquire_page();
+  /// Push a page back. Throws on out-of-range or double release.
+  void release_page(std::uint32_t page);
+
+  float* page_data(std::uint32_t page) {
+    return slab_.data() + static_cast<std::size_t>(page) * stride_;
+  }
+  const float* page_data(std::uint32_t page) const {
+    return slab_.data() + static_cast<std::size_t>(page) * stride_;
+  }
+
+ private:
+  std::size_t page_positions_ = 0;
+  std::size_t pages_ = 0;
+  std::size_t stride_ = 0;  // floats per page
+  std::vector<float> slab_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::uint8_t> in_use_;  // O(1) double-release guard
+};
+
+/// One decoding session's KV cache: a cursor plus a page table into a
+/// KvArena. Attention reads go through k_row()/v_row() page indirection;
+/// pages are mapped on demand by try_reserve(), so a pool of sessions
+/// shares a bounded slab and bytes held track actual context depth, not
+/// the max_context worst case.
+///
+/// The solo constructor (config, max_context) keeps the historical
+/// semantics — it owns a private, fully mapped arena, so try_reserve never
+/// fails and no sharing is involved. The arena-backed constructor borrows
+/// a shared slab (the serve pool's); reset() then returns its pages.
 class DecodeState {
  public:
   DecodeState() = default;
 
-  /// Buffers for `config`-shaped layers holding up to `max_context`
-  /// positions. Throws if max_context is zero.
+  /// Self-contained state holding up to `max_context` positions (private
+  /// arena, fully mapped). Throws if max_context is zero.
   DecodeState(const ModelConfig& config, std::size_t max_context);
+
+  /// State over a shared arena; pages are mapped lazily by try_reserve()
+  /// and returned by reset()/destruction. `arena` must outlive this state.
+  DecodeState(const ModelConfig& config, std::size_t max_context,
+              KvArena& arena);
+
+  DecodeState(DecodeState&&) = default;
+  DecodeState& operator=(DecodeState&&) = default;
+  ~DecodeState();
 
   /// Number of tokens consumed so far.
   std::size_t pos() const { return pos_; }
@@ -56,24 +133,60 @@ class DecodeState {
   std::size_t max_context() const { return max_context_; }
   const ModelConfig& config() const { return config_; }
 
-  /// Drop all cached state and restart from an empty context.
+  /// Drop all cached state and restart from an empty context (shared-arena
+  /// states also return their pages to the arena).
   void reset();
 
-  // Engine internals: rows [0, pos()) of layer `layer`'s caches hold the
-  // rotated keys / raw values of the consumed positions, (max_context ×
-  // kv_dim) each.
-  Matrix& k_cache(std::size_t layer) { return k_cache_[layer]; }
-  Matrix& v_cache(std::size_t layer) { return v_cache_[layer]; }
-  const Matrix& k_cache(std::size_t layer) const { return k_cache_[layer]; }
-  const Matrix& v_cache(std::size_t layer) const { return v_cache_[layer]; }
+  /// Ensure pages are mapped for positions [0, pos() + n). Returns false —
+  /// leaving already-mapped pages in place — when the arena is exhausted;
+  /// always true for solo states and when pos() + n exceeds max_context()
+  /// by page rounding (capacity itself is checked by the engine).
+  bool try_reserve(std::size_t n);
+
+  /// Pages currently mapped by this state.
+  std::size_t pages_held() const { return table_.size(); }
+
+  /// Bytes this state pins exclusively: the private arena slab for solo
+  /// states, the mapped pages for shared-arena states, plus the page
+  /// table — the true resident footprint serve.kv_bytes reports.
+  std::size_t footprint_bytes() const;
+
+  // Engine internals: the kv_dim-float K/V rows of consumed positions,
+  // resolved through the page table. `t` must lie below the reserved
+  // position count (the engine try_reserve()s before writing).
+  float* k_row(std::size_t layer, std::size_t t) {
+    return row_ptr(layer, 0, t);
+  }
+  float* v_row(std::size_t layer, std::size_t t) {
+    return row_ptr(layer, 1, t);
+  }
+  const float* k_row(std::size_t layer, std::size_t t) const {
+    return row_ptr(layer, 0, t);
+  }
+  const float* v_row(std::size_t layer, std::size_t t) const {
+    return row_ptr(layer, 1, t);
+  }
   void advance(std::size_t n);
 
  private:
+  DecodeState(const ModelConfig& config, std::size_t max_context,
+              KvArena* arena, std::unique_ptr<KvArena> owned);
+
+  float* row_ptr(std::size_t layer, std::size_t kind, std::size_t t) const {
+    const std::size_t pp = arena_->page_positions();
+    float* page = arena_->page_data(table_[t >> page_shift_]);
+    return page + ((layer * 2 + kind) * pp + (t & page_mask_)) * kv_dim_;
+  }
+
   ModelConfig config_;
   std::size_t max_context_ = 0;
   std::size_t pos_ = 0;
-  std::vector<Matrix> k_cache_;
-  std::vector<Matrix> v_cache_;
+  std::size_t kv_dim_ = 0;
+  std::size_t page_shift_ = 0;
+  std::size_t page_mask_ = 0;
+  KvArena* arena_ = nullptr;            // borrowed unless arena_owned_
+  std::unique_ptr<KvArena> arena_owned_;
+  std::vector<std::uint32_t> table_;    // page id per page-sized span
 };
 
 /// Batched prefill over the dense model: appends `tokens` to the context
@@ -87,10 +200,17 @@ std::vector<float> decode_step(const Model& model, TokenId token,
                                DecodeState& state,
                                const ForwardOptions& options = {});
 
-/// First `rows` rows of head `h` (columns [h·head_dim, (h+1)·head_dim)) of
-/// a cache matrix, as a copy — the per-head K/V view used by prefill.
-Matrix cache_head(const Matrix& cache, std::size_t rows, std::size_t h,
-                  std::size_t head_dim);
+/// One incremental step over a whole batch of independent sessions: row i
+/// of the returned (batch × V) logits is bitwise identical to
+/// decode_step(model, tokens[i], *states[i]) — the batched kernels replay
+/// the solo fold per row (see kern::gemv_batch / kern::qgemv_batch) — but
+/// each weight is streamed once per layer for the whole batch instead of
+/// once per request, and threads parallelize inside the batched kernels
+/// where there is real work. States must be distinct; tokens.size() must
+/// equal states.size().
+Matrix decode_step_batch(const Model& model, std::span<const TokenId> tokens,
+                         std::span<DecodeState* const> states,
+                         const ForwardOptions& options = {});
 
 namespace detail {
 
@@ -104,7 +224,10 @@ namespace detail {
 //   std::span<const float> ffn_norm(std::size_t layer) const;
 //   std::span<const float> final_norm() const;
 //   Matrix project(std::size_t layer, LinearKind kind, const Matrix& x);
+//   Matrix project_batch(std::size_t layer, LinearKind kind,
+//                        const Matrix& x);  // row i == project(row i) bitwise
 //   Matrix head(const Matrix& x) const;   // lm_head logits
+//   Matrix head_batch(const Matrix& x) const;  // row i == head(row i) bitwise
 
 template <typename Adapter>
 void decode_check_token(const Adapter& adapter, TokenId token) {
@@ -135,11 +258,28 @@ Matrix decode_prefill_impl(const Adapter& adapter,
   const std::size_t prior = state.pos();
   const std::size_t d = cfg.dim;
   const std::size_t hd = cfg.head_dim();
+  APTQ_CHECK(state.try_reserve(t_len),
+             "decode_prefill: KV pages exhausted (" +
+                 std::to_string(state.pages_held()) +
+                 " pages mapped; the pool must admit fewer requests)");
   const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
   const auto maybe_quant = [&options](Matrix& m) {
     if (options.act_quant_bits > 0) {
       fake_quant_rows(m, options.act_quant_bits);
     }
+  };
+  // Per-head K/V gather through the page table — the paged equivalent of
+  // the old contiguous cache_head slice (same values, same row order).
+  const auto gather_head = [&](std::size_t layer, bool want_v,
+                               std::size_t rows, std::size_t g) {
+    Matrix out(rows, hd);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* src = (want_v ? state.v_row(layer, r)
+                                 : state.k_row(layer, r)) +
+                         g * hd;
+      std::copy(src, src + hd, out.row(r).begin());
+    }
+    return out;
   };
 
   Matrix x(t_len, d);
@@ -162,11 +302,9 @@ Matrix decode_prefill_impl(const Adapter& adapter,
     const Matrix v = adapter.project(layer, LinearKind::v_proj, normed);
     rope_apply(q, hd, cfg.rope_theta, /*inverse=*/false, prior);
     rope_apply(k, hd, cfg.rope_theta, /*inverse=*/false, prior);
-    Matrix& kc = state.k_cache(layer);
-    Matrix& vc = state.v_cache(layer);
     for (std::size_t t = 0; t < t_len; ++t) {
-      std::copy(k.row(t).begin(), k.row(t).end(), kc.row(prior + t).begin());
-      std::copy(v.row(t).begin(), v.row(t).end(), vc.row(prior + t).begin());
+      std::copy(k.row(t).begin(), k.row(t).end(), state.k_row(layer, prior + t));
+      std::copy(v.row(t).begin(), v.row(t).end(), state.v_row(layer, prior + t));
     }
 
     const std::size_t ctx = prior + t_len;
@@ -175,8 +313,8 @@ Matrix decode_prefill_impl(const Adapter& adapter,
     for (std::size_t h = 0; h < cfg.n_heads; ++h) {
       const std::size_t g = h / group_factor;  // shared kv head (GQA)
       const Matrix qh = extract_head(q, h, hd);
-      const Matrix kh = cache_head(kc, ctx, g, hd);
-      const Matrix vh = cache_head(vc, ctx, g, hd);
+      const Matrix kh = gather_head(layer, /*want_v=*/false, ctx, g);
+      const Matrix vh = gather_head(layer, /*want_v=*/true, ctx, g);
       Matrix scores(t_len, ctx);
       gemm(qh, Trans::no, kh, Trans::yes, scores, inv_sqrt_hd);
       // Row r sits at absolute position prior + r, so it may attend to the
@@ -230,9 +368,10 @@ std::vector<float> decode_step_impl(const Adapter& adapter, TokenId token,
                  std::to_string(state.max_context()) +
                  "); the caller must evict or grow the state");
   decode_check_token(adapter, token);
+  APTQ_CHECK(state.try_reserve(1),
+             "decode_step: KV pages exhausted; the caller must evict");
   const std::size_t d = cfg.dim;
   const std::size_t hd = cfg.head_dim();
-  const std::size_t kv_dim = cfg.kv_dim();
   const std::size_t pos = state.pos();
   const std::size_t ctx = pos + 1;
   const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
@@ -261,12 +400,8 @@ std::vector<float> decode_step_impl(const Adapter& adapter, TokenId token,
     const Matrix v = adapter.project(layer, LinearKind::v_proj, normed);
     rope_apply(q, hd, cfg.rope_theta, /*inverse=*/false, pos);
     rope_apply(k, hd, cfg.rope_theta, /*inverse=*/false, pos);
-    const Matrix& kc = state.k_cache(layer);
-    const Matrix& vc = state.v_cache(layer);
-    std::copy(k.row(0).begin(), k.row(0).end(),
-              state.k_cache(layer).row(pos).begin());
-    std::copy(v.row(0).begin(), v.row(0).end(),
-              state.v_cache(layer).row(pos).begin());
+    std::copy(k.row(0).begin(), k.row(0).end(), state.k_row(layer, pos));
+    std::copy(v.row(0).begin(), v.row(0).end(), state.v_row(layer, pos));
 
     Matrix attn_cat(1, d);
     const std::size_t group_factor = cfg.group_factor();
@@ -274,12 +409,13 @@ std::vector<float> decode_step_impl(const Adapter& adapter, TokenId token,
       const std::size_t g = h / group_factor;  // shared kv head (GQA)
       const float* qh = q.data() + h * hd;
       // Scores over all cached positions (causality is implicit: only
-      // positions <= pos are cached). The four-accumulator dot is the
-      // kernel layer's; the dense 1-row projections above already ride the
-      // gemv fast path inside gemm().
+      // positions <= pos are cached), read through the page table; within
+      // a page consecutive positions stay kv_dim-contiguous. The
+      // four-accumulator dot is the kernel layer's; the dense 1-row
+      // projections above already ride the gemv fast path inside gemm().
       float max_s = -1e30f;
       for (std::size_t t = 0; t < ctx; ++t) {
-        const float* kh = kc.data() + t * kv_dim + g * hd;
+        const float* kh = state.k_row(layer, t) + g * hd;
         scores[t] = kern::dot4(qh, kh, hd) * inv_sqrt_hd;
         max_s = std::max(max_s, scores[t]);
       }
@@ -292,7 +428,7 @@ std::vector<float> decode_step_impl(const Adapter& adapter, TokenId token,
       float* out = attn_cat.data() + h * hd;
       for (std::size_t t = 0; t < ctx; ++t) {
         const float p = scores[t] * inv_sum;
-        const float* vh = vc.data() + t * kv_dim + g * hd;
+        const float* vh = state.v_row(layer, t) + g * hd;
         for (std::size_t c = 0; c < hd; ++c) {
           out[c] += p * vh[c];
         }
@@ -326,6 +462,171 @@ std::vector<float> decode_step_impl(const Adapter& adapter, TokenId token,
     tokens.add(1);
   }
   return {logits.row(0).begin(), logits.row(0).end()};
+}
+
+// One incremental step for a batch of independent sessions. The activations
+// of the in-flight requests are stacked into (batch × d) matrices and every
+// projection hits a batched kernel once per layer per weight — the weight
+// stream (dense rows, packed code bytes + nibble unpack) is paid once per
+// batch instead of once per request, and threads split the *inside* of each
+// kernel instead of sweeping requests at grain 1.
+//
+// Determinism: every batched stage is row-independent with the solo fold
+// per row (gemv_batch / qgemv_batch replay the solo kernels bit-for-bit;
+// rmsnorm / rope / silu / axpy are row-wise or elementwise; the attention
+// sweep runs the exact decode_step_impl head loop per (request, head) with
+// disjoint outputs). Row i of the returned logits is therefore bitwise
+// identical to decode_step_impl(adapter, tokens[i], *states[i]) at any
+// batch size and thread count — the serve engine's equivalence gate.
+template <typename Adapter>
+Matrix decode_step_batch_impl(const Adapter& adapter,
+                              std::span<const TokenId> tokens,
+                              std::span<DecodeState* const> states,
+                              const ForwardOptions& options) {
+  const std::uint64_t obs_start =
+      obs::telemetry_enabled() ? obs::now_ns() : 0;
+  const ModelConfig& cfg = adapter.config();
+  const std::size_t n = tokens.size();
+  APTQ_CHECK(n >= 1, "decode_step_batch: empty batch");
+  APTQ_CHECK(states.size() == n,
+             "decode_step_batch: one state per token required");
+  std::vector<std::size_t> positions(n);
+  std::size_t max_ctx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    APTQ_CHECK(states[i] != nullptr, "decode_step_batch: null state");
+    APTQ_CHECK(states[i]->config() == cfg,
+               "decode_step_batch: state built for a different model config");
+    for (std::size_t j = i + 1; j < n; ++j) {
+      APTQ_CHECK(states[i] != states[j],
+                 "decode_step_batch: duplicate state in batch");
+    }
+    decode_check_token(adapter, tokens[i]);
+    APTQ_CHECK(states[i]->pos() < states[i]->max_context(),
+               "decode_step_batch: context capacity exceeded (" +
+                   std::to_string(states[i]->pos()) +
+                   " positions cached, max_context " +
+                   std::to_string(states[i]->max_context()) +
+                   "); the caller must evict or grow the state");
+    APTQ_CHECK(states[i]->try_reserve(1),
+               "decode_step_batch: KV pages exhausted; the caller must evict");
+    positions[i] = states[i]->pos();
+    max_ctx = std::max(max_ctx, positions[i] + 1);
+  }
+  const std::size_t d = cfg.dim;
+  const std::size_t hd = cfg.head_dim();
+  const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
+  const auto maybe_quant = [&options](Matrix& m) {
+    if (options.act_quant_bits > 0) {
+      fake_quant_rows(m, options.act_quant_bits);
+    }
+  };
+
+  Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src =
+        adapter.embedding(static_cast<std::size_t>(tokens[i]));
+    std::copy(src.begin(), src.end(), x.row(i).begin());
+  }
+
+  Matrix normed;
+  std::vector<float> inv_rms;
+  // One scores row per (request, head) task so concurrent heads of the
+  // same request never share a buffer; sized once for the deepest context
+  // in the batch (ctx is fixed during the step).
+  Matrix scores_ws(n * cfg.n_heads, max_ctx);
+  for (std::size_t layer = 0; layer < cfg.n_layers; ++layer) {
+    rmsnorm_forward(x, adapter.attn_norm(layer), cfg.norm_eps, normed,
+                    inv_rms);
+    maybe_quant(normed);
+
+    Matrix q = adapter.project_batch(layer, LinearKind::q_proj, normed);
+    Matrix k = adapter.project_batch(layer, LinearKind::k_proj, normed);
+    const Matrix v = adapter.project_batch(layer, LinearKind::v_proj, normed);
+    rope_apply_rows(q, hd, positions, cfg.rope_theta);
+    rope_apply_rows(k, hd, positions, cfg.rope_theta);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::copy(k.row(i).begin(), k.row(i).end(),
+                states[i]->k_row(layer, positions[i]));
+      std::copy(v.row(i).begin(), v.row(i).end(),
+                states[i]->v_row(layer, positions[i]));
+    }
+
+    Matrix attn_cat(n, d);
+    const std::size_t group_factor = cfg.group_factor();
+    const std::size_t tasks = n * cfg.n_heads;
+    // Flattened (request × head) sweep: each task runs decode_step_impl's
+    // per-head loop verbatim against its own state's paged rows and writes
+    // a disjoint attn_cat slice. Chunk boundaries depend only on the
+    // shape; the pool is skipped when it cannot realize parallelism.
+    const auto attend = [&](std::size_t tb, std::size_t te) {
+      for (std::size_t task = tb; task < te; ++task) {
+        const std::size_t i = task / cfg.n_heads;
+        const std::size_t h = task % cfg.n_heads;
+        const std::size_t g = h / group_factor;  // shared kv head (GQA)
+        const DecodeState& st = *states[i];
+        const std::size_t ctx = positions[i] + 1;
+        const float* qh = q.data() + i * d + h * hd;
+        float* scores = scores_ws.data() + task * max_ctx;
+        float max_s = -1e30f;
+        for (std::size_t t = 0; t < ctx; ++t) {
+          const float* kh = st.k_row(layer, t) + g * hd;
+          scores[t] = kern::dot4(qh, kh, hd) * inv_sqrt_hd;
+          max_s = std::max(max_s, scores[t]);
+        }
+        float sum = 0.0f;
+        for (std::size_t t = 0; t < ctx; ++t) {
+          scores[t] = std::exp(scores[t] - max_s);
+          sum += scores[t];
+        }
+        const float inv_sum = 1.0f / sum;
+        float* out = attn_cat.data() + i * d + h * hd;
+        for (std::size_t t = 0; t < ctx; ++t) {
+          const float p = scores[t] * inv_sum;
+          const float* vh = st.v_row(layer, t) + g * hd;
+          for (std::size_t c = 0; c < hd; ++c) {
+            out[c] += p * vh[c];
+          }
+        }
+      }
+    };
+    if (tasks > 1 && ThreadPool::effective_global_threads() > 1) {
+      parallel_for(0, tasks, 1, attend);
+    } else {
+      attend(0, tasks);
+    }
+    maybe_quant(attn_cat);
+    axpy(1.0f, adapter.project_batch(layer, LinearKind::o_proj, attn_cat), x);
+
+    rmsnorm_forward(x, adapter.ffn_norm(layer), cfg.norm_eps, normed,
+                    inv_rms);
+    maybe_quant(normed);
+    Matrix gate_pre =
+        adapter.project_batch(layer, LinearKind::gate_proj, normed);
+    const Matrix up = adapter.project_batch(layer, LinearKind::up_proj, normed);
+    Matrix act;
+    silu(gate_pre, act);
+    for (std::size_t i = 0; i < act.size(); ++i) {
+      act.flat()[i] *= up.flat()[i];
+    }
+    maybe_quant(act);
+    axpy(1.0f, adapter.project_batch(layer, LinearKind::down_proj, act), x);
+  }
+
+  rmsnorm_forward(x, adapter.final_norm(), cfg.norm_eps, normed, inv_rms);
+  maybe_quant(normed);
+  Matrix logits = adapter.head_batch(normed);
+  for (std::size_t i = 0; i < n; ++i) {
+    states[i]->advance(1);
+  }
+  if (obs_start != 0) {
+    static auto& step_ms = obs::histogram("decode.step_batch_ms");
+    static auto& rows = obs::histogram("decode.step_batch_rows");
+    static auto& tokens_c = obs::counter("decode.tokens");
+    step_ms.record(static_cast<double>(obs::now_ns() - obs_start) * 1e-6);
+    rows.record(static_cast<double>(n));
+    tokens_c.add(n);
+  }
+  return logits;
 }
 
 }  // namespace detail

@@ -82,6 +82,39 @@ class PackedDecodeAdapter {
 
   Matrix head(const Matrix& x) const { return matmul(x, model_.lm_head()); }
 
+  // Batched projections for continuous-batching decode: row i of the result
+  // is bitwise identical to project()/head() on row i alone (see
+  // QuantizedLinear::matvec_transposed_batch and kern::gemv_batch).
+  Matrix project_batch(std::size_t layer, LinearKind kind,
+                       const Matrix& x) const {
+    const std::size_t base = layer * 7;
+    std::size_t idx = 0;
+    switch (kind) {
+      case LinearKind::q_proj: idx = 0; break;
+      case LinearKind::k_proj: idx = 1; break;
+      case LinearKind::v_proj: idx = 2; break;
+      case LinearKind::o_proj: idx = 3; break;
+      case LinearKind::gate_proj: idx = 4; break;
+      case LinearKind::up_proj: idx = 5; break;
+      case LinearKind::down_proj: idx = 6; break;
+      case LinearKind::lm_head:
+        APTQ_FAIL("PackedDecodeAdapter: unexpected projection kind");
+    }
+    const QuantizedLinear& lin = model_.linears()[base + idx];
+    Matrix out(x.rows(), lin.rows());
+    lin.matvec_transposed_batch(x, out);
+    return out;
+  }
+
+  Matrix head_batch(const Matrix& x) const {
+    const Matrix& w = model_.lm_head();
+    APTQ_CHECK(x.cols() == w.rows(), "head_batch: shape mismatch");
+    Matrix out(x.rows(), w.cols());
+    kern::gemv_batch(x.data(), w.data(), x.rows(), x.cols(), w.cols(),
+                     out.data());
+    return out;
+  }
+
  private:
   const PackedModel& model_;
 };
@@ -266,6 +299,16 @@ std::vector<float> decode_step(const PackedModel& model, TokenId token,
              "decode_step: packed model not initialized");
   return detail::decode_step_impl(PackedDecodeAdapter(model), token, state,
                                   ForwardOptions{});
+}
+
+Matrix decode_step_batch(const PackedModel& model,
+                         std::span<const TokenId> tokens,
+                         std::span<DecodeState* const> states,
+                         const ForwardOptions& options) {
+  APTQ_CHECK(model.linears().size() == model.config().n_layers * 7,
+             "decode_step_batch: packed model not initialized");
+  return detail::decode_step_batch_impl(PackedDecodeAdapter(model), tokens,
+                                        states, options);
 }
 
 TokenSeq sample_from_packed(const PackedModel& model, std::size_t length,

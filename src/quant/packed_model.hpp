@@ -96,6 +96,15 @@ Matrix decode_prefill(const PackedModel& model, std::span<const TokenId> tokens,
 std::vector<float> decode_step(const PackedModel& model, TokenId token,
                                DecodeState& state);
 
+/// One incremental step for a batch of independent requests over packed
+/// weights: row i of the returned (batch × V) logits is bitwise identical
+/// to decode_step(model, tokens[i], *states[i]). Projections ride
+/// kern::qgemv_batch, which unpacks each weight row's codes once per batch.
+Matrix decode_step_batch(const PackedModel& model,
+                         std::span<const TokenId> tokens,
+                         std::span<DecodeState* const> states,
+                         const ForwardOptions& options = {});
+
 /// Sample `length` tokens autoregressively from a packed model (same loop
 /// and RNG consumption as sample_from_model, running on packed weights).
 TokenSeq sample_from_packed(const PackedModel& model, std::size_t length,

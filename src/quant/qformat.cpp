@@ -384,6 +384,25 @@ Matrix QuantizedLinear::matmul_transposed(const Matrix& x) const {
   return out;
 }
 
+void QuantizedLinear::matvec_transposed_batch(const Matrix& x,
+                                              Matrix& y) const {
+  APTQ_CHECK(x.cols() == cols_, "QuantizedLinear: input width mismatch");
+  APTQ_CHECK(y.rows() == x.rows() && y.cols() == rows_,
+             "QuantizedLinear: batched output shape mismatch");
+  if (x.rows() == 0) {
+    return;
+  }
+  if (has_kernel_path()) {
+    kern::qgemv_batch(block_view(), x.data(), x.rows(), y.data());
+    return;
+  }
+  // Non-kernel formats keep the solo path per row; batching only helps the
+  // blocked kernels, and the fallback is already bitwise-stable.
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    matvec_transposed(x.row(i), y.row(i));
+  }
+}
+
 void QuantizedLinear::matvec_transposed(std::span<const float> x,
                                         std::span<float> y) const {
   APTQ_CHECK(x.size() == cols_, "QuantizedLinear: input width mismatch");

@@ -118,6 +118,15 @@ class QuantizedLinear {
   /// path, served by the vectorized kern::qgemv for affine 4/8-bit codes.
   void matvec_transposed(std::span<const float> x, std::span<float> y) const;
 
+  /// Batched matvec for continuous-batching decode: y(i,:) for input row
+  /// x(i,:) is bitwise identical to matvec_transposed(x.row(i), y.row(i)).
+  /// The kernel path (kern::qgemv_batch) unpacks each weight row's codes
+  /// once and reuses the floats across all batch rows while replaying the
+  /// solo qgemv fold per row — unlike matmul_transposed, whose
+  /// qgemv_multi fold differs from qgemv. x is (batch × in_features), y
+  /// must be preallocated (batch × out_features).
+  void matvec_transposed_batch(const Matrix& x, Matrix& y) const;
+
   /// True when this layer's codes are served by the vectorized blocked
   /// kernels (int_affine stored as nibbles or bytes: bits 3, 4, 8).
   bool has_kernel_path() const;

@@ -10,7 +10,6 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "quant/packed_model.hpp"
-#include "util/threadpool.hpp"
 
 namespace aptq::serve {
 
@@ -36,6 +35,10 @@ Backend make_backend(const Model& model) {
   b.step = [&model](TokenId token, DecodeState& state) {
     return decode_step(model, token, state);
   };
+  b.step_batch = [&model](std::span<const TokenId> tokens,
+                          std::span<DecodeState* const> states) {
+    return decode_step_batch(model, tokens, states);
+  };
   return b;
 }
 
@@ -49,6 +52,10 @@ Backend make_backend(const PackedModel& model) {
   b.step = [&model](TokenId token, DecodeState& state) {
     return decode_step(model, token, state);
   };
+  b.step_batch = [&model](std::span<const TokenId> tokens,
+                          std::span<DecodeState* const> states) {
+    return decode_step_batch(model, tokens, states);
+  };
   return b;
 }
 
@@ -56,10 +63,11 @@ ServeEngine::ServeEngine(Backend backend, const ServeConfig& config)
     : backend_(std::move(backend)),
       config_(config),
       pool_(backend_.config, config.max_context,
-            config.kv_slots == 0 ? config.max_batch : config.kv_slots) {
+            config.kv_slots == 0 ? config.max_batch : config.kv_slots,
+            config.kv_page_positions, config.kv_pages) {
   APTQ_CHECK(config_.max_batch >= 1, "ServeEngine: max_batch must be >= 1");
-  APTQ_CHECK(backend_.prefill && backend_.step,
-             "ServeEngine: backend missing prefill/step");
+  APTQ_CHECK(backend_.prefill && backend_.step && backend_.step_batch,
+             "ServeEngine: backend missing prefill/step/step_batch");
 }
 
 RequestId ServeEngine::submit(Request request) {
@@ -125,6 +133,17 @@ void ServeEngine::admit() {
     if (state == nullptr) {
       break;  // no KV slot free: stays queued
     }
+    // Reserve pages for the whole prompt plus the first decode position up
+    // front, so prefill cannot die mid-flight on an exhausted arena. When
+    // pages are oversubscribed (kv_pages below the full bound) this is the
+    // backpressure point: the request stays queued until retirements
+    // return enough pages.
+    const std::size_t want =
+        std::min(best->request.prompt.size() + 1, config_.max_context);
+    if (!state->try_reserve(want)) {
+      pool_.release(state);  // also returns any partially acquired pages
+      break;
+    }
     Active a;
     a.id = best->id;
     a.request = std::move(best->request);
@@ -137,27 +156,25 @@ void ServeEngine::admit() {
   }
 }
 
-// One unit of work for one request: prefill-or-step, then sample the next
-// token from the request's private stream and evaluate the stopping rules.
-// Touches only `a` (plus the const backend), so requests advance in
-// parallel without synchronization.
-void ServeEngine::advance_one(Active& a) {
+// Prefill a freshly admitted request's whole prompt (internally parallel
+// across the pool), then sample its first token from the prefill logits.
+void ServeEngine::prefill_one(Active& a) {
   // Per-request span; the dynamic name is only built when tracing is on so
   // the disabled path stays allocation-free.
   std::optional<obs::TraceSpan> span;
   if (obs::tracing_enabled()) {
     span.emplace("serve.request." + std::to_string(a.id), "serve");
   }
-  std::vector<float> logits;
-  if (a.needs_prefill) {
-    const Matrix all = backend_.prefill(a.request.prompt, *a.state);
-    const auto last = all.row(all.rows() - 1);
-    logits.assign(last.begin(), last.end());
-    a.needs_prefill = false;
-    a.ttft_ms = a.since_submit.millis();
-  } else {
-    logits = backend_.step(a.next_input, *a.state);
-  }
+  const Matrix all = backend_.prefill(a.request.prompt, *a.state);
+  const auto last = all.row(all.rows() - 1);
+  a.needs_prefill = false;
+  a.ttft_ms = a.since_submit.millis();
+  sample_and_stop(a, std::vector<float>(last.begin(), last.end()));
+}
+
+// Sample the next token from the request's private stream and evaluate the
+// stopping rules.
+void ServeEngine::sample_and_stop(Active& a, std::vector<float> logits) {
   const TokenId token = sample_token(logits, a.request.sampling, a.rng);
   a.generated.push_back(token);
   a.next_input = token;
@@ -214,9 +231,13 @@ void ServeEngine::update_gauges() {
   static auto& depth = obs::gauge("serve.queue_depth");
   static auto& active = obs::gauge("serve.active_requests");
   static auto& slots = obs::gauge("serve.kv_slots_in_use");
+  static auto& pages = obs::gauge("serve.kv_pages_in_use");
+  static auto& mapped = obs::gauge("serve.kv_mapped_bytes");
   depth.set(static_cast<double>(queue_.size()));
   active.set(static_cast<double>(active_.size()));
   slots.set(static_cast<double>(pool_.in_use()));
+  pages.set(static_cast<double>(pool_.pages_in_use()));
+  mapped.set(static_cast<double>(pool_.mapped_bytes()));
 }
 
 std::size_t ServeEngine::step() {
@@ -227,18 +248,50 @@ std::size_t ServeEngine::step() {
     update_gauges();
     return 0;
   }
-  // One prefill-or-step per in-flight request, swept across the pool.
-  // Inside a worker the decode kernels detect the nesting and run their
-  // own loops inline, so every request's math is bitwise identical to a
-  // solo run at any thread count and batch size (the determinism
-  // contract). With a single active request the sweep collapses to the
-  // calling thread and the kernels parallelize internally instead.
-  parallel_for(0, active_.size(), 1, [this](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) {
-      advance_one(active_[i]);
+  // Requests already in flight before this step decode together through
+  // one step_batch forward pass: their activations stack into a
+  // (batch × dim) matrix, so the batched kernels stream each weight row
+  // once per step and the ThreadPool parallelizes inside the GEMMs rather
+  // than across requests (which pinned each request's math to one worker
+  // and left threads idle whenever batch < threads). Row i of the batched
+  // logits is bitwise identical to stepping request i alone — the
+  // determinism contract is unchanged. Collect the batch before the
+  // prefills run so a request admitted this step is not double-advanced.
+  std::vector<Active*> batch;
+  std::vector<TokenId> batch_tokens;
+  std::vector<DecodeState*> batch_states;
+  batch.reserve(active_.size());
+  for (Active& a : active_) {
+    if (a.needs_prefill || a.finish != FinishReason::none) {
+      continue;
     }
-  });
-  const std::size_t produced = active_.size();
+    if (!a.state->try_reserve(1)) {
+      // Arena exhausted mid-flight (oversubscribed kv_pages): evict with
+      // the tokens generated so far instead of letting decode throw. The
+      // co-scheduled requests keep their already-mapped pages and are
+      // unaffected.
+      a.finish = FinishReason::context_full;
+      continue;
+    }
+    batch.push_back(&a);
+    batch_tokens.push_back(a.next_input);
+    batch_states.push_back(a.state);
+  }
+  std::size_t produced = 0;
+  for (Active& a : active_) {
+    if (a.needs_prefill) {
+      prefill_one(a);
+      ++produced;
+    }
+  }
+  if (!batch.empty()) {
+    const Matrix logits = backend_.step_batch(batch_tokens, batch_states);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto row = logits.row(i);
+      sample_and_stop(*batch[i], std::vector<float>(row.begin(), row.end()));
+      ++produced;
+    }
+  }
   ++stats_.engine_steps;
   stats_.generated_tokens += produced;
   retire_finished();
@@ -282,7 +335,12 @@ void ServeEngine::fill_report(obs::RunReport& report) const {
   report.add_serving(p + "peak_active",
                      static_cast<std::uint64_t>(stats_.peak_active));
   report.add_serving(p + "kv_slots", static_cast<std::uint64_t>(pool_.slots()));
+  report.add_serving(p + "kv_pages", static_cast<std::uint64_t>(pool_.pages()));
+  report.add_serving(p + "kv_page_positions",
+                     static_cast<std::uint64_t>(pool_.page_positions()));
   report.add_serving(p + "kv_bytes", static_cast<std::uint64_t>(pool_.bytes()));
+  report.add_serving(p + "kv_mapped_bytes",
+                     static_cast<std::uint64_t>(pool_.mapped_bytes()));
   report.add_serving(p + "busy_seconds", stats_.busy_seconds);
   report.add_serving(p + "tokens_per_sec", stats_.tokens_per_sec());
 }

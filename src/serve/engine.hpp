@@ -5,11 +5,14 @@
 // model. Each scheduler step
 //
 //   1. admits queued requests (highest priority first, FIFO within a
-//      level) while a batch seat and a KvPool slot are both free,
-//   2. runs one unit of work per in-flight request across the global
-//      ThreadPool — a batched decode_prefill over the whole prompt for a
-//      freshly admitted request, folded into the same parallel sweep as
-//      the single-token decode_step of every older request,
+//      level) while a batch seat, a KvPool slot, and enough KV pages for
+//      the prompt are all free,
+//   2. prefills freshly admitted requests (each a batched decode_prefill
+//      over the whole prompt), then advances every older request one
+//      token through a single decode_step_batch forward pass — the
+//      in-flight activations are stacked into one (batch × dim) matrix so
+//      the batched kernels stream each weight row once per step and the
+//      global ThreadPool parallelizes inside the GEMMs,
 //   3. samples each request's next token from its private RNG stream
 //      (Rng::for_stream(seed, request_id)) with its own temperature/top_k,
 //   4. retires finished requests (eos / max_new_tokens / KV capacity) and
@@ -49,12 +52,20 @@ namespace aptq::serve {
 
 /// Type-erased decode backend: the engine drives any model that offers
 /// prefill/step over a DecodeState. The callables borrow the model — it
-/// must outlive the backend.
+/// must outlive the backend. step_batch advances one token for each of a
+/// batch of independent requests in a single forward pass (row i of the
+/// returned logits is bitwise identical to step on request i alone); the
+/// engine feeds every in-flight request through it, so the batched
+/// kernels see all rows at once and the pool parallelizes inside the
+/// GEMMs instead of across requests.
 struct Backend {
   std::string name;  ///< "dense" / "packed" (report + bench labels)
   ModelConfig config;
   std::function<Matrix(std::span<const TokenId>, DecodeState&)> prefill;
   std::function<std::vector<float>(TokenId, DecodeState&)> step;
+  std::function<Matrix(std::span<const TokenId>,
+                       std::span<DecodeState* const>)>
+      step_batch;
 };
 
 /// Backend over the dense fp32 model.
@@ -112,7 +123,8 @@ class ServeEngine {
   };
 
   void admit();
-  void advance_one(Active& a);
+  void prefill_one(Active& a);
+  void sample_and_stop(Active& a, std::vector<float> logits);
   void retire_finished();
   void update_gauges();
 

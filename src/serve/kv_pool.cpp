@@ -1,19 +1,40 @@
 #include "serve/kv_pool.hpp"
 
-#include <algorithm>
-
 #include "util/check.hpp"
 
 namespace aptq::serve {
 
+namespace {
+
+std::size_t resolve_page_positions(std::size_t page_positions) {
+  return page_positions == 0 ? kKvPagePositions : page_positions;
+}
+
+std::size_t resolve_pages(std::size_t pages, std::size_t page_positions,
+                          std::size_t max_context, std::size_t slots) {
+  if (pages != 0) {
+    return pages;
+  }
+  const std::size_t pp = resolve_page_positions(page_positions);
+  return slots * ((max_context + pp - 1) / pp);
+}
+
+}  // namespace
+
 KvPool::KvPool(const ModelConfig& config, std::size_t max_context,
-               std::size_t slots)
-    : max_context_(max_context) {
+               std::size_t slots, std::size_t page_positions,
+               std::size_t pages)
+    : max_context_(max_context),
+      arena_(config, resolve_page_positions(page_positions),
+             resolve_pages(pages, page_positions, max_context, slots)) {
   APTQ_CHECK(slots >= 1, "KvPool: need at least one slot");
   states_.reserve(slots);
   free_.reserve(slots);
+  busy_.assign(slots, 0);
   for (std::size_t i = 0; i < slots; ++i) {
-    states_.push_back(std::make_unique<DecodeState>(config, max_context));
+    states_.push_back(
+        std::make_unique<DecodeState>(config, max_context, arena_));
+    index_.emplace(states_.back().get(), i);
   }
   // Free list in reverse so acquire() hands out slot 0 first (stable slot
   // order is convenient when reading traces).
@@ -23,12 +44,20 @@ KvPool::KvPool(const ModelConfig& config, std::size_t max_context,
 }
 
 std::size_t KvPool::bytes() const {
-  if (states_.empty()) {
-    return 0;
+  std::size_t total = arena_.bytes();
+  for (const auto& s : states_) {
+    total += s->pages_held() * sizeof(std::uint32_t);
   }
-  const ModelConfig& cfg = states_.front()->config();
-  return states_.size() * cfg.n_layers * 2 * max_context_ * cfg.kv_dim() *
-         sizeof(float);
+  return total;
+}
+
+std::size_t KvPool::mapped_bytes() const {
+  const std::size_t page_bytes = arena_.page_stride() * sizeof(float);
+  std::size_t total = 0;
+  for (const auto& s : states_) {
+    total += s->pages_held() * page_bytes;
+  }
+  return total;
 }
 
 DecodeState* KvPool::acquire() {
@@ -37,17 +66,20 @@ DecodeState* KvPool::acquire() {
   }
   DecodeState* state = free_.back();
   free_.pop_back();
+  busy_[index_.at(state)] = 1;
   state->reset();
   return state;
 }
 
 void KvPool::release(DecodeState* state) {
-  const bool owned =
-      std::any_of(states_.begin(), states_.end(),
-                  [state](const auto& s) { return s.get() == state; });
-  APTQ_CHECK(owned, "KvPool::release: state not owned by this pool");
-  APTQ_CHECK(std::find(free_.begin(), free_.end(), state) == free_.end(),
-             "KvPool::release: state already free");
+  const auto it = index_.find(state);
+  APTQ_CHECK(it != index_.end(),
+             "KvPool::release: state not owned by this pool");
+  APTQ_CHECK(busy_[it->second] != 0, "KvPool::release: state already free");
+  busy_[it->second] = 0;
+  // Pages go back to the arena now, not at the next acquire — a retired
+  // request must not hold capacity hostage while its slot idles.
+  state->reset();
   free_.push_back(state);
 }
 

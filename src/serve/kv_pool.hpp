@@ -1,14 +1,19 @@
-// Pooled arena of DecodeStates for the serving engine.
+// Paged KV-cache pool for the serving engine.
 //
-// Every slot is allocated once at construction (config-shaped caches of
-// max_context positions) and recycled across requests: acquire() hands out
-// a reset state, release() returns it. No per-request heap traffic on the
-// serving hot path, and the slot count is the engine's hard bound on
-// resident KV memory — bytes() reports it for capacity planning.
+// One shared KvArena (model/decode.hpp) backs every slot: the slab is
+// allocated once at construction and cut into fixed-size pages; each
+// DecodeState maps pages on demand through its page table as its context
+// grows, and returns them the moment the request retires. Thousands of
+// requests can therefore cycle through bounded memory — the arena's page
+// count, not slots × max_context, is the engine's hard bound on resident
+// KV — and bytes() reports what is actually allocated (slab + page
+// tables) rather than a nominal per-slot figure. acquire()/release() are
+// O(1): a free list plus a slot index keyed by pointer.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "model/decode.hpp"
@@ -17,31 +22,53 @@ namespace aptq::serve {
 
 class KvPool {
  public:
-  /// `slots` states for `config`-shaped layers, each holding up to
-  /// `max_context` positions. Throws if slots or max_context is zero.
+  /// `slots` states for `config`-shaped layers, each able to map up to
+  /// `max_context` positions from a shared arena of `pages` pages of
+  /// `page_positions` positions each. page_positions == 0 picks
+  /// kKvPagePositions; pages == 0 provisions enough for every slot to
+  /// reach max_context simultaneously (no oversubscription). Throws if
+  /// slots or max_context is zero.
   KvPool(const ModelConfig& config, std::size_t max_context,
-         std::size_t slots);
+         std::size_t slots, std::size_t page_positions = 0,
+         std::size_t pages = 0);
 
   std::size_t slots() const { return states_.size(); }
   std::size_t in_use() const { return states_.size() - free_.size(); }
   std::size_t available() const { return free_.size(); }
   std::size_t max_context() const { return max_context_; }
 
-  /// KV bytes resident across all slots (f32 K and V per layer).
+  std::size_t page_positions() const { return arena_.page_positions(); }
+  std::size_t pages() const { return arena_.pages(); }
+  std::size_t free_pages() const { return arena_.free_pages(); }
+  std::size_t pages_in_use() const {
+    return arena_.pages() - arena_.free_pages();
+  }
+
+  /// Resident bytes: the arena slab (allocated up front, mapped or not)
+  /// plus every slot's page table.
   std::size_t bytes() const;
 
+  /// Bytes actually mapped by in-flight requests (pages held via page
+  /// tables) — the demand-side counterpart of bytes().
+  std::size_t mapped_bytes() const;
+
   /// A reset state, or nullptr when every slot is in use. The pool keeps
-  /// ownership; hand the pointer back via release().
+  /// ownership; hand the pointer back via release(). The state holds no
+  /// pages yet — callers reserve via DecodeState::try_reserve.
   DecodeState* acquire();
 
-  /// Return a state obtained from acquire(). Throws if `state` is not a
-  /// pool slot or is not currently in use.
+  /// Return a state obtained from acquire(); its pages go back to the
+  /// arena immediately. Throws if `state` is not a pool slot or is not
+  /// currently in use.
   void release(DecodeState* state);
 
  private:
   std::size_t max_context_ = 0;
+  KvArena arena_;
   std::vector<std::unique_ptr<DecodeState>> states_;
   std::vector<DecodeState*> free_;
+  std::unordered_map<const DecodeState*, std::size_t> index_;
+  std::vector<std::uint8_t> busy_;
 };
 
 }  // namespace aptq::serve

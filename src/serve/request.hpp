@@ -61,6 +61,14 @@ struct ServeConfig {
   std::size_t max_context = 256;  ///< KV capacity per pooled DecodeState
   std::size_t kv_slots = 0;     ///< pooled DecodeStates; 0 = max_batch
   std::size_t max_queue = 0;    ///< submit() throws past this; 0 = unbounded
+  /// Positions per KV page in the shared paged arena; must be a power of
+  /// two. 0 = kKvPagePositions (decode.hpp).
+  std::size_t kv_page_positions = 0;
+  /// Total pages in the shared arena. 0 = enough for every slot to reach
+  /// max_context (the historical fully-provisioned bound). Smaller values
+  /// oversubscribe: admission waits for pages, and a request that cannot
+  /// map its next position mid-flight is evicted as context_full.
+  std::size_t kv_pages = 0;
 };
 
 /// Aggregate counters for one engine lifetime (reported via

@@ -348,6 +348,63 @@ void gemv_t(const float* x, const float* b, std::size_t k, std::size_t n,
   }
 }
 
+void gemv_batch(const float* x, const float* b, std::size_t batch,
+                std::size_t k, std::size_t n, float* y) {
+  if (batch == 1) {
+    gemv(x, b, k, n, y);
+    return;
+  }
+  // Column strips keep the four active B rows of a k-block L1-resident
+  // while the batch loop reuses them; the per-element fold (4-way k
+  // blocking, ascending j) is exactly gemv()'s, so every output row is
+  // bitwise identical to a solo gemv of that input. Strip boundaries are a
+  // pure function of n — never of the thread count.
+  constexpr std::size_t kStrip = 64;
+  const std::size_t strips = (n + kStrip - 1) / kStrip;
+  const auto run = [&](std::size_t sb, std::size_t se) {
+    for (std::size_t s = sb; s < se; ++s) {
+      const std::size_t j0 = s * kStrip;
+      const std::size_t j1 = std::min(n, j0 + kStrip);
+      std::size_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const float* b0 = b + p * n;
+        const float* b1 = b0 + n;
+        const float* b2 = b1 + n;
+        const float* b3 = b2 + n;
+        for (std::size_t i = 0; i < batch; ++i) {
+          const float* xi = x + i * k;
+          const float x0 = xi[p];
+          const float x1 = xi[p + 1];
+          const float x2 = xi[p + 2];
+          const float x3 = xi[p + 3];
+          float* yi = y + i * n;
+          for (std::size_t j = j0; j < j1; ++j) {
+            yi[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+          }
+        }
+      }
+      for (; p < k; ++p) {
+        const float* br = b + p * n;
+        for (std::size_t i = 0; i < batch; ++i) {
+          const float xp = x[i * k + p];
+          float* yi = y + i * n;
+          for (std::size_t j = j0; j < j1; ++j) {
+            yi[j] += xp * br[j];
+          }
+        }
+      }
+    }
+  };
+  // Skip pool dispatch when the pool cannot realize parallelism (more pool
+  // threads than cores): the serial loop runs the identical chunks in
+  // ascending order, so the result is unchanged either way.
+  if (strips > 1 && ThreadPool::effective_global_threads() > 1) {
+    parallel_for(0, strips, 1, run);
+  } else {
+    run(0, strips);
+  }
+}
+
 void rank_update(float* w, std::size_t n, const float* err, std::size_t r,
                  const float* u, std::size_t ldu) {
   std::size_t j = 0;
@@ -412,6 +469,13 @@ inline GroupShape group_shape(const QBlock& q, std::size_t g) {
 // Fused dequant-dot over one row. `xsum` must hold the per-group sums of x
 // (callers precompute via group_sums; the fold there matches the order an
 // on-the-fly fold would use, so precomputation never changes a bit).
+//
+// Each product applies the group scale to the code before touching x —
+// (scale·code)·x, the same rounding a materialized dequantize would give —
+// rather than scaling the group's partial dot afterwards. That placement
+// is what lets the batched path store scale·code in its row panel once and
+// drop the scale multiply from the per-input loop entirely (see
+// unpack_codes_row / qdot_row_panel).
 //
 // The group fold order is fixed (groups in ascending pairs, vector body
 // then scalar remainder, even/odd accumulator chains merged at the end),
@@ -492,10 +556,10 @@ float qdot_row(const QBlock& q, const std::uint8_t* codes, const float* scale,
               __builtin_convertvector(bytes1 & 0x0F, vNi32), vNf);
           const vNf hi1 = __builtin_convertvector(
               __builtin_convertvector(bytes1 >> 4, vNi32), vNf);
-          vlo0 += dv0 * (lo0 * xlo0);
-          vhi0 += dv0 * (hi0 * xhi0);
-          vlo1 += dv1 * (lo1 * xlo1);
-          vhi1 += dv1 * (hi1 * xhi1);
+          vlo0 += (dv0 * lo0) * xlo0;
+          vhi0 += (dv0 * hi0) * xhi0;
+          vlo1 += (dv1 * lo1) * xlo1;
+          vhi1 += (dv1 * hi1) * xhi1;
         }
         sb0 += bias[g] * xsum[g];
         sb1 += bias[g + 1] * xsum[g + 1];
@@ -534,15 +598,15 @@ float qdot_row(const QBlock& q, const std::uint8_t* codes, const float* scale,
         vNf xlo, xhi;
         std::memcpy(&xlo, xg + j, sizeof xlo);
         std::memcpy(&xhi, xg + nb + j, sizeof xhi);
-        vlo_acc += dv * (lo * xlo);
-        vhi_acc += dv * (hi * xhi);
+        vlo_acc += (dv * lo) * xlo;
+        vhi_acc += (dv * hi) * xhi;
       }
 #endif
       for (std::size_t t = j; t < hi_n; ++t) {
-        s += xg[nb + t] * static_cast<float>(b[t] >> 4);
+        s += xg[nb + t] * (d * static_cast<float>(b[t] >> 4));
       }
       for (std::size_t t = j; t < lo_n; ++t) {
-        s += xg[t] * static_cast<float>(b[t] & 0x0F);
+        s += xg[t] * (d * static_cast<float>(b[t] & 0x0F));
       }
     } else {  // bits == 8: one code per byte, in order
 #ifdef APTQ_KERNEL_VEC_EXT
@@ -552,16 +616,16 @@ float qdot_row(const QBlock& q, const std::uint8_t* codes, const float* scale,
         std::memcpy(&bytes, b + j, sizeof bytes);
         vNf xv;
         std::memcpy(&xv, xg + j, sizeof xv);
-        vlo_acc += dv * (__builtin_convertvector(
-                             __builtin_convertvector(bytes, vNi32), vNf) *
-                         xv);
+        vlo_acc += (dv * __builtin_convertvector(
+                             __builtin_convertvector(bytes, vNi32), vNf)) *
+                   xv;
       }
 #endif
       for (std::size_t t = j; t < len; ++t) {
-        s += xg[t] * static_cast<float>(b[t]);
+        s += xg[t] * (d * static_cast<float>(b[t]));
       }
     }
-    sbacc += d * s + bias[gi] * xsum[gi];
+    sbacc += s + bias[gi] * xsum[gi];
   };
   for (; g + 2 <= q.groups; g += 2) {
     do_group(g, vlo0, vhi0, sb0);
@@ -603,6 +667,356 @@ void unpack_row(const QBlock& q, const std::uint8_t* codes, const float* scale,
       }
     }
   }
+}
+
+// Widen one blocked row's codes to prescaled floats in x order:
+// cw[pos] = scale[g] * float(code at column pos), resolving the
+// split-nibble layout. u8 -> f32 widening is exact and qdot_row's fold
+// multiplies each code by its group scale before touching x, so a stored
+// (scale·code) product is bit-for-bit the float the dequant-dot computes
+// in flight — which is what lets qdot_row_panel below replay qdot_row's
+// fold from this panel with the scale multiply already paid. The group
+// bias stays out of the panel (it rides the xsum term in the dot).
+// `cw` must hold groups·group_len floats (the ragged-tail pad is never
+// read by the dot, but keeping the stride uniform keeps indexing trivial).
+void unpack_codes_row(const QBlock& q, const std::uint8_t* codes,
+                      const float* scale, float* cw) {
+  const std::size_t nb = q.bytes_per_group;
+  // Scalar per-group body: ragged tails and odd geometries. The stored
+  // value is the elementwise product scale·float(code) — the same float
+  // whichever path writes it, so the vector fast path below never changes
+  // a panel bit.
+  const auto scalar_group = [&](std::size_t g) {
+    const auto [len, lo_n, hi_n] = group_shape(q, g);
+    const std::uint8_t* b = codes + g * nb;
+    float* wg = cw + g * q.group_len;
+    const float d = scale[g];
+    if (q.bits == 4) {
+      for (std::size_t t = 0; t < lo_n; ++t) {
+        wg[t] = d * static_cast<float>(b[t] & 0x0F);
+      }
+      for (std::size_t t = 0; t < hi_n; ++t) {
+        wg[nb + t] = d * static_cast<float>(b[t] >> 4);
+      }
+    } else {
+      for (std::size_t t = 0; t < len; ++t) {
+        wg[t] = d * static_cast<float>(b[t]);
+      }
+    }
+  };
+#ifdef APTQ_KERNEL_VEC_EXT
+  // The unpack is the per-row cost the whole panel design amortizes, so it
+  // must not be the slow part: widen with the same u8 -> i32 -> f32
+  // convert chains the in-flight dot uses (pmovzx + cvtdq2ps) instead of
+  // one scalar convert per weight.
+  if (q.bits == 4 && nb % kVecLanes == 0) {
+    typedef std::uint8_t vNu8 __attribute__((vector_size(kVecLanes)));
+    typedef std::int32_t vNi32
+        __attribute__((vector_size(kVecLanes * sizeof(std::int32_t))));
+    const std::size_t full =
+        q.cols % q.group_len == 0 ? q.groups : q.groups - 1;
+    for (std::size_t g = 0; g < full; ++g) {
+      const std::uint8_t* b = codes + g * nb;
+      float* wg = cw + g * q.group_len;
+      const vNf dv = vNf{} + scale[g];
+      for (std::size_t j = 0; j < nb; j += kVecLanes) {
+        vNu8 bytes;
+        std::memcpy(&bytes, b + j, sizeof bytes);
+        const vNf lo = __builtin_convertvector(
+            __builtin_convertvector(bytes & 0x0F, vNi32), vNf);
+        const vNf hi = __builtin_convertvector(
+            __builtin_convertvector(bytes >> 4, vNi32), vNf);
+        const vNf wlo = dv * lo;
+        const vNf whi = dv * hi;
+        std::memcpy(wg + j, &wlo, sizeof wlo);
+        std::memcpy(wg + nb + j, &whi, sizeof whi);
+      }
+    }
+    for (std::size_t g = full; g < q.groups; ++g) {
+      scalar_group(g);
+    }
+    return;
+  }
+#endif
+  for (std::size_t g = 0; g < q.groups; ++g) {
+    scalar_group(g);
+  }
+}
+
+// qdot_row with the code bytes replaced by the prescaled float panel of
+// unpack_codes_row. Same accumulator structure, same group pairing, same
+// vector/scalar split, same final reduction — every float expression is
+// identical (the stored scale·code products equal the in-flight ones
+// bit-for-bit), so the result is bitwise equal to qdot_row on the same
+// row. The panel loads are unit-stride in x order for both nibble halves,
+// so the batch path pays 4 plain vector loads where the solo path paid
+// byte loads, convert chains, and the per-group scale multiply — per
+// input the dot is down to one multiply and one add per vector, which is
+// most of the batched-decode speedup.
+float qdot_row_panel(const QBlock& q, const float* cw, const float* bias,
+                     const float* x, const float* xsum) {
+  const std::size_t nb = q.bytes_per_group;
+#ifdef APTQ_KERNEL_VEC_EXT
+  vNf vlo0 = {};
+  vNf vhi0 = {};
+  vNf vlo1 = {};
+  vNf vhi1 = {};
+#else
+  int vlo0 = 0, vhi0 = 0, vlo1 = 0, vhi1 = 0;  // unused placeholders
+  (void)vlo0;
+  (void)vhi0;
+  (void)vlo1;
+  (void)vhi1;
+#endif
+  float sb0 = 0.0f;
+  float sb1 = 0.0f;
+  std::size_t g = 0;
+#ifdef APTQ_KERNEL_VEC_EXT
+  if (q.bits == 4 && nb % kVecLanes == 0) {
+    const std::size_t full =
+        q.cols % q.group_len == 0 ? q.groups : q.groups - 1;
+    const auto pair_loop = [&]<bool kSingleVec>() {
+      for (; g + 2 <= full; g += 2) {
+        const float* cw0 = cw + g * q.group_len;
+        const float* cw1 = cw0 + q.group_len;
+        const float* xg0 = x + g * q.group_len;
+        const float* xg1 = xg0 + q.group_len;
+        for (std::size_t j = 0; j < (kSingleVec ? kVecLanes : nb);
+             j += kVecLanes) {
+          vNf lo0, hi0, lo1, hi1;
+          std::memcpy(&lo0, cw0 + j, sizeof lo0);
+          std::memcpy(&hi0, cw0 + nb + j, sizeof hi0);
+          std::memcpy(&lo1, cw1 + j, sizeof lo1);
+          std::memcpy(&hi1, cw1 + nb + j, sizeof hi1);
+          vNf xlo0, xhi0, xlo1, xhi1;
+          std::memcpy(&xlo0, xg0 + j, sizeof xlo0);
+          std::memcpy(&xhi0, xg0 + nb + j, sizeof xhi0);
+          std::memcpy(&xlo1, xg1 + j, sizeof xlo1);
+          std::memcpy(&xhi1, xg1 + nb + j, sizeof xhi1);
+          vlo0 += lo0 * xlo0;
+          vhi0 += hi0 * xhi0;
+          vlo1 += lo1 * xlo1;
+          vhi1 += hi1 * xhi1;
+        }
+        sb0 += bias[g] * xsum[g];
+        sb1 += bias[g + 1] * xsum[g + 1];
+      }
+    };
+    if (nb == kVecLanes) {
+      pair_loop.template operator()<true>();
+    } else {
+      pair_loop.template operator()<false>();
+    }
+  }
+#endif
+  const auto do_group = [&](std::size_t gi, auto& vlo_acc, auto& vhi_acc,
+                            float& sbacc) {
+    const auto [len, lo_n, hi_n] = group_shape(q, gi);
+    const float* cwg = cw + gi * q.group_len;
+    const float* xg = x + gi * q.group_len;
+    std::size_t j = 0;
+    float s = 0.0f;
+    if (q.bits == 4) {
+#ifdef APTQ_KERNEL_VEC_EXT
+      for (; j + kVecLanes <= hi_n; j += kVecLanes) {
+        vNf lo, hi;
+        std::memcpy(&lo, cwg + j, sizeof lo);
+        std::memcpy(&hi, cwg + nb + j, sizeof hi);
+        vNf xlo, xhi;
+        std::memcpy(&xlo, xg + j, sizeof xlo);
+        std::memcpy(&xhi, xg + nb + j, sizeof xhi);
+        vlo_acc += lo * xlo;
+        vhi_acc += hi * xhi;
+      }
+#endif
+      for (std::size_t t = j; t < hi_n; ++t) {
+        s += xg[nb + t] * cwg[nb + t];
+      }
+      for (std::size_t t = j; t < lo_n; ++t) {
+        s += xg[t] * cwg[t];
+      }
+    } else {  // bits == 8: one code per panel float, in order
+#ifdef APTQ_KERNEL_VEC_EXT
+      for (; j + kVecLanes <= len; j += kVecLanes) {
+        vNf cv, xv;
+        std::memcpy(&cv, cwg + j, sizeof cv);
+        std::memcpy(&xv, xg + j, sizeof xv);
+        vlo_acc += cv * xv;
+      }
+#endif
+      for (std::size_t t = j; t < len; ++t) {
+        s += xg[t] * cwg[t];
+      }
+    }
+    sbacc += s + bias[gi] * xsum[gi];
+  };
+  for (; g + 2 <= q.groups; g += 2) {
+    do_group(g, vlo0, vhi0, sb0);
+    do_group(g + 1, vlo1, vhi1, sb1);
+  }
+  if (g < q.groups) {
+    do_group(g, vlo0, vhi0, sb0);
+  }
+  float sacc = sb0 + sb1;
+#ifdef APTQ_KERNEL_VEC_EXT
+  const vNf vsum = (vlo0 + vlo1) + (vhi0 + vhi1);
+  for (std::size_t v = 0; v < kVecLanes; ++v) {
+    sacc += vsum[v];
+  }
+#endif
+  return sacc;
+}
+
+// Two qdot_row_panel calls fused into one pass over the row's panel: input
+// a and input b keep fully separate accumulator sets and each one's fold
+// replays qdot_row_panel's (and therefore qdot_row's) expression tree
+// exactly, so both results are bitwise equal to the solo calls. What the
+// fusion buys is everything that is per-row rather than per-input: the
+// panel (cw) vector loads, the scale broadcasts, the loop bookkeeping, and
+// the call prologue/reduction are paid once for two inputs. At decode
+// shapes (a 128-wide row is only ~4 vector iterations) that per-call
+// overhead is most of the kernel, so pairing inputs is nearly a 2x on the
+// batched dequant-dot.
+void qdot_row_panel2(const QBlock& q, const float* cw, const float* bias,
+                     const float* xa, const float* xsa, const float* xb,
+                     const float* xsb, float* ya, float* yb) {
+  const std::size_t nb = q.bytes_per_group;
+#ifdef APTQ_KERNEL_VEC_EXT
+  vNf alo0 = {}, ahi0 = {}, alo1 = {}, ahi1 = {};
+  vNf blo0 = {}, bhi0 = {}, blo1 = {}, bhi1 = {};
+#else
+  int alo0 = 0, ahi0 = 0, alo1 = 0, ahi1 = 0;  // unused placeholders
+  int blo0 = 0, bhi0 = 0, blo1 = 0, bhi1 = 0;
+  (void)alo0;
+  (void)ahi0;
+  (void)alo1;
+  (void)ahi1;
+  (void)blo0;
+  (void)bhi0;
+  (void)blo1;
+  (void)bhi1;
+#endif
+  float sa0 = 0.0f, sa1 = 0.0f;
+  float sb0 = 0.0f, sb1 = 0.0f;
+  std::size_t g = 0;
+#ifdef APTQ_KERNEL_VEC_EXT
+  if (q.bits == 4 && nb % kVecLanes == 0) {
+    const std::size_t full =
+        q.cols % q.group_len == 0 ? q.groups : q.groups - 1;
+    const auto pair_loop = [&]<bool kSingleVec>() {
+      for (; g + 2 <= full; g += 2) {
+        const float* cw0 = cw + g * q.group_len;
+        const float* cw1 = cw0 + q.group_len;
+        const float* xa0 = xa + g * q.group_len;
+        const float* xa1 = xa0 + q.group_len;
+        const float* xb0 = xb + g * q.group_len;
+        const float* xb1 = xb0 + q.group_len;
+        for (std::size_t j = 0; j < (kSingleVec ? kVecLanes : nb);
+             j += kVecLanes) {
+          vNf lo0, hi0, lo1, hi1;
+          std::memcpy(&lo0, cw0 + j, sizeof lo0);
+          std::memcpy(&hi0, cw0 + nb + j, sizeof hi0);
+          std::memcpy(&lo1, cw1 + j, sizeof lo1);
+          std::memcpy(&hi1, cw1 + nb + j, sizeof hi1);
+          vNf v0, v1, v2, v3;
+          std::memcpy(&v0, xa0 + j, sizeof v0);
+          std::memcpy(&v1, xa0 + nb + j, sizeof v1);
+          std::memcpy(&v2, xa1 + j, sizeof v2);
+          std::memcpy(&v3, xa1 + nb + j, sizeof v3);
+          alo0 += lo0 * v0;
+          ahi0 += hi0 * v1;
+          alo1 += lo1 * v2;
+          ahi1 += hi1 * v3;
+          std::memcpy(&v0, xb0 + j, sizeof v0);
+          std::memcpy(&v1, xb0 + nb + j, sizeof v1);
+          std::memcpy(&v2, xb1 + j, sizeof v2);
+          std::memcpy(&v3, xb1 + nb + j, sizeof v3);
+          blo0 += lo0 * v0;
+          bhi0 += hi0 * v1;
+          blo1 += lo1 * v2;
+          bhi1 += hi1 * v3;
+        }
+        sa0 += bias[g] * xsa[g];
+        sa1 += bias[g + 1] * xsa[g + 1];
+        sb0 += bias[g] * xsb[g];
+        sb1 += bias[g + 1] * xsb[g + 1];
+      }
+    };
+    if (nb == kVecLanes) {
+      pair_loop.template operator()<true>();
+    } else {
+      pair_loop.template operator()<false>();
+    }
+  }
+#endif
+  // Generic remainder (ragged tails, odd geometries, 8-bit): the solo
+  // panel body run per input, group order per input unchanged.
+  const auto do_group = [&](std::size_t gi, const float* x,
+                            const float* xsum, auto& vlo_acc, auto& vhi_acc,
+                            float& sbacc) {
+    const auto [len, lo_n, hi_n] = group_shape(q, gi);
+    const float* cwg = cw + gi * q.group_len;
+    const float* xg = x + gi * q.group_len;
+    std::size_t j = 0;
+    float s = 0.0f;
+    if (q.bits == 4) {
+#ifdef APTQ_KERNEL_VEC_EXT
+      for (; j + kVecLanes <= hi_n; j += kVecLanes) {
+        vNf lo, hi;
+        std::memcpy(&lo, cwg + j, sizeof lo);
+        std::memcpy(&hi, cwg + nb + j, sizeof hi);
+        vNf xlo, xhi;
+        std::memcpy(&xlo, xg + j, sizeof xlo);
+        std::memcpy(&xhi, xg + nb + j, sizeof xhi);
+        vlo_acc += lo * xlo;
+        vhi_acc += hi * xhi;
+      }
+#endif
+      for (std::size_t t = j; t < hi_n; ++t) {
+        s += xg[nb + t] * cwg[nb + t];
+      }
+      for (std::size_t t = j; t < lo_n; ++t) {
+        s += xg[t] * cwg[t];
+      }
+    } else {
+#ifdef APTQ_KERNEL_VEC_EXT
+      for (; j + kVecLanes <= len; j += kVecLanes) {
+        vNf cv, xv;
+        std::memcpy(&cv, cwg + j, sizeof cv);
+        std::memcpy(&xv, xg + j, sizeof xv);
+        vlo_acc += cv * xv;
+      }
+#endif
+      for (std::size_t t = j; t < len; ++t) {
+        s += xg[t] * cwg[t];
+      }
+    }
+    sbacc += s + bias[gi] * xsum[gi];
+  };
+  for (; g + 2 <= q.groups; g += 2) {
+    do_group(g, xa, xsa, alo0, ahi0, sa0);
+    do_group(g + 1, xa, xsa, alo1, ahi1, sa1);
+    do_group(g, xb, xsb, blo0, bhi0, sb0);
+    do_group(g + 1, xb, xsb, blo1, bhi1, sb1);
+  }
+  if (g < q.groups) {
+    do_group(g, xa, xsa, alo0, ahi0, sa0);
+    do_group(g, xb, xsb, blo0, bhi0, sb0);
+  }
+  float ra = sa0 + sa1;
+  float rb = sb0 + sb1;
+#ifdef APTQ_KERNEL_VEC_EXT
+  const vNf va = (alo0 + alo1) + (ahi0 + ahi1);
+  const vNf vb = (blo0 + blo1) + (bhi0 + bhi1);
+  for (std::size_t v = 0; v < kVecLanes; ++v) {
+    ra += va[v];
+  }
+  for (std::size_t v = 0; v < kVecLanes; ++v) {
+    rb += vb[v];
+  }
+#endif
+  *ya = ra;
+  *yb = rb;
 }
 
 // Per-group sums of x into `xsum` (length q.groups), each group folded in
@@ -657,26 +1071,112 @@ void qgemv(const QBlock& q, const float* x, float* y) {
   }
   group_sums(q, x, xsum);
   const std::size_t stride = q.groups * q.bytes_per_group;
-  parallel_for(0, q.rows, 16, [&](std::size_t rb, std::size_t re) {
+  const auto run_rows = [&](std::size_t rb, std::size_t re) {
     for (std::size_t r = rb; r < re; ++r) {
       y[r] = qdot_row(q, q.codes + r * stride, q.scale + r * q.groups,
                       q.bias + r * q.groups, x, xsum);
     }
-  });
+  };
+  // Row results are independent of chunk boundaries, so skipping the pool
+  // when it cannot help (more workers than cores) changes no bit.
+  if (ThreadPool::effective_global_threads() > 1) {
+    parallel_for(0, q.rows, 16, run_rows);
+  } else {
+    run_rows(0, q.rows);
+  }
 }
 
 void qgemv_multi(const QBlock& q, const float* x, std::size_t n, float* y) {
+  // Same prescaled-panel strategy as qgemv_batch below: widen each row's
+  // codes to scale·code floats once, then run the group-fold dot per input
+  // (in fused pairs) against the panel. This replaced a materialized
+  // affine dequant plus a dense dot per input — the quantized fold is a
+  // different (equally tolerance-bounded) reassociation of the same sum,
+  // and per-row work no longer grows with the affine unpack. Results stay
+  // a pure function of shape and inputs, never of the chunking.
+  std::vector<float> xsums(n * q.groups);
+  for (std::size_t i = 0; i < n; ++i) {
+    group_sums(q, x + i * q.cols, xsums.data() + i * q.groups);
+  }
   const std::size_t stride = q.groups * q.bytes_per_group;
-  parallel_for(0, q.rows, 8, [&](std::size_t rb, std::size_t re) {
-    std::vector<float> wbuf(q.cols);
+  const std::size_t panel_len = q.groups * q.group_len;
+  const auto run_rows = [&](std::size_t rb, std::size_t re) {
+    std::vector<float> cw(panel_len, 0.0f);
     for (std::size_t r = rb; r < re; ++r) {
-      unpack_row(q, q.codes + r * stride, q.scale + r * q.groups,
-                 q.bias + r * q.groups, wbuf.data());
-      for (std::size_t i = 0; i < n; ++i) {
-        y[i * q.rows + r] += dot4(x + i * q.cols, wbuf.data(), q.cols);
+      unpack_codes_row(q, q.codes + r * stride, q.scale + r * q.groups,
+                       cw.data());
+      const float* brow = q.bias + r * q.groups;
+      std::size_t i = 0;
+      for (; i + 2 <= n; i += 2) {
+        float ta = 0.0f;
+        float tb = 0.0f;
+        qdot_row_panel2(q, cw.data(), brow, x + i * q.cols,
+                        xsums.data() + i * q.groups, x + (i + 1) * q.cols,
+                        xsums.data() + (i + 1) * q.groups, &ta, &tb);
+        y[i * q.rows + r] += ta;
+        y[(i + 1) * q.rows + r] += tb;
+      }
+      for (; i < n; ++i) {
+        y[i * q.rows + r] += qdot_row_panel(q, cw.data(), brow,
+                                            x + i * q.cols,
+                                            xsums.data() + i * q.groups);
       }
     }
-  });
+  };
+  if (ThreadPool::effective_global_threads() > 1) {
+    parallel_for(0, q.rows, 8, run_rows);
+  } else {
+    run_rows(0, q.rows);
+  }
+}
+
+void qgemv_batch(const QBlock& q, const float* x, std::size_t n, float* y) {
+  if (n == 1) {
+    // The panel fold is bitwise equal to qgemv either way; the solo kernel
+    // just skips the panel write-back.
+    qgemv(q, x, y);
+    return;
+  }
+  // Per-input per-group x sums, with the same serial fold the solo path
+  // uses (group_sums never changes a bit — see qdot).
+  std::vector<float> xsums(n * q.groups);
+  for (std::size_t i = 0; i < n; ++i) {
+    group_sums(q, x + i * q.cols, xsums.data() + i * q.groups);
+  }
+  const std::size_t stride = q.groups * q.bytes_per_group;
+  // The panel is group_len-strided, so a ragged tail group pads to a full
+  // stride; the pad is written once (zeros) and never read by the dot.
+  const std::size_t panel_len = q.groups * q.group_len;
+  const auto run_rows = [&](std::size_t rb, std::size_t re) {
+    std::vector<float> cw(panel_len, 0.0f);
+    for (std::size_t r = rb; r < re; ++r) {
+      unpack_codes_row(q, q.codes + r * stride, q.scale + r * q.groups,
+                       cw.data());
+      const float* brow = q.bias + r * q.groups;
+      // Inputs in pairs: the fused two-input dot pays the panel loads and
+      // loop bookkeeping once per pair (each input's fold is still the
+      // solo expression tree, so row results stay bitwise identical).
+      std::size_t i = 0;
+      for (; i + 2 <= n; i += 2) {
+        qdot_row_panel2(q, cw.data(), brow, x + i * q.cols,
+                        xsums.data() + i * q.groups, x + (i + 1) * q.cols,
+                        xsums.data() + (i + 1) * q.groups, y + i * q.rows + r,
+                        y + (i + 1) * q.rows + r);
+      }
+      for (; i < n; ++i) {
+        y[i * q.rows + r] = qdot_row_panel(q, cw.data(), brow, x + i * q.cols,
+                                           xsums.data() + i * q.groups);
+      }
+    }
+  };
+  // Same grain as qgemv so the chunking story stays uniform; skip pool
+  // dispatch entirely when the pool is oversubscribed (chunk results are
+  // independent, so the serial loop is bit-identical).
+  if (ThreadPool::effective_global_threads() > 1) {
+    parallel_for(0, q.rows, 16, run_rows);
+  } else {
+    run_rows(0, q.rows);
+  }
 }
 
 }  // namespace kern

@@ -80,6 +80,16 @@ namespace kern {
 void gemv(const float* x, const float* b, std::size_t k, std::size_t n,
           float* y);
 
+/// Row-batched dense GEMV: Y(batch × n) += X(batch × k) · B(k × n), both
+/// row-major. Each output row is produced by exactly gemv()'s per-element
+/// fold (same 4-way k-blocking, same j order), so row i of Y is bitwise
+/// identical to gemv(X row i) — while each k-block of B is streamed once
+/// and reused across the whole batch (the memory amortization batched
+/// decode rides). Parallel over column strips; strip boundaries depend only
+/// on n, so results are bitwise identical at any thread count.
+void gemv_batch(const float* x, const float* b, std::size_t batch,
+                std::size_t k, std::size_t n, float* y);
+
 /// y += xᵀ·Bᵀ for row-major B (n × k): one contiguous dot per output.
 void gemv_t(const float* x, const float* b, std::size_t k, std::size_t n,
             float* y);
@@ -116,9 +126,22 @@ void qgemv(const QBlock& q, const float* x, float* y);
 
 /// Row-blocked multi-vector variant: Y(n × rows) += X(n × cols) · Q_dqᵀ.
 /// Each weight row is unpacked once into a stack panel and dotted with all
-/// n inputs, amortizing the unpack across the batch (multi-token prefill,
-/// batched decode). Parallel over weight rows, same determinism contract.
+/// n inputs, amortizing the unpack across the batch (multi-token prefill).
+/// The per-input fold is dot4 over the dequantized row — NOT the qdot fold,
+/// so results differ from qgemv in the last bits (tolerance-covered).
+/// Parallel over weight rows, same determinism contract.
 void qgemv_multi(const QBlock& q, const float* x, std::size_t n, float* y);
+
+/// Batched fused dequant-dot: Y(n × rows) = X(n × cols) · Q_dqᵀ where every
+/// output element uses exactly qgemv's per-row fold — the codes of each
+/// weight row are widened to float once per batch (u8→i32→f32 is exact, so
+/// a preconverted code participates in the same float expressions as a
+/// just-converted one) and the per-group accumulation then replays the
+/// qdot fold per input. Row i of Y is bitwise identical to
+/// qgemv(X row i) at any batch size and thread count, while the nibble
+/// unpack and the code-byte streaming are paid once per row per batch —
+/// this is the packed kernel under batched decode.
+void qgemv_batch(const QBlock& q, const float* x, std::size_t n, float* y);
 
 }  // namespace kern
 

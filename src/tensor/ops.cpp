@@ -281,6 +281,46 @@ void rope_apply(Matrix& x, std::size_t head_dim, float theta_base,
   }
 }
 
+void rope_apply_rows(Matrix& x, std::size_t head_dim,
+                     std::span<const std::size_t> positions,
+                     float theta_base) {
+  APTQ_CHECK(head_dim >= 2 && head_dim % 2 == 0,
+             "rope_apply_rows: head_dim must be even and >= 2");
+  APTQ_CHECK(x.cols() % head_dim == 0,
+             "rope_apply_rows: cols must be a multiple of head_dim");
+  APTQ_CHECK(positions.size() == x.rows(),
+             "rope_apply_rows: one position per row required");
+  const std::size_t heads = x.cols() / head_dim;
+  const std::size_t half = head_dim / 2;
+  // Same hoisted frequency/cos/sin tables — and the same per-element
+  // expressions — as rope_apply, so each row matches a solo rope_apply at
+  // position_offset = positions[t] bit-for-bit (pinned by tensor_test).
+  std::vector<float> freq(half), cos_tab(half), sin_tab(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    freq[i] = std::pow(theta_base, -2.0f * static_cast<float>(i) /
+                                       static_cast<float>(head_dim));
+  }
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    const float pos = static_cast<float>(positions[t]);
+    for (std::size_t i = 0; i < half; ++i) {
+      const float angle = pos * freq[i];
+      cos_tab[i] = std::cos(angle);
+      sin_tab[i] = std::sin(angle);
+    }
+    float* row = x.data() + t * x.cols();
+    for (std::size_t h = 0; h < heads; ++h) {
+      float* head = row + h * head_dim;
+      for (std::size_t i = 0; i < half; ++i) {
+        float* pair = head + 2 * i;
+        const float x0 = pair[0];
+        const float x1 = pair[1];
+        pair[0] = cos_tab[i] * x0 - sin_tab[i] * x1;
+        pair[1] = sin_tab[i] * x0 + cos_tab[i] * x1;
+      }
+    }
+  }
+}
+
 double diag_mean(const Matrix& m) {
   APTQ_CHECK(m.rows() == m.cols() && m.rows() > 0,
              "diag_mean: square non-empty matrix required");

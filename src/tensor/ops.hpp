@@ -83,6 +83,16 @@ void silu_backward(const Matrix& in, const Matrix& grad_out, Matrix& grad_in);
 void rope_apply(Matrix& x, std::size_t head_dim, float theta_base = 10000.0f,
                 bool inverse = false, std::size_t position_offset = 0);
 
+/// rope_apply with an independent absolute position per row: row t is
+/// rotated for position `positions[t]` (positions.size() == x.rows()).
+/// Used by batched decode, where each row belongs to a different request
+/// at its own context depth. The per-row float expressions are exactly
+/// rope_apply's, so row t is bitwise identical to rope_apply on a 1-row
+/// matrix with position_offset = positions[t].
+void rope_apply_rows(Matrix& x, std::size_t head_dim,
+                     std::span<const std::size_t> positions,
+                     float theta_base = 10000.0f);
+
 /// Mean of diagonal entries (square matrix).
 double diag_mean(const Matrix& m);
 

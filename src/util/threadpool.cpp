@@ -1,5 +1,7 @@
 #include "util/threadpool.hpp"
 
+#include <algorithm>
+
 namespace aptq {
 
 namespace {
@@ -174,6 +176,18 @@ void ThreadPool::set_global_threads(std::size_t threads) {
 
 std::size_t ThreadPool::global_thread_count() {
   return global().thread_count();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  static const std::size_t hw = [] {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? std::size_t{1} : static_cast<std::size_t>(n);
+  }();
+  return hw;
+}
+
+std::size_t ThreadPool::effective_global_threads() {
+  return std::min(global_thread_count(), hardware_threads());
 }
 
 }  // namespace aptq

@@ -79,6 +79,17 @@ class ThreadPool {
   /// thread_count() of the global pool.
   static std::size_t global_thread_count();
 
+  /// Cached std::thread::hardware_concurrency() (min 1).
+  static std::size_t hardware_threads();
+
+  /// Concurrency the global pool can actually realize:
+  /// min(global_thread_count(), hardware_threads()). Kernels whose results
+  /// are chunk-independent may use this to skip pool dispatch when the pool
+  /// is oversubscribed (e.g. --threads 4 on a 1-core box), where every
+  /// dispatch is pure overhead. Never use it to change chunk *boundaries* —
+  /// only to choose between the pool and the identical serial loop.
+  static std::size_t effective_global_threads();
+
  private:
   struct Job {
     std::size_t begin = 0;

@@ -128,6 +128,210 @@ TEST(DecodeState, CapacityEnforcedAndReusableAfterReset) {
   EXPECT_TRUE(first == second);
 }
 
+// ---- batched decode: per-row bitwise equality with solo steps -------------
+//
+// decode_step_batch is the serving engine's hot path: it stacks the
+// in-flight requests' activations into one (batch × dim) forward pass. The
+// determinism contract requires row i of the batched logits to be bitwise
+// identical to decode_step on request i alone — across thread counts,
+// mixed context depths, and both backends.
+class BatchedDecode : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  BatchedDecode() { ThreadPool::set_global_threads(GetParam()); }
+  ~BatchedDecode() override { ThreadPool::set_global_threads(1); }
+};
+
+TEST_P(BatchedDecode, DenseRowsBitwiseMatchSoloSteps) {
+  const Model m = Model::init(test_config(), 31);
+  const std::size_t n = 4, max_ctx = 24, steps = 5;
+  std::vector<DecodeState> solo;
+  std::vector<DecodeState> batched;
+  solo.reserve(n);
+  batched.reserve(n);
+  std::vector<DecodeState*> ptrs;
+  std::vector<TokenSeq> feeds;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Staggered prompt lengths: every batch row decodes at a different
+    // context depth, exercising the per-row rope positions.
+    const TokenSeq prompt = tokens_for(3 + 2 * i, 40 + i, m.config.vocab_size);
+    solo.emplace_back(m.config, max_ctx);
+    batched.emplace_back(m.config, max_ctx);
+    decode_prefill(m, prompt, solo.back());
+    decode_prefill(m, prompt, batched.back());
+    feeds.push_back(tokens_for(steps, 60 + i, m.config.vocab_size));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ptrs.push_back(&batched[i]);
+  }
+  for (std::size_t s = 0; s < steps; ++s) {
+    std::vector<TokenId> toks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      toks[i] = feeds[i][s];
+    }
+    const Matrix logits = decode_step_batch(m, toks, ptrs);
+    ASSERT_EQ(logits.rows(), n);
+    ASSERT_EQ(logits.cols(), m.config.vocab_size);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::vector<float> want = decode_step(m, toks[i], solo[i]);
+      for (std::size_t v = 0; v < want.size(); ++v) {
+        ASSERT_EQ(logits(i, v), want[v])
+            << "step " << s << " request " << i << " vocab " << v;
+      }
+      EXPECT_EQ(batched[i].pos(), solo[i].pos());
+    }
+  }
+}
+
+TEST_P(BatchedDecode, PackedRowsBitwiseMatchSoloSteps) {
+  const Model m = Model::init(test_config(), 32);
+  const PackedModel pm = packed_for(m);
+  const std::size_t n = 3, max_ctx = 20, steps = 4;
+  std::vector<DecodeState> solo;
+  std::vector<DecodeState> batched;
+  solo.reserve(n);
+  batched.reserve(n);
+  std::vector<DecodeState*> ptrs;
+  std::vector<TokenSeq> feeds;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TokenSeq prompt =
+        tokens_for(2 + 3 * i, 70 + i, pm.config().vocab_size);
+    solo.emplace_back(pm.config(), max_ctx);
+    batched.emplace_back(pm.config(), max_ctx);
+    decode_prefill(pm, prompt, solo.back());
+    decode_prefill(pm, prompt, batched.back());
+    feeds.push_back(tokens_for(steps, 80 + i, pm.config().vocab_size));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ptrs.push_back(&batched[i]);
+  }
+  for (std::size_t s = 0; s < steps; ++s) {
+    std::vector<TokenId> toks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      toks[i] = feeds[i][s];
+    }
+    const Matrix logits = decode_step_batch(pm, toks, ptrs);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::vector<float> want = decode_step(pm, toks[i], solo[i]);
+      for (std::size_t v = 0; v < want.size(); ++v) {
+        ASSERT_EQ(logits(i, v), want[v])
+            << "step " << s << " request " << i << " vocab " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BatchedDecode,
+                         ::testing::Values(std::size_t{1}, std::size_t{4}));
+
+TEST(BatchedDecodeValidation, RejectsBadBatches) {
+  const Model m = Model::init(test_config(), 33);
+  DecodeState a(m.config, 8);
+  DecodeState b(m.config, 8);
+  const TokenId tok = 1;
+  {
+    // Empty batch.
+    EXPECT_THROW(decode_step_batch(m, {}, {}), Error);
+  }
+  {
+    // tokens/states size mismatch.
+    const TokenId toks[2] = {tok, tok};
+    DecodeState* sts[1] = {&a};
+    EXPECT_THROW(decode_step_batch(m, toks, sts), Error);
+  }
+  {
+    // The same state twice would interleave two writers on one KV cache.
+    const TokenId toks[2] = {tok, tok};
+    DecodeState* sts[2] = {&a, &a};
+    EXPECT_THROW(decode_step_batch(m, toks, sts), Error);
+  }
+  {
+    const TokenId toks[2] = {tok, tok};
+    DecodeState* sts[2] = {&a, &b};
+    EXPECT_NO_THROW(decode_step_batch(m, toks, sts));
+  }
+}
+
+// ---- paged KV storage ------------------------------------------------------
+
+TEST(KvArena, PageLifecycleAndExhaustion) {
+  const ModelConfig cfg = test_config();
+  KvArena arena(cfg, 8, 3);
+  EXPECT_EQ(arena.pages(), 3u);
+  EXPECT_EQ(arena.page_positions(), 8u);
+  EXPECT_EQ(arena.free_pages(), 3u);
+  EXPECT_EQ(arena.bytes(), 3 * arena.page_stride() * sizeof(float));
+  const std::uint32_t p0 = arena.acquire_page();
+  const std::uint32_t p1 = arena.acquire_page();
+  const std::uint32_t p2 = arena.acquire_page();
+  EXPECT_EQ(arena.free_pages(), 0u);
+  EXPECT_EQ(arena.acquire_page(), KvArena::kNoPage);  // exhausted, no throw
+  arena.release_page(p1);
+  EXPECT_EQ(arena.free_pages(), 1u);
+  EXPECT_EQ(arena.acquire_page(), p1);  // recycled
+  EXPECT_THROW(arena.release_page(KvArena::kNoPage), Error);
+  arena.release_page(p0);
+  EXPECT_THROW(arena.release_page(p0), Error);  // double release
+  (void)p2;
+}
+
+TEST(KvArena, RejectsNonPowerOfTwoPageSize) {
+  EXPECT_THROW(KvArena(test_config(), 12, 2), Error);
+  EXPECT_THROW(KvArena(test_config(), 0, 2), Error);
+  EXPECT_THROW(KvArena(test_config(), 16, 0), Error);
+}
+
+TEST(PagedDecodeState, SharedArenaBitwiseMatchesPrivateArena) {
+  const Model m = Model::init(test_config(), 34);
+  // max_context spans several pages so steps cross page boundaries.
+  const std::size_t max_ctx = 40, pp = 16;
+  KvArena arena(m.config, pp, (max_ctx + pp - 1) / pp);
+  DecodeState shared(m.config, max_ctx, arena);
+  DecodeState priv(m.config, max_ctx);
+  ASSERT_TRUE(shared.try_reserve(max_ctx));
+  const TokenSeq prompt = tokens_for(12, 90, m.config.vocab_size);
+  const Matrix pre_shared = decode_prefill(m, prompt, shared);
+  const Matrix pre_priv = decode_prefill(m, prompt, priv);
+  EXPECT_TRUE(pre_shared == pre_priv);
+  const TokenSeq feed = tokens_for(max_ctx - prompt.size(), 91,
+                                   m.config.vocab_size);
+  for (const TokenId t : feed) {
+    const std::vector<float> a = decode_step(m, t, shared);
+    const std::vector<float> b = decode_step(m, t, priv);
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_EQ(shared.pos(), static_cast<std::size_t>(max_ctx));
+}
+
+TEST(PagedDecodeState, LazyReservationAndRelease) {
+  const ModelConfig cfg = test_config();
+  KvArena arena(cfg, 4, 3);  // 12 positions total
+  DecodeState a(cfg, 12, arena);
+  DecodeState b(cfg, 12, arena);
+  EXPECT_EQ(a.pages_held(), 0u);  // shared states map pages on demand
+  ASSERT_TRUE(a.try_reserve(5));  // 2 pages of 4
+  EXPECT_EQ(a.pages_held(), 2u);
+  EXPECT_EQ(arena.free_pages(), 1u);
+  ASSERT_TRUE(b.try_reserve(4));
+  EXPECT_EQ(arena.free_pages(), 0u);
+  EXPECT_FALSE(b.try_reserve(5));   // arena dry; b keeps its mapped page
+  EXPECT_EQ(b.pages_held(), 1u);
+  a.reset();                        // returns a's pages
+  EXPECT_EQ(arena.free_pages(), 2u);
+  EXPECT_TRUE(b.try_reserve(5));
+  EXPECT_GT(a.footprint_bytes(), 0u);  // page-table bookkeeping
+}
+
+TEST(PagedDecodeState, DestructorReturnsPagesToArena) {
+  const ModelConfig cfg = test_config();
+  KvArena arena(cfg, 4, 2);
+  {
+    DecodeState s(cfg, 8, arena);
+    ASSERT_TRUE(s.try_reserve(8));
+    EXPECT_EQ(arena.free_pages(), 0u);
+  }
+  EXPECT_EQ(arena.free_pages(), 2u);
+}
+
 TEST(DecodeState, RejectsMismatchedConfig) {
   const Model m = Model::init(test_config(), 24);
   ModelConfig other = test_config();

@@ -353,6 +353,110 @@ TEST(QuantizedGemv, BitwiseIdenticalAtAnyThreadCount) {
   ThreadPool::set_global_threads(1);
 }
 
+// ---- batched decode kernels: per-row bitwise equality with the solo path --
+//
+// gemv_batch / qgemv_batch exist so continuous-batching decode can stack
+// requests into one forward pass; the serving determinism contract requires
+// row i of the batched result to be bitwise identical to running row i
+// alone through gemv / qgemv. Exact EXPECT_EQ, no tolerance.
+
+TEST(GemvBatch, EveryRowBitwiseMatchesSoloGemv) {
+  // Odd shapes: n below/above the column-strip width (64), prime k, and
+  // batch sizes from 1 (delegates to gemv) to 9.
+  const std::size_t shapes[][2] = {{53, 21}, {128, 64}, {67, 130}, {1, 1}};
+  for (const auto& s : shapes) {
+    const std::size_t k = s[0], n = s[1];
+    const Matrix b = random_matrix(k, n, 301 + k + n);
+    for (const std::size_t batch : {1ul, 2ul, 3ul, 8ul, 9ul}) {
+      const Matrix x = random_matrix(batch, k, 302 + batch);
+      std::vector<float> y_batch(batch * n, 0.0f);
+      kern::gemv_batch(x.data(), b.data(), batch, k, n, y_batch.data());
+      for (std::size_t i = 0; i < batch; ++i) {
+        std::vector<float> y_solo(n, 0.0f);
+        kern::gemv(x.data() + i * k, b.data(), k, n, y_solo.data());
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(y_batch[i * n + j], y_solo[j])
+              << "k=" << k << " n=" << n << " batch=" << batch << " row=" << i
+              << " col=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemvBatch, BitwiseIdenticalAtAnyThreadCount) {
+  const std::size_t k = 96, n = 200, batch = 6;
+  const Matrix b = random_matrix(k, n, 311);
+  const Matrix x = random_matrix(batch, k, 312);
+  ThreadPool::set_global_threads(1);
+  std::vector<float> base(batch * n, 0.0f);
+  kern::gemv_batch(x.data(), b.data(), batch, k, n, base.data());
+  for (const std::size_t threads : {2ul, 4ul}) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<float> y(batch * n, 0.0f);
+    kern::gemv_batch(x.data(), b.data(), batch, k, n, y.data());
+    EXPECT_EQ(y, base) << threads << " threads";
+  }
+  ThreadPool::set_global_threads(1);
+}
+
+class QuantizedGemvBatchBitwise
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(QuantizedGemvBatchBitwise, EveryRowBitwiseMatchesSoloQgemv) {
+  const auto [bits, group] = GetParam();
+  // Shapes cover the vector fast path (cols a multiple of the group), a
+  // ragged tail group, K < group, and a single weight row.
+  const std::size_t shapes[][2] = {
+      {11, 4 * group}, {7, 3 * group + 3}, {3, group > 1 ? group - 1 : 1},
+      {1, 2 * group}};
+  for (const auto& s : shapes) {
+    const std::size_t rows = s[0], cols = s[1];
+    const Matrix w = random_matrix(rows, cols, 401 + rows + cols);
+    const QuantizedLinear packed(w, qspec(bits, group));
+    ASSERT_TRUE(packed.has_kernel_path());
+    const QBlock q = packed.block_view();
+    for (const std::size_t batch : {1ul, 2ul, 5ul, 9ul}) {
+      const Matrix x = random_matrix(batch, cols, 402 + batch);
+      std::vector<float> y_batch(batch * rows, -3.0f);
+      kern::qgemv_batch(q, x.data(), batch, y_batch.data());
+      for (std::size_t i = 0; i < batch; ++i) {
+        std::vector<float> y_solo(rows, -5.0f);
+        kern::qgemv(q, x.data() + i * cols, y_solo.data());
+        for (std::size_t r = 0; r < rows; ++r) {
+          ASSERT_EQ(y_batch[i * rows + r], y_solo[r])
+              << "bits=" << bits << " group=" << group << " rows=" << rows
+              << " cols=" << cols << " batch=" << batch << " request=" << i
+              << " row=" << r;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndGroups, QuantizedGemvBatchBitwise,
+    ::testing::Combine(::testing::Values(4, 8),
+                       ::testing::Values(std::size_t{8}, std::size_t{16})));
+
+TEST(QuantizedGemvBatch, BitwiseIdenticalAtAnyThreadCount) {
+  const std::size_t rows = 37, cols = 96, batch = 5;
+  const Matrix w = random_matrix(rows, cols, 411);
+  const Matrix x = random_matrix(batch, cols, 412);
+  const QuantizedLinear packed(w, qspec(4, 16));
+  const QBlock q = packed.block_view();
+  ThreadPool::set_global_threads(1);
+  std::vector<float> base(batch * rows, 0.0f);
+  kern::qgemv_batch(q, x.data(), batch, base.data());
+  for (const std::size_t threads : {2ul, 4ul}) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<float> y(batch * rows, 0.0f);
+    kern::qgemv_batch(q, x.data(), batch, y.data());
+    EXPECT_EQ(y, base) << threads << " threads";
+  }
+  ThreadPool::set_global_threads(1);
+}
+
 TEST(QuantizedGemv, XsumPrecomputationDoesNotChangeAnyBit) {
   // qgemv precomputes per-group sums of x; qdot with xsum == nullptr folds
   // them on the fly in the same fixed order — the two must agree exactly.

@@ -316,6 +316,88 @@ TEST(ServeScheduler, ContextOverflowEvictsInsteadOfThrowing) {
   EXPECT_EQ(engine.pool().in_use(), 0u);
 }
 
+// Eviction must be surgical: when one request hits context_full mid-batch,
+// every co-scheduled request's stream must still match its solo oracle —
+// the eviction may not perturb neighbours sharing the paged arena.
+TEST(ServeScheduler, EvictionAtBatchGreaterThanOneDoesNotPerturbNeighbors) {
+  const Model m = Model::init(test_config(), 29);
+  ServeConfig cfg;
+  cfg.max_batch = 3;
+  cfg.max_context = 10;
+  ServeEngine engine(make_backend(m), cfg);
+
+  Request evicted;  // overruns the context mid-flight
+  evicted.prompt = tokens_for(7, 10, m.config.vocab_size);
+  evicted.max_new_tokens = 50;
+  evicted.seed = 41;
+  Request neighbor_a;  // co-scheduled, finishes normally
+  neighbor_a.prompt = tokens_for(3, 11, m.config.vocab_size);
+  neighbor_a.max_new_tokens = 6;
+  neighbor_a.seed = 42;
+  Request neighbor_b;  // still decoding when the eviction happens
+  neighbor_b.prompt = tokens_for(2, 12, m.config.vocab_size);
+  neighbor_b.max_new_tokens = 7;
+  neighbor_b.seed = 43;
+  const std::vector<Request> reqs = {evicted, neighbor_a, neighbor_b};
+  std::vector<RequestId> ids;
+  for (const Request& r : reqs) {
+    ids.push_back(engine.submit(r));
+  }
+  const auto results = engine.run();
+  ASSERT_EQ(results.size(), 3u);
+  bool saw_eviction = false;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const ReferenceRun ref =
+        reference_run(m, reqs[i], ids[i], cfg.max_context);
+    EXPECT_EQ(results[i].tokens, ref.tokens) << "request " << ids[i];
+    EXPECT_EQ(results[i].finish, ref.finish) << "request " << ids[i];
+    saw_eviction |= results[i].finish == FinishReason::context_full;
+  }
+  ASSERT_TRUE(saw_eviction) << "workload no longer exercises eviction";
+  EXPECT_EQ(engine.pool().in_use(), 0u);
+  EXPECT_EQ(engine.pool().pages_in_use(), 0u);  // evicted pages returned
+}
+
+// Oversubscribed arena: fewer pages than every slot needs at max_context.
+// Admission must wait for pages (backpressure), not throw mid-decode, and
+// every request must still complete.
+TEST(ServeScheduler, PageExhaustionAppliesBackpressureAtAdmission) {
+  const Model m = Model::init(test_config(), 30);
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_context = 32;
+  cfg.kv_page_positions = 8;
+  // Each request's whole lifetime (5 prompt + 2 step positions = 7) fits
+  // one 8-position page, and 4 concurrent requests would want 4 pages.
+  // Grant 3: at most three requests hold pages at once, the rest queue
+  // until a retirement returns a page.
+  cfg.kv_pages = 3;
+  ServeEngine engine(make_backend(m), cfg);
+  std::vector<Request> reqs;
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 6; ++i) {
+    Request r;
+    r.prompt = tokens_for(5, 20 + i, m.config.vocab_size);
+    r.max_new_tokens = 3;
+    r.seed = 500 + static_cast<std::uint64_t>(i);
+    reqs.push_back(r);
+    ids.push_back(engine.submit(r));
+  }
+  const auto results = engine.run();
+  ASSERT_EQ(results.size(), reqs.size());
+  // Backpressure really engaged: the batch never reached max_batch because
+  // the arena could not map four working sets at once.
+  EXPECT_LT(engine.stats().peak_active, cfg.max_batch);
+  EXPECT_GE(engine.stats().peak_active, 1u);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const ReferenceRun ref =
+        reference_run(m, reqs[i], ids[i], cfg.max_context);
+    EXPECT_EQ(results[i].tokens, ref.tokens) << "request " << ids[i];
+    EXPECT_EQ(results[i].finish, ref.finish) << "request " << ids[i];
+  }
+  EXPECT_EQ(engine.pool().pages_in_use(), 0u);
+}
+
 TEST(ServeScheduler, OverlongPromptIsRejectedNotFatal) {
   const Model m = Model::init(test_config(), 25);
   ServeConfig cfg;
@@ -406,6 +488,43 @@ TEST(KvPoolTest, AcquireReleaseLifecycle) {
   EXPECT_THROW(pool.release(b), Error);  // double release
   DecodeState foreign(cfg, 16);
   EXPECT_THROW(pool.release(&foreign), Error);
+}
+
+TEST(KvPoolTest, PagedAccountingTracksMappedPages) {
+  const ModelConfig cfg = test_config();
+  // 2 slots × max_context 16 at 8 positions/page → 4 pages auto-sized.
+  KvPool pool(cfg, 16, 2, 8);
+  EXPECT_EQ(pool.page_positions(), 8u);
+  EXPECT_EQ(pool.pages(), 4u);
+  EXPECT_EQ(pool.free_pages(), 4u);
+  // bytes() covers the whole slab up front; nothing is mapped yet.
+  const std::size_t row = cfg.kv_dim() * sizeof(float);
+  EXPECT_GE(pool.bytes(), 4u * cfg.n_layers * 2 * 8 * row);
+  EXPECT_EQ(pool.mapped_bytes(), 0u);
+
+  DecodeState* a = pool.acquire();
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->try_reserve(10));  // 2 pages of 8
+  EXPECT_EQ(pool.pages_in_use(), 2u);
+  EXPECT_EQ(a->pages_held(), 2u);
+  EXPECT_GE(pool.mapped_bytes(), 2u * cfg.n_layers * 2 * 8 * row);
+  pool.release(a);  // pages return with the slot, not at next acquire
+  EXPECT_EQ(pool.pages_in_use(), 0u);
+  EXPECT_EQ(pool.free_pages(), 4u);
+}
+
+TEST(KvPoolTest, ExplicitPageBudgetBoundsConcurrentReservations) {
+  const ModelConfig cfg = test_config();
+  KvPool pool(cfg, 16, 2, 8, 3);  // oversubscribed: 2 slots want 4 pages
+  DecodeState* a = pool.acquire();
+  DecodeState* b = pool.acquire();
+  ASSERT_TRUE(a->try_reserve(16));   // 2 pages
+  EXPECT_FALSE(b->try_reserve(16));  // only 1 left
+  EXPECT_TRUE(b->try_reserve(8));    // which is enough for one page
+  EXPECT_EQ(pool.free_pages(), 0u);
+  pool.release(a);
+  EXPECT_TRUE(pool.acquire()->try_reserve(16));
+  pool.release(b);
 }
 
 TEST(ServeTelemetry, CountsTokensAndFillsReport) {
