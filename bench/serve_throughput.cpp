@@ -26,7 +26,8 @@ namespace {
 struct Row {
   std::string model;
   std::size_t batch = 0;
-  std::size_t threads = 0;
+  std::size_t threads = 0;            ///< requested via the sweep
+  std::size_t effective_threads = 0;  ///< what the pool actually ran
   std::size_t requests = 0;
   std::uint64_t generated = 0;
   std::size_t engine_steps = 0;
@@ -88,6 +89,10 @@ Row measure(const std::string& name, const Backend& backend,
   row.model = name;
   row.batch = batch;
   row.threads = threads;
+  // Requested vs delivered can differ (the pool clamps to what the host
+  // offers); rows record both so a "threads: 4" row on a 1-core runner
+  // reads as the serial measurement it actually was.
+  row.effective_threads = ThreadPool::effective_global_threads();
   row.wall_s = 1e30;
   for (std::size_t rep = 0; rep < kRepeats; ++rep) {
     ServeConfig cfg;
@@ -134,7 +139,9 @@ bool write_json(const std::vector<Row>& rows, double batch_gain,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out << "    {\"model\": \"" << r.model << "\", \"batch\": " << r.batch
-        << ", \"threads\": " << r.threads << ", \"requests\": " << r.requests
+        << ", \"threads\": " << r.threads
+        << ", \"effective_threads\": " << r.effective_threads
+        << ", \"requests\": " << r.requests
         << ", \"generated_tokens\": " << r.generated
         << ", \"engine_steps\": " << r.engine_steps
         << ", \"wall_s\": " << r.wall_s
@@ -217,11 +224,12 @@ int run(std::size_t n_requests, const std::string& out_path) {
   }
   const double thread_ratio = b8t1 > 0.0 ? b8t4 / b8t1 : 0.0;
 
-  std::printf("%-14s %6s %8s %10s %8s %16s\n", "model", "batch", "threads",
-              "generated", "wall_s", "tokens_per_sec");
+  std::printf("%-14s %6s %8s %10s %10s %8s %16s\n", "model", "batch",
+              "threads", "effective", "generated", "wall_s",
+              "tokens_per_sec");
   for (const Row& r : rows) {
-    std::printf("%-14s %6zu %8zu %10llu %8.3f %16.1f\n", r.model.c_str(),
-                r.batch, r.threads,
+    std::printf("%-14s %6zu %8zu %10zu %10llu %8.3f %16.1f\n",
+                r.model.c_str(), r.batch, r.threads, r.effective_threads,
                 static_cast<unsigned long long>(r.generated), r.wall_s,
                 r.tokens_per_sec);
   }

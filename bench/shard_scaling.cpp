@@ -1,0 +1,304 @@
+// Tensor-parallel scaling bench: ServeEngine throughput over sharded
+// decode with in-process workers on real localhost sockets, swept across
+// worker count {1,2,4} and batch {1,8}, dense and packed, against the
+// solo (no-network) baselines. Writes BENCH_shard.json.
+//
+// The headline is NOT raw speedup — on one host the workers share the
+// same cores and every projection pays a loopback round trip, so sharded
+// throughput sits below solo. The numbers that matter:
+//   - max_worker_weight_fraction_nK: the largest per-worker weight slice
+//     as a fraction of the whole model (~1/K — the memory-capacity story
+//     that lets N small hosts serve a model none could hold alone);
+//   - workers2_over_workers1: adding a worker must not collapse
+//     throughput (CI floors this ratio — the protocol overhead is per
+//     projection, not per worker, so it should hold near 1).
+// Flags: `--requests N` (default 8), `--out PATH`.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/sharded_model.hpp"
+#include "net/socket.hpp"
+#include "net/worker.hpp"
+#include "quant/packed_model.hpp"
+#include "serve/engine.hpp"
+#include "util/timer.hpp"
+
+namespace aptq::net {
+namespace {
+
+using serve::GenerationResult;
+using serve::Request;
+using serve::ServeConfig;
+using serve::ServeEngine;
+
+struct Row {
+  std::string model;
+  std::size_t workers = 0;  ///< 0 = solo baseline (no network)
+  std::size_t batch = 0;
+  std::uint64_t generated = 0;
+  double wall_s = 0.0;
+  double tokens_per_sec = 0.0;
+  std::uint64_t max_worker_weight_bytes = 0;
+};
+
+ModelConfig bench_config() {
+  ModelConfig c;
+  c.vocab_size = 64;
+  c.dim = 48;
+  c.n_layers = 4;
+  c.n_heads = 4;
+  c.ffn_dim = 128;
+  return c;
+}
+
+std::vector<Request> make_workload(std::size_t n, std::size_t vocab) {
+  std::vector<Request> reqs;
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    Request r;
+    r.prompt.resize(3 + rng.index(4));
+    for (auto& t : r.prompt) {
+      t = static_cast<TokenId>(rng.index(vocab));
+    }
+    r.max_new_tokens = 12 + rng.index(3);
+    r.sampling.temperature = 0.8f;
+    r.sampling.top_k = (i % 2 == 0) ? 0 : 16;
+    r.seed = 9000 + i;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+/// In-process workers over real localhost sockets (same wire path as
+/// separate processes, minus the process-spawn noise).
+class Cluster {
+ public:
+  explicit Cluster(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto listener = std::make_shared<Listener>(0);
+      const std::uint16_t port = listener->port();
+      threads_.emplace_back([listener] {
+        Socket conn = listener->accept();
+        serve_worker(conn);
+      });
+      streams_.push_back(
+          std::make_unique<Socket>(Socket::connect("127.0.0.1", port)));
+    }
+  }
+  ~Cluster() {
+    for (std::thread& t : threads_) {
+      t.join();
+    }
+  }
+  std::vector<std::unique_ptr<Stream>> take_streams() {
+    return std::move(streams_);
+  }
+
+ private:
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+};
+
+double run_workload(ServeEngine& engine, const std::vector<Request>& reqs,
+                    std::uint64_t& generated) {
+  for (const Request& r : reqs) {
+    engine.submit(r);
+  }
+  const Timer timer;
+  const auto results = engine.run();
+  const double wall = timer.seconds();
+  generated = 0;
+  for (const auto& r : results) {
+    generated += r.tokens.size();
+  }
+  return wall;
+}
+
+Row measure(const std::string& name, serve::Backend backend,
+            const std::vector<Request>& reqs, std::size_t workers,
+            std::size_t batch, std::uint64_t max_weight_bytes) {
+  constexpr std::size_t kRepeats = 3;
+  Row row;
+  row.model = name;
+  row.workers = workers;
+  row.batch = batch;
+  row.max_worker_weight_bytes = max_weight_bytes;
+  row.wall_s = 1e30;
+  for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+    ServeConfig cfg;
+    cfg.max_batch = batch;
+    cfg.max_context = 64;
+    ServeEngine engine(serve::Backend(backend), cfg);
+    std::uint64_t generated = 0;
+    const double wall = run_workload(engine, reqs, generated);
+    if (wall < row.wall_s) {
+      row.wall_s = wall;
+      row.generated = generated;
+    }
+  }
+  row.tokens_per_sec = row.wall_s > 0.0
+                           ? static_cast<double>(row.generated) / row.wall_s
+                           : 0.0;
+  return row;
+}
+
+template <typename ModelT>
+void sweep(const std::string& name, const ModelT& model,
+           const std::vector<Request>& reqs, std::vector<Row>& rows) {
+  const std::uint64_t solo_bytes = make_shard(model, 0, 1).weight_bytes();
+  for (const std::size_t batch : {1u, 8u}) {
+    rows.push_back(measure(name, serve::make_backend(model), reqs, 0, batch,
+                           solo_bytes));
+  }
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    Cluster cluster(workers);
+    ShardedModel sharded(model, cluster.take_streams());
+    std::uint64_t max_bytes = 0;
+    for (const std::uint64_t b : sharded.worker_weight_bytes()) {
+      max_bytes = std::max(max_bytes, b);
+    }
+    for (const std::size_t batch : {1u, 8u}) {
+      rows.push_back(measure(name, make_backend(sharded), reqs, workers,
+                             batch, max_bytes));
+    }
+    sharded.shutdown();
+  }
+}
+
+const Row* find_row(const std::vector<Row>& rows, const std::string& model,
+                    std::size_t workers, std::size_t batch) {
+  for (const Row& r : rows) {
+    if (r.model == model && r.workers == workers && r.batch == batch) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+bool write_json(const std::vector<Row>& rows, double workers2_over_workers1,
+                double frac_n2, double frac_n4, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "shard_scaling: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n";
+  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"workers2_over_workers1\": " << workers2_over_workers1 << ",\n";
+  out << "  \"max_worker_weight_fraction_n2\": " << frac_n2 << ",\n";
+  out << "  \"max_worker_weight_fraction_n4\": " << frac_n4 << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"model\": \"" << r.model << "\", \"workers\": " << r.workers
+        << ", \"batch\": " << r.batch
+        << ", \"generated_tokens\": " << r.generated
+        << ", \"wall_s\": " << r.wall_s
+        << ", \"tokens_per_sec\": " << r.tokens_per_sec
+        << ", \"max_worker_weight_bytes\": " << r.max_worker_weight_bytes
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.good();
+}
+
+int run(std::size_t n_requests, const std::string& out_path) {
+  const ModelConfig cfg = bench_config();
+  const Model model = Model::init(cfg, 42);
+  QuantSpec spec;
+  spec.bits = 4;
+  spec.group_size = 16;
+  const PackedModel packed = PackedModel::pack_uniform(model, spec);
+  const std::vector<Request> workload =
+      make_workload(n_requests, cfg.vocab_size);
+
+  std::vector<Row> rows;
+  sweep("dense", model, workload, rows);
+  sweep("packed_w4g16", packed, workload, rows);
+
+  // Headlines from the packed sweep at batch 8 (the serving shape).
+  const Row* w1 = find_row(rows, "packed_w4g16", 1, 8);
+  const Row* w2 = find_row(rows, "packed_w4g16", 2, 8);
+  const Row* w4 = find_row(rows, "packed_w4g16", 4, 8);
+  const Row* solo = find_row(rows, "packed_w4g16", 0, 8);
+  const double workers2_over_workers1 =
+      (w1 != nullptr && w2 != nullptr && w1->tokens_per_sec > 0.0)
+          ? w2->tokens_per_sec / w1->tokens_per_sec
+          : 0.0;
+  const double solo_bytes =
+      solo != nullptr ? static_cast<double>(solo->max_worker_weight_bytes)
+                      : 0.0;
+  const double frac_n2 =
+      (w2 != nullptr && solo_bytes > 0.0)
+          ? static_cast<double>(w2->max_worker_weight_bytes) / solo_bytes
+          : 0.0;
+  const double frac_n4 =
+      (w4 != nullptr && solo_bytes > 0.0)
+          ? static_cast<double>(w4->max_worker_weight_bytes) / solo_bytes
+          : 0.0;
+
+  std::printf("%-14s %8s %6s %10s %8s %16s %14s\n", "model", "workers",
+              "batch", "generated", "wall_s", "tokens_per_sec", "weight_bytes");
+  for (const Row& r : rows) {
+    std::printf("%-14s %8zu %6zu %10llu %8.3f %16.1f %14llu\n",
+                r.model.c_str(), r.workers, r.batch,
+                static_cast<unsigned long long>(r.generated), r.wall_s,
+                r.tokens_per_sec,
+                static_cast<unsigned long long>(r.max_worker_weight_bytes));
+  }
+  std::printf("packed workers=2 vs workers=1 at batch=8: %.2fx\n",
+              workers2_over_workers1);
+  std::printf("largest per-worker weight fraction: %.3f at N=2, %.3f at N=4\n",
+              frac_n2, frac_n4);
+  if (write_json(rows, workers2_over_workers1, frac_n2, frac_n4, out_path)) {
+    std::printf("shard scaling results written to %s\n", out_path.c_str());
+  }
+
+  // Tripwires. Weight fractions are structural (must shrink ~1/N); the
+  // throughput floor is lenient — on one shared host a second worker buys
+  // no cycles, it only must not collapse the pipeline.
+  if (frac_n2 <= 0.0 || frac_n2 > 0.6 || frac_n4 <= 0.0 || frac_n4 > 0.35) {
+    std::fprintf(stderr,
+                 "shard_scaling: per-worker weight fraction is not ~1/N "
+                 "(%.3f at N=2, %.3f at N=4)\n",
+                 frac_n2, frac_n4);
+    return 1;
+  }
+  if (workers2_over_workers1 > 0.0 && workers2_over_workers1 < 0.25) {
+    std::fprintf(stderr,
+                 "shard_scaling: workers=2 collapsed vs workers=1 (%.2fx)\n",
+                 workers2_over_workers1);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aptq::net
+
+int main(int argc, char** argv) {
+  std::size_t n_requests = 8;
+  std::string out_path = "BENCH_shard.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--requests" && i + 1 < argc) {
+      n_requests =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: shard_scaling [--requests N] [--out PATH]\n");
+      return 1;
+    }
+  }
+  return aptq::net::run(n_requests == 0 ? 1 : n_requests, out_path);
+}

@@ -1,0 +1,208 @@
+// Tensor-parallel serving root: connects to shard workers
+// (examples/shard_worker.cpp), splits a model across them, and drives the
+// continuous-batching ServeEngine over the sharded decode path — every
+// projection fans out over TCP and gathers output slices, byte-identical
+// to solo decode (docs/SHARDING.md).
+//
+// Usage:
+//   shard_serve --workers 127.0.0.1:9101,127.0.0.1:9102
+//               [--model dense|packed] [--requests N] [--threads N]
+//               [--selftest 1] [--http-port P] [--http-max-requests N]
+//
+// Default mode submits a synthetic burst and prints per-request results
+// plus the per-worker weight bytes. --selftest 1 additionally replays the
+// same burst on a solo in-process engine and exits non-zero unless every
+// token stream matches exactly (the CI shard-smoke gate). --http-port
+// starts the HTTP front-end on the sharded engine instead (GET /healthz,
+// POST /v1/generate).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/http.hpp"
+#include "net/sharded_model.hpp"
+#include "net/socket.hpp"
+#include "quant/packed_model.hpp"
+#include "serve/engine.hpp"
+#include "util/args.hpp"
+
+using namespace aptq;
+using namespace aptq::serve;
+
+namespace {
+
+ModelConfig demo_config() {
+  ModelConfig c;  // the sim-scale defaults: v=64 d=48 L=4 h=4 ffn=128
+  return c;
+}
+
+std::vector<std::pair<std::string, std::uint16_t>> parse_workers(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, std::uint16_t>> out;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t comma = spec.find(',', at);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string entry = spec.substr(at, comma - at);
+    const std::size_t colon = entry.rfind(':');
+    APTQ_CHECK(colon != std::string::npos && colon > 0,
+               "shard_serve: worker \"" + entry + "\" is not host:port");
+    out.emplace_back(entry.substr(0, colon),
+                     static_cast<std::uint16_t>(
+                         std::stoul(entry.substr(colon + 1))));
+    at = comma + 1;
+  }
+  APTQ_CHECK(!out.empty(), "shard_serve: --workers list is empty");
+  return out;
+}
+
+/// Connect with retries so the root may start before its workers listen.
+std::vector<std::unique_ptr<net::Stream>> connect_workers(
+    const std::vector<std::pair<std::string, std::uint16_t>>& endpoints) {
+  std::vector<std::unique_ptr<net::Stream>> streams;
+  for (const auto& [host, port] : endpoints) {
+    std::unique_ptr<net::Socket> sock;
+    for (int attempt = 0; sock == nullptr; ++attempt) {
+      try {
+        sock = std::make_unique<net::Socket>(net::Socket::connect(host, port));
+      } catch (const Error&) {
+        APTQ_CHECK(attempt < 50, "shard_serve: cannot reach " + host + ":" +
+                                     std::to_string(port));
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+    std::printf("shard_serve: connected to %s\n", sock->name().c_str());
+    streams.push_back(std::move(sock));
+  }
+  return streams;
+}
+
+std::vector<Request> make_burst(std::size_t n, std::size_t vocab) {
+  std::vector<Request> reqs;
+  Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    Request r;
+    r.prompt.resize(3 + rng.index(6));
+    for (auto& t : r.prompt) {
+      t = static_cast<TokenId>(rng.index(vocab));
+    }
+    r.max_new_tokens = 6 + rng.index(7);
+    r.sampling.temperature = 0.7f + 0.1f * static_cast<float>(i % 3);
+    r.sampling.top_k = (i % 2 == 0) ? 0 : 8;
+    r.seed = 1000 + i;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+std::vector<GenerationResult> run_burst(ServeEngine& engine,
+                                        const std::vector<Request>& burst) {
+  for (const Request& r : burst) {
+    engine.submit(r);
+  }
+  return engine.run();
+}
+
+template <typename ModelT>
+int serve_sharded(const ModelT& model,
+                  std::vector<std::unique_ptr<net::Stream>> streams,
+                  const ArgParser& args) {
+  const std::size_t n_requests =
+      static_cast<std::size_t>(args.get_long("requests", 8));
+  net::ShardedModel sharded(model, std::move(streams));
+  std::printf("shard_serve: %zu workers, per-worker weight bytes:",
+              sharded.n_workers());
+  for (const std::uint64_t b : sharded.worker_weight_bytes()) {
+    std::printf(" %llu", static_cast<unsigned long long>(b));
+  }
+  std::printf("\n");
+
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_context = 96;
+
+  if (args.has("http-port")) {
+    ServeEngine engine(net::make_backend(sharded), cfg);
+    const auto port =
+        static_cast<std::uint16_t>(args.get_long("http-port", 0));
+    net::Listener listener(port);
+    net::HttpOptions options;
+    options.max_requests = static_cast<std::size_t>(
+        args.get_long("http-max-requests", 0));
+    std::printf("shard_serve: HTTP on 127.0.0.1:%u (GET /healthz, "
+                "POST /v1/generate)\n",
+                static_cast<unsigned>(listener.port()));
+    std::fflush(stdout);
+    serve_http(listener, engine, options);
+    sharded.shutdown();
+    return 0;
+  }
+
+  const std::vector<Request> burst =
+      make_burst(n_requests, sharded.config().vocab_size);
+  ServeEngine engine(net::make_backend(sharded), cfg);
+  const auto results = run_burst(engine, burst);
+  std::printf("%4s %7s %7s  %s\n", "id", "prompt", "tokens", "finish");
+  for (const auto& r : results) {
+    std::printf("%4llu %7zu %7zu  %s\n",
+                static_cast<unsigned long long>(r.id), r.prompt_tokens,
+                r.tokens.size(), to_string(r.finish));
+  }
+  std::printf("shard_serve: %.0f tokens/sec over %zu workers\n",
+              engine.stats().tokens_per_sec(), sharded.n_workers());
+  sharded.shutdown();
+
+  if (args.get_long("selftest", 0) == 0) {
+    return 0;
+  }
+  // Replay the identical burst on a solo in-process engine: the sharded
+  // token streams must match byte for byte.
+  ServeEngine solo(make_backend(model), cfg);
+  const auto reference = run_burst(solo, burst);
+  if (reference.size() != results.size()) {
+    std::fprintf(stderr, "selftest FAIL: result count mismatch\n");
+    return 1;
+  }
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i].tokens != results[i].tokens ||
+        reference[i].finish != results[i].finish) {
+      std::fprintf(stderr, "selftest FAIL: request %zu diverged\n", i);
+      return 1;
+    }
+  }
+  std::printf("selftest PASS: %zu token streams identical to solo decode\n",
+              reference.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    configure_threads(args);
+    const auto endpoints = parse_workers(args.get_string("workers", ""));
+    const std::string kind = args.get_string("model", "packed");
+    // --selftest / --http-port consume their flags in serve_sharded.
+    auto streams = connect_workers(endpoints);
+
+    const Model dense = Model::init(demo_config(), 42);
+    if (kind == "dense") {
+      return serve_sharded(dense, std::move(streams), args);
+    }
+    APTQ_CHECK(kind == "packed",
+               "shard_serve: --model must be dense or packed");
+    QuantSpec spec;
+    spec.bits = 4;
+    spec.group_size = 16;
+    const PackedModel packed = PackedModel::pack_uniform(dense, spec);
+    return serve_sharded(packed, std::move(streams), args);
+  } catch (const aptq::Error& e) {
+    std::fprintf(stderr, "shard_serve: %s\n", e.what());
+    return 1;
+  }
+}

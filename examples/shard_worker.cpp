@@ -1,0 +1,45 @@
+// Tensor-parallel worker process: listens on one TCP port, serves shard
+// sessions for a root (examples/shard_serve.cpp or any ShardedModel). The
+// worker is model-agnostic — everything it needs (its weight slice
+// included) arrives over the wire in the load_shard frame, so the same
+// binary serves dense and packed roots of any configuration.
+//
+// Usage: shard_worker [--port P] [--host H] [--threads N] [--sessions N]
+//   --port 0 (the default) binds an ephemeral port; the bound address is
+//   printed either way, so scripts can scrape it. --sessions N serves N
+//   root sessions then exits (default 1, the CI smoke shape); 0 loops
+//   forever.
+#include <cstdio>
+
+#include "net/socket.hpp"
+#include "net/worker.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aptq;
+  try {
+    const ArgParser args(argc, argv);
+    configure_threads(args);
+    const auto port = static_cast<std::uint16_t>(args.get_long("port", 0));
+    const std::string host = args.get_string("host", "127.0.0.1");
+    const long sessions = args.get_long("sessions", 1);
+
+    net::Listener listener(port, host);
+    std::printf("shard_worker listening on %s:%u\n", host.c_str(),
+                static_cast<unsigned>(listener.port()));
+    std::fflush(stdout);
+
+    for (long served = 0; sessions == 0 || served < sessions; ++served) {
+      net::Socket conn = listener.accept();
+      std::printf("shard_worker: session from %s\n", conn.name().c_str());
+      std::fflush(stdout);
+      net::serve_worker(conn);
+      std::printf("shard_worker: session complete\n");
+      std::fflush(stdout);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "shard_worker: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,117 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace aptq::net {
+
+namespace {
+
+const char* type_name(MsgType t) {
+  switch (t) {
+    case MsgType::hello: return "hello";
+    case MsgType::hello_ack: return "hello_ack";
+    case MsgType::load_shard: return "load_shard";
+    case MsgType::shard_ready: return "shard_ready";
+    case MsgType::project: return "project";
+    case MsgType::project_out: return "project_out";
+    case MsgType::shutdown: return "shutdown";
+    case MsgType::bye: return "bye";
+    case MsgType::error_report: return "error_report";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void send_frame(Stream& stream, MsgType type,
+                std::span<const std::uint8_t> payload) {
+  std::uint8_t header[16];
+  const std::uint32_t magic = kFrameMagic;
+  const std::uint32_t type_code = static_cast<std::uint32_t>(type);
+  const std::uint64_t len = payload.size();
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &type_code, 4);
+  std::memcpy(header + 8, &len, 8);
+  stream.write_all(header, sizeof header);
+  if (!payload.empty()) {
+    stream.write_all(payload.data(), payload.size());
+  }
+}
+
+Frame recv_frame(Stream& stream, std::uint64_t max_payload) {
+  std::uint8_t header[16];
+  stream.read_exact(header, sizeof header);
+  std::uint32_t magic = 0;
+  std::uint32_t type_code = 0;
+  std::uint64_t len = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&type_code, header + 4, 4);
+  std::memcpy(&len, header + 8, 8);
+  APTQ_CHECK(magic == kFrameMagic,
+             "bad frame magic from " + stream.name() + " (stream out of sync)");
+  APTQ_CHECK(type_code >= 1 && type_code <= kMsgTypeMax,
+             "unknown frame type " + std::to_string(type_code) + " from " +
+                 stream.name());
+  APTQ_CHECK(len <= max_payload,
+             "frame payload length " + std::to_string(len) +
+                 " exceeds the " + std::to_string(max_payload) +
+                 "-byte cap from " + stream.name());
+  Frame f;
+  f.type = static_cast<MsgType>(type_code);
+  f.payload.resize(len);
+  if (len > 0) {
+    stream.read_exact(f.payload.data(), f.payload.size());
+  }
+  return f;
+}
+
+Frame expect_frame(Stream& stream, MsgType expected,
+                   std::uint64_t max_payload) {
+  Frame f = recv_frame(stream, max_payload);
+  if (f.type == MsgType::error_report && expected != MsgType::error_report) {
+    APTQ_FAIL("peer " + stream.name() + " reported: " +
+              std::string(f.payload.begin(), f.payload.end()));
+  }
+  APTQ_CHECK(f.type == expected,
+             std::string("expected ") + type_name(expected) + " frame, got " +
+                 type_name(f.type) + " from " + stream.name());
+  return f;
+}
+
+std::vector<std::uint8_t> encode_u32(std::uint32_t v) {
+  std::vector<std::uint8_t> out(4);
+  std::memcpy(out.data(), &v, 4);
+  return out;
+}
+
+std::uint32_t decode_u32(std::span<const std::uint8_t> bytes) {
+  APTQ_CHECK(bytes.size() == 4, "u32 payload must be exactly 4 bytes");
+  std::uint32_t v = 0;
+  std::memcpy(&v, bytes.data(), 4);
+  return v;
+}
+
+std::vector<std::uint8_t> encode_u64(std::uint64_t v) {
+  std::vector<std::uint8_t> out(8);
+  std::memcpy(out.data(), &v, 8);
+  return out;
+}
+
+std::uint64_t decode_u64(std::span<const std::uint8_t> bytes) {
+  APTQ_CHECK(bytes.size() == 8, "u64 payload must be exactly 8 bytes");
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes.data(), 8);
+  return v;
+}
+
+void try_send_error(Stream& stream, const std::string& message) noexcept {
+  try {
+    const auto* data = reinterpret_cast<const std::uint8_t*>(message.data());
+    send_frame(stream, MsgType::error_report,
+               std::span<const std::uint8_t>(data, message.size()));
+  } catch (...) {
+    // Already failing; the close will tell the peer.
+  }
+}
+
+}  // namespace aptq::net

@@ -1,0 +1,81 @@
+// Length-prefixed message framing for the root/worker protocol.
+//
+// Wire layout, little-endian: a 16-byte header
+//   [u32 magic "APTN"] [u32 type] [u64 payload_len]
+// followed by payload_len payload bytes. recv_frame() applies the
+// BinaryReader validation discipline at the transport boundary: the magic
+// and type are checked first (a desynchronized or corrupted stream fails
+// on the header, not deep inside a payload parser) and payload_len is
+// checked against the caller's cap BEFORE any allocation, so a bit-flipped
+// length field costs an aptq::Error, never a multi-gigabyte allocation.
+// Payloads themselves are parsed with BinaryReader over the received
+// buffer, which re-validates every interior length prefix against the
+// frame size (tests/net_fuzz_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/stream.hpp"
+
+namespace aptq::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4150544eu;  // "APTN"
+
+/// Message types of the shard protocol, in session order. Values are wire
+/// format; renumbering is a protocol break.
+enum class MsgType : std::uint32_t {
+  hello = 1,        ///< root → worker: protocol version
+  hello_ack = 2,    ///< worker → root: accepted version
+  load_shard = 3,   ///< root → worker: serialized ModelShard
+  shard_ready = 4,  ///< worker → root: resident weight bytes
+  project = 5,      ///< root → worker: one projection request
+  project_out = 6,  ///< worker → root: the output slice
+  shutdown = 7,     ///< root → worker: end of session
+  bye = 8,          ///< worker → root: acknowledged, closing
+  error_report = 9, ///< either way: fatal error text, then close
+};
+
+inline constexpr std::uint32_t kMsgTypeMax =
+    static_cast<std::uint32_t>(MsgType::error_report);
+
+/// Payload caps by context. Control frames are tiny; project frames are
+/// bounded by activations (batch × ffn_dim floats at most); load_shard
+/// carries 1/N of a model's weights.
+inline constexpr std::uint64_t kMaxControlPayload = 1u << 16;
+inline constexpr std::uint64_t kMaxProjectPayload = 1ull << 26;  // 64 MiB
+inline constexpr std::uint64_t kMaxShardPayload = 1ull << 30;    // 1 GiB
+
+struct Frame {
+  MsgType type = MsgType::hello;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Write one frame (header + payload).
+void send_frame(Stream& stream, MsgType type,
+                std::span<const std::uint8_t> payload);
+
+/// Read one frame, enforcing magic, known type, and payload_len <=
+/// max_payload before allocating. Throws aptq::Error on violation,
+/// truncation, or transport failure.
+Frame recv_frame(Stream& stream, std::uint64_t max_payload);
+
+/// Read one frame and require `expected`; an error_report frame is
+/// re-thrown as aptq::Error carrying the peer's message, anything else is
+/// a protocol error.
+Frame expect_frame(Stream& stream, MsgType expected,
+                   std::uint64_t max_payload);
+
+/// Best-effort error_report with a text payload; swallows transport
+/// failures (the sender is already on an error path).
+void try_send_error(Stream& stream, const std::string& message) noexcept;
+
+/// Fixed-width scalar payloads (hello / shard_ready frames). Decoders
+/// require the exact byte count.
+std::vector<std::uint8_t> encode_u32(std::uint32_t v);
+std::uint32_t decode_u32(std::span<const std::uint8_t> bytes);
+std::vector<std::uint8_t> encode_u64(std::uint64_t v);
+std::uint64_t decode_u64(std::span<const std::uint8_t> bytes);
+
+}  // namespace aptq::net

@@ -1,0 +1,597 @@
+#include "net/http.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace aptq::net {
+
+// --- request parsing -------------------------------------------------------
+
+const std::string* HttpRequest::header(const std::string& name_lower) const {
+  for (const auto& [name, value] : headers) {
+    if (name == name_lower) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+bool BufferedReader::fill() {
+  len_ = stream_.read_some(buf_, sizeof buf_);
+  pos_ = 0;
+  return len_ > 0;
+}
+
+bool BufferedReader::read_line(std::string& line, std::size_t max_len) {
+  line.clear();
+  while (true) {
+    if (pos_ == len_ && !fill()) {
+      APTQ_CHECK(line.empty(), "http: connection closed mid-line");
+      return false;
+    }
+    const char c = buf_[pos_++];
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      return true;
+    }
+    APTQ_CHECK(line.size() < max_len,
+               "http: line exceeds the " + std::to_string(max_len) +
+                   "-byte cap");
+    line.push_back(c);
+  }
+}
+
+void BufferedReader::read_n(char* out, std::size_t n) {
+  while (n > 0) {
+    if (pos_ == len_) {
+      APTQ_CHECK(fill(), "http: connection closed mid-body");
+    }
+    const std::size_t take = std::min(n, len_ - pos_);
+    std::memcpy(out, buf_ + pos_, take);
+    pos_ += take;
+    out += take;
+    n -= take;
+  }
+}
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+bool read_http_request(BufferedReader& in, HttpRequest& out,
+                       const HttpLimits& limits) {
+  std::string line;
+  if (!in.read_line(line, limits.max_line)) {
+    return false;
+  }
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  APTQ_CHECK(sp1 != std::string::npos && sp2 > sp1,
+             "http: malformed request line");
+  out.method = line.substr(0, sp1);
+  out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  APTQ_CHECK(!out.method.empty() && !out.target.empty(),
+             "http: malformed request line");
+  APTQ_CHECK(version.rfind("HTTP/1.", 0) == 0,
+             "http: unsupported protocol \"" + version + "\"");
+
+  out.headers.clear();
+  out.body.clear();
+  while (true) {
+    APTQ_CHECK(in.read_line(line, limits.max_line),
+               "http: connection closed inside headers");
+    if (line.empty()) {
+      break;
+    }
+    APTQ_CHECK(out.headers.size() < limits.max_headers,
+               "http: more than " + std::to_string(limits.max_headers) +
+                   " headers");
+    const std::size_t colon = line.find(':');
+    APTQ_CHECK(colon != std::string::npos && colon > 0,
+               "http: malformed header line");
+    out.headers.emplace_back(lower(line.substr(0, colon)),
+                             trim(line.substr(colon + 1)));
+  }
+
+  APTQ_CHECK(out.header("transfer-encoding") == nullptr,
+             "http: chunked request bodies are not supported");
+  if (const std::string* cl = out.header("content-length")) {
+    APTQ_CHECK(!cl->empty() &&
+                   cl->find_first_not_of("0123456789") == std::string::npos,
+               "http: malformed content-length");
+    const unsigned long long n = std::strtoull(cl->c_str(), nullptr, 10);
+    APTQ_CHECK(n <= limits.max_body,
+               "http: body length " + *cl + " exceeds the " +
+                   std::to_string(limits.max_body) + "-byte cap");
+    out.body.resize(static_cast<std::size_t>(n));
+    if (n > 0) {
+      in.read_n(out.body.data(), out.body.size());
+    }
+  }
+  return true;
+}
+
+// --- JSON ------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::object) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::size_t max_depth)
+      : s_(text), max_depth_(max_depth) {}
+
+  JsonValue parse() {
+    JsonValue v = value(0);
+    skip_ws();
+    APTQ_CHECK(i_ == s_.size(), "json: trailing characters after the value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  char peek() {
+    APTQ_CHECK(i_ < s_.size(), "json: unexpected end of input");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    APTQ_CHECK(i_ < s_.size() && s_[i_] == c,
+               std::string("json: expected '") + c + "' at offset " +
+                   std::to_string(i_));
+    ++i_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(i_, lit.size()) != lit) {
+      return false;
+    }
+    i_ += lit.size();
+    return true;
+  }
+
+  JsonValue value(std::size_t depth) {
+    APTQ_CHECK(depth < max_depth_, "json: nesting exceeds the depth limit");
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    if (c == 'n') {
+      APTQ_CHECK(consume_literal("null"), "json: bad literal");
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      v.kind = JsonValue::Kind::boolean;
+      v.boolean = (c == 't');
+      APTQ_CHECK(consume_literal(c == 't' ? "true" : "false"),
+                 "json: bad literal");
+      return v;
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::string;
+      v.string = string_body();
+      return v;
+    }
+    if (c == '[') {
+      ++i_;
+      v.kind = JsonValue::Kind::array;
+      skip_ws();
+      if (peek() == ']') {
+        ++i_;
+        return v;
+      }
+      while (true) {
+        v.items.push_back(value(depth + 1));
+        skip_ws();
+        if (peek() == ']') {
+          ++i_;
+          return v;
+        }
+        expect(',');
+      }
+    }
+    if (c == '{') {
+      ++i_;
+      v.kind = JsonValue::Kind::object;
+      skip_ws();
+      if (peek() == '}') {
+        ++i_;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        APTQ_CHECK(peek() == '"', "json: object key must be a string");
+        std::string key = string_body();
+        skip_ws();
+        expect(':');
+        v.members.emplace_back(std::move(key), value(depth + 1));
+        skip_ws();
+        if (peek() == '}') {
+          ++i_;
+          return v;
+        }
+        expect(',');
+      }
+    }
+    APTQ_CHECK(c == '-' || (c >= '0' && c <= '9'),
+               std::string("json: unexpected character '") + c + "'");
+    v.kind = JsonValue::Kind::number;
+    v.number = number_body();
+    return v;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      APTQ_CHECK(i_ < s_.size(), "json: unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      APTQ_CHECK(i_ < s_.size(), "json: unterminated escape");
+      const char e = s_[i_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_utf8(out, hex4()); break;
+        default: APTQ_FAIL("json: bad escape sequence");
+      }
+    }
+  }
+
+  std::uint32_t hex4() {
+    APTQ_CHECK(i_ + 4 <= s_.size(), "json: truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = s_[i_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        APTQ_FAIL("json: bad \\u escape");
+      }
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    // Combine a surrogate pair when the low half follows.
+    if (cp >= 0xd800 && cp <= 0xdbff && i_ + 6 <= s_.size() &&
+        s_[i_] == '\\' && s_[i_ + 1] == 'u') {
+      i_ += 2;
+      const std::uint32_t lo = hex4();
+      APTQ_CHECK(lo >= 0xdc00 && lo <= 0xdfff, "json: unpaired surrogate");
+      cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  double number_body() {
+    const std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    while (i_ < s_.size() &&
+           ((s_[i_] >= '0' && s_[i_] <= '9') || s_[i_] == '.' ||
+            s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '+' ||
+            s_[i_] == '-')) {
+      ++i_;
+    }
+    const std::string text(s_.substr(start, i_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    APTQ_CHECK(end == text.c_str() + text.size() && !text.empty(),
+               "json: malformed number \"" + text + "\"");
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+  std::size_t max_depth_;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text, std::size_t max_depth) {
+  return JsonParser(text, max_depth).parse();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// --- responses -------------------------------------------------------------
+
+namespace {
+
+void write_text(Stream& out, const std::string& text) {
+  out.write_all(text.data(), text.size());
+}
+
+std::string status_head(int status, const std::string& reason,
+                        const std::string& content_type) {
+  return "HTTP/1.1 " + std::to_string(status) + " " + reason +
+         "\r\nContent-Type: " + content_type + "\r\nConnection: close\r\n";
+}
+
+}  // namespace
+
+void write_http_response(Stream& out, int status, const std::string& reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  write_text(out, status_head(status, reason, content_type) +
+                      "Content-Length: " + std::to_string(body.size()) +
+                      "\r\n\r\n" + body);
+}
+
+void write_chunked_head(Stream& out, int status, const std::string& reason,
+                        const std::string& content_type) {
+  write_text(out, status_head(status, reason, content_type) +
+                      "Transfer-Encoding: chunked\r\n\r\n");
+}
+
+void write_chunk(Stream& out, std::string_view data) {
+  if (data.empty()) {
+    return;  // an empty chunk would terminate the stream
+  }
+  char size_hex[32];
+  std::snprintf(size_hex, sizeof size_hex, "%zx\r\n", data.size());
+  write_text(out, size_hex);
+  out.write_all(data.data(), data.size());
+  write_text(out, "\r\n");
+}
+
+void write_last_chunk(Stream& out) { write_text(out, "0\r\n\r\n"); }
+
+// --- routes ----------------------------------------------------------------
+
+namespace {
+
+/// Integral JSON field with a default; throws on non-integers.
+long long json_int(const JsonValue* v, const char* name, long long fallback) {
+  if (v == nullptr) {
+    return fallback;
+  }
+  APTQ_CHECK(v->kind == JsonValue::Kind::number &&
+                 v->number == static_cast<double>(
+                                  static_cast<long long>(v->number)),
+             std::string("generate: \"") + name + "\" must be an integer");
+  return static_cast<long long>(v->number);
+}
+
+double json_number(const JsonValue* v, const char* name, double fallback) {
+  if (v == nullptr) {
+    return fallback;
+  }
+  APTQ_CHECK(v->kind == JsonValue::Kind::number,
+             std::string("generate: \"") + name + "\" must be a number");
+  return v->number;
+}
+
+bool json_bool(const JsonValue* v, const char* name, bool fallback) {
+  if (v == nullptr) {
+    return fallback;
+  }
+  APTQ_CHECK(v->kind == JsonValue::Kind::boolean,
+             std::string("generate: \"") + name + "\" must be a boolean");
+  return v->boolean;
+}
+
+std::string result_json(const serve::GenerationResult& r) {
+  std::string out = "{\"id\":" + std::to_string(r.id) + ",\"finish\":\"" +
+                    serve::to_string(r.finish) + "\",\"tokens\":[";
+  for (std::size_t i = 0; i < r.tokens.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += std::to_string(r.tokens[i]);
+  }
+  out += "]";
+  if (!r.error.empty()) {
+    out += ",\"error\":\"" + json_escape(r.error) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const serve::GenerationResult* find_result(
+    const std::vector<serve::GenerationResult>& results,
+    serve::RequestId id) {
+  for (const auto& r : results) {
+    if (r.id == id) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void handle_generate(Stream& conn, serve::ServeEngine& engine,
+                     const HttpRequest& request) {
+  const JsonValue body = parse_json(request.body);
+  APTQ_CHECK(body.kind == JsonValue::Kind::object,
+             "generate: request body must be a JSON object");
+  const JsonValue* prompt = body.find("prompt");
+  APTQ_CHECK(prompt != nullptr && prompt->kind == JsonValue::Kind::array,
+             "generate: \"prompt\" must be an array of token ids");
+
+  serve::Request req;
+  req.prompt.reserve(prompt->items.size());
+  for (const JsonValue& item : prompt->items) {
+    req.prompt.push_back(
+        static_cast<TokenId>(json_int(&item, "prompt", 0)));
+  }
+  req.max_new_tokens = static_cast<std::size_t>(
+      json_int(body.find("max_new_tokens"), "max_new_tokens", 16));
+  req.sampling.temperature = static_cast<float>(
+      json_number(body.find("temperature"), "temperature", 1.0));
+  req.sampling.top_k = static_cast<std::size_t>(
+      json_int(body.find("top_k"), "top_k", 0));
+  req.seed =
+      static_cast<std::uint64_t>(json_int(body.find("seed"), "seed", 0));
+  req.eos_token =
+      static_cast<TokenId>(json_int(body.find("eos_token"), "eos_token", -1));
+  const bool stream = json_bool(body.find("stream"), "stream", false);
+
+  const serve::RequestId id = engine.submit(std::move(req));
+  if (!stream) {
+    const auto results = engine.run();
+    const serve::GenerationResult* r = find_result(results, id);
+    APTQ_CHECK(r != nullptr, "generate: engine returned no result");
+    write_http_response(conn, 200, "OK", "application/json",
+                        result_json(*r));
+    return;
+  }
+
+  // Streaming: one JSON line per sampled token as a chunk, then a summary
+  // line. The callback fires inline from engine.run().
+  write_chunked_head(conn, 200, "OK", "application/json");
+  engine.set_token_callback([&conn, id](serve::RequestId rid, TokenId token,
+                                        serve::FinishReason) {
+    if (rid != id) {
+      return;
+    }
+    write_chunk(conn, "{\"token\":" + std::to_string(token) + "}\n");
+  });
+  std::vector<serve::GenerationResult> results;
+  try {
+    results = engine.run();
+  } catch (...) {
+    engine.set_token_callback({});
+    throw;
+  }
+  engine.set_token_callback({});
+  const serve::GenerationResult* r = find_result(results, id);
+  APTQ_CHECK(r != nullptr, "generate: engine returned no result");
+  write_chunk(conn, result_json(*r) + "\n");
+  write_last_chunk(conn);
+}
+
+void handle_connection(Stream& conn, serve::ServeEngine& engine,
+                       const HttpLimits& limits) {
+  BufferedReader reader(conn);
+  HttpRequest request;
+  try {
+    if (!read_http_request(reader, request, limits)) {
+      return;  // client connected and closed without a request
+    }
+    if (request.method == "GET" && request.target == "/healthz") {
+      write_http_response(conn, 200, "OK", "application/json",
+                          "{\"ok\":true}");
+      return;
+    }
+    if (request.method == "POST" && request.target == "/v1/generate") {
+      handle_generate(conn, engine, request);
+      return;
+    }
+    write_http_response(conn, 404, "Not Found", "application/json",
+                        "{\"error\":\"no route for " +
+                            json_escape(request.method + " " +
+                                        request.target) +
+                            "\"}");
+  } catch (const Error& e) {
+    // Best-effort 400; if the response head already went out (streaming)
+    // the client sees a truncated chunk stream instead.
+    try {
+      write_http_response(conn, 400, "Bad Request", "application/json",
+                          "{\"error\":\"" + json_escape(e.what()) + "\"}");
+    } catch (...) {
+    }
+  }
+}
+
+}  // namespace
+
+void serve_http(Listener& listener, serve::ServeEngine& engine,
+                const HttpOptions& options) {
+  std::size_t served = 0;
+  while (options.max_requests == 0 || served < options.max_requests) {
+    Socket conn = listener.accept();
+    ++served;
+    handle_connection(conn, engine, options.limits);
+  }
+}
+
+}  // namespace aptq::net

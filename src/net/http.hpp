@@ -1,0 +1,122 @@
+// Minimal HTTP/1.1 front-end for the serving engine (modelled on
+// distributed-llama's dllama-api): blocking accept loop, one request per
+// connection, JSON in / JSON out. Two routes:
+//
+//   GET  /healthz      → {"ok":true}
+//   POST /v1/generate  → body {"prompt":[ids...], "max_new_tokens":N,
+//                        "temperature":T, "top_k":K, "seed":S,
+//                        "eos_token":E, "stream":false}
+//       stream:false → one JSON object with the generated tokens;
+//       stream:true  → chunked transfer, one JSON line per sampled token
+//                      (via ServeEngine's token callback) plus a summary.
+//
+// Parsing follows the repo's validation discipline: every line, header
+// count, and body length is capped BEFORE allocation (HttpLimits), and
+// malformed input costs the client a 400, never a crash or a hang
+// (tests/net_test.cpp). The JSON parser is a from-scratch recursive
+// descent — obs/json.hpp only emits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/stream.hpp"
+#include "serve/engine.hpp"
+
+namespace aptq::net {
+
+/// Input caps, enforced before allocating.
+struct HttpLimits {
+  std::size_t max_line = 8192;        ///< request line / single header line
+  std::size_t max_headers = 64;
+  std::size_t max_body = 1u << 20;    ///< request body bytes
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  /// Header (name, value) pairs; names lower-cased, values trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Value of `name_lower`, or nullptr.
+  const std::string* header(const std::string& name_lower) const;
+};
+
+/// Line/byte reader over a Stream with an internal buffer.
+class BufferedReader {
+ public:
+  explicit BufferedReader(Stream& stream) : stream_(stream) {}
+
+  /// Read one LF-terminated line (trailing CR/LF stripped) into `line`.
+  /// Returns false on clean EOF before the first byte of the line; throws
+  /// on EOF mid-line or a line longer than max_len.
+  bool read_line(std::string& line, std::size_t max_len);
+
+  /// Read exactly n bytes; throws on EOF.
+  void read_n(char* out, std::size_t n);
+
+ private:
+  bool fill();
+
+  Stream& stream_;
+  char buf_[4096];
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+};
+
+/// Parse one HTTP/1.1 request. Returns false on clean EOF before the
+/// request line (client closed); throws aptq::Error on malformed or
+/// over-limit input. Chunked request bodies are rejected.
+bool read_http_request(BufferedReader& in, HttpRequest& out,
+                       const HttpLimits& limits = {});
+
+/// Minimal JSON document (numbers are doubles, like the format).
+struct JsonValue {
+  enum class Kind { null, boolean, number, string, array, object };
+  Kind kind = Kind::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            ///< array
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< object
+
+  /// Object member by key, or nullptr (also nullptr on non-objects).
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Recursive-descent parse of a complete JSON text; throws aptq::Error on
+/// syntax errors, trailing garbage, or nesting beyond max_depth.
+JsonValue parse_json(std::string_view text, std::size_t max_depth = 32);
+
+/// JSON string escaping (quotes not included).
+std::string json_escape(std::string_view text);
+
+/// Fixed-length response with Connection: close.
+void write_http_response(Stream& out, int status, const std::string& reason,
+                         const std::string& content_type,
+                         const std::string& body);
+
+/// Chunked-transfer response: head, then chunks, then the final chunk.
+void write_chunked_head(Stream& out, int status, const std::string& reason,
+                        const std::string& content_type);
+void write_chunk(Stream& out, std::string_view data);
+void write_last_chunk(Stream& out);
+
+struct HttpOptions {
+  /// Stop after this many accepted connections; 0 = serve forever.
+  std::size_t max_requests = 0;
+  HttpLimits limits;
+};
+
+/// Accept loop over `listener`, one connection at a time (the engine is
+/// single-submitter). Per-connection errors are answered with a 400/404
+/// and never leave the loop.
+void serve_http(Listener& listener, serve::ServeEngine& engine,
+                const HttpOptions& options = {});
+
+}  // namespace aptq::net

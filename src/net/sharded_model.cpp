@@ -1,0 +1,205 @@
+#include "net/sharded_model.hpp"
+
+#include <utility>
+
+#include "model/decode.hpp"
+#include "net/frame.hpp"
+
+namespace aptq::net {
+
+ShardedModel::ShardedModel(const Model& model,
+                           std::vector<std::unique_ptr<Stream>> workers) {
+  model.config.validate();
+  config_ = model.config;
+  base_name_ = "dense";
+  attach(std::move(workers), [&model](std::size_t w, std::size_t n) {
+    return make_shard(model, w, n);
+  });
+}
+
+ShardedModel::ShardedModel(const PackedModel& model,
+                           std::vector<std::unique_ptr<Stream>> workers) {
+  config_ = model.config();
+  base_name_ = "packed";
+  attach(std::move(workers), [&model](std::size_t w, std::size_t n) {
+    return make_shard(model, w, n);
+  });
+}
+
+ShardedModel::~ShardedModel() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructor cleanup is best-effort; a dead connection already told
+    // the worker the session is over.
+  }
+}
+
+void ShardedModel::attach(
+    std::vector<std::unique_ptr<Stream>> workers,
+    const std::function<ModelShard(std::size_t, std::size_t)>& shard_for) {
+  APTQ_CHECK(!workers.empty(), "sharded model: at least one worker required");
+  for (const auto& w : workers) {
+    APTQ_CHECK(w != nullptr, "sharded model: null worker stream");
+  }
+  workers_ = std::move(workers);
+  const std::size_t n = workers_.size();
+  weight_bytes_.resize(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    Stream& stream = *workers_[w];
+    const ModelShard shard = shard_for(w, n);
+    if (w == 0) {
+      // Worker 0's shard carries the root-side tensors; keep a copy local
+      // — the decode loop reads them every step, the worker never does.
+      tok_embed_ = shard.tok_embed;
+      attn_norms_ = shard.attn_norms;
+      ffn_norms_ = shard.ffn_norms;
+      final_norm_ = shard.final_norm;
+    }
+    send_frame(stream, MsgType::hello, encode_u32(kProtoVersion));
+    const Frame ack = expect_frame(stream, MsgType::hello_ack,
+                                   kMaxControlPayload);
+    const std::uint32_t version = decode_u32(ack.payload);
+    APTQ_CHECK(version == kProtoVersion,
+               "sharded model: worker " + stream.name() +
+                   " speaks protocol version " + std::to_string(version) +
+                   ", root speaks " + std::to_string(kProtoVersion));
+    send_frame(stream, MsgType::load_shard, shard_to_bytes(shard));
+    const Frame ready = expect_frame(stream, MsgType::shard_ready,
+                                     kMaxShardPayload);
+    weight_bytes_[w] = decode_u64(ready.payload);
+  }
+  live_ = true;
+}
+
+void ShardedModel::shutdown() {
+  if (!live_) {
+    return;
+  }
+  live_ = false;
+  for (auto& worker : workers_) {
+    send_frame(*worker, MsgType::shutdown, {});
+    expect_frame(*worker, MsgType::bye, kMaxControlPayload);
+  }
+}
+
+Matrix ShardedModel::broadcast(ProjectOp op, std::uint32_t layer,
+                               LinearKind kind, const Matrix& x) {
+  APTQ_CHECK(live_, "sharded model: session is shut down");
+  // One encode serves every worker: all shards see the full input.
+  const std::vector<std::uint8_t> payload =
+      encode_project(op, layer, kind, x);
+  for (auto& worker : workers_) {
+    send_frame(*worker, MsgType::project, payload);
+  }
+  const std::size_t full = linear_out_features(config_, kind);
+  const std::size_t n = workers_.size();
+  Matrix out(x.rows(), full);
+  for (std::size_t w = 0; w < n; ++w) {
+    const Frame f = expect_frame(*workers_[w], MsgType::project_out,
+                                 kMaxProjectPayload);
+    const Matrix slice = decode_matrix(f.payload);
+    const ShardRange range = shard_range(full, w, n);
+    APTQ_CHECK(slice.rows() == x.rows() && slice.cols() == range.size(),
+               "sharded model: worker " + workers_[w]->name() +
+                   " returned a " + std::to_string(slice.rows()) + "x" +
+                   std::to_string(slice.cols()) + " slice, expected " +
+                   std::to_string(x.rows()) + "x" +
+                   std::to_string(range.size()));
+    for (std::size_t r = 0; r < slice.rows(); ++r) {
+      const auto src = slice.row(r);
+      std::copy(src.begin(), src.end(), out.row(r).begin() + range.begin);
+    }
+  }
+  return out;
+}
+
+Matrix ShardedModel::project(std::size_t layer, LinearKind kind,
+                             const Matrix& x) {
+  return broadcast(ProjectOp::single, static_cast<std::uint32_t>(layer),
+                   kind, x);
+}
+
+Matrix ShardedModel::project_batch(std::size_t layer, LinearKind kind,
+                                   const Matrix& x) {
+  return broadcast(ProjectOp::batch, static_cast<std::uint32_t>(layer),
+                   kind, x);
+}
+
+Matrix ShardedModel::head(const Matrix& x) {
+  return broadcast(ProjectOp::single, kLmHeadLayer, LinearKind::lm_head, x);
+}
+
+Matrix ShardedModel::head_batch(const Matrix& x) {
+  return broadcast(ProjectOp::batch, kLmHeadLayer, LinearKind::lm_head, x);
+}
+
+namespace {
+
+// Plugs ShardedModel into the shared decode engine. The engine takes the
+// adapter by const reference, but projections mutate transport state, so
+// the adapter holds a mutable handle.
+struct ShardedDecodeAdapter {
+  ShardedModel* model;
+
+  const ModelConfig& config() const { return model->config(); }
+  std::span<const float> embedding(std::size_t token) const {
+    return model->embedding(token);
+  }
+  std::span<const float> attn_norm(std::size_t layer) const {
+    return model->attn_norm(layer);
+  }
+  std::span<const float> ffn_norm(std::size_t layer) const {
+    return model->ffn_norm(layer);
+  }
+  std::span<const float> final_norm() const { return model->final_norm(); }
+  Matrix project(std::size_t layer, LinearKind kind, const Matrix& x) const {
+    return model->project(layer, kind, x);
+  }
+  Matrix project_batch(std::size_t layer, LinearKind kind,
+                       const Matrix& x) const {
+    return model->project_batch(layer, kind, x);
+  }
+  Matrix head(const Matrix& x) const { return model->head(x); }
+  Matrix head_batch(const Matrix& x) const { return model->head_batch(x); }
+};
+
+}  // namespace
+
+Matrix decode_prefill(ShardedModel& model, std::span<const TokenId> tokens,
+                      DecodeState& state) {
+  const ShardedDecodeAdapter adapter{&model};
+  return detail::decode_prefill_impl(adapter, tokens, state, {});
+}
+
+std::vector<float> decode_step(ShardedModel& model, TokenId token,
+                               DecodeState& state) {
+  const ShardedDecodeAdapter adapter{&model};
+  return detail::decode_step_impl(adapter, token, state, {});
+}
+
+Matrix decode_step_batch(ShardedModel& model,
+                         std::span<const TokenId> tokens,
+                         std::span<DecodeState* const> states) {
+  const ShardedDecodeAdapter adapter{&model};
+  return detail::decode_step_batch_impl(adapter, tokens, states, {});
+}
+
+serve::Backend make_backend(ShardedModel& model) {
+  serve::Backend b;
+  b.name = "sharded_" + model.base_name();
+  b.config = model.config();
+  b.prefill = [&model](std::span<const TokenId> tokens, DecodeState& state) {
+    return decode_prefill(model, tokens, state);
+  };
+  b.step = [&model](TokenId token, DecodeState& state) {
+    return decode_step(model, token, state);
+  };
+  b.step_batch = [&model](std::span<const TokenId> tokens,
+                          std::span<DecodeState* const> states) {
+    return decode_step_batch(model, tokens, states);
+  };
+  return b;
+}
+
+}  // namespace aptq::net

@@ -1,0 +1,104 @@
+// Root side of tensor-parallel decode: a model whose projections run on N
+// remote workers while everything else — embeddings, norms, rope,
+// attention over the KV cache, sampling — stays local. ShardedModel
+// satisfies the decode adapter contract of model/decode.hpp, so the
+// shared prefill/step/step_batch engine (and therefore ServeEngine) runs
+// on it unchanged; every projection is a broadcast of the full input to
+// all workers followed by a positional gather of output slices, which
+// keeps N-worker token streams byte-identical to solo decode
+// (docs/SHARDING.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/shard.hpp"
+#include "net/stream.hpp"
+#include "serve/engine.hpp"
+
+namespace aptq::net {
+
+/// Root handle over N connected workers. Construction performs the full
+/// session setup on every stream: hello/hello_ack, then each worker's
+/// shard (worker i gets make_shard(model, i, N)), then shard_ready.
+/// Streams are owned; the destructor ends the sessions best-effort.
+class ShardedModel {
+ public:
+  ShardedModel(const Model& model,
+               std::vector<std::unique_ptr<Stream>> workers);
+  ShardedModel(const PackedModel& model,
+               std::vector<std::unique_ptr<Stream>> workers);
+  ShardedModel(const ShardedModel&) = delete;
+  ShardedModel& operator=(const ShardedModel&) = delete;
+  ~ShardedModel();
+
+  const ModelConfig& config() const { return config_; }
+  std::size_t n_workers() const { return workers_.size(); }
+  /// "dense" / "packed" — which solo backend this mirrors.
+  const std::string& base_name() const { return base_name_; }
+  /// Weight bytes resident per worker, as reported by shard_ready.
+  const std::vector<std::uint64_t>& worker_weight_bytes() const {
+    return weight_bytes_;
+  }
+
+  /// Graceful session end (shutdown/bye per worker). Idempotent; called
+  /// by the destructor. Further projections throw.
+  void shutdown();
+
+  // --- decode adapter surface (model/decode.hpp contract) ---------------
+  std::span<const float> embedding(std::size_t token) const {
+    return tok_embed_.row(token);
+  }
+  std::span<const float> attn_norm(std::size_t layer) const {
+    return attn_norms_[layer];
+  }
+  std::span<const float> ffn_norm(std::size_t layer) const {
+    return ffn_norms_[layer];
+  }
+  std::span<const float> final_norm() const { return final_norm_; }
+
+  Matrix project(std::size_t layer, LinearKind kind, const Matrix& x);
+  Matrix project_batch(std::size_t layer, LinearKind kind, const Matrix& x);
+  Matrix head(const Matrix& x);
+  Matrix head_batch(const Matrix& x);
+
+ private:
+  void attach(std::vector<std::unique_ptr<Stream>> workers,
+              const std::function<ModelShard(std::size_t, std::size_t)>&
+                  shard_for);
+  /// Broadcast one request to every worker, then gather the output
+  /// slices in worker order into the full (rows × out_features) result.
+  Matrix broadcast(ProjectOp op, std::uint32_t layer, LinearKind kind,
+                   const Matrix& x);
+
+  ModelConfig config_;
+  std::string base_name_;
+  Matrix tok_embed_;
+  std::vector<std::vector<float>> attn_norms_;
+  std::vector<std::vector<float>> ffn_norms_;
+  std::vector<float> final_norm_;
+  std::vector<std::unique_ptr<Stream>> workers_;
+  std::vector<std::uint64_t> weight_bytes_;
+  bool live_ = false;
+};
+
+/// Decode entry points mirroring the Model/PackedModel overloads; the
+/// shared engine supplies the non-projection math, so results are bitwise
+/// identical to the solo overloads for any worker count.
+Matrix decode_prefill(ShardedModel& model, std::span<const TokenId> tokens,
+                      DecodeState& state);
+std::vector<float> decode_step(ShardedModel& model, TokenId token,
+                               DecodeState& state);
+Matrix decode_step_batch(ShardedModel& model,
+                         std::span<const TokenId> tokens,
+                         std::span<DecodeState* const> states);
+
+/// ServeEngine backend over a sharded model (name "sharded_dense" /
+/// "sharded_packed"). The model must outlive the backend.
+serve::Backend make_backend(ShardedModel& model);
+
+}  // namespace aptq::net

@@ -1,0 +1,160 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace aptq::net {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort: a transport that ignores the option still works, just
+  // with Nagle latency.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  APTQ_CHECK(::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) == 1,
+             "not a numeric IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+Socket::Socket(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {
+  set_nodelay(fd_);
+}
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), peer_(std::move(other.peer_)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    peer_ = std::move(other.peer_);
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  APTQ_CHECK(fd >= 0, "socket(): " + errno_text());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string err = errno_text();
+    ::close(fd);
+    APTQ_FAIL("connect to " + host + ":" + std::to_string(port) + ": " + err);
+  }
+  return Socket(fd, host + ":" + std::to_string(port));
+}
+
+std::size_t Socket::read_some(void* buf, std::size_t len) {
+  APTQ_CHECK(fd_ >= 0, "read on closed socket " + peer_);
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n >= 0) {
+      return static_cast<std::size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    APTQ_FAIL("recv from " + peer_ + ": " + errno_text());
+  }
+}
+
+void Socket::write_all(const void* buf, std::size_t len) {
+  APTQ_CHECK(fd_ >= 0, "write on closed socket " + peer_);
+  const auto* src = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, src + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    APTQ_FAIL("send to " + peer_ + ": " + errno_text());
+  }
+}
+
+Listener::Listener(std::uint16_t port, const std::string& host) {
+  sockaddr_in addr = make_addr(host, port);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  APTQ_CHECK(fd_ >= 0, "socket(): " + errno_text());
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string err = errno_text();
+    ::close(fd_);
+    fd_ = -1;
+    APTQ_FAIL("bind " + host + ":" + std::to_string(port) + ": " + err);
+  }
+  if (::listen(fd_, 16) != 0) {
+    const std::string err = errno_text();
+    ::close(fd_);
+    fd_ = -1;
+    APTQ_FAIL("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  APTQ_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound),
+                           &bound_len) == 0,
+             "getsockname: " + errno_text());
+  port_ = ntohs(bound.sin_port);
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Socket Listener::accept() {
+  APTQ_CHECK(fd_ >= 0, "accept on closed listener");
+  while (true) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    const int fd =
+        ::accept(fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (fd >= 0) {
+      char text[INET_ADDRSTRLEN] = {};
+      ::inet_ntop(AF_INET, &peer.sin_addr, text, sizeof text);
+      return Socket(fd, std::string(text) + ":" +
+                            std::to_string(ntohs(peer.sin_port)));
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    APTQ_FAIL("accept: " + errno_text());
+  }
+}
+
+}  // namespace aptq::net

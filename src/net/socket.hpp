@@ -1,0 +1,67 @@
+// Blocking TCP transport: RAII socket + listener over the POSIX API.
+//
+// The sharded decode path exchanges one small frame pair per projection,
+// so TCP_NODELAY is set on every connection (Nagle batching would add an
+// RTT of latency to each of the ~7·n_layers round trips per token).
+// Hosts are numeric IPv4 addresses ("127.0.0.1"); "localhost" is accepted
+// as an alias. Writes use MSG_NOSIGNAL so a peer that disappears surfaces
+// as aptq::Error instead of SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/stream.hpp"
+
+namespace aptq::net {
+
+/// One connected TCP endpoint. Move-only; the destructor closes the fd.
+class Socket : public Stream {
+ public:
+  Socket() = default;
+  /// Adopt an already-connected fd (Listener::accept()).
+  Socket(int fd, std::string peer);
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() override;
+
+  /// Connect to host:port (numeric IPv4 or "localhost"). Throws
+  /// aptq::Error on refusal or bad address.
+  static Socket connect(const std::string& host, std::uint16_t port);
+
+  std::size_t read_some(void* buf, std::size_t len) override;
+  void write_all(const void* buf, std::size_t len) override;
+  std::string name() const override { return peer_; }
+
+  bool valid() const { return fd_ >= 0; }
+  /// Close the fd early (idempotent).
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string peer_;
+};
+
+/// Listening TCP socket bound to one interface. Pass port 0 to bind an
+/// ephemeral port and read the kernel's choice back via port() — the
+/// in-process tests and benches use this to avoid port collisions.
+class Listener {
+ public:
+  /// Bind + listen on host:port. Throws aptq::Error on failure.
+  explicit Listener(std::uint16_t port, const std::string& host = "127.0.0.1");
+  Listener(Listener&&) = delete;
+  ~Listener();
+
+  /// Block until one connection arrives.
+  Socket accept();
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace aptq::net

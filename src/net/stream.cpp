@@ -1,0 +1,39 @@
+#include "net/stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace aptq::net {
+
+void Stream::read_exact(void* buf, std::size_t len) {
+  auto* dst = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const std::size_t n = read_some(dst + got, len - got);
+    APTQ_CHECK(n > 0, "unexpected end of stream from " + name() + " (" +
+                          std::to_string(got) + " of " + std::to_string(len) +
+                          " bytes)");
+    got += n;
+  }
+}
+
+std::size_t MemStream::read_some(void* buf, std::size_t len) {
+  const std::size_t n = std::min(len, input_.size() - read_pos_);
+  if (n > 0) {
+    std::memcpy(buf, input_.data() + read_pos_, n);
+    read_pos_ += n;
+  }
+  return n;
+}
+
+void MemStream::write_all(const void* buf, std::size_t len) {
+  const auto* src = static_cast<const std::uint8_t*>(buf);
+  written_.insert(written_.end(), src, src + len);
+}
+
+void MemStream::set_input(std::vector<std::uint8_t> input) {
+  input_ = std::move(input);
+  read_pos_ = 0;
+}
+
+}  // namespace aptq::net

@@ -1,0 +1,65 @@
+// Byte-stream abstraction under the wire protocol. Socket (socket.hpp) is
+// the production implementation; MemStream backs the frame/protocol unit
+// and fuzz tests with crafted byte sequences — truncations and bit flips
+// exercise exactly the code paths a hostile peer would hit, without a
+// kernel socket in the loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace aptq::net {
+
+/// Blocking byte stream. Implementations throw aptq::Error on transport
+/// failure; orderly end-of-stream is reported as a 0 return from
+/// read_some so framing code can distinguish "peer went away" from
+/// "transport broke".
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Read up to `len` bytes into `buf`; returns the count actually read,
+  /// 0 only at end-of-stream. Throws aptq::Error on transport failure.
+  virtual std::size_t read_some(void* buf, std::size_t len) = 0;
+
+  /// Write all `len` bytes. Throws aptq::Error on failure (including a
+  /// peer that closed mid-write).
+  virtual void write_all(const void* buf, std::size_t len) = 0;
+
+  /// Human-readable endpoint label for error messages.
+  virtual std::string name() const = 0;
+
+  /// Read exactly `len` bytes; end-of-stream before `len` throws
+  /// aptq::Error — a truncated frame is always a loud error, never a
+  /// short buffer handed to a parser.
+  void read_exact(void* buf, std::size_t len);
+};
+
+/// In-memory stream: reads drain a fixed input buffer (then report
+/// end-of-stream), writes append to an output buffer. Single-threaded;
+/// tests wire two of these back-to-back or hand-craft the input bytes.
+class MemStream : public Stream {
+ public:
+  MemStream() = default;
+  explicit MemStream(std::vector<std::uint8_t> input)
+      : input_(std::move(input)) {}
+
+  std::size_t read_some(void* buf, std::size_t len) override;
+  void write_all(const void* buf, std::size_t len) override;
+  std::string name() const override { return "<mem>"; }
+
+  const std::vector<std::uint8_t>& written() const { return written_; }
+  /// Replace the input buffer and rewind the read cursor.
+  void set_input(std::vector<std::uint8_t> input);
+
+ private:
+  std::vector<std::uint8_t> input_;
+  std::size_t read_pos_ = 0;
+  std::vector<std::uint8_t> written_;
+};
+
+}  // namespace aptq::net

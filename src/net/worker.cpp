@@ -1,0 +1,53 @@
+#include "net/worker.hpp"
+
+#include "net/frame.hpp"
+#include "net/shard.hpp"
+
+namespace aptq::net {
+
+namespace {
+
+void serve_session(Stream& stream) {
+  const Frame hello =
+      expect_frame(stream, MsgType::hello, kMaxControlPayload);
+  const std::uint32_t version = decode_u32(hello.payload);
+  APTQ_CHECK(version == kProtoVersion,
+             "worker: protocol version mismatch (root " +
+                 std::to_string(version) + ", worker " +
+                 std::to_string(kProtoVersion) + ")");
+  send_frame(stream, MsgType::hello_ack, encode_u32(kProtoVersion));
+
+  const Frame shard_frame =
+      expect_frame(stream, MsgType::load_shard, kMaxShardPayload);
+  const ModelShard shard = shard_from_bytes(shard_frame.payload);
+  send_frame(stream, MsgType::shard_ready,
+             encode_u64(shard.weight_bytes()));
+
+  while (true) {
+    const Frame f = recv_frame(stream, kMaxProjectPayload);
+    if (f.type == MsgType::shutdown) {
+      send_frame(stream, MsgType::bye, {});
+      return;
+    }
+    APTQ_CHECK(f.type == MsgType::project,
+               "worker: unexpected frame in projection loop");
+    const ProjectRequest req = decode_project(f.payload);
+    const Matrix out = shard_project(shard, req);
+    send_frame(stream, MsgType::project_out, encode_matrix(out));
+  }
+}
+
+}  // namespace
+
+void serve_worker(Stream& stream) {
+  try {
+    serve_session(stream);
+  } catch (const Error& e) {
+    // Tell the root why before the connection drops; rethrow so the
+    // worker process exits non-zero.
+    try_send_error(stream, e.what());
+    throw;
+  }
+}
+
+}  // namespace aptq::net

@@ -1,0 +1,21 @@
+// Worker side of the shard protocol: one session = handshake, shard
+// receipt, a projection-RPC loop, shutdown. examples/shard_worker.cpp
+// wraps this in a process; the equivalence tests and bench/shard_scaling
+// run it on in-process threads over real localhost sockets.
+#pragma once
+
+#include "net/stream.hpp"
+
+namespace aptq::net {
+
+/// Serve one root session on `stream`:
+///   1. hello / hello_ack (protocol version must match),
+///   2. load_shard → deserialize → shard_ready (resident weight bytes),
+///   3. project → project_out until a shutdown frame, answered with bye.
+/// Returns after bye. On malformed input — bad frame, corrupt shard or
+/// request, mid-stream disconnect — sends a best-effort error_report and
+/// throws aptq::Error; it never hangs or allocates unbounded memory
+/// (tests/net_fuzz_test.cpp).
+void serve_worker(Stream& stream);
+
+}  // namespace aptq::net

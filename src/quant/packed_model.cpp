@@ -226,6 +226,37 @@ std::size_t PackedModel::total_storage_bytes() const {
   return total;
 }
 
+PackedModel PackedModel::assemble(const ModelConfig& config, Matrix tok_embed,
+                                  std::vector<std::vector<float>> attn_norms,
+                                  std::vector<std::vector<float>> ffn_norms,
+                                  std::vector<float> final_norm,
+                                  Matrix lm_head,
+                                  std::vector<QuantizedLinear> linears) {
+  config.validate();
+  APTQ_CHECK(tok_embed.rows() == config.vocab_size &&
+                 tok_embed.cols() == config.dim,
+             "PackedModel::assemble: tok_embed shape mismatch");
+  APTQ_CHECK(attn_norms.size() == config.n_layers &&
+                 ffn_norms.size() == config.n_layers,
+             "PackedModel::assemble: one norm pair per layer required");
+  APTQ_CHECK(final_norm.size() == config.dim,
+             "PackedModel::assemble: final_norm size mismatch");
+  APTQ_CHECK(lm_head.rows() == config.dim &&
+                 lm_head.cols() == config.vocab_size,
+             "PackedModel::assemble: lm_head shape mismatch");
+  APTQ_CHECK(linears.size() == config.n_layers * 7,
+             "PackedModel::assemble: expected 7 linears per layer");
+  PackedModel pm;
+  pm.config_ = config;
+  pm.tok_embed_ = std::move(tok_embed);
+  pm.attn_norms_ = std::move(attn_norms);
+  pm.ffn_norms_ = std::move(ffn_norms);
+  pm.final_norm_ = std::move(final_norm);
+  pm.lm_head_ = std::move(lm_head);
+  pm.linears_ = std::move(linears);
+  return pm;
+}
+
 void PackedModel::save(const std::string& path) const {
   BinaryWriter w(path);
   w.write_u32(kPackedMagic);

@@ -39,6 +39,17 @@ class PackedModel {
   /// Pack a plain model uniformly at `spec` (RTN semantics).
   static PackedModel pack_uniform(const Model& model, const QuantSpec& spec);
 
+  /// Assemble a model from already-built parts — the reassembly path for
+  /// tensor-parallel shard files (net/shard.hpp), where the linears were
+  /// carved with QuantizedLinear::row_slice and stacked back with
+  /// row_concat. Validates tensor counts/shapes against `config`; the
+  /// result saves bit-identically to the model the parts came from.
+  static PackedModel assemble(const ModelConfig& config, Matrix tok_embed,
+                              std::vector<std::vector<float>> attn_norms,
+                              std::vector<std::vector<float>> ffn_norms,
+                              std::vector<float> final_norm, Matrix lm_head,
+                              std::vector<QuantizedLinear> linears);
+
   /// Reconstruct an evaluable dense model (dequantize every linear).
   Model unpack() const;
 

@@ -588,6 +588,51 @@ QuantizedLinear QuantizedLinear::deserialize_v2(BinaryReader& reader) {
   return q;
 }
 
+QuantizedLinear QuantizedLinear::row_slice(std::size_t r0,
+                                           std::size_t r1) const {
+  APTQ_CHECK(r0 <= r1 && r1 <= rows_, "row_slice: range out of bounds");
+  QuantizedLinear q;
+  q.spec_ = spec_;
+  q.rows_ = r1 - r0;
+  q.cols_ = cols_;
+  q.init_geometry();
+  const std::size_t row_bytes = groups_ * bytes_per_group_;
+  q.codes_.assign(codes_.begin() + static_cast<std::ptrdiff_t>(r0 * row_bytes),
+                  codes_.begin() + static_cast<std::ptrdiff_t>(r1 * row_bytes));
+  q.group_params_.assign(
+      group_params_.begin() + static_cast<std::ptrdiff_t>(r0 * groups_),
+      group_params_.begin() + static_cast<std::ptrdiff_t>(r1 * groups_));
+  q.finalize_dequant();
+  return q;
+}
+
+QuantizedLinear QuantizedLinear::row_concat(
+    const std::vector<QuantizedLinear>& parts) {
+  APTQ_CHECK(!parts.empty(), "row_concat: no parts");
+  QuantizedLinear q;
+  q.spec_ = parts.front().spec_;
+  q.cols_ = parts.front().cols_;
+  for (const QuantizedLinear& p : parts) {
+    APTQ_CHECK(p.cols_ == q.cols_ && p.spec_.bits == q.spec_.bits &&
+                   p.spec_.group_size == q.spec_.group_size &&
+                   p.spec_.format == q.spec_.format &&
+                   p.spec_.symmetric == q.spec_.symmetric &&
+                   p.spec_.mse_clip_search == q.spec_.mse_clip_search,
+               "row_concat: parts disagree on grid or width");
+    q.rows_ += p.rows_;
+  }
+  q.init_geometry();
+  q.codes_.reserve(q.rows_ * q.groups_ * q.bytes_per_group_);
+  q.group_params_.reserve(q.rows_ * q.groups_);
+  for (const QuantizedLinear& p : parts) {
+    q.codes_.insert(q.codes_.end(), p.codes_.begin(), p.codes_.end());
+    q.group_params_.insert(q.group_params_.end(), p.group_params_.begin(),
+                           p.group_params_.end());
+  }
+  q.finalize_dequant();
+  return q;
+}
+
 bool QuantizedLinear::operator==(const QuantizedLinear& other) const {
   return spec_.bits == other.spec_.bits &&
          spec_.group_size == other.spec_.group_size &&

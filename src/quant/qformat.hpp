@@ -156,6 +156,16 @@ class QuantizedLinear {
   static QuantizedLinear deserialize(BinaryReader& reader);
   static QuantizedLinear deserialize_v2(BinaryReader& reader);
 
+  /// Rows [r0, r1) as a standalone layer over the same grid. Blocked codes
+  /// are row-major (row r's blocks are contiguous), so the slice is a pure
+  /// byte copy: tensor-parallel shards carved this way and stacked back with
+  /// row_concat reproduce the original storage bit-for-bit.
+  QuantizedLinear row_slice(std::size_t r0, std::size_t r1) const;
+
+  /// Inverse of row_slice: stack shards (same spec/cols, slice order) into
+  /// one layer bitwise identical to the layer they were cut from.
+  static QuantizedLinear row_concat(const std::vector<QuantizedLinear>& parts);
+
   bool operator==(const QuantizedLinear& other) const;
 
  private:

@@ -188,6 +188,9 @@ void ServeEngine::sample_and_stop(Active& a, std::vector<float> logits) {
     // decode_step would throw "context capacity exceeded": evict instead.
     a.finish = FinishReason::context_full;
   }
+  if (on_token_) {
+    on_token_(a.id, token, a.finish);
+  }
 }
 
 void ServeEngine::retire_finished() {

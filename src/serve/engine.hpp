@@ -103,6 +103,17 @@ class ServeEngine {
   /// (keys prefixed "<backend>.", e.g. "packed.tokens_per_sec").
   void fill_report(obs::RunReport& report) const;
 
+  /// Streaming hook: fires once per sampled token, right after the stopping
+  /// rules run — `finish` is FinishReason::none while the request keeps
+  /// going, else the reason it stopped on this token. Called inline from
+  /// step()'s thread between forward passes, so the callback must be cheap
+  /// relative to a decode step (the HTTP front-end writes one chunk). Does
+  /// not alter scheduling or sampling: token streams are byte-identical
+  /// with or without a callback installed.
+  using TokenCallback =
+      std::function<void(RequestId, TokenId, FinishReason)>;
+  void set_token_callback(TokenCallback cb) { on_token_ = std::move(cb); }
+
  private:
   struct Pending {
     RequestId id = 0;
@@ -129,6 +140,7 @@ class ServeEngine {
   void update_gauges();
 
   Backend backend_;
+  TokenCallback on_token_;
   ServeConfig config_;
   KvPool pool_;
   RequestId next_id_ = 0;

@@ -6,14 +6,20 @@
 namespace aptq {
 
 BinaryWriter::BinaryWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
-  APTQ_CHECK(out_.good(), "cannot open for writing: " + path);
+    : file_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  APTQ_CHECK(file_.good(), "cannot open for writing: " + path);
+  out_ = &file_;
+}
+
+BinaryWriter::BinaryWriter(std::ostream& out, std::string name)
+    : out_(&out), path_(std::move(name)) {
+  APTQ_CHECK(out_->good(), "bad output stream: " + path_);
 }
 
 void BinaryWriter::write_raw(const void* data, std::size_t bytes) {
-  out_.write(static_cast<const char*>(data),
-             static_cast<std::streamsize>(bytes));
-  APTQ_CHECK(out_.good(), "write failed: " + path_);
+  out_->write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(bytes));
+  APTQ_CHECK(out_->good(), "write failed: " + path_);
 }
 
 void BinaryWriter::write_string(const std::string& s) {
@@ -45,21 +51,23 @@ void BinaryWriter::write_bytes(const std::vector<std::uint8_t>& v) {
 }
 
 BinaryReader::BinaryReader(const std::string& path)
-    : in_(path, std::ios::binary), path_(path) {
-  APTQ_CHECK(in_.good(), "cannot open for reading: " + path);
+    : file_(path, std::ios::binary), path_(path) {
+  APTQ_CHECK(file_.good(), "cannot open for reading: " + path);
+  in_ = &file_;
   std::error_code ec;
   const auto size = std::filesystem::file_size(path, ec);
   APTQ_CHECK(!ec, "cannot stat: " + path + " (" + ec.message() + ")");
-  file_bytes_ = static_cast<std::uint64_t>(size);
+  total_bytes_ = static_cast<std::uint64_t>(size);
+}
+
+BinaryReader::BinaryReader(std::istream& in, std::uint64_t size,
+                           std::string name)
+    : in_(&in), path_(std::move(name)), total_bytes_(size) {
+  APTQ_CHECK(in_->good(), "bad input stream: " + path_);
 }
 
 std::uint64_t BinaryReader::remaining_bytes() {
-  const auto pos = in_.tellg();
-  if (pos < 0) {
-    return 0;
-  }
-  const auto consumed = static_cast<std::uint64_t>(pos);
-  return consumed >= file_bytes_ ? 0 : file_bytes_ - consumed;
+  return consumed_ >= total_bytes_ ? 0 : total_bytes_ - consumed_;
 }
 
 void BinaryReader::check_payload(std::uint64_t count, std::size_t elem_size,
@@ -72,9 +80,12 @@ void BinaryReader::check_payload(std::uint64_t count, std::size_t elem_size,
 }
 
 void BinaryReader::read_raw(void* data, std::size_t bytes) {
-  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-  APTQ_CHECK(in_.gcount() == static_cast<std::streamsize>(bytes),
+  APTQ_CHECK(bytes <= remaining_bytes(),
+             "read past end of input: " + path_);
+  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  APTQ_CHECK(in_->gcount() == static_cast<std::streamsize>(bytes),
              "short read: " + path_);
+  consumed_ += bytes;
 }
 
 std::uint32_t BinaryReader::read_u32() {

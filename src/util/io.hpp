@@ -1,10 +1,16 @@
-// Minimal binary serialization used for model checkpoints and cached
-// calibration artifacts. Format: little-endian PODs with explicit sizes; a
-// magic/version header guards against stale caches.
+// Minimal binary serialization used for model checkpoints, cached
+// calibration artifacts, and wire-protocol payloads. Format: little-endian
+// PODs with explicit sizes; a magic/version header guards against stale
+// caches. Both ends work over any std::iostream: the file constructors own
+// an fstream, the stream constructors borrow a caller-owned stream (e.g. a
+// std::stringstream wrapping a socket frame payload) so the same validation
+// discipline covers bytes that never touch disk.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -16,6 +22,8 @@ namespace aptq {
 class BinaryWriter {
  public:
   explicit BinaryWriter(const std::string& path);
+  /// Borrow a caller-owned output stream; `name` labels error messages.
+  explicit BinaryWriter(std::ostream& out, std::string name = "<stream>");
 
   void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
   void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
@@ -30,18 +38,24 @@ class BinaryWriter {
  private:
   void write_raw(const void* data, std::size_t bytes);
 
-  std::ofstream out_;
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
   std::string path_;
 };
 
 /// RAII binary reader mirroring BinaryWriter. Throws aptq::Error on short
 /// reads or I/O failure. Length-prefixed reads validate the prefix against
-/// the bytes actually left in the file before allocating, so a corrupt or
+/// the bytes actually left in the input before allocating, so a corrupt or
 /// bit-flipped length field yields aptq::Error instead of a multi-gigabyte
 /// allocation attempt.
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
+  /// Borrow a caller-owned input stream holding exactly `size` bytes past
+  /// its current position; `name` labels error messages. The byte budget
+  /// powers the same length-prefix validation as the file constructor.
+  BinaryReader(std::istream& in, std::uint64_t size,
+               std::string name = "<stream>");
 
   std::uint32_t read_u32();
   std::uint64_t read_u64();
@@ -53,19 +67,21 @@ class BinaryReader {
   std::vector<std::uint32_t> read_u32_vector();
   std::vector<std::uint8_t> read_bytes();
 
-  /// Bytes between the read cursor and end-of-file.
+  /// Bytes between the read cursor and the end of the input.
   std::uint64_t remaining_bytes();
 
  private:
   void read_raw(void* data, std::size_t bytes);
   /// Throws unless `count` elements of `elem_size` bytes fit in the rest
-  /// of the file.
+  /// of the input.
   void check_payload(std::uint64_t count, std::size_t elem_size,
                      const char* what);
 
-  std::ifstream in_;
+  std::ifstream file_;
+  std::istream* in_ = nullptr;
   std::string path_;
-  std::uint64_t file_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t consumed_ = 0;
 };
 
 /// True if a regular file exists at `path`.
