@@ -6,6 +6,11 @@
 // stays byte-identical to a solo decode. Writes BENCH_serve.json, including
 // the packed_decode_slowdown_batch1 headline (dense over packed tokens/sec
 // at batch 1, single thread) that CI's bench-smoke step thresholds.
+//
+// A second section sweeps latency under load: open-loop arrivals
+// (serve::run_load) against the packed engine at several offered rates,
+// reporting p50/p99 TTFT/TPOT/queue-wait and SLO goodput per point — the
+// goodput-vs-offered-load curve (docs/SERVING.md).
 // Flags: `--requests N` (workload size, default 24), `--out PATH`.
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +22,7 @@
 
 #include "quant/packed_model.hpp"
 #include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
 
@@ -121,8 +127,49 @@ Row measure(const std::string& name, const Backend& backend,
   return row;
 }
 
-bool write_json(const std::vector<Row>& rows, double batch_gain,
-                double packed_slowdown, double thread_ratio,
+struct LoadRow {
+  const char* arrival;
+  LoadSpec spec;
+  LoadPoint point;
+};
+
+// Latency under offered load on the packed engine: open-loop replay of a
+// deterministic arrival schedule (serve::run_load). Rates chosen to span
+// under-loaded through saturated on the sim-scale model; the bursty row
+// shows tail inflation at the same mean rate as the middle Poisson point.
+std::vector<LoadRow> measure_load(const Backend& backend) {
+  ThreadPool::set_global_threads(1);
+  LoadSpec base;
+  base.requests = 32;
+  base.max_new_tokens = 8;
+  base.priority_levels = 2;
+  base.slo_ttft_ms = 250.0;
+  base.slo_tpot_ms = 50.0;
+
+  std::vector<LoadRow> out;
+  for (const double rps : {16.0, 64.0, 256.0}) {
+    LoadSpec spec = base;
+    spec.offered_rps = rps;
+    out.push_back({"poisson", spec, {}});
+  }
+  LoadSpec bursty = base;
+  bursty.offered_rps = 64.0;
+  bursty.arrival = LoadSpec::Arrival::bursty;
+  bursty.burst = 8;
+  out.push_back({"bursty", bursty, {}});
+
+  for (LoadRow& row : out) {
+    ServeConfig cfg;
+    cfg.max_batch = 8;
+    cfg.max_context = 96;
+    ServeEngine engine(Backend(backend), cfg);
+    row.point = run_load(engine, row.spec);
+  }
+  return out;
+}
+
+bool write_json(const std::vector<Row>& rows, const std::vector<LoadRow>& load,
+                double batch_gain, double packed_slowdown, double thread_ratio,
                 const std::string& path) {
   std::ofstream out(path);
   if (!out) {
@@ -147,6 +194,30 @@ bool write_json(const std::vector<Row>& rows, double batch_gain,
         << ", \"wall_s\": " << r.wall_s
         << ", \"tokens_per_sec\": " << r.tokens_per_sec << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"latency_under_load\": [\n";
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    const LoadRow& r = load[i];
+    const LoadPoint& p = r.point;
+    out << "    {\"arrival\": \"" << r.arrival
+        << "\", \"offered_rps\": " << p.offered_rps
+        << ", \"requests\": " << r.spec.requests
+        << ", \"slo_ttft_ms\": " << r.spec.slo_ttft_ms
+        << ", \"slo_tpot_ms\": " << r.spec.slo_tpot_ms
+        << ", \"achieved_rps\": " << p.achieved_rps
+        << ", \"goodput_rps\": " << p.goodput_rps
+        << ", \"wall_seconds\": " << p.wall_seconds
+        << ", \"completed\": " << p.completed
+        << ", \"evicted\": " << p.evicted
+        << ", \"rejected\": " << p.rejected
+        << ", \"p50_ttft_ms\": " << p.p50_ttft_ms
+        << ", \"p99_ttft_ms\": " << p.p99_ttft_ms
+        << ", \"p50_tpot_ms\": " << p.p50_tpot_ms
+        << ", \"p99_tpot_ms\": " << p.p99_tpot_ms
+        << ", \"p50_queue_wait_ms\": " << p.p50_queue_wait_ms
+        << ", \"p99_queue_wait_ms\": " << p.p99_queue_wait_ms << "}"
+        << (i + 1 < load.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
   out << "}\n";
@@ -224,6 +295,8 @@ int run(std::size_t n_requests, const std::string& out_path) {
   }
   const double thread_ratio = b8t1 > 0.0 ? b8t4 / b8t1 : 0.0;
 
+  const std::vector<LoadRow> load = measure_load(make_backend(packed));
+
   std::printf("%-14s %6s %8s %10s %10s %8s %16s\n", "model", "batch",
               "threads", "effective", "generated", "wall_s",
               "tokens_per_sec");
@@ -239,7 +312,19 @@ int run(std::size_t n_requests, const std::string& out_path) {
               packed_slowdown);
   std::printf("packed threads=4 vs threads=1 at batch=8: %.2fx\n",
               thread_ratio);
-  if (write_json(rows, batch_gain, packed_slowdown, thread_ratio, out_path)) {
+  std::printf("\nlatency under load (packed, open loop, %zu requests/point)\n",
+              load.empty() ? 0 : load.front().spec.requests);
+  std::printf("%-8s %11s %11s %11s %9s %9s %9s %9s\n", "arrival",
+              "offered_rps", "achieved", "goodput", "p50_ttft", "p99_ttft",
+              "p50_tpot", "p99_tpot");
+  for (const LoadRow& r : load) {
+    std::printf("%-8s %11.1f %11.1f %11.1f %9.2f %9.2f %9.2f %9.2f\n",
+                r.arrival, r.point.offered_rps, r.point.achieved_rps,
+                r.point.goodput_rps, r.point.p50_ttft_ms, r.point.p99_ttft_ms,
+                r.point.p50_tpot_ms, r.point.p99_tpot_ms);
+  }
+  if (write_json(rows, load, batch_gain, packed_slowdown, thread_ratio,
+                 out_path)) {
     std::printf("serving throughput results written to %s\n",
                 out_path.c_str());
   }

@@ -8,13 +8,17 @@
 //   shard_serve --workers 127.0.0.1:9101,127.0.0.1:9102
 //               [--model dense|packed] [--requests N] [--threads N]
 //               [--selftest 1] [--http-port P] [--http-max-requests N]
+//               [--trace-out FILE] [--report FILE] [--log-level LVL]
 //
 // Default mode submits a synthetic burst and prints per-request results
 // plus the per-worker weight bytes. --selftest 1 additionally replays the
 // same burst on a solo in-process engine and exits non-zero unless every
 // token stream matches exactly (the CI shard-smoke gate). --http-port
 // starts the HTTP front-end on the sharded engine instead (GET /healthz,
-// POST /v1/generate).
+// /metrics, /statz; POST /v1/generate) with telemetry enabled so the live
+// endpoints have data. --trace-out writes ONE merged Chrome trace: root
+// spans plus every worker's recv/compute/send lane, collected over the
+// wire at session end (docs/OBSERVABILITY.md).
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -24,6 +28,10 @@
 #include "net/http.hpp"
 #include "net/sharded_model.hpp"
 #include "net/socket.hpp"
+#include "obs/control.hpp"
+#include "obs/log.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "quant/packed_model.hpp"
 #include "serve/engine.hpp"
 #include "util/args.hpp"
@@ -107,10 +115,51 @@ std::vector<GenerationResult> run_burst(ServeEngine& engine,
   return engine.run();
 }
 
+/// JSON fragment for /statz: per-worker link stats (RTT from the hello
+/// round trip, estimated clock offset, bytes each way, projection count).
+std::string workers_statz(const net::ShardedModel& sharded) {
+  std::string out = "\"workers\": [";
+  const auto& links = sharded.link_stats();
+  for (std::size_t w = 0; w < links.size(); ++w) {
+    const net::LinkStats& link = links[w];
+    if (w != 0) {
+      out += ", ";
+    }
+    out += "{\"rtt_ns\": " + std::to_string(link.rtt_ns) +
+           ", \"clock_offset_ns\": " + std::to_string(link.clock_offset_ns) +
+           ", \"bytes_sent\": " + std::to_string(link.bytes_sent) +
+           ", \"bytes_recv\": " + std::to_string(link.bytes_recv) +
+           ", \"projections\": " + std::to_string(link.projections) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+/// Writes the merged trace (root spans + per-worker lanes gathered by
+/// shutdown()) and the run report. Call AFTER sharded.shutdown() — that
+/// is when the worker span buffers arrive over the wire.
+void finalize_sharded(const obs::ObsOptions& obs_options,
+                      const net::ShardedModel& sharded, ServeEngine& engine) {
+  if (!obs_options.trace_path.empty()) {
+    obs::write_trace(obs_options.trace_path, sharded.remote_trace());
+    obs::log_info("wrote merged trace: " + obs_options.trace_path + " (" +
+                  std::to_string(sharded.remote_trace().size()) +
+                  " worker lanes; open at ui.perfetto.dev)");
+  }
+  if (!obs_options.report_path.empty()) {
+    obs::RunReport report;
+    report.add_config("tool", std::string("shard_serve"));
+    report.add_config("workers", static_cast<long>(sharded.n_workers()));
+    engine.fill_report(report);
+    obs::write_run_report(report, obs_options.report_path);
+    obs::log_info("wrote run report: " + obs_options.report_path);
+  }
+}
+
 template <typename ModelT>
 int serve_sharded(const ModelT& model,
                   std::vector<std::unique_ptr<net::Stream>> streams,
-                  const ArgParser& args) {
+                  const ArgParser& args, const obs::ObsOptions& obs_options) {
   const std::size_t n_requests =
       static_cast<std::size_t>(args.get_long("requests", 8));
   net::ShardedModel sharded(model, std::move(streams));
@@ -126,6 +175,8 @@ int serve_sharded(const ModelT& model,
   cfg.max_context = 96;
 
   if (args.has("http-port")) {
+    // Telemetry on so /metrics and /statz have serve.* data to show.
+    obs::set_telemetry(true);
     ServeEngine engine(net::make_backend(sharded), cfg);
     const auto port =
         static_cast<std::uint16_t>(args.get_long("http-port", 0));
@@ -133,12 +184,14 @@ int serve_sharded(const ModelT& model,
     net::HttpOptions options;
     options.max_requests = static_cast<std::size_t>(
         args.get_long("http-max-requests", 0));
-    std::printf("shard_serve: HTTP on 127.0.0.1:%u (GET /healthz, "
-                "POST /v1/generate)\n",
+    options.statz_extra = [&sharded] { return workers_statz(sharded); };
+    std::printf("shard_serve: HTTP on 127.0.0.1:%u (GET /healthz /metrics "
+                "/statz, POST /v1/generate)\n",
                 static_cast<unsigned>(listener.port()));
     std::fflush(stdout);
     serve_http(listener, engine, options);
     sharded.shutdown();
+    finalize_sharded(obs_options, sharded, engine);
     return 0;
   }
 
@@ -155,6 +208,7 @@ int serve_sharded(const ModelT& model,
   std::printf("shard_serve: %.0f tokens/sec over %zu workers\n",
               engine.stats().tokens_per_sec(), sharded.n_workers());
   sharded.shutdown();
+  finalize_sharded(obs_options, sharded, engine);
 
   if (args.get_long("selftest", 0) == 0) {
     return 0;
@@ -185,6 +239,10 @@ int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
     configure_threads(args);
+    // --log-level / --trace-out / --report. With --trace-out set, every
+    // broadcast carries a trace context and the workers' span buffers are
+    // merged into one Chrome trace at shutdown.
+    const obs::ObsOptions obs_options = obs::configure_observability(args);
     const auto endpoints = parse_workers(args.get_string("workers", ""));
     const std::string kind = args.get_string("model", "packed");
     // --selftest / --http-port consume their flags in serve_sharded.
@@ -192,7 +250,7 @@ int main(int argc, char** argv) {
 
     const Model dense = Model::init(demo_config(), 42);
     if (kind == "dense") {
-      return serve_sharded(dense, std::move(streams), args);
+      return serve_sharded(dense, std::move(streams), args, obs_options);
     }
     APTQ_CHECK(kind == "packed",
                "shard_serve: --model must be dense or packed");
@@ -200,7 +258,7 @@ int main(int argc, char** argv) {
     spec.bits = 4;
     spec.group_size = 16;
     const PackedModel packed = PackedModel::pack_uniform(dense, spec);
-    return serve_sharded(packed, std::move(streams), args);
+    return serve_sharded(packed, std::move(streams), args, obs_options);
   } catch (const aptq::Error& e) {
     std::fprintf(stderr, "shard_serve: %s\n", e.what());
     return 1;

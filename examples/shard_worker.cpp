@@ -5,14 +5,18 @@
 // binary serves dense and packed roots of any configuration.
 //
 // Usage: shard_worker [--port P] [--host H] [--threads N] [--sessions N]
+//                     [--log-level error|warn|info|debug]
 //   --port 0 (the default) binds an ephemeral port; the bound address is
 //   printed either way, so scripts can scrape it. --sessions N serves N
 //   root sessions then exits (default 1, the CI smoke shape); 0 loops
-//   forever.
+//   forever. Session lifecycle goes through the leveled logger; once a
+//   session's hello assigns a rank, the worker loop prefixes its own
+//   lines with `[worker N]`.
 #include <cstdio>
 
 #include "net/socket.hpp"
 #include "net/worker.hpp"
+#include "obs/log.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
@@ -20,22 +24,22 @@ int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
     configure_threads(args);
+    obs::set_log_level(obs::parse_log_level(args.log_level()));
     const auto port = static_cast<std::uint16_t>(args.get_long("port", 0));
     const std::string host = args.get_string("host", "127.0.0.1");
     const long sessions = args.get_long("sessions", 1);
 
     net::Listener listener(port, host);
+    // Kept as a raw printf: scripts scrape this line for the bound port.
     std::printf("shard_worker listening on %s:%u\n", host.c_str(),
                 static_cast<unsigned>(listener.port()));
     std::fflush(stdout);
 
     for (long served = 0; sessions == 0 || served < sessions; ++served) {
       net::Socket conn = listener.accept();
-      std::printf("shard_worker: session from %s\n", conn.name().c_str());
-      std::fflush(stdout);
+      obs::log_info("shard_worker: session from " + conn.name());
       net::serve_worker(conn);
-      std::printf("shard_worker: session complete\n");
-      std::fflush(stdout);
+      obs::log_info("shard_worker: session complete");
     }
     return 0;
   } catch (const Error& e) {

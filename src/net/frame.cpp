@@ -17,6 +17,8 @@ const char* type_name(MsgType t) {
     case MsgType::shutdown: return "shutdown";
     case MsgType::bye: return "bye";
     case MsgType::error_report: return "error_report";
+    case MsgType::trace_flush: return "trace_flush";
+    case MsgType::trace_data: return "trace_data";
   }
   return "?";
 }

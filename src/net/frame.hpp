@@ -35,17 +35,21 @@ enum class MsgType : std::uint32_t {
   shutdown = 7,     ///< root → worker: end of session
   bye = 8,          ///< worker → root: acknowledged, closing
   error_report = 9, ///< either way: fatal error text, then close
+  trace_flush = 10, ///< root → worker: ship your recorded spans (proto v2)
+  trace_data = 11,  ///< worker → root: encoded span records (proto v2)
 };
 
 inline constexpr std::uint32_t kMsgTypeMax =
-    static_cast<std::uint32_t>(MsgType::error_report);
+    static_cast<std::uint32_t>(MsgType::trace_data);
 
 /// Payload caps by context. Control frames are tiny; project frames are
 /// bounded by activations (batch × ffn_dim floats at most); load_shard
-/// carries 1/N of a model's weights.
+/// carries 1/N of a model's weights; trace_data carries at most
+/// kMaxTraceSpans fixed-size span records (see shard.hpp).
 inline constexpr std::uint64_t kMaxControlPayload = 1u << 16;
 inline constexpr std::uint64_t kMaxProjectPayload = 1ull << 26;  // 64 MiB
 inline constexpr std::uint64_t kMaxShardPayload = 1ull << 30;    // 1 GiB
+inline constexpr std::uint64_t kMaxTracePayload = 1ull << 22;    // 4 MiB
 
 struct Frame {
   MsgType type = MsgType::hello;

@@ -4,6 +4,13 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "net/frame.hpp"
+#include "net/shard.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+#include "util/version.hpp"
+
 namespace aptq::net {
 
 // --- request parsing -------------------------------------------------------
@@ -549,8 +556,44 @@ void handle_generate(Stream& conn, serve::ServeEngine& engine,
   write_last_chunk(conn);
 }
 
+std::string statz_json(const serve::ServeEngine& engine,
+                       const HttpOptions& options) {
+  const serve::ServeStats& s = engine.stats();
+  const serve::KvPool& pool = engine.pool();
+  std::string out = "{\"backend\":\"" + json_escape(engine.backend_name()) +
+                    "\",\"queue_depth\":" + std::to_string(engine.queue_depth()) +
+                    ",\"active_requests\":" + std::to_string(engine.active_count()) +
+                    ",\"submitted\":" + std::to_string(s.submitted) +
+                    ",\"completed\":" + std::to_string(s.completed) +
+                    ",\"rejected\":" + std::to_string(s.rejected) +
+                    ",\"generated_tokens\":" + std::to_string(s.generated_tokens) +
+                    ",\"engine_steps\":" + std::to_string(s.engine_steps) +
+                    ",\"kv\":{\"slots\":" + std::to_string(pool.slots()) +
+                    ",\"slots_in_use\":" + std::to_string(pool.in_use()) +
+                    ",\"pages\":" + std::to_string(pool.pages()) +
+                    ",\"pages_in_use\":" + std::to_string(pool.pages_in_use()) +
+                    ",\"page_positions\":" + std::to_string(pool.page_positions()) +
+                    ",\"bytes\":" + std::to_string(pool.bytes()) +
+                    ",\"mapped_bytes\":" + std::to_string(pool.mapped_bytes()) +
+                    "},\"backpressure\":{\"slots\":" +
+                    std::to_string(s.backpressure_slots) +
+                    ",\"pages\":" + std::to_string(s.backpressure_pages) +
+                    "},\"evicted\":{\"capacity\":" +
+                    std::to_string(s.evicted_capacity) +
+                    ",\"pages\":" + std::to_string(s.evicted_pages) + "}";
+  if (options.statz_extra) {
+    const std::string extra = options.statz_extra();
+    if (!extra.empty()) {
+      out += "," + extra;
+    }
+  }
+  out += "}";
+  return out;
+}
+
 void handle_connection(Stream& conn, serve::ServeEngine& engine,
-                       const HttpLimits& limits) {
+                       const HttpOptions& options, const Timer& uptime) {
+  const HttpLimits& limits = options.limits;
   BufferedReader reader(conn);
   HttpRequest request;
   try {
@@ -558,8 +601,23 @@ void handle_connection(Stream& conn, serve::ServeEngine& engine,
       return;  // client connected and closed without a request
     }
     if (request.method == "GET" && request.target == "/healthz") {
+      write_http_response(
+          conn, 200, "OK", "application/json",
+          std::string("{\"ok\":true,\"version\":\"") + kAptqVersion +
+              "\",\"proto_version\":" + std::to_string(kProtoVersion) +
+              ",\"uptime_seconds\":" + obs::json_double(uptime.seconds()) +
+              "}");
+      return;
+    }
+    if (request.method == "GET" && request.target == "/metrics") {
+      write_http_response(conn, 200, "OK",
+                          "text/plain; version=0.0.4; charset=utf-8",
+                          obs::metrics_prometheus());
+      return;
+    }
+    if (request.method == "GET" && request.target == "/statz") {
       write_http_response(conn, 200, "OK", "application/json",
-                          "{\"ok\":true}");
+                          statz_json(engine, options));
       return;
     }
     if (request.method == "POST" && request.target == "/v1/generate") {
@@ -586,11 +644,12 @@ void handle_connection(Stream& conn, serve::ServeEngine& engine,
 
 void serve_http(Listener& listener, serve::ServeEngine& engine,
                 const HttpOptions& options) {
+  const Timer uptime;  // /healthz reports time since the accept loop began
   std::size_t served = 0;
   while (options.max_requests == 0 || served < options.max_requests) {
     Socket conn = listener.accept();
     ++served;
-    handle_connection(conn, engine, options.limits);
+    handle_connection(conn, engine, options, uptime);
   }
 }
 

@@ -1,8 +1,15 @@
 // Minimal HTTP/1.1 front-end for the serving engine (modelled on
 // distributed-llama's dllama-api): blocking accept loop, one request per
-// connection, JSON in / JSON out. Two routes:
+// connection, JSON in / JSON out. Routes:
 //
-//   GET  /healthz      → {"ok":true}
+//   GET  /healthz      → {"ok":true, "version":..., "proto_version":...,
+//                         "uptime_seconds":...}
+//   GET  /metrics      → Prometheus text exposition of every registered
+//                        counter/gauge/histogram (obs::metrics_prometheus)
+//   GET  /statz        → JSON snapshot: queue depth, in-flight batch, KV
+//                        pool residency, backpressure/eviction causes, and
+//                        whatever HttpOptions::statz_extra appends (the
+//                        sharded front-end adds per-worker link RTT/bytes)
 //   POST /v1/generate  → body {"prompt":[ids...], "max_new_tokens":N,
 //                        "temperature":T, "top_k":K, "seed":S,
 //                        "eos_token":E, "stream":false}
@@ -18,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -111,6 +119,10 @@ struct HttpOptions {
   /// Stop after this many accepted connections; 0 = serve forever.
   std::size_t max_requests = 0;
   HttpLimits limits;
+  /// Extra top-level members for /statz, returned as a JSON fragment like
+  /// `"workers": [...]` (no surrounding braces, no leading comma); empty
+  /// string or null callable adds nothing. Called per /statz request.
+  std::function<std::string()> statz_extra;
 };
 
 /// Accept loop over `listener`, one connection at a time (the engine is

@@ -426,12 +426,16 @@ PackedModel reassemble_packed(std::span<const ModelShard> shards) {
 }
 
 std::vector<std::uint8_t> encode_project(ProjectOp op, std::uint32_t layer,
-                                         LinearKind kind, const Matrix& x) {
+                                         LinearKind kind, const Matrix& x,
+                                         std::uint64_t trace_id,
+                                         std::uint64_t parent_span_id) {
   std::ostringstream os(std::ios::binary);
   BinaryWriter w(os, "<project>");
   w.write_u32(static_cast<std::uint32_t>(op));
   w.write_u32(layer);
   w.write_u32(static_cast<std::uint32_t>(kind));
+  w.write_u64(trace_id);
+  w.write_u64(parent_span_id);
   write_matrix(w, x);
   const std::string s = os.str();
   return {s.begin(), s.end()};
@@ -452,9 +456,100 @@ ProjectRequest decode_project(std::span<const std::uint8_t> bytes) {
   APTQ_CHECK(kind <= static_cast<std::uint32_t>(LinearKind::lm_head),
              "project: unknown linear kind " + std::to_string(kind));
   req.kind = static_cast<LinearKind>(kind);
+  req.trace_id = r.read_u64();
+  req.parent_span_id = r.read_u64();
+  // A parent span without a trace (or vice versa) means a stomped context
+  // field; reject rather than attribute spans to trace 0.
+  APTQ_CHECK((req.trace_id == 0) == (req.parent_span_id == 0),
+             "project: inconsistent trace context");
   req.x = read_matrix(r);
   APTQ_CHECK(req.x.rows() >= 1, "project: empty input");
   return req;
+}
+
+std::vector<std::uint8_t> encode_hello_ack(const HelloAck& ack) {
+  std::vector<std::uint8_t> out(12);
+  std::memcpy(out.data(), &ack.version, 4);
+  std::memcpy(out.data() + 4, &ack.clock_ns, 8);
+  return out;
+}
+
+HelloAck decode_hello_ack(std::span<const std::uint8_t> bytes) {
+  HelloAck ack;
+  if (bytes.size() == 4) {  // v1 peer: bare version, no clock
+    std::memcpy(&ack.version, bytes.data(), 4);
+    return ack;
+  }
+  APTQ_CHECK(bytes.size() == 12,
+             "hello_ack payload must be 12 bytes (or legacy 4)");
+  std::memcpy(&ack.version, bytes.data(), 4);
+  std::memcpy(&ack.clock_ns, bytes.data() + 4, 8);
+  return ack;
+}
+
+const char* span_name_str(SpanName name) {
+  switch (name) {
+    case SpanName::recv: return "worker.recv";
+    case SpanName::compute: return "worker.compute";
+    case SpanName::send: return "worker.send";
+  }
+  return "worker.?";
+}
+
+namespace {
+constexpr std::size_t kSpanRecordBytes = 44;  // u32 name + 5 × u64
+}  // namespace
+
+std::vector<std::uint8_t> encode_trace_spans(
+    std::span<const WorkerSpan> spans) {
+  APTQ_CHECK(spans.size() <= kMaxTraceSpans,
+             "trace_data: too many spans to encode");
+  std::vector<std::uint8_t> out(8 + spans.size() * kSpanRecordBytes);
+  const std::uint64_t count = spans.size();
+  std::memcpy(out.data(), &count, 8);
+  std::uint8_t* p = out.data() + 8;
+  for (const WorkerSpan& s : spans) {
+    const std::uint32_t code = static_cast<std::uint32_t>(s.name);
+    std::memcpy(p, &code, 4);
+    std::memcpy(p + 4, &s.start_ns, 8);
+    std::memcpy(p + 12, &s.dur_ns, 8);
+    std::memcpy(p + 20, &s.trace_id, 8);
+    std::memcpy(p + 28, &s.span_id, 8);
+    std::memcpy(p + 36, &s.parent_span_id, 8);
+    p += kSpanRecordBytes;
+  }
+  return out;
+}
+
+std::vector<WorkerSpan> decode_trace_spans(
+    std::span<const std::uint8_t> bytes) {
+  APTQ_CHECK(bytes.size() >= 8, "trace_data: truncated count");
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data(), 8);
+  APTQ_CHECK(count <= kMaxTraceSpans,
+             "trace_data: span count " + std::to_string(count) +
+                 " exceeds the " + std::to_string(kMaxTraceSpans) + " cap");
+  // Division form so a stomped count cannot overflow count · record_size
+  // into coincidentally matching the payload length.
+  APTQ_CHECK((bytes.size() - 8) / kSpanRecordBytes == count &&
+                 (bytes.size() - 8) % kSpanRecordBytes == 0,
+             "trace_data: payload length does not match span count");
+  std::vector<WorkerSpan> spans(count);
+  const std::uint8_t* p = bytes.data() + 8;
+  for (WorkerSpan& s : spans) {
+    std::uint32_t code = 0;
+    std::memcpy(&code, p, 4);
+    APTQ_CHECK(code <= static_cast<std::uint32_t>(SpanName::send),
+               "trace_data: unknown span name code " + std::to_string(code));
+    s.name = static_cast<SpanName>(code);
+    std::memcpy(&s.start_ns, p + 4, 8);
+    std::memcpy(&s.dur_ns, p + 12, 8);
+    std::memcpy(&s.trace_id, p + 20, 8);
+    std::memcpy(&s.span_id, p + 28, 8);
+    std::memcpy(&s.parent_span_id, p + 36, 8);
+    p += kSpanRecordBytes;
+  }
+  return spans;
 }
 
 Matrix shard_project(const ModelShard& shard, const ProjectRequest& req) {

@@ -33,7 +33,12 @@
 
 namespace aptq::net {
 
-inline constexpr std::uint32_t kProtoVersion = 1;
+// v2: hello_ack carries the worker's clock (for cross-process trace
+// merging), project frames carry a (trace_id, parent_span_id) context,
+// and trace_flush/trace_data ship worker span buffers to the root. v1
+// peers are rejected at the handshake with a clean error_report in both
+// directions (docs/SHARDING.md).
+inline constexpr std::uint32_t kProtoVersion = 2;
 inline constexpr std::uint32_t kShardMagic = 0x41505153u;  // "APQS"
 inline constexpr std::uint32_t kShardVersion = 1;
 /// `layer` value addressing the lm head instead of a block projection.
@@ -116,17 +121,63 @@ PackedModel reassemble_packed(std::span<const ModelShard> shards);
 enum class ProjectOp : std::uint32_t { single = 0, batch = 1 };
 
 /// One projection request: run `op` for (layer, kind) on input x and
-/// return the worker's output slice.
+/// return the worker's output slice. trace_id/parent_span_id propagate
+/// the root's trace context (proto v2); trace_id == 0 means tracing is
+/// off and the worker records nothing.
 struct ProjectRequest {
   ProjectOp op = ProjectOp::single;
   std::uint32_t layer = 0;  ///< block index, or kLmHeadLayer
   LinearKind kind = LinearKind::q_proj;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
   Matrix x;
 };
 
 std::vector<std::uint8_t> encode_project(ProjectOp op, std::uint32_t layer,
-                                         LinearKind kind, const Matrix& x);
+                                         LinearKind kind, const Matrix& x,
+                                         std::uint64_t trace_id = 0,
+                                         std::uint64_t parent_span_id = 0);
 ProjectRequest decode_project(std::span<const std::uint8_t> bytes);
+
+/// hello_ack payload (proto v2): the accepted version plus the worker's
+/// observability clock at ack time, which the root pairs with its own
+/// send/recv clocks to estimate the worker's clock offset (the midpoint
+/// method; see docs/OBSERVABILITY.md).
+struct HelloAck {
+  std::uint32_t version = kProtoVersion;
+  std::uint64_t clock_ns = 0;
+};
+
+std::vector<std::uint8_t> encode_hello_ack(const HelloAck& ack);
+/// Accepts a legacy 4-byte (v1) payload so a version mismatch surfaces as
+/// "worker speaks protocol 1" rather than a length error.
+HelloAck decode_hello_ack(std::span<const std::uint8_t> bytes);
+
+/// One completed worker-side span, timestamps in the worker's local
+/// clock. Names travel as codes so records stay fixed-size.
+enum class SpanName : std::uint32_t { recv = 0, compute = 1, send = 2 };
+const char* span_name_str(SpanName name);
+
+struct WorkerSpan {
+  SpanName name = SpanName::recv;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+/// Span-record cap per trace_data frame; workers drop (and count) spans
+/// beyond it rather than grow without bound on long sessions.
+inline constexpr std::uint64_t kMaxTraceSpans = 1u << 16;
+
+/// trace_data payload: u64 count then `count` fixed 44-byte records.
+/// decode validates the count against both kMaxTraceSpans and the exact
+/// byte length before allocating.
+std::vector<std::uint8_t> encode_trace_spans(
+    std::span<const WorkerSpan> spans);
+std::vector<WorkerSpan> decode_trace_spans(
+    std::span<const std::uint8_t> bytes);
 
 /// Run one projection request against a shard, replaying the exact kernel
 /// entry points the solo decode adapters use (worker side of the RPC).

@@ -18,9 +18,23 @@
 
 #include "net/shard.hpp"
 #include "net/stream.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 
 namespace aptq::net {
+
+/// Per-worker transport accounting, kept root-side (workers stay
+/// stateless). rtt_ns and clock_offset_ns come from the hello/hello_ack
+/// exchange: offset = midpoint(send, recv) − worker_clock, the classic
+/// symmetric-delay estimate, so worker span timestamps rebase into the
+/// root's clock to within ±rtt/2.
+struct LinkStats {
+  std::uint64_t rtt_ns = 0;
+  std::int64_t clock_offset_ns = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t projections = 0;
+};
 
 /// Root handle over N connected workers. Construction performs the full
 /// session setup on every stream: hello/hello_ack, then each worker's
@@ -45,8 +59,22 @@ class ShardedModel {
     return weight_bytes_;
   }
 
-  /// Graceful session end (shutdown/bye per worker). Idempotent; called
-  /// by the destructor. Further projections throw.
+  /// Per-worker handshake RTT / clock offset and running byte counts
+  /// (for /statz and the merged trace's clock rebasing).
+  const std::vector<LinkStats>& link_stats() const { return links_; }
+
+  /// Worker span lanes collected at shutdown (one RemoteProcess per
+  /// worker, timestamps rebased into the root clock). Empty until
+  /// shutdown() runs, and empty if no projection was traced. Pass to
+  /// obs::write_trace(path, remote_trace()) for the merged trace.
+  const std::vector<obs::RemoteProcess>& remote_trace() const {
+    return remote_trace_;
+  }
+
+  /// Graceful session end: when any projection was traced, first a
+  /// trace_flush/trace_data sweep collects worker spans, then
+  /// shutdown/bye per worker. Idempotent; called by the destructor.
+  /// Further projections throw.
   void shutdown();
 
   // --- decode adapter surface (model/decode.hpp contract) ---------------
@@ -83,6 +111,10 @@ class ShardedModel {
   std::vector<float> final_norm_;
   std::vector<std::unique_ptr<Stream>> workers_;
   std::vector<std::uint64_t> weight_bytes_;
+  std::vector<LinkStats> links_;
+  std::vector<obs::RemoteProcess> remote_trace_;
+  std::uint64_t next_trace_id_ = 1;  // deterministic per-session counter
+  bool traced_ = false;              // any projection carried a context
   bool live_ = false;
 };
 

@@ -1,7 +1,12 @@
 #include "net/worker.hpp"
 
+#include <string>
+#include <vector>
+
 #include "net/frame.hpp"
 #include "net/shard.hpp"
+#include "obs/control.hpp"
+#include "obs/log.hpp"
 
 namespace aptq::net {
 
@@ -15,25 +20,78 @@ void serve_session(Stream& stream) {
              "worker: protocol version mismatch (root " +
                  std::to_string(version) + ", worker " +
                  std::to_string(kProtoVersion) + ")");
-  send_frame(stream, MsgType::hello_ack, encode_u32(kProtoVersion));
+  // The ack carries this worker's clock so the root can estimate our
+  // clock offset from its send/recv timestamps around the handshake.
+  HelloAck ack;
+  ack.version = kProtoVersion;
+  ack.clock_ns = obs::now_ns();
+  send_frame(stream, MsgType::hello_ack, encode_hello_ack(ack));
 
   const Frame shard_frame =
       expect_frame(stream, MsgType::load_shard, kMaxShardPayload);
   const ModelShard shard = shard_from_bytes(shard_frame.payload);
   send_frame(stream, MsgType::shard_ready,
              encode_u64(shard.weight_bytes()));
+  const std::string rank = "[worker " + std::to_string(shard.worker) + "] ";
+  obs::log_info(rank + "shard ready: " +
+                std::to_string(shard.weight_bytes()) + " weight bytes (" +
+                std::to_string(shard.worker + 1) + "/" +
+                std::to_string(shard.n_workers) + " of split)");
+
+  // Session-local span buffer: spans are recorded here (not in the global
+  // obs registry, which in-process test workers share with the root) and
+  // shipped on trace_flush. Capped; overflow is dropped and counted.
+  std::vector<WorkerSpan> spans;
+  std::uint64_t dropped = 0;
+  std::uint64_t next_span_id = 1;
+  auto record = [&](SpanName name, std::uint64_t start_ns,
+                    std::uint64_t end_ns, const ProjectRequest& req) {
+    if (req.trace_id == 0) {
+      return;
+    }
+    if (spans.size() >= kMaxTraceSpans) {
+      ++dropped;
+      return;
+    }
+    WorkerSpan s;
+    s.name = name;
+    s.start_ns = start_ns;
+    s.dur_ns = end_ns - start_ns;
+    s.trace_id = req.trace_id;
+    s.span_id = next_span_id++;
+    s.parent_span_id = req.parent_span_id;
+    spans.push_back(s);
+  };
 
   while (true) {
+    const std::uint64_t t_wait = obs::now_ns();
     const Frame f = recv_frame(stream, kMaxProjectPayload);
+    const std::uint64_t t_recv = obs::now_ns();
     if (f.type == MsgType::shutdown) {
+      if (dropped > 0) {
+        obs::log_warn(rank + "dropped " + std::to_string(dropped) +
+                      " trace spans (buffer cap)");
+      }
       send_frame(stream, MsgType::bye, {});
       return;
+    }
+    if (f.type == MsgType::trace_flush) {
+      send_frame(stream, MsgType::trace_data, encode_trace_spans(spans));
+      spans.clear();
+      next_span_id = 1;
+      continue;
     }
     APTQ_CHECK(f.type == MsgType::project,
                "worker: unexpected frame in projection loop");
     const ProjectRequest req = decode_project(f.payload);
+    // recv spans start at the wait point, so lane gaps show idle time
+    // between the root's requests rather than vanishing.
+    record(SpanName::recv, t_wait, t_recv, req);
     const Matrix out = shard_project(shard, req);
+    const std::uint64_t t_compute = obs::now_ns();
+    record(SpanName::compute, t_recv, t_compute, req);
     send_frame(stream, MsgType::project_out, encode_matrix(out));
+    record(SpanName::send, t_compute, obs::now_ns(), req);
   }
 }
 

@@ -208,6 +208,73 @@ std::string metrics_snapshot_json() {
   return out;
 }
 
+namespace {
+
+// "serve.ttft_ms" -> "aptq_serve_ttft_ms". Prometheus metric names admit
+// [a-zA-Z0-9_:]; anything else (dots in our scheme) maps to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "aptq_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_double(double v) {
+  if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  return json_double(v);
+}
+
+}  // namespace
+
+std::string metrics_prometheus() {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+  for (Shard& s : metrics_registry().shards) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (const auto& [name, c] : s.counters) {
+      counters[name] = c->value();
+    }
+    for (const auto& [name, g] : s.gauges) {
+      gauges[name] = g->value();
+    }
+    for (const auto& [name, h] : s.histograms) {
+      histograms[name] = h->snapshot();
+    }
+  }
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + json_u64(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + prom_double(v) + "\n";
+  }
+  for (const auto& [name, s] : histograms) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " summary\n";
+    out += p + "{quantile=\"0.5\"} " + prom_double(s.p50) + "\n";
+    out += p + "{quantile=\"0.9\"} " + prom_double(s.p90) + "\n";
+    out += p + "{quantile=\"0.99\"} " + prom_double(s.p99) + "\n";
+    out += p + "_sum " + prom_double(s.sum) + "\n";
+    out += p + "_count " + json_u64(s.count) + "\n";
+    out += "# TYPE " + p + "_min gauge\n";
+    out += p + "_min " + prom_double(s.min) + "\n";
+    out += "# TYPE " + p + "_max gauge\n";
+    out += p + "_max " + prom_double(s.max) + "\n";
+  }
+  return out;
+}
+
 void reset_metrics() {
   for (Shard& s : metrics_registry().shards) {
     std::lock_guard<std::mutex> lock(s.mutex);

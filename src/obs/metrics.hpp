@@ -108,6 +108,14 @@ Histogram& histogram(const std::string& name);
 /// sorted, timestamped with the (injectable) observability clock.
 std::string metrics_snapshot_json();
 
+/// Prometheus text exposition (format 0.0.4) of every registered
+/// instrument, keys sorted. Names are prefixed "aptq_" with dots mapped
+/// to underscores ("serve.ttft_ms" -> "aptq_serve_ttft_ms"); histograms
+/// render as summaries (quantile series + _sum/_count/_min/_max), which
+/// matches what the fixed-bucket Histogram can answer exactly. Served by
+/// the HTTP front-end's GET /metrics route.
+std::string metrics_prometheus();
+
 /// Zeroes every instrument (objects and references survive).
 void reset_metrics();
 

@@ -80,12 +80,13 @@ std::string RunReport::json() const {
   }
   out += "\n]";
   if (!serving_.empty()) {
-    out += ",\n\"serving\": {";
-    first = true;
+    // schema_version 2: the latency-breakdown fields (queue_wait/prefill/
+    // tpot percentiles, backpressure causes) joined the flat aggregates.
+    // Versioned here rather than in kRunReportSchema so reports without a
+    // serving section keep their exact v1 byte layout.
+    out += ",\n\"serving\": {\"schema_version\": 2";
     for (const auto& [key, value] : serving_) {
-      out += (first ? "" : ", ");
-      out += "\"" + json_escape(key) + "\": " + value;
-      first = false;
+      out += ", \"" + json_escape(key) + "\": " + value;
     }
     out += "}";
   }

@@ -16,7 +16,8 @@
 //     "phases":  [ {"name": "...", "seconds": .., "count": ..}, ... ],
 //     "evals":   [ {"name": "...", "perplexity": .., "nll": ..,
 //                   "tokens": ..}, ... ],
-//     "serving": { "<key>": <number>, ... },   // only when add_serving ran
+//     "serving": { "schema_version": 2,        // only when add_serving ran
+//                  "<key>": <number>, ... },
 //     "metrics": { ...metrics_snapshot_json()... }
 //   }
 //

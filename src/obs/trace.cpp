@@ -152,7 +152,9 @@ std::size_t trace_event_count() {
   return n;
 }
 
-std::string trace_json() {
+std::string trace_json() { return trace_json({}); }
+
+std::string trace_json(const std::vector<RemoteProcess>& remotes) {
   TraceRegistry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
   std::string out;
@@ -170,6 +172,15 @@ std::string trace_json() {
            ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
            json_escape(buf->thread_name) + "\"}}";
   }
+  for (const RemoteProcess& proc : remotes) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(proc.pid) +
+           ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+           json_escape(proc.name) + "\"}}";
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(proc.pid) +
+           ",\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"rpc\"}}";
+  }
   for (const auto& buf : reg.buffers) {
     std::lock_guard<std::mutex> buf_lock(buf->mutex);
     for (const Event& ev : buf->events) {
@@ -183,14 +194,31 @@ std::string trace_json() {
              json_double(static_cast<double>(ev.dur_ns) * 1e-3) + "}";
     }
   }
+  for (const RemoteProcess& proc : remotes) {
+    for (const RemoteSpan& span : proc.spans) {
+      sep();
+      out += "{\"ph\":\"X\",\"pid\":" + std::to_string(proc.pid) +
+             ",\"tid\":0,\"name\":\"" + json_escape(span.name) +
+             "\",\"cat\":\"worker\",\"ts\":" +
+             json_double(static_cast<double>(span.start_ns) * 1e-3) +
+             ",\"dur\":" +
+             json_double(static_cast<double>(span.dur_ns) * 1e-3) +
+             ",\"args\":{\"trace\":" + json_u64(span.trace_id) +
+             ",\"span\":" + json_u64(span.span_id) +
+             ",\"parent\":" + json_u64(span.parent_span_id) + "}}";
+    }
+  }
   out += "\n]\n}\n";
   return out;
 }
 
-void write_trace(const std::string& path) {
+void write_trace(const std::string& path) { write_trace(path, {}); }
+
+void write_trace(const std::string& path,
+                 const std::vector<RemoteProcess>& remotes) {
   std::ofstream out(path, std::ios::binary);
   APTQ_CHECK(out.good(), "cannot open trace output: " + path);
-  out << trace_json();
+  out << trace_json(remotes);
   APTQ_CHECK(out.good(), "failed writing trace output: " + path);
 }
 

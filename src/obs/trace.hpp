@@ -105,13 +105,45 @@ int current_span_depth();
 /// Total recorded trace events across all threads.
 std::size_t trace_event_count();
 
+/// One span received from a remote process (a shard worker), with its
+/// timestamps already rebased into the local observability clock by the
+/// caller's clock-offset estimate. trace/span/parent ids tie the span to
+/// the root-side projection that caused it; they are emitted as event
+/// args so Perfetto can correlate lanes across processes.
+struct RemoteSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+/// A remote process's span lane in the merged trace. pid must be unique
+/// and != 1 (the local process). Spans render on one thread lane ("rpc")
+/// in the order given, which is the order the remote recorded them.
+struct RemoteProcess {
+  int pid = 2;
+  std::string name;  ///< e.g. "worker-0 (127.0.0.1:9101)"
+  std::vector<RemoteSpan> spans;
+};
+
 /// Serializes every recorded span as Chrome trace_event JSON
 /// (chrome://tracing and https://ui.perfetto.dev both load it). One event
 /// per line; "M" thread_name metadata first, then "X" duration events.
 std::string trace_json();
 
+/// Merged multi-process variant: local events (pid 1) plus one lane per
+/// remote process. Output is byte-deterministic given deterministic
+/// inputs and clock (tests/shard_test.cpp pins it).
+std::string trace_json(const std::vector<RemoteProcess>& remotes);
+
 /// Writes trace_json() to `path`. Throws aptq::Error on I/O failure.
 void write_trace(const std::string& path);
+
+/// Writes the merged multi-process trace to `path`.
+void write_trace(const std::string& path,
+                 const std::vector<RemoteProcess>& remotes);
 
 /// Drops all recorded events (thread registrations persist).
 void reset_trace_events();

@@ -131,7 +131,14 @@ void ServeEngine::admit() {
     }
     DecodeState* state = pool_.acquire();
     if (state == nullptr) {
-      break;  // no KV slot free: stays queued
+      // No KV slot free: stays queued. Counted once per stalled step so
+      // the counter reads "steps spent blocked on slots".
+      ++stats_.backpressure_slots;
+      if (obs::telemetry_enabled()) {
+        static auto& stalls = obs::counter("serve.backpressure_slots");
+        stalls.add(1);
+      }
+      break;
     }
     // Reserve pages for the whole prompt plus the first decode position up
     // front, so prefill cannot die mid-flight on an exhausted arena. When
@@ -142,6 +149,11 @@ void ServeEngine::admit() {
         std::min(best->request.prompt.size() + 1, config_.max_context);
     if (!state->try_reserve(want)) {
       pool_.release(state);  // also returns any partially acquired pages
+      ++stats_.backpressure_pages;
+      if (obs::telemetry_enabled()) {
+        static auto& stalls = obs::counter("serve.backpressure_pages");
+        stalls.add(1);
+      }
       break;
     }
     Active a;
@@ -150,6 +162,14 @@ void ServeEngine::admit() {
     a.rng = Rng::for_stream(a.request.seed, a.id);
     a.state = state;
     a.since_submit = best->since_submit;
+    a.queue_wait_ms = a.since_submit.millis();
+    stats_.queue_wait_ms_sum += a.queue_wait_ms;
+    stats_.queue_wait_ms_max =
+        std::max(stats_.queue_wait_ms_max, a.queue_wait_ms);
+    if (obs::telemetry_enabled()) {
+      static auto& wait = obs::histogram("serve.queue_wait_ms");
+      wait.record(a.queue_wait_ms);
+    }
     queue_.erase(best);
     active_.push_back(std::move(a));
     stats_.peak_active = std::max(stats_.peak_active, active_.size());
@@ -165,10 +185,16 @@ void ServeEngine::prefill_one(Active& a) {
   if (obs::tracing_enabled()) {
     span.emplace("serve.request." + std::to_string(a.id), "serve");
   }
+  const Timer prefill_timer;
   const Matrix all = backend_.prefill(a.request.prompt, *a.state);
+  a.prefill_ms = prefill_timer.millis();
   const auto last = all.row(all.rows() - 1);
   a.needs_prefill = false;
   a.ttft_ms = a.since_submit.millis();
+  if (obs::telemetry_enabled()) {
+    static auto& prefill = obs::histogram("serve.prefill_ms");
+    prefill.record(a.prefill_ms);
+  }
   sample_and_stop(a, std::vector<float>(last.begin(), last.end()));
 }
 
@@ -205,8 +231,21 @@ void ServeEngine::retire_finished() {
     r.finish = it->finish;
     r.ttft_ms = it->ttft_ms;
     r.total_ms = it->since_submit.millis();
+    r.queue_wait_ms = it->queue_wait_ms;
+    r.prefill_ms = it->prefill_ms;
+    r.decode_ms = it->decode_ms;
+    if (r.tokens.size() > 1) {
+      r.tpot_ms = r.decode_ms / static_cast<double>(r.tokens.size() - 1);
+    }
     r.prompt_tokens = it->request.prompt.size();
     r.completion_step = stats_.engine_steps;
+    if (it->finish == FinishReason::context_full) {
+      if (it->evicted_by_pages) {
+        ++stats_.evicted_pages;
+      } else {
+        ++stats_.evicted_capacity;
+      }
+    }
     pool_.release(it->state);
     ++stats_.completed;
     stats_.prefill_tokens += r.prompt_tokens;
@@ -220,6 +259,11 @@ void ServeEngine::retire_finished() {
       e2e.record(r.total_ms);
       if (r.total_ms > 0.0) {
         rate.record(static_cast<double>(r.tokens.size()) * 1e3 / r.total_ms);
+      }
+      if (it->finish == FinishReason::context_full) {
+        static auto& ev_pages = obs::counter("serve.evicted_pages");
+        static auto& ev_cap = obs::counter("serve.evicted_capacity");
+        (it->evicted_by_pages ? ev_pages : ev_cap).add(1);
       }
     }
     results_.push_back(std::move(r));
@@ -274,6 +318,7 @@ std::size_t ServeEngine::step() {
       // co-scheduled requests keep their already-mapped pages and are
       // unaffected.
       a.finish = FinishReason::context_full;
+      a.evicted_by_pages = true;
       continue;
     }
     batch.push_back(&a);
@@ -288,8 +333,18 @@ std::size_t ServeEngine::step() {
     }
   }
   if (!batch.empty()) {
+    const Timer decode_timer;
     const Matrix logits = backend_.step_batch(batch_tokens, batch_states);
+    // The shared forward pass IS each rider's per-token latency: every
+    // batch member waited the full pass for its one token.
+    const double pass_ms = decode_timer.millis();
+    const bool telemetry = obs::telemetry_enabled();
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i]->decode_ms += pass_ms;
+      if (telemetry) {
+        static auto& tpot = obs::histogram("serve.tpot_ms");
+        tpot.record(pass_ms);
+      }
       const auto row = logits.row(i);
       sample_and_stop(*batch[i], std::vector<float>(row.begin(), row.end()));
       ++produced;
@@ -346,6 +401,21 @@ void ServeEngine::fill_report(obs::RunReport& report) const {
                      static_cast<std::uint64_t>(pool_.mapped_bytes()));
   report.add_serving(p + "busy_seconds", stats_.busy_seconds);
   report.add_serving(p + "tokens_per_sec", stats_.tokens_per_sec());
+  report.add_serving(p + "queue_wait_ms_sum", stats_.queue_wait_ms_sum);
+  report.add_serving(p + "queue_wait_ms_max", stats_.queue_wait_ms_max);
+  report.add_serving(
+      p + "queue_wait_ms_avg",
+      stats_.completed > 0
+          ? stats_.queue_wait_ms_sum / static_cast<double>(stats_.completed)
+          : 0.0);
+  report.add_serving(p + "evicted_capacity",
+                     static_cast<std::uint64_t>(stats_.evicted_capacity));
+  report.add_serving(p + "evicted_pages",
+                     static_cast<std::uint64_t>(stats_.evicted_pages));
+  report.add_serving(p + "backpressure_slots",
+                     static_cast<std::uint64_t>(stats_.backpressure_slots));
+  report.add_serving(p + "backpressure_pages",
+                     static_cast<std::uint64_t>(stats_.backpressure_pages));
 }
 
 }  // namespace aptq::serve

@@ -97,6 +97,11 @@ class ServeEngine {
   std::size_t active_count() const { return active_.size(); }
   const KvPool& pool() const { return pool_; }
   const ServeConfig& config() const { return config_; }
+  /// The backend's model geometry (vocab for workload generation, dims
+  /// for sizing heuristics).
+  const ModelConfig& model_config() const { return backend_.config; }
+  /// Backend label ("dense", "packed", "sharded_packed", ...).
+  const std::string& backend_name() const { return backend_.name; }
   const ServeStats& stats() const { return stats_; }
 
   /// Adds the engine's aggregate stats to the report's "serving" section
@@ -128,8 +133,12 @@ class ServeEngine {
     TokenSeq generated;
     TokenId next_input = 0;      ///< token to feed the next decode_step
     bool needs_prefill = true;
+    bool evicted_by_pages = false;  ///< context_full cause: arena, not pos
     FinishReason finish = FinishReason::none;
     double ttft_ms = 0.0;
+    double queue_wait_ms = 0.0;  ///< submit -> admission
+    double prefill_ms = 0.0;     ///< prompt forward pass
+    double decode_ms = 0.0;      ///< accumulated step_batch time
     Timer since_submit;
   };
 

@@ -1,0 +1,143 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace aptq::serve {
+
+std::vector<double> arrival_times(const LoadSpec& spec) {
+  APTQ_CHECK(spec.offered_rps > 0.0, "loadgen: offered_rps must be > 0");
+  APTQ_CHECK(spec.requests >= 1, "loadgen: need at least one request");
+  Rng rng = Rng::for_stream(spec.seed, 0);  // stream 0: the schedule
+  std::vector<double> times;
+  times.reserve(spec.requests);
+  double t = 0.0;
+  if (spec.arrival == LoadSpec::Arrival::poisson) {
+    for (std::size_t i = 0; i < spec.requests; ++i) {
+      // Exponential inter-arrival gap with mean 1/rate; 1-u keeps the
+      // argument of log strictly positive.
+      t += -std::log(1.0 - rng.uniform()) / spec.offered_rps;
+      times.push_back(t);
+    }
+    return times;
+  }
+  // Bursty: whole bursts of `burst` requests land at one instant; the
+  // instants are Poisson at rate/burst so the mean offered load matches.
+  const std::size_t burst = std::max<std::size_t>(spec.burst, 1);
+  const double burst_rate = spec.offered_rps / static_cast<double>(burst);
+  while (times.size() < spec.requests) {
+    t += -std::log(1.0 - rng.uniform()) / burst_rate;
+    for (std::size_t b = 0; b < burst && times.size() < spec.requests; ++b) {
+      times.push_back(t);
+    }
+  }
+  return times;
+}
+
+Request make_request(const LoadSpec& spec, std::size_t index,
+                     std::size_t vocab_size) {
+  APTQ_CHECK(vocab_size >= 1, "loadgen: empty vocab");
+  // Stream index+1: independent of the schedule stream and of every other
+  // request.
+  Rng rng = Rng::for_stream(spec.seed, index + 1);
+  Request req;
+  const bool is_long = rng.uniform() < spec.long_fraction;
+  const std::size_t len =
+      std::max<std::size_t>(is_long ? spec.long_prompt : spec.short_prompt, 1);
+  req.prompt.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    req.prompt.push_back(static_cast<TokenId>(rng.index(vocab_size)));
+  }
+  req.max_new_tokens = std::max<std::size_t>(spec.max_new_tokens, 1);
+  req.seed = spec.seed;
+  const int levels = std::max(spec.priority_levels, 1);
+  req.priority = static_cast<int>(index % static_cast<std::size_t>(levels));
+  return req;
+}
+
+double exact_percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(values.size()));
+  const std::size_t idx = static_cast<std::size_t>(
+      std::clamp(rank, 1.0, static_cast<double>(values.size())));
+  return values[idx - 1];
+}
+
+LoadPoint run_load(ServeEngine& engine, const LoadSpec& spec) {
+  APTQ_CHECK(engine.idle(), "loadgen: engine must start idle");
+  const std::vector<double> schedule = arrival_times(spec);
+  const std::size_t vocab = engine.model_config().vocab_size;
+  const Timer wall;
+  std::size_t next = 0;
+  std::size_t rejected_at_submit = 0;
+  while (next < schedule.size()) {
+    const double elapsed = wall.seconds();
+    if (elapsed >= schedule[next]) {
+      try {
+        engine.submit(make_request(spec, next, vocab));
+      } catch (const Error&) {
+        // Queue full (max_queue): the open-loop client drops the request
+        // and keeps offering — exactly what an overloaded server sees.
+        ++rejected_at_submit;
+      }
+      ++next;
+      continue;
+    }
+    if (engine.step() == 0) {
+      // Idle until the next arrival: yield instead of spinning flat out.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  std::vector<GenerationResult> results = engine.run();
+  const double wall_seconds = std::max(wall.seconds(), 1e-9);
+
+  LoadPoint point;
+  point.offered_rps = spec.offered_rps;
+  point.wall_seconds = wall_seconds;
+  std::vector<double> ttft, tpot, wait;
+  for (const GenerationResult& r : results) {
+    if (r.finish == FinishReason::rejected) {
+      ++point.rejected;
+      continue;
+    }
+    ++point.completed;
+    if (r.finish == FinishReason::context_full) {
+      ++point.evicted;
+    }
+    ttft.push_back(r.ttft_ms);
+    wait.push_back(r.queue_wait_ms);
+    if (r.tokens.size() > 1) {
+      tpot.push_back(r.tpot_ms);
+    }
+    const bool meets_ttft =
+        spec.slo_ttft_ms <= 0.0 || r.ttft_ms <= spec.slo_ttft_ms;
+    const bool meets_tpot =
+        spec.slo_tpot_ms <= 0.0 || r.tokens.size() <= 1 ||
+        r.tpot_ms <= spec.slo_tpot_ms;
+    if (meets_ttft && meets_tpot) {
+      point.goodput_rps += 1.0;
+    }
+  }
+  point.rejected += rejected_at_submit;
+  point.achieved_rps = static_cast<double>(point.completed) / wall_seconds;
+  point.goodput_rps /= wall_seconds;
+  point.p50_ttft_ms = exact_percentile(ttft, 50.0);
+  point.p99_ttft_ms = exact_percentile(ttft, 99.0);
+  point.p50_tpot_ms = exact_percentile(tpot, 50.0);
+  point.p99_tpot_ms = exact_percentile(tpot, 99.0);
+  point.p50_queue_wait_ms = exact_percentile(wait, 50.0);
+  point.p99_queue_wait_ms = exact_percentile(wait, 99.0);
+  return point;
+}
+
+}  // namespace aptq::serve

@@ -1,0 +1,88 @@
+// Latency-under-load harness: open-loop workload generation against a
+// ServeEngine.
+//
+// Closed-loop driving (submit everything, run() to drain) measures
+// throughput but hides queueing: every request is "waiting" from t=0, so
+// TTFT means nothing. run_load() instead replays a deterministic arrival
+// schedule against the wall clock — Poisson (exponential inter-arrival
+// gaps, the standard traffic model) or bursty (whole bursts arriving at
+// Poisson-spaced instants) — submitting each request only when its
+// arrival time passes, and stepping the engine in between. That makes
+// queue_wait/TTFT/TPOT distributions a function of offered load, which is
+// what the goodput-vs-load curve in BENCH_serve.json sweeps
+// (docs/SERVING.md has the methodology).
+//
+// The schedule, prompts, priorities, and seeds are all pure functions of
+// LoadSpec — only the measured timings vary between runs. Engine
+// determinism is untouched: each request's token stream is still fixed by
+// (prompt, sampling, seed, id) regardless of arrival timing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace aptq::serve {
+
+/// One workload: `requests` arrivals at `offered_rps` mean rate, prompts
+/// mixing short/long at `long_fraction`, priorities cycling over
+/// `priority_levels` (level = id % levels, higher admits first).
+struct LoadSpec {
+  double offered_rps = 50.0;
+  std::size_t requests = 32;
+  enum class Arrival { poisson, bursty } arrival = Arrival::poisson;
+  std::size_t burst = 4;  ///< bursty: requests per burst instant
+
+  std::size_t short_prompt = 4;
+  std::size_t long_prompt = 24;
+  double long_fraction = 0.25;
+  std::size_t max_new_tokens = 8;
+  int priority_levels = 1;
+
+  std::uint64_t seed = 1234;  ///< schedule + prompt + sampling seeds
+
+  /// SLO gates for goodput (completions meeting BOTH, per wall second).
+  /// 0 disables a gate.
+  double slo_ttft_ms = 0.0;
+  double slo_tpot_ms = 0.0;
+};
+
+/// One measured point of the goodput-vs-offered-load curve.
+struct LoadPoint {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;  ///< completions / wall_seconds
+  double goodput_rps = 0.0;   ///< SLO-meeting completions / wall_seconds
+  double wall_seconds = 0.0;
+  std::size_t completed = 0;
+  std::size_t evicted = 0;    ///< context_full completions
+  std::size_t rejected = 0;
+  double p50_ttft_ms = 0.0;
+  double p99_ttft_ms = 0.0;
+  double p50_tpot_ms = 0.0;   ///< over requests with >= 2 tokens
+  double p99_tpot_ms = 0.0;
+  double p50_queue_wait_ms = 0.0;
+  double p99_queue_wait_ms = 0.0;
+};
+
+/// The arrival schedule in seconds from workload start, non-decreasing,
+/// one entry per request. Deterministic in (spec.seed, spec.arrival,
+/// spec.offered_rps, spec.requests, spec.burst).
+std::vector<double> arrival_times(const LoadSpec& spec);
+
+/// Deterministic request i of the workload (prompt drawn from the vocab,
+/// long with probability long_fraction, priority = i % priority_levels).
+Request make_request(const LoadSpec& spec, std::size_t index,
+                     std::size_t vocab_size);
+
+/// Replay the workload open-loop against `engine` (which must be idle)
+/// and summarize the completed requests. The engine's own stats/metrics
+/// accumulate as usual on top.
+LoadPoint run_load(ServeEngine& engine, const LoadSpec& spec);
+
+/// Exact order statistic over a copy of `values` (nearest-rank); 0 when
+/// empty. Shared by run_load and the benches.
+double exact_percentile(std::vector<double> values, double p);
+
+}  // namespace aptq::serve

@@ -42,7 +42,10 @@ struct Request {
   TokenId eos_token = -1;       ///< stop when sampled; -1 disables
 };
 
-/// Completed (or rejected) request.
+/// Completed (or rejected) request. The latency breakdown decomposes
+/// total_ms: queue_wait (submit → admission) + prefill (the prompt's
+/// forward pass) + decode (all step_batch passes this request rode in);
+/// the remainder is scheduler time spent on co-batched requests.
 struct GenerationResult {
   RequestId id = 0;
   TokenSeq tokens;              ///< generated tokens (prompt excluded)
@@ -50,6 +53,10 @@ struct GenerationResult {
   std::string error;            ///< set when finish == rejected
   double ttft_ms = 0.0;         ///< submit -> first sampled token
   double total_ms = 0.0;        ///< submit -> completion
+  double queue_wait_ms = 0.0;   ///< submit -> admitted into the batch
+  double prefill_ms = 0.0;      ///< prompt forward pass
+  double decode_ms = 0.0;       ///< sum of this request's decode passes
+  double tpot_ms = 0.0;         ///< decode_ms per post-first token; 0 if 1
   std::size_t prompt_tokens = 0;
   std::size_t completion_step = 0;  ///< engine step() count at completion
 };
@@ -82,6 +89,14 @@ struct ServeStats {
   std::size_t engine_steps = 0;
   std::size_t peak_active = 0;
   double busy_seconds = 0.0;   ///< wall time spent inside step()
+  // Latency breakdown + pressure causes (schema_version 2 of the report's
+  // serving section).
+  double queue_wait_ms_sum = 0.0;   ///< across admitted requests
+  double queue_wait_ms_max = 0.0;
+  std::size_t evicted_capacity = 0;  ///< context_full: pos hit max_context
+  std::size_t evicted_pages = 0;     ///< context_full: KV arena exhausted
+  std::size_t backpressure_slots = 0;  ///< admission stalls: no KV slot
+  std::size_t backpressure_pages = 0;  ///< admission stalls: no KV pages
 
   double tokens_per_sec() const {
     return busy_seconds > 0.0

@@ -1,0 +1,11 @@
+// Single source of truth for the build's reported version (the /healthz
+// endpoint and --version-style banners). Bump the minor on each protocol
+// or report-schema change alongside the matching constant (net::kProtoVersion,
+// the serving section's schema_version).
+#pragma once
+
+namespace aptq {
+
+inline constexpr const char* kAptqVersion = "0.9.0";
+
+}  // namespace aptq

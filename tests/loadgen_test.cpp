@@ -1,0 +1,152 @@
+// Unit suite for the latency-under-load harness: deterministic arrival
+// schedules and workloads, open-loop replay against a real engine, and
+// the percentile helper the bench reads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "serve/loadgen.hpp"
+
+namespace aptq::serve {
+namespace {
+
+ModelConfig load_config() {
+  ModelConfig c;
+  c.vocab_size = 24;
+  c.dim = 16;
+  c.n_layers = 2;
+  c.n_heads = 2;
+  c.ffn_dim = 24;
+  return c;
+}
+
+TEST(LoadGenTest, ArrivalScheduleIsDeterministicAndOrdered) {
+  LoadSpec spec;
+  spec.offered_rps = 100.0;
+  spec.requests = 64;
+  const std::vector<double> a = arrival_times(spec);
+  const std::vector<double> b = arrival_times(spec);
+  ASSERT_EQ(a.size(), spec.requests);
+  EXPECT_EQ(a, b);  // pure function of the spec
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_GE(a.front(), 0.0);
+
+  // A different seed is a different schedule.
+  LoadSpec other = spec;
+  other.seed = spec.seed + 1;
+  EXPECT_NE(arrival_times(other), a);
+
+  // The empirical mean rate lands near the offered rate (the schedule is
+  // one Poisson draw; 64 arrivals keep the tolerance loose but meaningful).
+  const double span = a.back();
+  ASSERT_GT(span, 0.0);
+  const double rate = static_cast<double>(spec.requests - 1) / span;
+  EXPECT_GT(rate, spec.offered_rps * 0.5);
+  EXPECT_LT(rate, spec.offered_rps * 2.0);
+}
+
+TEST(LoadGenTest, BurstyScheduleArrivesInBursts) {
+  LoadSpec spec;
+  spec.arrival = LoadSpec::Arrival::bursty;
+  spec.burst = 4;
+  spec.requests = 16;
+  spec.offered_rps = 40.0;
+  const std::vector<double> a = arrival_times(spec);
+  ASSERT_EQ(a.size(), spec.requests);
+  // Members of one burst share an arrival instant.
+  for (std::size_t i = 0; i < a.size(); i += spec.burst) {
+    for (std::size_t j = 1; j < spec.burst; ++j) {
+      EXPECT_EQ(a[i], a[i + j]) << "burst at " << i;
+    }
+  }
+  // Distinct bursts do not (with probability 1 for a continuous draw).
+  EXPECT_NE(a[0], a[spec.burst]);
+}
+
+TEST(LoadGenTest, RequestsMixPromptLengthsAndPriorities) {
+  LoadSpec spec;
+  spec.requests = 32;
+  spec.long_fraction = 0.5;
+  spec.priority_levels = 3;
+  const std::size_t vocab = load_config().vocab_size;
+  std::size_t longs = 0;
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    const Request r = make_request(spec, i, vocab);
+    const Request again = make_request(spec, i, vocab);
+    EXPECT_EQ(r.prompt, again.prompt);  // deterministic per index
+    EXPECT_EQ(r.seed, again.seed);
+    EXPECT_TRUE(r.prompt.size() == spec.short_prompt ||
+                r.prompt.size() == spec.long_prompt)
+        << r.prompt.size();
+    longs += r.prompt.size() == spec.long_prompt ? 1 : 0;
+    EXPECT_EQ(r.priority, static_cast<int>(i) % spec.priority_levels);
+    for (const TokenId t : r.prompt) {
+      EXPECT_LT(static_cast<std::size_t>(t), vocab);
+    }
+  }
+  EXPECT_GT(longs, 0u);
+  EXPECT_LT(longs, spec.requests);
+}
+
+TEST(LoadGenTest, RunLoadCompletesWorkloadAndMeasures) {
+  const Model m = Model::init(load_config(), 7);
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_context = 48;
+  ServeEngine engine(make_backend(m), cfg);
+
+  LoadSpec spec;
+  spec.requests = 8;
+  spec.offered_rps = 500.0;  // effectively a burst: no idle waiting
+  spec.max_new_tokens = 4;
+  spec.slo_ttft_ms = 1e6;  // everything meets an absurdly loose SLO
+  const LoadPoint p = run_load(engine, spec);
+
+  EXPECT_EQ(p.offered_rps, spec.offered_rps);
+  EXPECT_EQ(p.completed + p.rejected, spec.requests);
+  EXPECT_EQ(p.rejected, 0u);
+  EXPECT_GT(p.wall_seconds, 0.0);
+  EXPECT_GT(p.achieved_rps, 0.0);
+  // Loose SLO: goodput equals achieved throughput.
+  EXPECT_NEAR(p.goodput_rps, p.achieved_rps, 1e-9);
+  EXPECT_GT(p.p50_ttft_ms, 0.0);
+  EXPECT_GE(p.p99_ttft_ms, p.p50_ttft_ms);
+  EXPECT_GT(p.p50_tpot_ms, 0.0);
+  EXPECT_GE(p.p99_tpot_ms, p.p50_tpot_ms);
+  EXPECT_GE(p.p99_queue_wait_ms, p.p50_queue_wait_ms);
+
+  // The engine drained: a second workload can reuse it.
+  const LoadPoint q = run_load(engine, spec);
+  EXPECT_EQ(q.completed, spec.requests);
+}
+
+TEST(LoadGenTest, GoodputDropsUnderImpossibleSlo) {
+  const Model m = Model::init(load_config(), 7);
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_context = 48;
+  ServeEngine engine(make_backend(m), cfg);
+
+  LoadSpec spec;
+  spec.requests = 6;
+  spec.offered_rps = 500.0;
+  spec.max_new_tokens = 4;
+  spec.slo_ttft_ms = 1e-9;  // nothing can answer in a nanosecond
+  const LoadPoint p = run_load(engine, spec);
+  EXPECT_EQ(p.completed, spec.requests);
+  EXPECT_EQ(p.goodput_rps, 0.0);
+  EXPECT_GT(p.achieved_rps, 0.0);
+}
+
+TEST(LoadGenTest, ExactPercentileNearestRank) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_EQ(exact_percentile(v, 50.0), 3.0);
+  EXPECT_EQ(exact_percentile(v, 0.0), 1.0);
+  EXPECT_EQ(exact_percentile(v, 100.0), 5.0);
+  EXPECT_EQ(exact_percentile(v, 99.0), 5.0);
+  EXPECT_EQ(exact_percentile({}, 50.0), 0.0);
+  EXPECT_EQ(exact_percentile({7.5}, 99.0), 7.5);
+}
+
+}  // namespace
+}  // namespace aptq::serve

@@ -188,8 +188,136 @@ TEST(NetFuzzTest, ProjectPayloadFuzz) {
   // payload — the division-form size check rejects it without allocating.
   std::vector<std::uint8_t> huge = good;
   const std::uint64_t big = 1ull << 58;
-  std::memcpy(huge.data() + 12, &big, 8);  // rows field of the matrix
+  // rows field of the matrix: after op/layer/kind (12) + trace context (16)
+  std::memcpy(huge.data() + 28, &big, 8);
   EXPECT_THROW(decode_project(huge), Error);
+}
+
+TEST(NetFuzzTest, ProjectTraceContextFuzz) {
+  Matrix x(2, 16);
+  // Round trip with a trace context attached.
+  const std::vector<std::uint8_t> traced = encode_project(
+      ProjectOp::batch, 1, LinearKind::up_proj, x, 0xabcdef12u, 0x77u);
+  const ProjectRequest req = decode_project(traced);
+  EXPECT_EQ(req.trace_id, 0xabcdef12u);
+  EXPECT_EQ(req.parent_span_id, 0x77u);
+
+  // Half-set trace context (id without parent and vice versa) is exactly
+  // what a bit flip inside the trace fields produces — rejected, not
+  // propagated into a nonsense trace.
+  std::vector<std::uint8_t> half = encode_project(
+      ProjectOp::batch, 1, LinearKind::up_proj, x, 0, 0);
+  const std::uint64_t one = 1;
+  std::memcpy(half.data() + 12, &one, 8);  // trace_id = 1, parent = 0
+  EXPECT_THROW(decode_project(half), Error);
+  std::memcpy(half.data() + 12, &req.trace_id, 8);
+  std::vector<std::uint8_t> half2 = half;
+  std::uint64_t zero = 0;
+  std::memcpy(half2.data() + 12, &zero, 8);
+  std::memcpy(half2.data() + 20, &one, 8);  // parent = 1, trace_id = 0
+  EXPECT_THROW(decode_project(half2), Error);
+
+  // Truncations inside the trace fields fail cleanly.
+  for (std::size_t cut = 13; cut <= 27; cut += 5) {
+    EXPECT_THROW(decode_project(std::vector<std::uint8_t>(
+                     traced.begin(), traced.begin() + cut)),
+                 Error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(NetFuzzTest, TraceSpanPayloadFuzz) {
+  std::vector<WorkerSpan> spans(3);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    spans[i].name = static_cast<SpanName>(i);
+    spans[i].start_ns = 100 * i;
+    spans[i].dur_ns = 10;
+    spans[i].trace_id = 1;
+    spans[i].span_id = i + 1;
+    spans[i].parent_span_id = 1;
+  }
+  const std::vector<std::uint8_t> good = encode_trace_spans(spans);
+  const std::vector<WorkerSpan> back = decode_trace_spans(good);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[2].name, SpanName::send);
+
+  // Span-count cap: a count claiming more than kMaxTraceSpans is rejected
+  // before any allocation sized by it.
+  std::vector<std::uint8_t> oversized = good;
+  const std::uint64_t big = static_cast<std::uint64_t>(kMaxTraceSpans) + 1;
+  std::memcpy(oversized.data(), &big, 8);
+  EXPECT_THROW(decode_trace_spans(oversized), Error);
+
+  // Count/length mismatch in both directions.
+  std::vector<std::uint8_t> wrong_count = good;
+  const std::uint64_t two = 2;
+  std::memcpy(wrong_count.data(), &two, 8);
+  EXPECT_THROW(decode_trace_spans(wrong_count), Error);
+  std::vector<std::uint8_t> truncated(good.begin(), good.end() - 7);
+  EXPECT_THROW(decode_trace_spans(truncated), Error);
+
+  // Unknown span-name discriminator.
+  std::vector<std::uint8_t> bad_name = good;
+  const std::uint32_t junk = 9;
+  std::memcpy(bad_name.data() + 8, &junk, 4);  // first record's name code
+  EXPECT_THROW(decode_trace_spans(bad_name), Error);
+}
+
+TEST(NetFuzzTest, WorkerShipsSpansOnTraceFlush) {
+  // A traced session: the projection carries a trace context, so the
+  // trace_flush must come back with that projection's recv/compute/send
+  // spans.
+  MemStream wire;
+  send_frame(wire, MsgType::hello, encode_u32(kProtoVersion));
+  const Model model = Model::init(fuzz_config(), 5);
+  send_frame(wire, MsgType::load_shard,
+             shard_to_bytes(make_shard(model, 0, 2)));
+  Matrix x(1, fuzz_config().dim);
+  send_frame(wire, MsgType::project,
+             encode_project(ProjectOp::single, 0, LinearKind::q_proj, x,
+                            /*trace_id=*/5, /*parent_span_id=*/5));
+  send_frame(wire, MsgType::trace_flush, {});
+  send_frame(wire, MsgType::shutdown, {});
+  MemStream session(wire.written());
+  EXPECT_NO_THROW(serve_worker(session));
+
+  MemStream replies(session.written());
+  expect_frame(replies, MsgType::hello_ack, kMaxControlPayload);
+  expect_frame(replies, MsgType::shard_ready, kMaxControlPayload);
+  expect_frame(replies, MsgType::project_out, kMaxProjectPayload);
+  const Frame trace = recv_frame(replies, kMaxTracePayload);
+  ASSERT_EQ(trace.type, MsgType::trace_data);
+  const std::vector<WorkerSpan> spans = decode_trace_spans(trace.payload);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, SpanName::recv);
+  EXPECT_EQ(spans[1].name, SpanName::compute);
+  EXPECT_EQ(spans[2].name, SpanName::send);
+  for (const WorkerSpan& s : spans) {
+    EXPECT_EQ(s.trace_id, 5u);
+    EXPECT_EQ(s.parent_span_id, 5u);
+    EXPECT_NE(s.span_id, 0u);
+  }
+  expect_frame(replies, MsgType::bye, kMaxControlPayload);
+}
+
+TEST(NetFuzzTest, HelloAckLegacyAndMalformedSizes) {
+  // A v1 peer's 4-byte ack still decodes (so the version mismatch error
+  // is reported as such), any other size is malformed.
+  HelloAck legacy = decode_hello_ack(encode_u32(1));
+  EXPECT_EQ(legacy.version, 1u);
+  EXPECT_EQ(legacy.clock_ns, 0u);
+
+  HelloAck full;
+  full.version = kProtoVersion;
+  full.clock_ns = 123456789;
+  const HelloAck back = decode_hello_ack(encode_hello_ack(full));
+  EXPECT_EQ(back.version, kProtoVersion);
+  EXPECT_EQ(back.clock_ns, 123456789u);
+
+  for (const std::size_t n : {0u, 3u, 5u, 11u, 13u, 100u}) {
+    EXPECT_THROW(decode_hello_ack(std::vector<std::uint8_t>(n, 0)), Error)
+        << "size " << n;
+  }
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include "net/shard.hpp"
 #include "net/socket.hpp"
 #include "net/stream.hpp"
+#include "obs/control.hpp"
+#include "obs/metrics.hpp"
 #include "serve/engine.hpp"
 #include "util/check.hpp"
 
@@ -359,7 +361,10 @@ TEST(HttpServeTest, HealthzAndGenerateAgainstSoloEngine) {
   const std::string health =
       http_exchange(port, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
   EXPECT_NE(health.find("200 OK"), std::string::npos);
-  EXPECT_NE(health.find("{\"ok\":true}"), std::string::npos);
+  EXPECT_NE(health.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(health.find("\"version\":"), std::string::npos);
+  EXPECT_NE(health.find("\"proto_version\":"), std::string::npos);
+  EXPECT_NE(health.find("\"uptime_seconds\":"), std::string::npos);
 
   const std::string body =
       R"({"prompt":[1,2,3],"max_new_tokens":4,"seed":9,"temperature":0.7})";
@@ -379,6 +384,63 @@ TEST(HttpServeTest, HealthzAndGenerateAgainstSoloEngine) {
       http_exchange(port, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
   EXPECT_NE(missing.find("404"), std::string::npos);
   server.join();
+}
+
+TEST(HttpServeTest, MetricsAndStatzEndpoints) {
+  // Telemetry on so the engine records the serve.* latency histograms the
+  // /metrics scrape must expose.
+  obs::reset_metrics();
+  obs::set_telemetry(true);
+  const Model model = Model::init(small_config(), 17);
+  serve::ServeConfig scfg;
+  scfg.max_context = 64;
+  serve::ServeEngine engine(serve::make_backend(model), scfg);
+
+  Listener listener(0);
+  const std::uint16_t port = listener.port();
+  HttpOptions options;
+  options.max_requests = 3;
+  options.statz_extra = [] { return std::string("\"extra\": 42"); };
+  std::thread server([&] { serve_http(listener, engine, options); });
+
+  // One generate so queue-wait/prefill/TPOT histograms have samples.
+  const std::string body = R"({"prompt":[1,2,3],"max_new_tokens":4,"seed":9})";
+  http_exchange(port,
+                "POST /v1/generate HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n" + body);
+
+  const std::string metrics =
+      http_exchange(port, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE aptq_serve_queue_wait_ms summary"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE aptq_serve_prefill_ms summary"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE aptq_serve_tpot_ms summary"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("aptq_serve_queue_wait_ms{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("aptq_serve_tokens_generated 4"), std::string::npos);
+
+  const std::string statz =
+      http_exchange(port, "GET /statz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(statz.find("200 OK"), std::string::npos);
+  const std::size_t json_at = statz.find("\r\n\r\n");
+  ASSERT_NE(json_at, std::string::npos);
+  const JsonValue parsed = parse_json(statz.substr(json_at + 4));
+  ASSERT_NE(parsed.find("kv"), nullptr);
+  EXPECT_NE(parsed.find("kv")->find("pages"), nullptr);
+  ASSERT_NE(parsed.find("backpressure"), nullptr);
+  ASSERT_NE(parsed.find("evicted"), nullptr);
+  ASSERT_NE(parsed.find("completed"), nullptr);
+  EXPECT_EQ(parsed.find("completed")->number, 1.0);
+  ASSERT_NE(parsed.find("extra"), nullptr);  // statz_extra merged in
+  EXPECT_EQ(parsed.find("extra")->number, 42.0);
+
+  server.join();
+  obs::set_telemetry(false);
+  obs::reset_metrics();
 }
 
 TEST(HttpServeTest, StreamingGenerateChunksMatchBlockingTokens) {

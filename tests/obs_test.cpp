@@ -318,6 +318,43 @@ TEST_F(ObsTest, MetricsSnapshotIsByteDeterministicUnderFixedClock) {
   EXPECT_NE(first.find("\"obs_test.hist\""), std::string::npos);
 }
 
+TEST_F(ObsTest, PrometheusExpositionFormatsEveryInstrumentKind) {
+  obs::set_clock_for_testing(&fixed_clock);
+  obs::counter("obs_test.count").add(3);
+  obs::gauge("obs_test.gauge").set(1.5);
+  for (int i = 0; i < 10; ++i) {
+    obs::histogram("obs_test.hist").record(2.0);
+  }
+  const std::string text = obs::metrics_prometheus();
+  EXPECT_EQ(text, obs::metrics_prometheus());  // deterministic
+
+  // Names are sanitized into the Prometheus alphabet with the aptq_
+  // prefix, each preceded by its # TYPE line.
+  EXPECT_NE(text.find("# TYPE aptq_obs_test_count counter\n"
+                      "aptq_obs_test_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE aptq_obs_test_gauge gauge\n"
+                      "aptq_obs_test_gauge 1.5\n"),
+            std::string::npos);
+  // Histograms export as summaries: quantiles + _sum/_count, with the
+  // observed extremes as companion gauges.
+  EXPECT_NE(text.find("# TYPE aptq_obs_test_hist summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("aptq_obs_test_hist{quantile=\"0.5\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("aptq_obs_test_hist{quantile=\"0.99\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("aptq_obs_test_hist_sum 20\n"), std::string::npos);
+  EXPECT_NE(text.find("aptq_obs_test_hist_count 10\n"), std::string::npos);
+  EXPECT_NE(text.find("aptq_obs_test_hist_min 2\n"), std::string::npos);
+  EXPECT_NE(text.find("aptq_obs_test_hist_max 2\n"), std::string::npos);
+  // The exposition ends with a newline (scrapers require it).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  // No raw dots leak through into metric names.
+  EXPECT_EQ(text.find("obs_test.count"), std::string::npos);
+}
+
 TEST_F(ObsTest, DisabledTracingRecordsNothingAndAllocatesNothing) {
   ASSERT_FALSE(obs::tracing_enabled());
   ASSERT_FALSE(obs::telemetry_enabled());

@@ -83,12 +83,20 @@ std::string build_fixture_report() {
   report.add_config("bits", 4L);
   report.add_config("ratio_high", 0.25);
   report.add_eval("val", 12.5, 2.5, 1024);
+  // Serving section (schema_version 2: latency breakdown + pressure
+  // causes) — dyadic values so the golden bytes stay exact.
+  report.add_serving("golden.requests_completed", std::uint64_t{3});
+  report.add_serving("golden.queue_wait_ms_avg", 0.5);
+  report.add_serving("golden.backpressure_pages", std::uint64_t{1});
   return report.json();
 }
 
 TEST_F(ReportGoldenTest, SeedConfigReportMatchesGoldenBytes) {
   const std::string json = build_fixture_report();
   EXPECT_NE(json.find("\"schema\": \"aptq.run_report.v1\""),
+            std::string::npos);
+  // The serving section self-describes its layout version as its first key.
+  EXPECT_NE(json.find("\"serving\": {\"schema_version\": 2, "),
             std::string::npos);
   if (std::getenv("APTQ_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(golden_path(), std::ios::binary | std::ios::trunc);
@@ -113,7 +121,7 @@ TEST_F(ReportGoldenTest, ServingSectionIsStrictlyAdditive) {
   with.add_serving("packed.generated_tokens", std::uint64_t{96});
   with.add_serving("packed.tokens_per_sec", 12.5);
   const std::string json = with.json();
-  const auto serving = json.find("\"serving\": {");
+  const auto serving = json.find("\"serving\": {\"schema_version\": 2");
   ASSERT_NE(serving, std::string::npos);
   EXPECT_NE(json.find("\"packed.generated_tokens\": 96"), std::string::npos);
   EXPECT_NE(json.find("\"packed.tokens_per_sec\": 12.5"), std::string::npos);

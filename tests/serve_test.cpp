@@ -563,5 +563,94 @@ TEST(ServeTelemetry, CountsTokensAndFillsReport) {
   obs::reset_observability();
 }
 
+// --- latency breakdown -----------------------------------------------------
+
+TEST(ServeLatency, BreakdownFieldsPopulated) {
+  obs::reset_observability();
+  obs::set_telemetry(true);
+  const Model m = Model::init(test_config(), 28);
+  ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_context = 32;
+  ServeEngine engine(make_backend(m), cfg);
+  Request r;
+  r.prompt = tokens_for(4, 8, m.config.vocab_size);
+  r.max_new_tokens = 5;
+  engine.submit(r);
+  engine.submit(r);
+  const auto results = engine.run();
+  obs::set_telemetry(false);
+
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& res : results) {
+    EXPECT_GE(res.queue_wait_ms, 0.0);
+    EXPECT_GT(res.prefill_ms, 0.0);
+    EXPECT_GT(res.decode_ms, 0.0);  // 4 decode passes beyond the prefill
+    // 5 tokens: TPOT averages decode_ms over the 4 post-first tokens.
+    EXPECT_GT(res.tpot_ms, 0.0);
+    EXPECT_NEAR(res.tpot_ms, res.decode_ms / 4.0, 1e-9);
+  }
+  EXPECT_GE(engine.stats().queue_wait_ms_max,
+            results[0].queue_wait_ms);
+  EXPECT_GE(engine.stats().queue_wait_ms_sum,
+            results[0].queue_wait_ms + results[1].queue_wait_ms - 1e-9);
+
+  // The histograms saw one sample per admission / prefill and one TPOT
+  // sample per (request, decode pass).
+  EXPECT_EQ(obs::histogram("serve.queue_wait_ms").snapshot().count, 2u);
+  EXPECT_EQ(obs::histogram("serve.prefill_ms").snapshot().count, 2u);
+  EXPECT_GT(obs::histogram("serve.tpot_ms").snapshot().count, 0u);
+
+  obs::RunReport report;
+  engine.fill_report(report);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"serving\": {\"schema_version\": 2"),
+            std::string::npos);
+  EXPECT_NE(json.find("dense.queue_wait_ms_avg"), std::string::npos);
+  obs::reset_observability();
+}
+
+TEST(ServeLatency, EvictionAndBackpressureCausesAreAttributed) {
+  obs::reset_observability();
+  obs::set_telemetry(true);
+  // Capacity eviction: a request that outruns max_context.
+  {
+    const Model m = Model::init(test_config(), 24);
+    ServeConfig cfg;
+    cfg.max_batch = 2;
+    cfg.max_context = 8;
+    ServeEngine engine(make_backend(m), cfg);
+    Request big;
+    big.prompt = tokens_for(6, 2, m.config.vocab_size);
+    big.max_new_tokens = 50;
+    engine.submit(big);
+    engine.run();
+    EXPECT_EQ(engine.stats().evicted_capacity, 1u);
+    EXPECT_EQ(engine.stats().evicted_pages, 0u);
+  }
+  // Page backpressure: more concurrent requests than the arena can map.
+  {
+    const Model m = Model::init(test_config(), 30);
+    ServeConfig cfg;
+    cfg.max_batch = 4;
+    cfg.max_context = 32;
+    cfg.kv_page_positions = 8;
+    cfg.kv_pages = 3;
+    ServeEngine engine(make_backend(m), cfg);
+    for (int i = 0; i < 6; ++i) {
+      Request r;
+      r.prompt = tokens_for(5, 20 + i, m.config.vocab_size);
+      r.max_new_tokens = 3;
+      engine.submit(r);
+    }
+    engine.run();
+    EXPECT_GT(engine.stats().backpressure_pages, 0u);
+    EXPECT_EQ(obs::counter("serve.backpressure_pages").value(),
+              engine.stats().backpressure_pages);
+  }
+  obs::set_telemetry(false);
+  obs::reset_observability();
+}
+
 }  // namespace
 }  // namespace aptq::serve

@@ -15,6 +15,8 @@
 #include "net/sharded_model.hpp"
 #include "net/socket.hpp"
 #include "net/worker.hpp"
+#include "obs/control.hpp"
+#include "obs/trace.hpp"
 #include "quant/packed_model.hpp"
 #include "serve/engine.hpp"
 #include "util/threadpool.hpp"
@@ -210,6 +212,114 @@ TEST(ShardServeTest, ProjectionAfterShutdownThrows) {
   sharded.shutdown();  // idempotent
   Matrix x(1, shard_config().dim);
   EXPECT_THROW(sharded.project(0, LinearKind::q_proj, x), Error);
+}
+
+// --- cross-shard tracing ---------------------------------------------------
+
+std::uint64_t fixed_clock() { return 1'000'000; }
+
+// One traced sharded session: prefill + two solo steps over 2 workers,
+// returning the merged root+worker trace JSON.
+std::string traced_session_json() {
+  obs::reset_trace_events();
+  const ModelConfig& cfg = shard_config();
+  const Model model = Model::init(cfg, 3);
+  Cluster cluster(2);
+  ShardedModel sharded(model, cluster.take_streams());
+  DecodeState shard_state(cfg, 64);
+  decode_prefill(sharded, tokens_for(4, 42, cfg.vocab_size), shard_state);
+  decode_step(sharded, 1, shard_state);
+  decode_step(sharded, 2, shard_state);
+  sharded.shutdown();
+  EXPECT_EQ(sharded.remote_trace().size(), 2u);
+  return obs::trace_json(sharded.remote_trace());
+}
+
+TEST(ShardTraceTest, MergedTraceHasRootAndWorkerSpans) {
+  obs::set_clock_for_testing(&fixed_clock);
+  obs::set_tracing(true);
+  const std::string json = traced_session_json();
+  obs::set_tracing(false);
+  obs::set_clock_for_testing(nullptr);
+  obs::reset_trace_events();
+
+  // Root-side rpc spans and both workers' lanes land in ONE document.
+  EXPECT_NE(json.find("\"rpc.q_proj\""), std::string::npos);
+  EXPECT_NE(json.find("\"rpc.lm_head\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker.recv\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker.compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker.send\""), std::string::npos);
+  EXPECT_NE(json.find("worker-0"), std::string::npos);
+  EXPECT_NE(json.find("worker-1"), std::string::npos);
+  // Worker events carry the propagated trace context.
+  EXPECT_NE(json.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":"), std::string::npos);
+}
+
+// The only run-varying bytes in a pinned-clock trace are the workers'
+// ephemeral localhost ports inside the process names; scrub them so the
+// rest of the document can be compared bytewise.
+std::string scrub_ports(std::string json) {
+  std::size_t at = 0;
+  const std::string host = "127.0.0.1:";
+  while ((at = json.find(host, at)) != std::string::npos) {
+    std::size_t end = at + host.size();
+    while (end < json.size() && std::isdigit(json[end]) != 0) {
+      ++end;
+    }
+    json.replace(at, end - at, "127.0.0.1:PORT");
+    at += host.size();
+  }
+  return json;
+}
+
+TEST(ShardTraceTest, MergedTraceByteDeterministicUnderPinnedClock) {
+  // With the observability clock pinned, trace/span ids come from
+  // session-local counters and clock offsets collapse to zero, so two
+  // identical sessions serialize identically — byte for byte once the
+  // ephemeral worker ports in the lane names are normalized.
+  obs::set_clock_for_testing(&fixed_clock);
+  obs::set_tracing(true);
+  const std::string first = traced_session_json();
+  const std::string second = traced_session_json();
+  obs::set_tracing(false);
+  obs::set_clock_for_testing(nullptr);
+  obs::reset_trace_events();
+  EXPECT_EQ(scrub_ports(first), scrub_ports(second));
+}
+
+TEST(ShardTraceTest, TracingOffShipsNoSpans) {
+  // Untraced sessions must not pay for span collection: no trace context
+  // on the wire, no trace_flush at shutdown, empty remote trace.
+  const ModelConfig& cfg = shard_config();
+  const Model model = Model::init(cfg, 3);
+  Cluster cluster(2);
+  ShardedModel sharded(model, cluster.take_streams());
+  DecodeState state(cfg, 64);
+  decode_prefill(sharded, tokens_for(4, 42, cfg.vocab_size), state);
+  sharded.shutdown();
+  EXPECT_TRUE(sharded.remote_trace().empty());
+}
+
+TEST(ShardTraceTest, LinkStatsCountTrafficPerWorker) {
+  const ModelConfig& cfg = shard_config();
+  const Model model = Model::init(cfg, 3);
+  Cluster cluster(2);
+  ShardedModel sharded(model, cluster.take_streams());
+  DecodeState state(cfg, 64);
+  decode_prefill(sharded, tokens_for(4, 42, cfg.vocab_size), state);
+  sharded.shutdown();
+  ASSERT_EQ(sharded.link_stats().size(), 2u);
+  for (const LinkStats& link : sharded.link_stats()) {
+    EXPECT_GT(link.projections, 0u);
+    EXPECT_GT(link.bytes_sent, 0u);
+    EXPECT_GT(link.bytes_recv, 0u);
+    // Both directions at least paid the hello/ack frame headers.
+    EXPECT_GE(link.rtt_ns, 0u);
+  }
+  // Every worker sees the same projection fan-out count.
+  EXPECT_EQ(sharded.link_stats()[0].projections,
+            sharded.link_stats()[1].projections);
 }
 
 // --- shard files and reassembly --------------------------------------------
