@@ -11,6 +11,16 @@
 // (serve::run_load) against the packed engine at several offered rates,
 // reporting p50/p99 TTFT/TPOT/queue-wait and SLO goodput per point — the
 // goodput-vs-offered-load curve (docs/SERVING.md).
+//
+// A third section sweeps speculative decoding: the trained serve-sim zoo
+// target (dense and packed verifiers) drafted by the tiny trained
+// draft-sim model (packed w4g16) at k ∈ {2, 4, 8}, greedy sampling,
+// batch 1 — the low-latency play speculation exists for. Each row reports
+// tokens/sec, acceptance rate, and speedup over the same verifier running
+// the identical workload without speculation (token streams are bitwise
+// identical either way, so the speedup is apples to apples). Headlines
+// spec_k4_accept_rate / spec_speedup_over_solo (dense verifier, k=4) gate
+// in CI's bench-smoke step.
 // Flags: `--requests N` (workload size, default 24), `--out PATH`.
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/model_zoo.hpp"
 #include "quant/packed_model.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
@@ -127,6 +138,89 @@ Row measure(const std::string& name, const Backend& backend,
   return row;
 }
 
+// Greedy decode-dominated workload for the speculative sweep: top_k = 1
+// makes the stream an argmax walk, the regime where a trained draft's
+// agreement (and so the acceptance rate) is meaningful. Identical for the
+// speculative rows and their solo baselines.
+std::vector<Request> make_spec_workload(std::size_t n, std::size_t vocab,
+                                        bool speculative) {
+  std::vector<Request> reqs;
+  Rng rng(17);
+  for (std::size_t i = 0; i < n; ++i) {
+    Request r;
+    r.prompt = random_tokens(6 + rng.index(8), 70 + i, vocab);
+    r.max_new_tokens = 48;
+    r.sampling.top_k = 1;
+    r.seed = 9100 + i;
+    r.speculative = speculative;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+struct SpecRow {
+  std::string verifier;
+  std::size_t k = 0;
+  std::size_t requests = 0;
+  std::uint64_t generated = 0;
+  double wall_s = 0.0;
+  double tokens_per_sec = 0.0;
+  double solo_tokens_per_sec = 0.0;
+  double speedup_over_solo = 0.0;
+  double accept_rate = 0.0;
+  double emitted_per_cycle = 0.0;
+  double draft_ms = 0.0;
+  double verify_ms = 0.0;
+};
+
+SpecRow measure_spec(const std::string& verifier, const Backend& target,
+                     const Backend& draft, std::size_t k,
+                     const std::vector<Request>& reqs,
+                     double solo_tokens_per_sec) {
+  ThreadPool::set_global_threads(1);
+  constexpr std::size_t kRepeats = 3;
+  SpecRow row;
+  row.verifier = verifier;
+  row.k = k;
+  row.solo_tokens_per_sec = solo_tokens_per_sec;
+  row.wall_s = 1e30;
+  for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+    SpecConfig sc;
+    sc.draft = Backend(draft);
+    sc.k = k;
+    ServeConfig cfg;
+    cfg.max_batch = 1;
+    cfg.max_context = 96;
+    ServeEngine engine(Backend(target), cfg, std::move(sc));
+    for (const Request& r : reqs) {
+      engine.submit(r);
+    }
+    const Timer timer;
+    const auto results = engine.run();
+    const double wall = timer.seconds();
+    if (wall < row.wall_s) {
+      row.wall_s = wall;
+      row.requests = results.size();
+      row.generated = 0;
+      for (const auto& r : results) {
+        row.generated += r.tokens.size();
+      }
+      const SpecStats* s = engine.spec_stats();
+      row.accept_rate = s->accept_rate();
+      row.emitted_per_cycle = s->emitted_per_cycle();
+      row.draft_ms = s->draft_ms;
+      row.verify_ms = s->verify_ms;
+    }
+  }
+  row.tokens_per_sec = row.wall_s > 0.0
+                           ? static_cast<double>(row.generated) / row.wall_s
+                           : 0.0;
+  row.speedup_over_solo = solo_tokens_per_sec > 0.0
+                              ? row.tokens_per_sec / solo_tokens_per_sec
+                              : 0.0;
+  return row;
+}
+
 struct LoadRow {
   const char* arrival;
   LoadSpec spec;
@@ -169,7 +263,9 @@ std::vector<LoadRow> measure_load(const Backend& backend) {
 }
 
 bool write_json(const std::vector<Row>& rows, const std::vector<LoadRow>& load,
-                double batch_gain, double packed_slowdown, double thread_ratio,
+                const std::vector<SpecRow>& spec_rows, double batch_gain,
+                double packed_slowdown, double thread_ratio,
+                double spec_accept_rate, double spec_speedup,
                 const std::string& path) {
   std::ofstream out(path);
   if (!out) {
@@ -182,6 +278,8 @@ bool write_json(const std::vector<Row>& rows, const std::vector<LoadRow>& load,
   out << "  \"packed_batch8_over_batch1\": " << batch_gain << ",\n";
   out << "  \"packed_decode_slowdown_batch1\": " << packed_slowdown << ",\n";
   out << "  \"packed_threads4_over_threads1\": " << thread_ratio << ",\n";
+  out << "  \"spec_k4_accept_rate\": " << spec_accept_rate << ",\n";
+  out << "  \"spec_speedup_over_solo\": " << spec_speedup << ",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -218,6 +316,23 @@ bool write_json(const std::vector<Row>& rows, const std::vector<LoadRow>& load,
         << ", \"p50_queue_wait_ms\": " << p.p50_queue_wait_ms
         << ", \"p99_queue_wait_ms\": " << p.p99_queue_wait_ms << "}"
         << (i + 1 < load.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"speculative\": [\n";
+  for (std::size_t i = 0; i < spec_rows.size(); ++i) {
+    const SpecRow& r = spec_rows[i];
+    out << "    {\"verifier\": \"" << r.verifier << "\", \"k\": " << r.k
+        << ", \"requests\": " << r.requests
+        << ", \"generated_tokens\": " << r.generated
+        << ", \"wall_s\": " << r.wall_s
+        << ", \"tokens_per_sec\": " << r.tokens_per_sec
+        << ", \"solo_tokens_per_sec\": " << r.solo_tokens_per_sec
+        << ", \"speedup_over_solo\": " << r.speedup_over_solo
+        << ", \"accept_rate\": " << r.accept_rate
+        << ", \"emitted_per_cycle\": " << r.emitted_per_cycle
+        << ", \"draft_ms\": " << r.draft_ms
+        << ", \"verify_ms\": " << r.verify_ms << "}"
+        << (i + 1 < spec_rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
   out << "}\n";
@@ -297,6 +412,47 @@ int run(std::size_t n_requests, const std::string& out_path) {
 
   const std::vector<LoadRow> load = measure_load(make_backend(packed));
 
+  // Speculative sweep: trained zoo pair (cached under .cache/aptq), tiny
+  // packed draft against dense and packed serve-sim verifiers. The
+  // untrained random bench models above are useless here — speculation
+  // only pays when the draft actually agrees with the target, which takes
+  // two models trained on the same corpus.
+  const auto corpora = make_standard_corpora();
+  ModelZoo zoo;
+  const Model serve_model = zoo.get(serve_sim(), *corpora);
+  const Model draft_model = zoo.get(draft_sim(), *corpora);
+  const PackedModel serve_packed = PackedModel::pack_uniform(serve_model, spec);
+  const PackedModel draft_packed = PackedModel::pack_uniform(draft_model, spec);
+  const std::vector<Request> spec_reqs = make_spec_workload(
+      n_requests, serve_model.config.vocab_size, /*speculative=*/true);
+  const std::vector<Request> solo_reqs = make_spec_workload(
+      n_requests, serve_model.config.vocab_size, /*speculative=*/false);
+  const Row solo_dense =
+      measure("serve_sim_dense", make_backend(serve_model), solo_reqs, 1, 1);
+  const Row solo_packed =
+      measure("serve_sim_packed", make_backend(serve_packed), solo_reqs, 1, 1);
+  std::vector<SpecRow> spec_rows;
+  for (const std::size_t k : {2, 4, 8}) {
+    spec_rows.push_back(measure_spec("dense", make_backend(serve_model),
+                                     make_backend(draft_packed), k, spec_reqs,
+                                     solo_dense.tokens_per_sec));
+    spec_rows.push_back(measure_spec("packed_w4g16", make_backend(serve_packed),
+                                     make_backend(draft_packed), k, spec_reqs,
+                                     solo_packed.tokens_per_sec));
+  }
+  ThreadPool::set_global_threads(1);
+
+  // Headlines CI gates: the dense-verifier k=4 row — the configuration the
+  // sweep exists to defend.
+  double spec_accept_rate = 0.0;
+  double spec_speedup = 0.0;
+  for (const SpecRow& r : spec_rows) {
+    if (r.verifier == "dense" && r.k == 4) {
+      spec_accept_rate = r.accept_rate;
+      spec_speedup = r.speedup_over_solo;
+    }
+  }
+
   std::printf("%-14s %6s %8s %10s %10s %8s %16s\n", "model", "batch",
               "threads", "effective", "generated", "wall_s",
               "tokens_per_sec");
@@ -323,8 +479,19 @@ int run(std::size_t n_requests, const std::string& out_path) {
                 r.point.goodput_rps, r.point.p50_ttft_ms, r.point.p99_ttft_ms,
                 r.point.p50_tpot_ms, r.point.p99_tpot_ms);
   }
-  if (write_json(rows, load, batch_gain, packed_slowdown, thread_ratio,
-                 out_path)) {
+  std::printf("\nspeculative decoding (serve-sim + packed draft-sim, greedy, "
+              "batch=1)\n");
+  std::printf("%-14s %3s %10s %14s %8s %8s %10s\n", "verifier", "k",
+              "tokens/s", "solo tokens/s", "speedup", "accept",
+              "emit/cycle");
+  for (const SpecRow& r : spec_rows) {
+    std::printf("%-14s %3zu %10.1f %14.1f %7.2fx %7.1f%% %10.2f\n",
+                r.verifier.c_str(), r.k, r.tokens_per_sec,
+                r.solo_tokens_per_sec, r.speedup_over_solo,
+                100.0 * r.accept_rate, r.emitted_per_cycle);
+  }
+  if (write_json(rows, load, spec_rows, batch_gain, packed_slowdown,
+                 thread_ratio, spec_accept_rate, spec_speedup, out_path)) {
     std::printf("serving throughput results written to %s\n",
                 out_path.c_str());
   }

@@ -46,6 +46,42 @@ ZooSpec llama13b_sim() {
   return spec;
 }
 
+ZooSpec serve_sim() {
+  ZooSpec spec;
+  spec.name = "serve-sim";
+  spec.config.vocab_size = 64;
+  spec.config.dim = 128;
+  spec.config.n_layers = 4;
+  spec.config.n_heads = 4;
+  spec.config.ffn_dim = 320;
+  spec.train.steps = 1500;
+  spec.train.batch_size = 8;
+  spec.train.seq_len = 48;
+  spec.train.peak_lr = 4e-3f;
+  spec.train.warmup_steps = 60;
+  spec.train.seed = 0x5E;
+  spec.init_seed = 0x5E00;
+  return spec;
+}
+
+ZooSpec draft_sim() {
+  ZooSpec spec;
+  spec.name = "draft-sim";
+  spec.config.vocab_size = 64;
+  spec.config.dim = 24;
+  spec.config.n_layers = 2;
+  spec.config.n_heads = 2;
+  spec.config.ffn_dim = 48;
+  spec.train.steps = 1200;
+  spec.train.batch_size = 8;
+  spec.train.seq_len = 48;
+  spec.train.peak_lr = 8e-3f;
+  spec.train.warmup_steps = 60;
+  spec.train.seed = 0xD;
+  spec.init_seed = 0xD00;
+  return spec;
+}
+
 std::unique_ptr<StandardCorpora> make_standard_corpora() {
   return std::unique_ptr<StandardCorpora>(new StandardCorpora{
       Corpus("c4sim", c4sim_spec(64), 200000, 20000, 0xC4515EED),

@@ -26,6 +26,17 @@ ZooSpec llama7b_sim();
 /// The scaled-down LLaMA-13B stand-in (d=64, 5 blocks, 4 heads).
 ZooSpec llama13b_sim();
 
+/// The serving-scale target model for the speculative-decoding bench
+/// (d=128, 4 blocks, 4 heads). Large enough that batched verification
+/// amortizes per-step overheads; shares the vocab-64 corpora.
+ZooSpec serve_sim();
+
+/// The deliberately tiny draft model for speculative decoding
+/// (d=24, 2 blocks, 2 heads). Trained on the same corpora as the
+/// targets so greedy agreement is high while a step costs a few
+/// percent of a target step.
+ZooSpec draft_sim();
+
 /// The shared experiment corpora (held by value; construction generates the
 /// token streams deterministically).
 struct StandardCorpora {

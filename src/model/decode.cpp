@@ -120,6 +120,20 @@ bool DecodeState::try_reserve(std::size_t n) {
   return true;
 }
 
+void DecodeState::rewind(std::size_t new_pos) {
+  APTQ_CHECK(new_pos <= pos_,
+             "DecodeState: rewind forwards (" + std::to_string(new_pos) +
+                 " > " + std::to_string(pos_) + ")");
+  pos_ = new_pos;
+  if (arena_owned_ == nullptr && arena_ != nullptr) {
+    const std::size_t keep = arena_->pages_for(new_pos);
+    while (table_.size() > keep) {
+      arena_->release_page(table_.back());
+      table_.pop_back();
+    }
+  }
+}
+
 std::size_t DecodeState::footprint_bytes() const {
   const std::size_t table_bytes = table_.capacity() * sizeof(std::uint32_t);
   if (arena_owned_ != nullptr) {
@@ -235,6 +249,12 @@ Matrix decode_step_batch(const Model& model, std::span<const TokenId> tokens,
                          const ForwardOptions& options) {
   return detail::decode_step_batch_impl(DenseDecodeAdapter(model), tokens,
                                         states, options);
+}
+
+Matrix decode_verify(const Model& model, std::span<const TokenId> tokens,
+                     DecodeState& state, const ForwardOptions& options) {
+  return detail::decode_verify_impl(DenseDecodeAdapter(model), tokens, state,
+                                    options);
 }
 
 }  // namespace aptq

@@ -143,6 +143,15 @@ class DecodeState {
   /// by page rounding (capacity itself is checked by the engine).
   bool try_reserve(std::size_t n);
 
+  /// Rewind the cursor to `new_pos` (<= pos()), discarding the newest
+  /// positions — the speculative-decoding rollback. Shared-arena states
+  /// release the pages that only held discarded positions, so
+  /// mapped-bytes accounting matches a state that never consumed them;
+  /// solo states keep their private fully-mapped arena. Rows at or beyond
+  /// `new_pos` are overwritten before they are next read, exactly like
+  /// reset().
+  void rewind(std::size_t new_pos);
+
   /// Pages currently mapped by this state.
   std::size_t pages_held() const { return table_.size(); }
 
@@ -211,6 +220,19 @@ std::vector<float> decode_step(const Model& model, TokenId token,
 Matrix decode_step_batch(const Model& model, std::span<const TokenId> tokens,
                          std::span<DecodeState* const> states,
                          const ForwardOptions& options = {});
+
+/// Speculative verification: consume `tokens` on ONE session as if by m
+/// sequential decode_step() calls, in a single batched pass. Row j of the
+/// returned (m × V) logits is bitwise identical to the logits of
+/// decode_step(model, tokens[j], state) after steps 0..j-1 — same batched
+/// kernels as decode_step_batch, with row j attending causally to the
+/// prior context plus rows 0..j-1 of the batch. decode_prefill is NOT a
+/// substitute: its GEMM attention reassociates the f32 reductions
+/// differently from the solo fold, so its logits only agree up to
+/// rounding. After a verify pass the caller typically accepts a prefix of
+/// e tokens and calls state.rewind(pos_before + e).
+Matrix decode_verify(const Model& model, std::span<const TokenId> tokens,
+                     DecodeState& state, const ForwardOptions& options = {});
 
 namespace detail {
 
@@ -625,6 +647,148 @@ Matrix decode_step_batch_impl(const Adapter& adapter,
     step_ms.record(static_cast<double>(obs::now_ns() - obs_start) * 1e-6);
     rows.record(static_cast<double>(n));
     tokens_c.add(n);
+  }
+  return logits;
+}
+
+// Batched verification of m candidate tokens on ONE session, bitwise
+// identical per row to m sequential decode_step_impl calls.
+//
+// Why this works: within a layer, the K/V row of batch row j depends only
+// on row j's layer input, which earlier (row-independent) stages computed
+// exactly as solo decoding would. So all m K/V rows of a layer can be
+// written before the attention sweep, and row j's sweep then reads context
+// [0, pos0 + j] — the prior context plus this batch's causal prefix —
+// through the same per-head dot4/softmax/accumulate fold as decode_step.
+// Projections ride the batched kernels (gemv_batch / qgemv_batch), whose
+// rows replay the solo fold bit-for-bit, which is what makes speculative
+// verification both cheaper than m solo steps and exactly equal to them.
+template <typename Adapter>
+Matrix decode_verify_impl(const Adapter& adapter,
+                          std::span<const TokenId> tokens, DecodeState& state,
+                          const ForwardOptions& options) {
+  const std::uint64_t obs_start =
+      obs::telemetry_enabled() ? obs::now_ns() : 0;
+  const ModelConfig& cfg = adapter.config();
+  const std::size_t m = tokens.size();
+  APTQ_CHECK(m >= 1, "decode_verify: empty candidate batch");
+  APTQ_CHECK(state.config() == cfg,
+             "decode_verify: state built for a different model config");
+  APTQ_CHECK(state.pos() + m <= state.max_context(),
+             "decode_verify: context capacity exceeded (" +
+                 std::to_string(state.pos()) + " cached + " +
+                 std::to_string(m) + " new > max_context " +
+                 std::to_string(state.max_context()) + ")");
+  APTQ_CHECK(state.try_reserve(m),
+             "decode_verify: KV pages exhausted; the caller must degrade k "
+             "or evict");
+  const std::size_t pos0 = state.pos();
+  const std::size_t d = cfg.dim;
+  const std::size_t hd = cfg.head_dim();
+  const std::size_t max_ctx = pos0 + m;
+  const float inv_sqrt_hd = 1.0f / std::sqrt(static_cast<float>(hd));
+  const auto maybe_quant = [&options](Matrix& m_) {
+    if (options.act_quant_bits > 0) {
+      fake_quant_rows(m_, options.act_quant_bits);
+    }
+  };
+  std::vector<std::size_t> positions(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    decode_check_token(adapter, tokens[j]);
+    positions[j] = pos0 + j;
+  }
+
+  Matrix x(m, d);
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto src = adapter.embedding(static_cast<std::size_t>(tokens[j]));
+    std::copy(src.begin(), src.end(), x.row(j).begin());
+  }
+
+  Matrix normed;
+  std::vector<float> inv_rms;
+  Matrix scores_ws(m * cfg.n_heads, max_ctx);
+  for (std::size_t layer = 0; layer < cfg.n_layers; ++layer) {
+    rmsnorm_forward(x, adapter.attn_norm(layer), cfg.norm_eps, normed,
+                    inv_rms);
+    maybe_quant(normed);
+
+    Matrix q = adapter.project_batch(layer, LinearKind::q_proj, normed);
+    Matrix k = adapter.project_batch(layer, LinearKind::k_proj, normed);
+    const Matrix v = adapter.project_batch(layer, LinearKind::v_proj, normed);
+    rope_apply_rows(q, hd, positions, cfg.rope_theta);
+    rope_apply_rows(k, hd, positions, cfg.rope_theta);
+    for (std::size_t j = 0; j < m; ++j) {
+      std::copy(k.row(j).begin(), k.row(j).end(),
+                state.k_row(layer, positions[j]));
+      std::copy(v.row(j).begin(), v.row(j).end(),
+                state.v_row(layer, positions[j]));
+    }
+
+    Matrix attn_cat(m, d);
+    const std::size_t group_factor = cfg.group_factor();
+    const std::size_t tasks = m * cfg.n_heads;
+    const auto attend = [&](std::size_t tb, std::size_t te) {
+      for (std::size_t task = tb; task < te; ++task) {
+        const std::size_t j = task / cfg.n_heads;
+        const std::size_t h = task % cfg.n_heads;
+        const std::size_t g = h / group_factor;  // shared kv head (GQA)
+        const std::size_t ctx = positions[j] + 1;
+        const float* qh = q.data() + j * d + h * hd;
+        float* scores = scores_ws.data() + task * max_ctx;
+        float max_s = -1e30f;
+        for (std::size_t t = 0; t < ctx; ++t) {
+          const float* kh = state.k_row(layer, t) + g * hd;
+          scores[t] = kern::dot4(qh, kh, hd) * inv_sqrt_hd;
+          max_s = std::max(max_s, scores[t]);
+        }
+        float sum = 0.0f;
+        for (std::size_t t = 0; t < ctx; ++t) {
+          scores[t] = std::exp(scores[t] - max_s);
+          sum += scores[t];
+        }
+        const float inv_sum = 1.0f / sum;
+        float* out = attn_cat.data() + j * d + h * hd;
+        for (std::size_t t = 0; t < ctx; ++t) {
+          const float p = scores[t] * inv_sum;
+          const float* vh = state.v_row(layer, t) + g * hd;
+          for (std::size_t c = 0; c < hd; ++c) {
+            out[c] += p * vh[c];
+          }
+        }
+      }
+    };
+    if (tasks > 1 && ThreadPool::effective_global_threads() > 1) {
+      parallel_for(0, tasks, 1, attend);
+    } else {
+      attend(0, tasks);
+    }
+    maybe_quant(attn_cat);
+    axpy(1.0f, adapter.project_batch(layer, LinearKind::o_proj, attn_cat), x);
+
+    rmsnorm_forward(x, adapter.ffn_norm(layer), cfg.norm_eps, normed,
+                    inv_rms);
+    maybe_quant(normed);
+    Matrix gate_pre =
+        adapter.project_batch(layer, LinearKind::gate_proj, normed);
+    const Matrix up = adapter.project_batch(layer, LinearKind::up_proj, normed);
+    Matrix act;
+    silu(gate_pre, act);
+    for (std::size_t i = 0; i < act.size(); ++i) {
+      act.flat()[i] *= up.flat()[i];
+    }
+    maybe_quant(act);
+    axpy(1.0f, adapter.project_batch(layer, LinearKind::down_proj, act), x);
+  }
+
+  rmsnorm_forward(x, adapter.final_norm(), cfg.norm_eps, normed, inv_rms);
+  maybe_quant(normed);
+  Matrix logits = adapter.head_batch(normed);
+  state.advance(m);
+  if (obs_start != 0) {
+    static auto& verify_ms = obs::histogram("decode.verify_ms");
+    static auto& verify_rows = obs::histogram("decode.verify_rows");
+    verify_ms.record(static_cast<double>(obs::now_ns() - obs_start) * 1e-6);
+    verify_rows.record(static_cast<double>(m));
   }
   return logits;
 }

@@ -271,6 +271,12 @@ Matrix decode_step_batch(ShardedModel& model,
   return detail::decode_step_batch_impl(adapter, tokens, states, {});
 }
 
+Matrix decode_verify(ShardedModel& model, std::span<const TokenId> tokens,
+                     DecodeState& state) {
+  const ShardedDecodeAdapter adapter{&model};
+  return detail::decode_verify_impl(adapter, tokens, state, {});
+}
+
 serve::Backend make_backend(ShardedModel& model) {
   serve::Backend b;
   b.name = "sharded_" + model.base_name();
@@ -284,6 +290,9 @@ serve::Backend make_backend(ShardedModel& model) {
   b.step_batch = [&model](std::span<const TokenId> tokens,
                           std::span<DecodeState* const> states) {
     return decode_step_batch(model, tokens, states);
+  };
+  b.verify = [&model](std::span<const TokenId> tokens, DecodeState& state) {
+    return decode_verify(model, tokens, state);
   };
   return b;
 }

@@ -128,6 +128,8 @@ std::vector<float> decode_step(ShardedModel& model, TokenId token,
 Matrix decode_step_batch(ShardedModel& model,
                          std::span<const TokenId> tokens,
                          std::span<DecodeState* const> states);
+Matrix decode_verify(ShardedModel& model, std::span<const TokenId> tokens,
+                     DecodeState& state);
 
 /// ServeEngine backend over a sharded model (name "sharded_dense" /
 /// "sharded_packed"). The model must outlive the backend.

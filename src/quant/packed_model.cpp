@@ -342,6 +342,14 @@ Matrix decode_step_batch(const PackedModel& model,
                                         states, options);
 }
 
+Matrix decode_verify(const PackedModel& model, std::span<const TokenId> tokens,
+                     DecodeState& state, const ForwardOptions& options) {
+  APTQ_CHECK(model.linears().size() == model.config().n_layers * 7,
+             "decode_verify: packed model not initialized");
+  return detail::decode_verify_impl(PackedDecodeAdapter(model), tokens, state,
+                                    options);
+}
+
 TokenSeq sample_from_packed(const PackedModel& model, std::size_t length,
                             Rng& rng, const SampleConfig& config,
                             const TokenSeq& prompt) {

@@ -116,6 +116,13 @@ Matrix decode_step_batch(const PackedModel& model,
                          std::span<DecodeState* const> states,
                          const ForwardOptions& options = {});
 
+/// Speculative verification over packed weights: row j of the returned
+/// (m × V) logits is bitwise identical to the j-th of m sequential
+/// decode_step(model, tokens[j], state) calls (see the dense
+/// decode_verify contract in model/decode.hpp).
+Matrix decode_verify(const PackedModel& model, std::span<const TokenId> tokens,
+                     DecodeState& state, const ForwardOptions& options = {});
+
 /// Sample `length` tokens autoregressively from a packed model (same loop
 /// and RNG consumption as sample_from_model, running on packed weights).
 TokenSeq sample_from_packed(const PackedModel& model, std::size_t length,

@@ -1,0 +1,50 @@
+// Type-erased decode backend shared by the serving engine (engine.hpp)
+// and the speculative decoder (spec.hpp). Split out of engine.hpp so the
+// SpecConfig/SpecDecoder types can name a Backend without a circular
+// include.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/decode.hpp"
+#include "tensor/matrix.hpp"
+
+namespace aptq {
+class PackedModel;  // full definition only needed by make_backend's impl
+}
+
+namespace aptq::serve {
+
+/// Type-erased decode backend: the engine drives any model that offers
+/// prefill/step over a DecodeState. The callables borrow the model — it
+/// must outlive the backend. step_batch advances one token for each of a
+/// batch of independent requests in a single forward pass (row i of the
+/// returned logits is bitwise identical to step on request i alone); the
+/// engine feeds every in-flight request through it, so the batched
+/// kernels see all rows at once and the pool parallelizes inside the
+/// GEMMs instead of across requests. verify consumes m candidate tokens
+/// on ONE session with row j bitwise identical to the j-th of m
+/// sequential step calls (the speculative-decoding verifier; see
+/// decode_verify in model/decode.hpp). Backends that cannot offer it
+/// leave it empty — the engine then rejects speculative requests at
+/// submit().
+struct Backend {
+  std::string name;  ///< "dense" / "packed" (report + bench labels)
+  ModelConfig config;
+  std::function<Matrix(std::span<const TokenId>, DecodeState&)> prefill;
+  std::function<std::vector<float>(TokenId, DecodeState&)> step;
+  std::function<Matrix(std::span<const TokenId>,
+                       std::span<DecodeState* const>)>
+      step_batch;
+  std::function<Matrix(std::span<const TokenId>, DecodeState&)> verify;
+};
+
+/// Backend over the dense fp32 model.
+Backend make_backend(const Model& model);
+/// Backend over the bit-packed model (steps hit the fused dequant GEMV).
+Backend make_backend(const PackedModel& model);
+
+}  // namespace aptq::serve

@@ -20,6 +20,7 @@ const char* to_string(FinishReason reason) {
     case FinishReason::max_tokens: return "max_tokens";
     case FinishReason::context_full: return "context_full";
     case FinishReason::rejected: return "rejected";
+    case FinishReason::cancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -39,6 +40,9 @@ Backend make_backend(const Model& model) {
                           std::span<DecodeState* const> states) {
     return decode_step_batch(model, tokens, states);
   };
+  b.verify = [&model](std::span<const TokenId> tokens, DecodeState& state) {
+    return decode_verify(model, tokens, state);
+  };
   return b;
 }
 
@@ -56,6 +60,9 @@ Backend make_backend(const PackedModel& model) {
                           std::span<DecodeState* const> states) {
     return decode_step_batch(model, tokens, states);
   };
+  b.verify = [&model](std::span<const TokenId> tokens, DecodeState& state) {
+    return decode_verify(model, tokens, state);
+  };
   return b;
 }
 
@@ -70,6 +77,14 @@ ServeEngine::ServeEngine(Backend backend, const ServeConfig& config)
              "ServeEngine: backend missing prefill/step/step_batch");
 }
 
+ServeEngine::ServeEngine(Backend backend, const ServeConfig& config,
+                         SpecConfig spec)
+    : ServeEngine(std::move(backend), config) {
+  APTQ_CHECK(backend_.verify,
+             "ServeEngine: speculative decoding needs a backend with verify");
+  spec_ = std::make_unique<SpecDecoder>(std::move(spec), config_.max_context);
+}
+
 RequestId ServeEngine::submit(Request request) {
   APTQ_CHECK(config_.max_queue == 0 || queue_.size() < config_.max_queue,
              "ServeEngine: queue full (max_queue " +
@@ -79,6 +94,20 @@ RequestId ServeEngine::submit(Request request) {
              "ServeEngine: max_new_tokens must be >= 1");
   APTQ_CHECK(request.sampling.temperature > 0.0f,
              "ServeEngine: temperature must be positive");
+  if (request.speculative) {
+    // Reject at submit so a bad pairing never throws mid-flight from a
+    // verify pass with co-batched requests in the engine.
+    APTQ_CHECK(spec_ != nullptr,
+               "ServeEngine: speculative request on an engine with no draft "
+               "configured (construct with a SpecConfig)");
+    APTQ_CHECK(
+        spec_->config().draft.config.vocab_size == backend_.config.vocab_size,
+        "ServeEngine: draft vocab " +
+            std::to_string(spec_->config().draft.config.vocab_size) +
+            " != target vocab " +
+            std::to_string(backend_.config.vocab_size) +
+            "; speculative verification requires a shared vocabulary");
+  }
   for (const TokenId t : request.prompt) {
     APTQ_CHECK(t >= 0 && static_cast<std::size_t>(t) <
                              backend_.config.vocab_size,
@@ -195,12 +224,15 @@ void ServeEngine::prefill_one(Active& a) {
     static auto& prefill = obs::histogram("serve.prefill_ms");
     prefill.record(a.prefill_ms);
   }
-  sample_and_stop(a, std::vector<float>(last.begin(), last.end()));
+  sample_and_stop(a, std::vector<float>(last.begin(), last.end()),
+                  a.state->pos());
 }
 
 // Sample the next token from the request's private stream and evaluate the
-// stopping rules.
-void ServeEngine::sample_and_stop(Active& a, std::vector<float> logits) {
+// stopping rules against `ctx_pos`, the number of positions a solo decode
+// would have consumed after this token's step.
+TokenId ServeEngine::sample_and_stop(Active& a, std::vector<float> logits,
+                                     std::size_t ctx_pos) {
   const TokenId token = sample_token(logits, a.request.sampling, a.rng);
   a.generated.push_back(token);
   a.next_input = token;
@@ -210,13 +242,150 @@ void ServeEngine::sample_and_stop(Active& a, std::vector<float> logits) {
     a.finish = FinishReason::eos;
   } else if (a.generated.size() >= a.request.max_new_tokens) {
     a.finish = FinishReason::max_tokens;
-  } else if (a.state->pos() >= a.state->max_context()) {
+  } else if (ctx_pos >= a.state->max_context()) {
     // decode_step would throw "context capacity exceeded": evict instead.
     a.finish = FinishReason::context_full;
   }
   if (on_token_) {
     on_token_(a.id, token, a.finish);
   }
+  return token;
+}
+
+// One speculative cycle: the draft proposes up to k tokens continuing the
+// request's stream, a single decode_verify pass scores the pending input
+// plus every proposal, and the accept loop samples those rows in order with
+// the request's RNG — draw-for-draw the sequence solo decoding would have
+// drawn — until a stop rule fires or a proposal is contradicted (the
+// sampled token then IS the corrected emission). Rejected positions are
+// rolled back, pages and all. Returns the number of tokens emitted.
+std::size_t ServeEngine::spec_cycle(Active& a) {
+  const std::size_t pos0 = a.state->pos();
+  const std::size_t cap = a.state->max_context();
+  // k_eff counts proposals; the verify pass consumes k_eff + 1 positions
+  // (the pending input plus the proposals). Clamp so the cycle can never
+  // emit past max_new_tokens nor consume past max_context.
+  const std::size_t remaining = a.request.max_new_tokens - a.generated.size();
+  std::size_t k_eff = std::min(spec_->config().k, remaining - 1);
+  k_eff = std::min(k_eff, cap - pos0 - 1);
+  // Degrade instead of evicting when the paged arena is tight: a shorter
+  // cycle needs fewer pages, and at k_eff == 0 the verify pass is exactly
+  // a solo step. Any pages over-acquired by a failed attempt are released
+  // by the rewind below.
+  while (k_eff > 0 && !a.state->try_reserve(k_eff + 1)) {
+    --k_eff;
+  }
+  if (k_eff == 0 && !a.state->try_reserve(1)) {
+    // Arena exhausted even for a plain step: evict, same as the batch path.
+    a.finish = FinishReason::context_full;
+    a.evicted_by_pages = true;
+    return 0;
+  }
+
+  std::vector<TokenId> inputs;
+  inputs.reserve(k_eff + 1);
+  inputs.push_back(a.next_input);
+  double cycle_draft_ms = 0.0;
+  if (k_eff > 0) {
+    const Timer draft_timer;
+    const std::vector<TokenId> proposals =
+        spec_->propose(a.id, a.request.prompt, a.generated, k_eff);
+    cycle_draft_ms = draft_timer.millis();
+    a.spec_draft_ms += cycle_draft_ms;
+    inputs.insert(inputs.end(), proposals.begin(), proposals.end());
+  }
+
+  const Timer verify_timer;
+  const Matrix logits = backend_.verify(inputs, *a.state);
+  const double verify_ms = verify_timer.millis();
+  a.decode_ms += verify_ms;
+  a.spec_verify_ms += verify_ms;
+
+  // Row j is bitwise identical to the logits of the solo decode step that
+  // consumed inputs[j]; its solo-equivalent context is pos0 + j + 1.
+  std::size_t emitted = 0;
+  std::size_t accepted = 0;
+  for (std::size_t j = 0; j <= k_eff; ++j) {
+    const auto row = logits.row(j);
+    const TokenId t = sample_and_stop(
+        a, std::vector<float>(row.begin(), row.end()), pos0 + j + 1);
+    ++emitted;
+    if (a.finish != FinishReason::none) {
+      break;
+    }
+    if (j < k_eff) {
+      if (t != inputs[j + 1]) {
+        break;  // mismatch: t is the correction, rest of the cycle dies
+      }
+      ++accepted;  // draft guessed the target's own next token
+    }
+  }
+  // Solo decoding would have consumed exactly pos0 + emitted positions;
+  // roll the target back there, releasing the rejected rows' KV pages.
+  a.state->rewind(pos0 + emitted);
+
+  if (k_eff > 0) {
+    spec_->commit(a.id, k_eff, accepted, emitted, verify_ms);
+    ++a.spec_cycles;
+    a.spec_proposed += k_eff;
+    a.spec_accepted += accepted;
+    if (obs::telemetry_enabled()) {
+      static auto& cycles = obs::counter("spec.cycles");
+      static auto& proposed = obs::counter("spec.proposed");
+      static auto& acc = obs::counter("spec.accepted");
+      static auto& rate = obs::histogram("spec.accept_rate");
+      static auto& draft = obs::histogram("spec.draft_ms");
+      static auto& verify = obs::histogram("spec.verify_ms");
+      cycles.add(1);
+      proposed.add(k_eff);
+      acc.add(accepted);
+      rate.record(static_cast<double>(accepted) / static_cast<double>(k_eff));
+      draft.record(cycle_draft_ms);
+      verify.record(verify_ms);
+    }
+  }
+  return emitted;
+}
+
+bool ServeEngine::cancel(RequestId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id != id) {
+      continue;
+    }
+    // Never admitted: synthesize the result directly (no KV slot to free).
+    GenerationResult r;
+    r.id = id;
+    r.finish = FinishReason::cancelled;
+    r.prompt_tokens = it->request.prompt.size();
+    r.total_ms = it->since_submit.millis();
+    r.completion_step = stats_.engine_steps;
+    results_.push_back(std::move(r));
+    queue_.erase(it);
+    ++stats_.cancelled;
+    if (obs::telemetry_enabled()) {
+      static auto& cancelled = obs::counter("serve.requests_cancelled");
+      cancelled.add(1);
+    }
+    update_gauges();
+    return true;
+  }
+  for (Active& a : active_) {
+    if (a.id != id || a.finish != FinishReason::none) {
+      continue;
+    }
+    a.finish = FinishReason::cancelled;
+    ++stats_.cancelled;
+    if (obs::telemetry_enabled()) {
+      static auto& cancelled = obs::counter("serve.requests_cancelled");
+      cancelled.add(1);
+    }
+    // Retire immediately so the KV slot frees without waiting for the next
+    // step(); the result keeps the tokens generated so far.
+    retire_finished();
+    update_gauges();
+    return true;
+  }
+  return false;
 }
 
 void ServeEngine::retire_finished() {
@@ -239,6 +408,14 @@ void ServeEngine::retire_finished() {
     }
     r.prompt_tokens = it->request.prompt.size();
     r.completion_step = stats_.engine_steps;
+    r.spec_cycles = it->spec_cycles;
+    r.spec_proposed = it->spec_proposed;
+    r.spec_accepted = it->spec_accepted;
+    r.spec_draft_ms = it->spec_draft_ms;
+    r.spec_verify_ms = it->spec_verify_ms;
+    if (spec_ != nullptr && it->request.speculative) {
+      spec_->detach(it->id);
+    }
     if (it->finish == FinishReason::context_full) {
       if (it->evicted_by_pages) {
         ++stats_.evicted_pages;
@@ -307,9 +484,17 @@ std::size_t ServeEngine::step() {
   std::vector<Active*> batch;
   std::vector<TokenId> batch_tokens;
   std::vector<DecodeState*> batch_states;
+  std::vector<Active*> spec_batch;
   batch.reserve(active_.size());
   for (Active& a : active_) {
     if (a.needs_prefill || a.finish != FinishReason::none) {
+      continue;
+    }
+    if (a.request.speculative) {
+      // Speculative requests advance through private propose/verify cycles
+      // (variable positions per step) rather than the one-token shared
+      // batch; submit() guarantees spec_ is configured.
+      spec_batch.push_back(&a);
       continue;
     }
     if (!a.state->try_reserve(1)) {
@@ -332,6 +517,9 @@ std::size_t ServeEngine::step() {
       ++produced;
     }
   }
+  for (Active* a : spec_batch) {
+    produced += spec_cycle(*a);
+  }
   if (!batch.empty()) {
     const Timer decode_timer;
     const Matrix logits = backend_.step_batch(batch_tokens, batch_states);
@@ -346,7 +534,8 @@ std::size_t ServeEngine::step() {
         tpot.record(pass_ms);
       }
       const auto row = logits.row(i);
-      sample_and_stop(*batch[i], std::vector<float>(row.begin(), row.end()));
+      sample_and_stop(*batch[i], std::vector<float>(row.begin(), row.end()),
+                      batch[i]->state->pos());
       ++produced;
     }
   }
@@ -386,6 +575,8 @@ void ServeEngine::fill_report(obs::RunReport& report) const {
                      static_cast<std::uint64_t>(stats_.completed));
   report.add_serving(p + "requests_rejected",
                      static_cast<std::uint64_t>(stats_.rejected));
+  report.add_serving(p + "requests_cancelled",
+                     static_cast<std::uint64_t>(stats_.cancelled));
   report.add_serving(p + "prefill_tokens", stats_.prefill_tokens);
   report.add_serving(p + "generated_tokens", stats_.generated_tokens);
   report.add_serving(p + "engine_steps",
@@ -416,6 +607,17 @@ void ServeEngine::fill_report(obs::RunReport& report) const {
                      static_cast<std::uint64_t>(stats_.backpressure_slots));
   report.add_serving(p + "backpressure_pages",
                      static_cast<std::uint64_t>(stats_.backpressure_pages));
+  if (spec_ != nullptr) {
+    const SpecStats& s = spec_->stats();
+    report.add_serving(p + "spec.cycles",
+                       static_cast<std::uint64_t>(s.cycles));
+    report.add_serving(p + "spec.proposed", s.proposed);
+    report.add_serving(p + "spec.accepted", s.accepted);
+    report.add_serving(p + "spec.accept_rate", s.accept_rate());
+    report.add_serving(p + "spec.emitted_per_cycle", s.emitted_per_cycle());
+    report.add_serving(p + "spec.draft_ms", s.draft_ms);
+    report.add_serving(p + "spec.verify_ms", s.verify_ms);
+  }
 }
 
 }  // namespace aptq::serve

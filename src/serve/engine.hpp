@@ -31,18 +31,17 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "serve/backend.hpp"
 #include "serve/kv_pool.hpp"
 #include "serve/request.hpp"
+#include "serve/spec.hpp"
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
-
-namespace aptq {
-class PackedModel;  // full definition only needed by make_backend's impl
-}
 
 namespace aptq::obs {
 class RunReport;
@@ -50,32 +49,16 @@ class RunReport;
 
 namespace aptq::serve {
 
-/// Type-erased decode backend: the engine drives any model that offers
-/// prefill/step over a DecodeState. The callables borrow the model — it
-/// must outlive the backend. step_batch advances one token for each of a
-/// batch of independent requests in a single forward pass (row i of the
-/// returned logits is bitwise identical to step on request i alone); the
-/// engine feeds every in-flight request through it, so the batched
-/// kernels see all rows at once and the pool parallelizes inside the
-/// GEMMs instead of across requests.
-struct Backend {
-  std::string name;  ///< "dense" / "packed" (report + bench labels)
-  ModelConfig config;
-  std::function<Matrix(std::span<const TokenId>, DecodeState&)> prefill;
-  std::function<std::vector<float>(TokenId, DecodeState&)> step;
-  std::function<Matrix(std::span<const TokenId>,
-                       std::span<DecodeState* const>)>
-      step_batch;
-};
-
-/// Backend over the dense fp32 model.
-Backend make_backend(const Model& model);
-/// Backend over the bit-packed model (steps hit the fused dequant GEMV).
-Backend make_backend(const PackedModel& model);
-
 class ServeEngine {
  public:
   ServeEngine(Backend backend, const ServeConfig& config);
+
+  /// Engine with speculative decoding available: requests that set
+  /// Request::speculative decode through draft-propose / batched-verify
+  /// cycles (emitting the exact same token streams, usually in fewer
+  /// target passes); other requests are served as usual. Requires the
+  /// target backend to provide verify.
+  ServeEngine(Backend backend, const ServeConfig& config, SpecConfig spec);
 
   /// Enqueue one request; returns its id. Throws aptq::Error on invalid
   /// requests (empty prompt, out-of-vocab token, zero max_new_tokens,
@@ -86,6 +69,13 @@ class ServeEngine {
   /// request + retirement). Returns the number of tokens sampled; 0 means
   /// the engine is idle.
   std::size_t step();
+
+  /// Cancel a request by id, from the submitter thread. Queued requests
+  /// leave immediately; in-flight requests retire with the tokens
+  /// generated so far. Either way the result carries
+  /// FinishReason::cancelled. Returns false when the id is unknown or the
+  /// request already finished.
+  bool cancel(RequestId id);
 
   /// Drive step() until queue and batch are empty, then return every
   /// result accumulated since construction (or the last run()), sorted by
@@ -103,6 +93,11 @@ class ServeEngine {
   /// Backend label ("dense", "packed", "sharded_packed", ...).
   const std::string& backend_name() const { return backend_.name; }
   const ServeStats& stats() const { return stats_; }
+  /// Speculation counters; nullptr when the engine was built without a
+  /// SpecConfig.
+  const SpecStats* spec_stats() const {
+    return spec_ != nullptr ? &spec_->stats() : nullptr;
+  }
 
   /// Adds the engine's aggregate stats to the report's "serving" section
   /// (keys prefixed "<backend>.", e.g. "packed.tokens_per_sec").
@@ -138,17 +133,31 @@ class ServeEngine {
     double ttft_ms = 0.0;
     double queue_wait_ms = 0.0;  ///< submit -> admission
     double prefill_ms = 0.0;     ///< prompt forward pass
-    double decode_ms = 0.0;      ///< accumulated step_batch time
+    double decode_ms = 0.0;      ///< accumulated step_batch/verify time
+    std::size_t spec_cycles = 0;
+    std::size_t spec_proposed = 0;
+    std::size_t spec_accepted = 0;
+    double spec_draft_ms = 0.0;
+    double spec_verify_ms = 0.0;
     Timer since_submit;
   };
 
   void admit();
   void prefill_one(Active& a);
-  void sample_and_stop(Active& a, std::vector<float> logits);
+  /// Sample from `logits` into `a` and run the stopping rules as if the
+  /// sampled token's decode step had advanced the context to `ctx_pos`
+  /// consumed positions (== a.state->pos() on the plain path; spec cycles
+  /// pass the solo-equivalent position of each verify row).
+  TokenId sample_and_stop(Active& a, std::vector<float> logits,
+                          std::size_t ctx_pos);
+  /// One draft-propose / batched-verify / accept-reject cycle; returns
+  /// the number of tokens emitted (>= 1 unless evicted for pages).
+  std::size_t spec_cycle(Active& a);
   void retire_finished();
   void update_gauges();
 
   Backend backend_;
+  std::unique_ptr<SpecDecoder> spec_;
   TokenCallback on_token_;
   ServeConfig config_;
   KvPool pool_;

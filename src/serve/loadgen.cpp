@@ -80,11 +80,30 @@ LoadPoint run_load(ServeEngine& engine, const LoadSpec& spec) {
   const Timer wall;
   std::size_t next = 0;
   std::size_t rejected_at_submit = 0;
+  // Client timeouts, in submission (= deadline) order. cancel() on an
+  // already-finished id is a harmless no-op returning false.
+  std::vector<std::pair<RequestId, double>> deadlines;
+  std::size_t next_deadline = 0;
+  const double cancel_after_s = spec.cancel_after_ms / 1e3;
+  const auto apply_cancels = [&](double elapsed) {
+    if (spec.cancel_after_ms <= 0.0) {
+      return;
+    }
+    while (next_deadline < deadlines.size() &&
+           elapsed >= deadlines[next_deadline].second) {
+      engine.cancel(deadlines[next_deadline].first);
+      ++next_deadline;
+    }
+  };
   while (next < schedule.size()) {
     const double elapsed = wall.seconds();
+    apply_cancels(elapsed);
     if (elapsed >= schedule[next]) {
       try {
-        engine.submit(make_request(spec, next, vocab));
+        const RequestId id = engine.submit(make_request(spec, next, vocab));
+        if (spec.cancel_after_ms > 0.0) {
+          deadlines.emplace_back(id, elapsed + cancel_after_s);
+        }
       } catch (const Error&) {
         // Queue full (max_queue): the open-loop client drops the request
         // and keeps offering — exactly what an overloaded server sees.
@@ -98,6 +117,11 @@ LoadPoint run_load(ServeEngine& engine, const LoadSpec& spec) {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
+  // Drain step-by-step so timeouts keep firing for in-flight requests.
+  while (!engine.idle()) {
+    apply_cancels(wall.seconds());
+    engine.step();
+  }
   std::vector<GenerationResult> results = engine.run();
   const double wall_seconds = std::max(wall.seconds(), 1e-9);
 
@@ -108,6 +132,10 @@ LoadPoint run_load(ServeEngine& engine, const LoadSpec& spec) {
   for (const GenerationResult& r : results) {
     if (r.finish == FinishReason::rejected) {
       ++point.rejected;
+      continue;
+    }
+    if (r.finish == FinishReason::cancelled) {
+      ++point.cancelled;
       continue;
     }
     ++point.completed;

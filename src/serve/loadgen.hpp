@@ -47,6 +47,13 @@ struct LoadSpec {
   /// 0 disables a gate.
   double slo_ttft_ms = 0.0;
   double slo_tpot_ms = 0.0;
+
+  /// Client-side timeout: cancel any request still unfinished this many ms
+  /// after its submission (0 = never). Models impatient callers; cancelled
+  /// requests count in LoadPoint::cancelled and nowhere else. Which
+  /// requests hit the timeout depends on wall-clock timing — the schedule
+  /// and prompts stay deterministic, the cancellation outcomes do not.
+  double cancel_after_ms = 0.0;
 };
 
 /// One measured point of the goodput-vs-offered-load curve.
@@ -58,6 +65,8 @@ struct LoadPoint {
   std::size_t completed = 0;
   std::size_t evicted = 0;    ///< context_full completions
   std::size_t rejected = 0;
+  std::size_t cancelled = 0;  ///< client-timeout cancellations (excluded
+                              ///< from completed and every latency array)
   double p50_ttft_ms = 0.0;
   double p99_ttft_ms = 0.0;
   double p50_tpot_ms = 0.0;   ///< over requests with >= 2 tokens

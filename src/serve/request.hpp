@@ -27,6 +27,7 @@ enum class FinishReason {
   max_tokens,    ///< generated max_new_tokens
   context_full,  ///< KV capacity reached before the other limits (evicted)
   rejected,      ///< never admitted (e.g. prompt longer than max_context)
+  cancelled,     ///< caller cancelled via ServeEngine::cancel()
 };
 
 const char* to_string(FinishReason reason);
@@ -40,6 +41,11 @@ struct Request {
   std::uint64_t seed = 0;       ///< per-request RNG stream seed
   int priority = 0;             ///< higher admits first; FIFO within a level
   TokenId eos_token = -1;       ///< stop when sampled; -1 disables
+  /// Opt into speculative decoding (requires the engine to be constructed
+  /// with a SpecConfig whose draft shares the target's vocab — both are
+  /// validated at submit()). The token stream is bitwise identical either
+  /// way; only latency changes.
+  bool speculative = false;
 };
 
 /// Completed (or rejected) request. The latency breakdown decomposes
@@ -56,9 +62,17 @@ struct GenerationResult {
   double queue_wait_ms = 0.0;   ///< submit -> admitted into the batch
   double prefill_ms = 0.0;      ///< prompt forward pass
   double decode_ms = 0.0;       ///< sum of this request's decode passes
-  double tpot_ms = 0.0;         ///< decode_ms per post-first token; 0 if 1
+  double tpot_ms = 0.0;  ///< decode_ms per post-first token; 0 when the
+                         ///< request produced <= 1 token (no decode pass
+                         ///< ran — aggregations must skip, not average, it)
   std::size_t prompt_tokens = 0;
   std::size_t completion_step = 0;  ///< engine step() count at completion
+  // Speculative-decoding breakdown (all zero for non-speculative requests).
+  std::size_t spec_cycles = 0;     ///< verify passes with >= 1 proposal
+  std::size_t spec_proposed = 0;   ///< draft tokens offered
+  std::size_t spec_accepted = 0;   ///< draft tokens accepted
+  double spec_draft_ms = 0.0;      ///< time in draft propose()
+  double spec_verify_ms = 0.0;     ///< time in decode_verify passes
 };
 
 /// Engine sizing. Defaults suit the sim-scale models; production values
@@ -82,8 +96,11 @@ struct ServeConfig {
 /// RunReport::add_serving; see ServeEngine::fill_report).
 struct ServeStats {
   std::size_t submitted = 0;
-  std::size_t completed = 0;   ///< includes evictions, excludes rejections
+  std::size_t completed = 0;   ///< includes evictions and in-flight
+                               ///< cancellations, excludes rejections and
+                               ///< queue cancellations
   std::size_t rejected = 0;
+  std::size_t cancelled = 0;   ///< via ServeEngine::cancel(), any stage
   std::uint64_t prefill_tokens = 0;
   std::uint64_t generated_tokens = 0;
   std::size_t engine_steps = 0;

@@ -138,6 +138,73 @@ TEST(LoadGenTest, GoodputDropsUnderImpossibleSlo) {
   EXPECT_GT(p.achieved_rps, 0.0);
 }
 
+// The workload side of run_load is a pure function of LoadSpec: two runs
+// with the same seed and config must agree on every deterministic summary
+// field (timings vary; counts and token work cannot).
+TEST(LoadGenTest, RunLoadSummariesAreDeterministicAcrossRuns) {
+  const Model m = Model::init(load_config(), 7);
+  LoadSpec spec;
+  spec.requests = 10;
+  spec.offered_rps = 500.0;
+  spec.max_new_tokens = 4;
+
+  // Schedule and per-request workload byte-identical run to run.
+  EXPECT_EQ(arrival_times(spec), arrival_times(spec));
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    const Request a = make_request(spec, i, load_config().vocab_size);
+    const Request b = make_request(spec, i, load_config().vocab_size);
+    EXPECT_EQ(a.prompt, b.prompt);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.priority, b.priority);
+  }
+
+  ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_context = 48;
+  ServeEngine first(make_backend(m), cfg);
+  ServeEngine second(make_backend(m), cfg);
+  const LoadPoint a = run_load(first, spec);
+  const LoadPoint b = run_load(second, spec);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.evicted, b.evicted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.cancelled, b.cancelled);
+  EXPECT_EQ(first.stats().generated_tokens, second.stats().generated_tokens);
+  EXPECT_EQ(first.stats().prefill_tokens, second.stats().prefill_tokens);
+}
+
+// An effectively-zero client timeout cancels every request while it still
+// sits in the queue: the generator applies expired deadlines before each
+// step, so nothing ever reaches prefill.
+TEST(LoadGenTest, ClientTimeoutCancelsSlowRequests) {
+  const Model m = Model::init(load_config(), 7);
+  ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_context = 48;
+  ServeEngine engine(make_backend(m), cfg);
+
+  LoadSpec spec;
+  spec.requests = 6;
+  spec.offered_rps = 500.0;
+  spec.max_new_tokens = 8;
+  spec.cancel_after_ms = 1e-6;
+  const LoadPoint p = run_load(engine, spec);
+  EXPECT_EQ(p.cancelled, spec.requests);
+  EXPECT_EQ(p.completed, 0u);
+  EXPECT_EQ(p.completed + p.rejected + p.cancelled, spec.requests);
+  // Cancelled requests stay out of the latency arrays and goodput.
+  EXPECT_EQ(p.goodput_rps, 0.0);
+  EXPECT_EQ(p.p50_ttft_ms, 0.0);
+  EXPECT_EQ(engine.stats().cancelled, spec.requests);
+
+  // A timeout far beyond the runtime cancels nothing.
+  ServeEngine second(make_backend(m), cfg);
+  spec.cancel_after_ms = 1e9;
+  const LoadPoint q = run_load(second, spec);
+  EXPECT_EQ(q.cancelled, 0u);
+  EXPECT_EQ(q.completed, spec.requests);
+}
+
 TEST(LoadGenTest, ExactPercentileNearestRank) {
   const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
   EXPECT_EQ(exact_percentile(v, 50.0), 3.0);

@@ -652,5 +652,83 @@ TEST(ServeLatency, EvictionAndBackpressureCausesAreAttributed) {
   obs::reset_observability();
 }
 
+// A 1-token generation never rode a decode pass, so tpot_ms is 0 — the
+// documented "undefined, skip it" sentinel — not decode_ms over zero
+// post-first tokens.
+TEST(ServeLatency, SingleTokenGenerationHasZeroTpot) {
+  const Model m = Model::init(test_config(), 29);
+  ServeConfig cfg;
+  cfg.max_context = 32;
+  ServeEngine engine(make_backend(m), cfg);
+  Request r;
+  r.prompt = tokens_for(4, 9, m.config.vocab_size);
+  r.max_new_tokens = 1;
+  engine.submit(r);
+  const auto results = engine.run();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].tokens.size(), 1u);
+  EXPECT_EQ(results[0].finish, FinishReason::max_tokens);
+  EXPECT_EQ(results[0].decode_ms, 0.0);
+  EXPECT_EQ(results[0].tpot_ms, 0.0);
+  EXPECT_GT(results[0].prefill_ms, 0.0);
+}
+
+TEST(ServeCancel, QueuedRequestLeavesWithoutTokens) {
+  const Model m = Model::init(test_config(), 30);
+  ServeConfig cfg;
+  cfg.max_batch = 1;
+  cfg.max_context = 32;
+  ServeEngine engine(make_backend(m), cfg);
+  Request r;
+  r.prompt = tokens_for(4, 10, m.config.vocab_size);
+  r.max_new_tokens = 3;
+  const RequestId keep = engine.submit(r);
+  const RequestId drop = engine.submit(r);
+  ASSERT_TRUE(engine.cancel(drop));
+  EXPECT_FALSE(engine.cancel(drop));       // already gone
+  EXPECT_FALSE(engine.cancel(keep + 99));  // unknown id
+  const auto results = engine.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, keep);
+  EXPECT_EQ(results[0].finish, FinishReason::max_tokens);
+  EXPECT_EQ(results[1].id, drop);
+  EXPECT_EQ(results[1].finish, FinishReason::cancelled);
+  EXPECT_TRUE(results[1].tokens.empty());
+  // Queue cancellations never count as completions.
+  EXPECT_EQ(engine.stats().completed, 1u);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+}
+
+TEST(ServeCancel, InFlightRequestRetiresWithExactPartialStream) {
+  const Model m = Model::init(test_config(), 31);
+  ServeConfig cfg;
+  cfg.max_batch = 1;
+  cfg.max_context = 32;
+  ServeEngine engine(make_backend(m), cfg);
+  Request r;
+  r.prompt = tokens_for(4, 11, m.config.vocab_size);
+  r.max_new_tokens = 10;
+  const RequestId id = engine.submit(r);
+  engine.step();  // prefill + first token
+  engine.step();  // second token
+  ASSERT_EQ(engine.active_count(), 1u);
+  ASSERT_TRUE(engine.cancel(id));
+  // Retired immediately: slot and pages free, engine idle.
+  EXPECT_TRUE(engine.idle());
+  EXPECT_EQ(engine.pool().in_use(), 0u);
+  EXPECT_FALSE(engine.cancel(id));
+  const auto results = engine.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].finish, FinishReason::cancelled);
+  ASSERT_EQ(results[0].tokens.size(), 2u);
+  // The partial stream is an exact prefix of the uncancelled one.
+  const ReferenceRun ref = reference_run(m, r, id, cfg.max_context);
+  EXPECT_TRUE(std::equal(results[0].tokens.begin(), results[0].tokens.end(),
+                         ref.tokens.begin()));
+  // In-flight cancellations DO count as completions (they held a slot).
+  EXPECT_EQ(engine.stats().completed, 1u);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+}
+
 }  // namespace
 }  // namespace aptq::serve
